@@ -1,0 +1,89 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated substrate. Run with -run to select one experiment:
+//
+//	experiments -run all
+//	experiments -run table1,table2,table3
+//	experiments -run rq1            # figures 7-9 + table 4
+//	experiments -run table5
+//	experiments -run table6
+//	experiments -run mutators       # section 4.1 registry stats
+//
+// The -steps / -invocations / -macrosteps flags scale the campaigns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/icsnju/metamut-go/internal/experiments"
+)
+
+func main() {
+	var (
+		run         = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,rq1,table5,table6,mutators,all")
+		seed        = flag.Int64("seed", 20240427, "random seed")
+		steps       = flag.Int("steps", 4000, "RQ1 compilations per fuzzer per compiler")
+		table5Steps = flag.Int("table5steps", 800, "compilations per Table 5 repetition")
+		table5Reps  = flag.Int("table5reps", 10, "Table 5 repetitions")
+		invocations = flag.Int("invocations", 100, "unsupervised MetaMut invocations")
+		macroSteps  = flag.Int("macrosteps", 24000, "macro-fuzzer compilations per compiler")
+		seedProgs   = flag.Int("seeds", 120, "seed corpus size")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.StepsPerFuzzer = *steps
+	cfg.Table5Steps = *table5Steps
+	cfg.Table5Reps = *table5Reps
+	cfg.Invocations = *invocations
+	cfg.MacroSteps = *macroSteps
+	cfg.SeedPrograms = *seedProgs
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	ran := false
+
+	if all || want["mutators"] {
+		fmt.Println(experiments.MutatorOverview())
+		ran = true
+	}
+	if all || want["table1"] || want["table2"] || want["table3"] {
+		st := experiments.RunCampaign(cfg)
+		if all || want["table1"] {
+			fmt.Println(experiments.Table1(st))
+		}
+		if all || want["table2"] {
+			fmt.Println(experiments.Table2(st))
+		}
+		if all || want["table3"] {
+			fmt.Println(experiments.Table3(st))
+		}
+		ran = true
+	}
+	if all || want["rq1"] {
+		r := experiments.RunRQ1(cfg)
+		fmt.Println(experiments.Figure7(r))
+		fmt.Println(experiments.Figure8(r))
+		fmt.Println(experiments.Figure9(r))
+		fmt.Println(experiments.Table4(r))
+		ran = true
+	}
+	if all || want["table5"] {
+		fmt.Println(experiments.Table5(experiments.RunTable5(cfg)))
+		ran = true
+	}
+	if all || want["table6"] {
+		fmt.Println(experiments.Table6(experiments.RunTable6(cfg)))
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,82 @@
+// Command metamut drives the mutator-generation pipeline: it runs the
+// unsupervised campaign against the (simulated) LLM, prints each
+// invocation's outcome, and summarizes validity and cost.
+//
+//	metamut -n 20            # 20 invocations
+//	metamut -n 100 -v        # the paper's campaign size, verbose
+//	metamut -list            # list the 118 registered mutators instead
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/icsnju/metamut-go/internal/core"
+	"github.com/icsnju/metamut-go/internal/experiments"
+	"github.com/icsnju/metamut-go/internal/llm"
+	"github.com/icsnju/metamut-go/internal/muast"
+	_ "github.com/icsnju/metamut-go/internal/mutators"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 20, "number of MetaMut invocations")
+		seed       = flag.Int64("seed", 1, "random seed")
+		verbose    = flag.Bool("v", false, "print each invocation")
+		list       = flag.Bool("list", false, "list registered mutators and exit")
+		transcript = flag.Bool("transcript", false, "print the model chat log")
+		compound   = flag.Bool("compound", false, "allow two-action (compound) inventions — the paper's future-work template extension")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, mu := range muast.All() {
+			marker := " "
+			if mu.Creative {
+				marker = "*"
+			}
+			fmt.Printf("%-36s %-10s %-12s %s\n",
+				mu.Name, mu.Category, mu.Set, marker)
+		}
+		fmt.Printf("\n%d mutators (* = creative, off-template)\n", len(muast.All()))
+		return
+	}
+
+	rec := llm.NewRecorder(llm.NewSimClient(*seed))
+	fw := core.New(rec, *seed+1)
+	fw.Params.AllowCompound = *compound
+	results := fw.RunUnsupervised(*n)
+	for i, r := range results {
+		if !*verbose {
+			continue
+		}
+		name := "-"
+		if r.Program != nil {
+			name = r.Program.Name
+		}
+		fmt.Printf("#%03d %-34s %-26s tokens=%-6d qa=%-2d $%.2f fixes=%v\n",
+			i+1, name, r.Outcome, r.Cost.TotalTokens(), r.Cost.TotalQA(),
+			r.Cost.DollarCost(), r.FixedByGoal)
+	}
+	st := core.Analyze(results)
+	fmt.Printf("\ninvocations: %d   valid: %d (%.1f%% of %d survived)\n",
+		st.Invocations, st.ValidCount(),
+		100*float64(st.ValidCount())/float64(max(1, st.SurvivedInvocations())),
+		st.SurvivedInvocations())
+	fmt.Printf("outcomes: %v\n", st.ByOutcome)
+	fmt.Println()
+	fmt.Println(experiments.Table1(st))
+	fmt.Println(experiments.Table2(st))
+	fmt.Println(experiments.Table3(st))
+	if *transcript {
+		fmt.Println("---- model transcript ----")
+		fmt.Print(rec.Render())
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+// Command mucfuzz runs the μCFuzz micro fuzzer (or the macro fuzzer)
+// against a simulated compiler profile and reports coverage, compilable
+// ratio, and unique crashes.
+//
+//	mucfuzz -compiler gcc -steps 10000
+//	mucfuzz -compiler clang -set u -steps 5000
+//	mucfuzz -macro -workers 8 -steps 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/fuzz"
+	"github.com/icsnju/metamut-go/internal/muast"
+	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/reduce"
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+func main() {
+	var (
+		compiler = flag.String("compiler", "gcc", "target profile: gcc or clang")
+		set      = flag.String("set", "s", "mutator set: s (supervised), u (unsupervised), all")
+		steps    = flag.Int("steps", 10000, "compilations to run")
+		seed     = flag.Int64("seed", 1, "random seed")
+		nSeeds   = flag.Int("seeds", 120, "seed corpus size")
+		macro    = flag.Bool("macro", false, "run the macro fuzzer instead of μCFuzz")
+		workers  = flag.Int("workers", 4, "macro-fuzzer parallel workers")
+		doReduce = flag.Bool("reduce", false, "minimize each crashing input before printing")
+	)
+	flag.Parse()
+
+	version := 14
+	if *compiler == "clang" {
+		version = 18
+	}
+	comp := compilersim.New(*compiler, version)
+	pool := seeds.Generate(*nSeeds, *seed)
+
+	var mutators []*muast.Mutator
+	switch *set {
+	case "s":
+		mutators = muast.BySet(muast.Supervised)
+	case "u":
+		mutators = muast.BySet(muast.Unsupervised)
+	default:
+		mutators = muast.All()
+	}
+
+	var stats []*fuzz.Stats
+	if *macro {
+		shared := fuzz.NewSharedCoverage()
+		var ws []*fuzz.MacroFuzzer
+		for i := 0; i < *workers; i++ {
+			ws = append(ws, fuzz.NewMacroFuzzer(
+				fmt.Sprintf("macro-%d", i), comp, mutators, pool,
+				rand.New(rand.NewSource(*seed+int64(i))), shared,
+				fuzz.DefaultMacroConfig()))
+		}
+		fuzz.RunParallel(ws, *steps)
+		for _, w := range ws {
+			stats = append(stats, w.Stats())
+		}
+		fmt.Printf("shared coverage: %d edges\n", shared.Count())
+	} else {
+		f := fuzz.NewMuCFuzz("muCFuzz."+*set, comp, mutators, pool,
+			rand.New(rand.NewSource(*seed)))
+		for f.Stats().Ticks < *steps {
+			f.Step()
+		}
+		stats = append(stats, f.Stats())
+		fmt.Printf("pool grew to %d programs\n", f.PoolSize())
+	}
+
+	crashes := map[string]*fuzz.CrashInfo{}
+	total, compilable, edges := 0, 0, 0
+	for _, st := range stats {
+		total += st.Total
+		compilable += st.Compilable
+		if c := st.Coverage.Count(); c > edges {
+			edges = c
+		}
+		for sig, ci := range st.Crashes {
+			if prev, ok := crashes[sig]; !ok || ci.FirstTick < prev.FirstTick {
+				crashes[sig] = ci
+			}
+		}
+	}
+	fmt.Printf("target: %s-%d   mutants: %d   compilable: %.1f%%   edges: %d\n",
+		*compiler, version, total, 100*float64(compilable)/float64(max(1, total)), edges)
+	fmt.Printf("unique crashes: %d\n", len(crashes))
+	var sigs []string
+	for sig := range crashes {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		return crashes[sigs[i]].FirstTick < crashes[sigs[j]].FirstTick
+	})
+	for _, sig := range sigs {
+		c := crashes[sig]
+		fmt.Printf("  t=%-7d [%s/%s] %s\n     via %s\n     frames: %s | %s\n",
+			c.FirstTick, c.Report.Component, c.Report.Kind, c.Report.Message,
+			c.Via, c.Report.Frames[0], c.Report.Frames[1])
+		if *doReduce {
+			oracle := reduce.CrashOracle(comp, compilersim.DefaultOptions(), sig)
+			res := reduce.Reduce(c.Input, oracle, reduce.DefaultConfig())
+			fmt.Printf("     reduced input (%d -> %d bytes):\n", len(c.Input), len(res.Output))
+			for _, line := range strings.Split(strings.TrimSpace(res.Output), "\n") {
+				fmt.Printf("       %s\n", line)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+// Bughunt: run μCFuzz with the supervised mutator set against both
+// simulated compilers until it uncovers deep (post-front-end) crashes —
+// the RQ2 workflow in miniature.
+//
+//	go run ./examples/bughunt
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	metamut "github.com/icsnju/metamut-go"
+)
+
+func main() {
+	pool := metamut.SeedCorpus(80, 7)
+	for _, target := range []struct {
+		name    string
+		version int
+	}{{"gcc", 14}, {"clang", 18}} {
+		comp := metamut.NewCompiler(target.name, target.version)
+		f := metamut.NewMuCFuzz("hunter", comp,
+			metamut.MutatorsBySet(metamut.Supervised), pool,
+			rand.New(rand.NewSource(11)))
+
+		const budget = 6000
+		for f.Stats().Ticks < budget {
+			f.Step()
+		}
+		st := f.Stats()
+		fmt.Printf("=== %s-%d: %d mutants, %.1f%% compilable, %d edges, %d unique crashes\n",
+			target.name, target.version, st.Total, st.CompilableRatio(),
+			st.Coverage.Count(), st.UniqueCrashes())
+		for _, tl := range st.CrashTimeline() {
+			_ = tl
+		}
+		for sig, c := range st.Crashes {
+			fmt.Printf("  [%s/%s] found at t=%d via %s\n    %s\n    sig: %s\n",
+				c.Report.Component, c.Report.Kind, c.FirstTick, c.Via,
+				c.Report.Message, sig)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,71 @@
+// Invent: drive the MetaMut pipeline end to end — invention, template
+// synthesis, and the validation-refinement loop — and show what the LLM
+// produced, what broke, and what the loop repaired.
+//
+//	go run ./examples/invent
+package main
+
+import (
+	"fmt"
+
+	metamut "github.com/icsnju/metamut-go"
+	"github.com/icsnju/metamut-go/internal/core"
+)
+
+func main() {
+	client := metamut.NewSimulatedLLM(2024)
+	fw := metamut.NewFramework(client, 7)
+
+	fmt.Println("Running 12 MetaMut invocations (invention -> synthesis -> refinement):")
+	var prior []string
+	valid := 0
+	for i := 0; i < 12; i++ {
+		res := fw.GenerateOne(prior)
+		name := "<api error>"
+		if res.Program != nil {
+			name = res.Program.Name
+		}
+		fmt.Printf("\n#%02d  %s\n", i+1, name)
+		if res.Program != nil {
+			fmt.Printf("     %q\n", res.Invention.Description)
+		}
+		fmt.Printf("     outcome: %-26s tokens: %-6d QA rounds: %-2d cost: $%.2f\n",
+			res.Outcome, res.Cost.TotalTokens(), res.Cost.TotalQA(),
+			res.Cost.DollarCost())
+		if len(res.FixedByGoal) > 0 {
+			fmt.Printf("     refinement fixed:")
+			for g := core.GoalCompiles; g <= core.GoalValidMutants; g++ {
+				if n := res.FixedByGoal[g]; n > 0 {
+					fmt.Printf(" goal#%d x%d", int(g), n)
+				}
+			}
+			fmt.Println()
+		}
+		if res.Outcome == core.Valid {
+			valid++
+			prior = append(prior, res.Program.Name)
+			fmt.Printf("     synthesized implementation:\n")
+			for _, line := range splitLines(res.Program.Render()) {
+				fmt.Printf("       %s\n", line)
+			}
+		}
+	}
+	fmt.Printf("\n%d/12 invocations yielded valid mutators\n", valid)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Quickstart: apply semantic-aware mutators to a C program and compile
+// the mutants against the simulated compiler.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	metamut "github.com/icsnju/metamut-go"
+)
+
+const program = `
+int total(int n) {
+    int i;
+    int sum = 0;
+    for (i = 0; i < n; i++) {
+        sum += i * i;
+    }
+    if (sum > 100) { sum -= 50; }
+    return sum;
+}
+int main(void) { return total(10) & 0xff; }
+`
+
+func main() {
+	fmt.Printf("registered mutators: %d (supervised %d, unsupervised %d)\n\n",
+		len(metamut.Mutators()),
+		len(metamut.MutatorsBySet(metamut.Supervised)),
+		len(metamut.MutatorsBySet(metamut.Unsupervised)))
+
+	comp := metamut.NewCompiler("gcc", 14)
+	rng := rand.New(rand.NewSource(42))
+
+	// Apply a handful of named mutators and compile each mutant.
+	for _, name := range []string{
+		"ModifyFunctionReturnTypeToVoid", // the paper's Ret2V example
+		"DuplicateBranch",
+		"ChangeBinaryOperator",
+		"ForToWhile",
+		"SwitchInitExpr",
+	} {
+		mutant, ok := metamut.Mutate(program, name, rng)
+		if !ok {
+			fmt.Printf("== %s: not applicable to this program\n\n", name)
+			continue
+		}
+		res := comp.Compile(mutant, metamut.CompileOptions{OptLevel: 2})
+		status := "compiles"
+		if !res.OK {
+			status = "rejected"
+		}
+		if res.Crash != nil {
+			status = "CRASHED THE COMPILER: " + res.Crash.Message
+		}
+		fmt.Printf("== %s (%s)\n%s\n", name, status, mutant)
+	}
+}

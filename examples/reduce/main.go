@@ -1,0 +1,53 @@
+// Reduce: fuzz until a crash appears, then minimize the crashing input
+// while preserving its top-2-frame signature — the triage step behind
+// every minimized test case in the paper's bug reports (Section 5.3).
+//
+//	go run ./examples/reduce
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	metamut "github.com/icsnju/metamut-go"
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/reduce"
+)
+
+func main() {
+	comp := metamut.NewCompiler("gcc", 14)
+	f := metamut.NewMuCFuzz("hunter", comp, metamut.Mutators(),
+		metamut.SeedCorpus(80, 7), rand.New(rand.NewSource(5)))
+
+	fmt.Println("Fuzzing until a deep (post-front-end) crash appears...")
+	var found *struct {
+		input string
+		sig   string
+		msg   string
+	}
+	for f.Stats().Ticks < 20000 && found == nil {
+		f.Step()
+		for _, c := range f.Stats().Crashes {
+			if c.Report.Component != compilersim.FrontEnd {
+				found = &struct {
+					input string
+					sig   string
+					msg   string
+				}{c.Input, c.Report.Signature(), c.Report.Message}
+				break
+			}
+		}
+	}
+	if found == nil {
+		fmt.Println("no deep crash within the budget; try another seed")
+		return
+	}
+	fmt.Printf("\ncrash: %s\nsignature: %s\ninput: %d bytes\n\n",
+		found.msg, found.sig, len(found.input))
+
+	oracle := reduce.CrashOracle(comp, compilersim.DefaultOptions(), found.sig)
+	res := reduce.Reduce(found.input, oracle, reduce.DefaultConfig())
+	fmt.Printf("reduced to %d bytes (%.0f%%) in %d passes, %d oracle calls:\n\n%s\n",
+		len(res.Output), 100*res.Ratio(found.input), res.Passes, res.Tried,
+		res.Output)
+}

@@ -1,0 +1,3 @@
+module github.com/icsnju/metamut-go
+
+go 1.22

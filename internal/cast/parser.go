@@ -1,0 +1,1485 @@
+package cast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a syntax error.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%d:%d: syntax error: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parser turns a token stream into a TranslationUnit.
+type Parser struct {
+	src  string
+	toks []Token
+	pos  int
+
+	// scopes tracks typedef names (value true) so declarations can be
+	// disambiguated from expressions, plus struct/union/enum tags.
+	typedefScopes []map[string]QualType
+	tagScopes     []map[string]Decl
+
+	// lastParams holds the parameter declarations of the most recently
+	// parsed function declarator, consumed by parseFunctionDefinition.
+	lastParams []*ParmVarDecl
+
+	err *ParseError
+}
+
+// Parse lexes and parses src, returning the AST. Parsing is
+// best-effort-strict: any syntax error aborts with a non-nil error.
+func Parse(src string) (*TranslationUnit, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{
+		src:           src,
+		toks:          toks,
+		typedefScopes: []map[string]QualType{{}},
+		tagScopes:     []map[string]Decl{{}},
+	}
+	tu := p.parseTranslationUnit()
+	if p.err != nil {
+		return nil, p.err
+	}
+	tu.Source = src
+	return tu, nil
+}
+
+// ParseAndCheck parses src and runs semantic analysis.
+func ParseAndCheck(src string) (*TranslationUnit, error) {
+	tu, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(tu); err != nil {
+		return nil, err
+	}
+	return tu, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.advance(); return t }
+
+func (p *Parser) advance() {
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+}
+
+func (p *Parser) peek(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) atKw(kw string) bool { return p.cur().Is(kw) }
+
+func (p *Parser) accept(k TokenKind) (Token, bool) {
+	if p.at(k) {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *Parser) acceptKw(kw string) bool {
+	if p.atKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokenKind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.fail("expected %s, found %q", k, p.cur().Text)
+	return p.cur()
+}
+
+// fail records the first error and fast-forwards to EOF so parsing
+// unwinds without panics.
+func (p *Parser) fail(format string, args ...any) {
+	if p.err == nil {
+		t := p.cur()
+		p.err = &ParseError{Line: t.Line, Col: t.Col,
+			Msg: fmt.Sprintf(format, args...)}
+	}
+	p.pos = len(p.toks) - 1
+}
+
+func (p *Parser) pushScope() {
+	p.typedefScopes = append(p.typedefScopes, map[string]QualType{})
+	p.tagScopes = append(p.tagScopes, map[string]Decl{})
+}
+
+func (p *Parser) popScope() {
+	p.typedefScopes = p.typedefScopes[:len(p.typedefScopes)-1]
+	p.tagScopes = p.tagScopes[:len(p.tagScopes)-1]
+}
+
+func (p *Parser) defineTypedef(name string, ty QualType) {
+	p.typedefScopes[len(p.typedefScopes)-1][name] = ty
+}
+
+func (p *Parser) lookupTypedef(name string) (QualType, bool) {
+	for i := len(p.typedefScopes) - 1; i >= 0; i-- {
+		if ty, ok := p.typedefScopes[i][name]; ok {
+			return ty, true
+		}
+	}
+	return QualType{}, false
+}
+
+func (p *Parser) defineTag(name string, d Decl) {
+	p.tagScopes[len(p.tagScopes)-1][name] = d
+}
+
+func (p *Parser) lookupTag(name string) (Decl, bool) {
+	for i := len(p.tagScopes) - 1; i >= 0; i-- {
+		if d, ok := p.tagScopes[i][name]; ok {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+func (p *Parser) parseTranslationUnit() *TranslationUnit {
+	tu := &TranslationUnit{}
+	start := p.cur().Pos
+	for !p.at(TokEOF) && p.err == nil {
+		if _, ok := p.accept(TokSemi); ok {
+			continue
+		}
+		decls := p.parseExternalDeclaration()
+		tu.Decls = append(tu.Decls, decls...)
+	}
+	tu.SetRange(start, p.cur().End)
+	return tu
+}
+
+// typeSpecKeywords are keywords that can begin declaration specifiers.
+var typeSpecKeywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"_Bool": true, "_Complex": true, "struct": true, "union": true,
+	"enum": true, "const": true, "volatile": true, "restrict": true,
+	"static": true, "extern": true, "typedef": true, "register": true,
+	"auto": true, "inline": true, "__restrict": true, "__inline": true,
+	"__const": true, "__signed__": true, "__extension__": true,
+	"__volatile__": true,
+}
+
+// startsDecl reports whether the current token begins a declaration.
+func (p *Parser) startsDecl() bool {
+	t := p.cur()
+	if t.Kind == TokKeyword && typeSpecKeywords[t.Text] {
+		return true
+	}
+	if t.Kind == TokIdent {
+		if _, ok := p.lookupTypedef(t.Text); ok {
+			// "T * x;" is a declaration; "T * x" as expression would
+			// need T to be a variable, which typedef shadows here.
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) parseExternalDeclaration() []Decl {
+	specs := p.parseDeclSpecs()
+	if p.err != nil {
+		return nil
+	}
+	// "struct s { ... };" with no declarator.
+	if p.at(TokSemi) {
+		p.advance()
+		if specs.ownedTag != nil {
+			return []Decl{specs.ownedTag}
+		}
+		return nil
+	}
+	var decls []Decl
+	if specs.ownedTag != nil {
+		decls = append(decls, specs.ownedTag)
+	}
+	for {
+		name, ty, nameRng, declStart := p.parseDeclarator(specs.base)
+		if p.err != nil {
+			return decls
+		}
+		if ft, ok := ty.T.(*FuncType); ok && p.at(TokLBrace) {
+			fd := p.parseFunctionDefinition(name, ft, specs, declStart, nameRng)
+			decls = append(decls, fd)
+			return decls
+		}
+		d := p.finishInitDeclarator(name, ty, specs, nameRng, declStart, true)
+		if d != nil {
+			decls = append(decls, d)
+		}
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	p.expect(TokSemi)
+	return decls
+}
+
+// declSpecs carries the parsed declaration specifiers.
+type declSpecs struct {
+	base    QualType
+	storage StorageClass
+	inline  bool
+	// ownedTag is a RecordDecl/EnumDecl defined inline in the specifiers,
+	// which must be emitted as a declaration of its own.
+	ownedTag Decl
+	// start is the byte offset where the specifiers began.
+	start int
+	end   int
+}
+
+func (p *Parser) parseDeclSpecs() declSpecs {
+	ds := declSpecs{start: p.cur().Pos}
+	var (
+		quals    Qualifiers
+		sawType  bool
+		longs    int
+		unsigned bool
+		signed_  bool
+		baseKind = Int
+		sawBase  bool
+		complex_ bool
+		result   QualType
+	)
+	// setBase records a base type-specifier keyword, rejecting illegal
+	// combinations like "int double" ("two or more data types in
+	// declaration specifiers"). "short int"/"int short" are the only
+	// legal pairings among the base keywords (long is counted apart).
+	setBase := func(k BasicKind) {
+		if sawBase {
+			okPair := (baseKind == Short && k == Int) ||
+				(baseKind == Int && k == Short)
+			if !okPair && baseKind != k {
+				p.fail("two or more data types in declaration specifiers")
+				return
+			}
+			if baseKind == Int && k == Short {
+				baseKind = Short
+			}
+			sawType = true
+			return
+		}
+		sawBase, sawType = true, true
+		baseKind = k
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.Is("const") || t.Is("__const"):
+			quals |= QualConst
+			p.advance()
+		case t.Is("volatile") || t.Is("__volatile__"):
+			quals |= QualVolatile
+			p.advance()
+		case t.Is("restrict") || t.Is("__restrict"):
+			quals |= QualRestrict
+			p.advance()
+		case t.Is("__extension__"):
+			p.advance()
+		case t.Is("static"):
+			ds.storage = StorageStatic
+			p.advance()
+		case t.Is("extern"):
+			ds.storage = StorageExtern
+			p.advance()
+		case t.Is("typedef"):
+			ds.storage = StorageTypedef
+			p.advance()
+		case t.Is("register"):
+			ds.storage = StorageRegister
+			p.advance()
+		case t.Is("auto"):
+			ds.storage = StorageAuto
+			p.advance()
+		case t.Is("inline") || t.Is("__inline"):
+			ds.inline = true
+			p.advance()
+		case t.Is("void"):
+			setBase(Void)
+			p.advance()
+		case t.Is("_Bool"):
+			setBase(Bool)
+			p.advance()
+		case t.Is("char"):
+			setBase(Char)
+			p.advance()
+		case t.Is("short"):
+			setBase(Short)
+			p.advance()
+		case t.Is("int"):
+			if longs == 0 {
+				setBase(Int)
+			} else {
+				sawType = true
+			}
+			p.advance()
+		case t.Is("long"):
+			sawType = true
+			longs++
+			p.advance()
+		case t.Is("float"):
+			setBase(Float)
+			p.advance()
+		case t.Is("double"):
+			setBase(Double)
+			p.advance()
+		case t.Is("signed") || t.Is("__signed__"):
+			sawType, signed_ = true, true
+			p.advance()
+		case t.Is("unsigned"):
+			sawType, unsigned = true, true
+			p.advance()
+		case t.Is("_Complex"):
+			sawType, complex_ = true, true
+			p.advance()
+		case t.Is("struct") || t.Is("union"):
+			result = p.parseRecordSpecifier(&ds)
+			sawType = true
+		case t.Is("enum"):
+			result = p.parseEnumSpecifier(&ds)
+			sawType = true
+		case t.Kind == TokIdent && !sawType && result.IsNil():
+			if ty, ok := p.lookupTypedef(t.Text); ok {
+				result = QualType{T: &TypedefType{Name: t.Text, Underlying: ty}}
+				sawType = true
+				p.advance()
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	if result.IsNil() {
+		if !sawType {
+			// Implicit int (K&R style, appears in compiler test suites).
+			baseKind = Int
+		}
+		result = QualType{T: &BasicType{K: p.combineBasic(baseKind, longs, unsigned, signed_, complex_)}}
+	}
+	ds.base = result.WithQuals(quals)
+	ds.end = p.cur().Pos
+	return ds
+}
+
+func (p *Parser) combineBasic(k BasicKind, longs int, unsigned, signed_, complex_ bool) BasicKind {
+	if complex_ {
+		return ComplexDouble
+	}
+	switch k {
+	case Char:
+		if unsigned {
+			return UChar
+		}
+		if signed_ {
+			return SChar
+		}
+		return Char
+	case Short:
+		if unsigned {
+			return UShort
+		}
+		return Short
+	case Double:
+		if longs > 0 {
+			return LongDouble
+		}
+		return Double
+	case Int:
+		switch {
+		case longs >= 2:
+			if unsigned {
+				return ULongLong
+			}
+			return LongLong
+		case longs == 1:
+			if unsigned {
+				return ULong
+			}
+			return Long
+		case unsigned:
+			return UInt
+		}
+		return Int
+	}
+	return k
+}
+
+func (p *Parser) parseRecordSpecifier(ds *declSpecs) QualType {
+	kw := p.next() // struct or union
+	isUnion := kw.Text == "union"
+	name := ""
+	if t, ok := p.accept(TokIdent); ok {
+		name = t.Text
+	}
+	var rd *RecordDecl
+	if name != "" {
+		if d, ok := p.lookupTag(name); ok {
+			rd, _ = d.(*RecordDecl)
+		}
+	}
+	if rd == nil {
+		rd = &RecordDecl{Name: name, IsUnion: isUnion}
+		rd.SetRange(kw.Pos, p.cur().End)
+		if name != "" {
+			p.defineTag(name, rd)
+		}
+	}
+	if p.at(TokLBrace) {
+		p.advance()
+		rd.Complete = true
+		for !p.at(TokRBrace) && p.err == nil {
+			fieldSpecs := p.parseDeclSpecs()
+			for {
+				fname, fty, fnameRng, fstart := p.parseDeclarator(fieldSpecs.base)
+				// Bitfields: parse and ignore the width.
+				if _, ok := p.accept(TokColon); ok {
+					p.parseConditionalExpr()
+				}
+				fd := &FieldDecl{Name: fname, Ty: fty}
+				fd.SetRange(fstart, p.cur().Pos)
+				_ = fnameRng
+				rd.Fields = append(rd.Fields, fd)
+				if _, ok := p.accept(TokComma); !ok {
+					break
+				}
+			}
+			p.expect(TokSemi)
+		}
+		rbrace := p.expect(TokRBrace)
+		rd.SetRange(kw.Pos, rbrace.End)
+		ds.ownedTag = rd
+	}
+	return QualType{T: &RecordType{Decl: rd}}
+}
+
+func (p *Parser) parseEnumSpecifier(ds *declSpecs) QualType {
+	kw := p.next() // enum
+	name := ""
+	if t, ok := p.accept(TokIdent); ok {
+		name = t.Text
+	}
+	var ed *EnumDecl
+	if name != "" {
+		if d, ok := p.lookupTag(name); ok {
+			ed, _ = d.(*EnumDecl)
+		}
+	}
+	if ed == nil {
+		ed = &EnumDecl{Name: name}
+		ed.SetRange(kw.Pos, p.cur().End)
+		if name != "" {
+			p.defineTag(name, ed)
+		}
+	}
+	if p.at(TokLBrace) {
+		p.advance()
+		next := int64(0)
+		for !p.at(TokRBrace) && p.err == nil {
+			ct := p.expect(TokIdent)
+			ec := &EnumConstantDecl{Name: ct.Text}
+			ec.SetRange(ct.Pos, ct.End)
+			if _, ok := p.accept(TokAssign); ok {
+				ec.Value = p.parseConditionalExpr()
+				if v, ok := constIntValue(ec.Value); ok {
+					next = v
+				}
+				ec.SetRange(ct.Pos, p.cur().Pos)
+			}
+			ec.Num = next
+			next++
+			ed.Constants = append(ed.Constants, ec)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+		rbrace := p.expect(TokRBrace)
+		ed.SetRange(kw.Pos, rbrace.End)
+		ds.ownedTag = ed
+	}
+	return QualType{T: &EnumType{Decl: ed}}
+}
+
+// ConstIntValue evaluates trivially constant integer expressions (as used
+// in enum values and array dimensions): literals and pure arithmetic over
+// them. ok is false for anything it cannot fold.
+func ConstIntValue(e Expr) (int64, bool) { return constIntValue(e) }
+
+// constIntValue evaluates trivially constant integer expressions used in
+// enum values and array dimensions.
+func constIntValue(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *IntegerLiteral:
+		return x.Value, true
+	case *CharLiteral:
+		return int64(x.Value), true
+	case *ParenExpr:
+		return constIntValue(x.X)
+	case *UnaryOperator:
+		v, ok := constIntValue(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case UnMinus:
+			return -v, true
+		case UnPlus:
+			return v, true
+		case UnNot:
+			return ^v, true
+		case UnLNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *BinaryOperator:
+		l, lok := constIntValue(x.LHS)
+		r, rok := constIntValue(x.RHS)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch x.Op {
+		case BinAdd:
+			return l + r, true
+		case BinSub:
+			return l - r, true
+		case BinMul:
+			return l * r, true
+		case BinDiv:
+			if r != 0 {
+				return l / r, true
+			}
+		case BinRem:
+			if r != 0 {
+				return l % r, true
+			}
+		case BinShl:
+			if r >= 0 && r < 64 {
+				return l << uint(r), true
+			}
+		case BinShr:
+			if r >= 0 && r < 64 {
+				return l >> uint(r), true
+			}
+		case BinAnd:
+			return l & r, true
+		case BinOr:
+			return l | r, true
+		case BinXor:
+			return l ^ r, true
+		}
+	}
+	return 0, false
+}
+
+// parseDeclarator parses pointers, the declarator core, and array/function
+// suffixes, producing the declared name and full type. declStart is the
+// offset where the enclosing declaration began (the specifiers).
+func (p *Parser) parseDeclarator(baseTy QualType) (name string, ty QualType, nameRng SourceRange, declStart int) {
+	declStart = p.cur().Pos
+	ty = p.parsePointers(baseTy)
+	name, ty, nameRng = p.parseDirectDeclarator(ty)
+	return name, ty, nameRng, declStart
+}
+
+func (p *Parser) parsePointers(ty QualType) QualType {
+	for p.at(TokStar) {
+		p.advance()
+		var q Qualifiers
+		for {
+			switch {
+			case p.acceptKw("const") || p.acceptKw("__const"):
+				q |= QualConst
+			case p.acceptKw("volatile") || p.acceptKw("__volatile__"):
+				q |= QualVolatile
+			case p.acceptKw("restrict") || p.acceptKw("__restrict"):
+				q |= QualRestrict
+			default:
+				ty = QualType{T: &PointerType{Elem: ty}, Q: q}
+				goto next
+			}
+		}
+	next:
+	}
+	return ty
+}
+
+// parseDirectDeclarator handles "(declarator)", the identifier, and
+// array/function suffixes. Parenthesized declarators are supported by
+// recording suffixes and re-applying them inside-out.
+func (p *Parser) parseDirectDeclarator(ty QualType) (string, QualType, SourceRange) {
+	// Parenthesized declarator, e.g. int (*fp)(int).
+	if p.at(TokLParen) && p.isAbstractParen() {
+		p.advance()
+		// Parse the inner declarator against a placeholder, then wrap.
+		innerStart := p.pos
+		// Skip to matching ')' to find suffixes first.
+		depth := 1
+		for depth > 0 && !p.at(TokEOF) {
+			if p.at(TokLParen) {
+				depth++
+			} else if p.at(TokRParen) {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+			p.advance()
+		}
+		p.expect(TokRParen)
+		// Parse suffixes that apply to the inner declarator.
+		ty = p.parseDeclSuffixes(ty)
+		// Now re-parse the inner declarator with the suffixed type.
+		save := p.pos
+		p.pos = innerStart
+		innerTy := p.parsePointers(ty)
+		name, innerTy, nameRng := p.parseDirectDeclarator(innerTy)
+		p.pos = save
+		return name, innerTy, nameRng
+	}
+	var name string
+	var nameRng SourceRange
+	if t, ok := p.accept(TokIdent); ok {
+		name = t.Text
+		nameRng = SourceRange{t.Pos, t.End}
+	}
+	ty = p.parseDeclSuffixes(ty)
+	return name, ty, nameRng
+}
+
+// isAbstractParen distinguishes "(*...)" / "(ident...)" declarators from a
+// function parameter list "(int x)".
+func (p *Parser) isAbstractParen() bool {
+	t := p.peek(1)
+	if t.Kind == TokStar {
+		return true
+	}
+	if t.Kind == TokIdent {
+		_, isTypedef := p.lookupTypedef(t.Text)
+		return !isTypedef
+	}
+	return false
+}
+
+func (p *Parser) parseDeclSuffixes(ty QualType) QualType {
+	// Collect suffixes left-to-right, then fold right-to-left so that
+	// "int a[2][3]" becomes array(2, array(3, int)).
+	type suffix struct {
+		isArray  bool
+		size     int64
+		params   []*ParmVarDecl
+		variadic bool
+	}
+	var suffixes []suffix
+	for {
+		switch {
+		case p.at(TokLBracket):
+			p.advance()
+			sz := int64(-1)
+			if !p.at(TokRBracket) {
+				e := p.parseAssignExpr()
+				if v, ok := constIntValue(e); ok {
+					sz = v
+				} else {
+					sz = 1 // VLA-ish; treat as size-1 for layout
+				}
+			}
+			p.expect(TokRBracket)
+			suffixes = append(suffixes, suffix{isArray: true, size: sz})
+		case p.at(TokLParen):
+			p.advance()
+			params, variadic := p.parseParamList()
+			p.expect(TokRParen)
+			suffixes = append(suffixes, suffix{params: params, variadic: variadic})
+		default:
+			goto fold
+		}
+	}
+fold:
+	for i := len(suffixes) - 1; i >= 0; i-- {
+		s := suffixes[i]
+		if s.isArray {
+			ty = QualType{T: &ArrayType{Elem: ty, Size: s.size}}
+		} else {
+			ft := &FuncType{Ret: ty, Variadic: s.variadic}
+			for _, pv := range s.params {
+				ft.Params = append(ft.Params, pv.Ty)
+			}
+			ty = QualType{T: ft}
+			// Stash the decls so parseFunctionDefinition can reuse them.
+			p.lastParams = s.params
+		}
+	}
+	return ty
+}
+
+func (p *Parser) parseParamList() ([]*ParmVarDecl, bool) {
+	var params []*ParmVarDecl
+	variadic := false
+	if p.at(TokRParen) {
+		return params, false
+	}
+	// "(void)" means no parameters.
+	if p.atKw("void") && p.peek(1).Kind == TokRParen {
+		p.advance()
+		return params, false
+	}
+	idx := 0
+	for {
+		if p.at(TokEllipsis) {
+			p.advance()
+			variadic = true
+			break
+		}
+		if !p.startsDecl() {
+			// K&R identifier list: treat each as int parameter.
+			if t, ok := p.accept(TokIdent); ok {
+				pv := &ParmVarDecl{Name: t.Text, Ty: IntTy, Index: idx}
+				pv.SetRange(t.Pos, t.End)
+				params = append(params, pv)
+				idx++
+				if _, ok := p.accept(TokComma); ok {
+					continue
+				}
+			}
+			break
+		}
+		specs := p.parseDeclSpecs()
+		start := p.cur().Pos
+		pname, pty, _, _ := p.parseDeclarator(specs.base)
+		pty = pty.Decay() // arrays/functions decay in parameter position
+		pv := &ParmVarDecl{Name: pname, Ty: pty, Index: idx}
+		pv.SetRange(min(specs.start, start), p.cur().Pos)
+		params = append(params, pv)
+		idx++
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	return params, variadic
+}
+
+func (p *Parser) parseFunctionDefinition(name string, ft *FuncType,
+	specs declSpecs, declStart int, nameRng SourceRange) *FunctionDecl {
+	fd := &FunctionDecl{
+		Name:         name,
+		Ret:          ft.Ret,
+		Params:       p.lastParams,
+		Storage:      specs.storage,
+		Inline:       specs.inline,
+		Variadic:     ft.Variadic,
+		RetTypeRange: SourceRange{specs.start, specs.end},
+		NameRange:    nameRng,
+	}
+	p.pushScope()
+	fd.Body = p.parseCompoundStmt()
+	p.popScope()
+	// The definition's extent starts at its declaration specifiers, not
+	// at the declarator — insertions before the function must land
+	// before the return type.
+	begin := declStart
+	if specs.start < begin {
+		begin = specs.start
+	}
+	fd.SetRange(begin, fd.Body.Range().End)
+	return fd
+}
+
+func (p *Parser) finishInitDeclarator(name string, ty QualType,
+	specs declSpecs, nameRng SourceRange, declStart int, global bool) Decl {
+	if specs.storage == StorageTypedef {
+		p.defineTypedef(name, ty)
+		td := &TypedefDecl{Name: name, Ty: ty}
+		td.SetRange(specs.start, p.cur().End)
+		return td
+	}
+	if ty.IsFunc() {
+		// Function prototype.
+		ft := ty.Canonical().T.(*FuncType)
+		fd := &FunctionDecl{
+			Name: name, Ret: ft.Ret, Params: p.lastParams,
+			Storage: specs.storage, Variadic: ft.Variadic,
+			RetTypeRange: SourceRange{specs.start, specs.end},
+			NameRange:    nameRng,
+		}
+		fd.SetRange(specs.start, p.cur().End)
+		return fd
+	}
+	vd := &VarDecl{
+		Name: name, Ty: ty, Storage: specs.storage, IsGlobal: global,
+		NameRange: nameRng,
+		TypeRange: SourceRange{specs.start, specs.end},
+	}
+	if _, ok := p.accept(TokAssign); ok {
+		initStart := p.cur().Pos
+		vd.Init = p.parseInitializer()
+		vd.InitRange = SourceRange{initStart, p.cur().Pos}
+		if vd.Init != nil {
+			vd.InitRange = vd.Init.Range()
+		}
+	}
+	vd.SetRange(specs.start, p.cur().Pos)
+	return vd
+}
+
+func (p *Parser) parseInitializer() Expr {
+	if p.at(TokLBrace) {
+		return p.parseInitList()
+	}
+	return p.parseAssignExpr()
+}
+
+func (p *Parser) parseInitList() *InitListExpr {
+	lb := p.expect(TokLBrace)
+	il := &InitListExpr{}
+	for !p.at(TokRBrace) && p.err == nil {
+		// Designators: ".field =" / "[idx] =" — parse and discard.
+		for p.at(TokDot) || p.at(TokLBracket) {
+			if p.at(TokDot) {
+				p.advance()
+				p.expect(TokIdent)
+			} else {
+				p.advance()
+				p.parseConditionalExpr()
+				p.expect(TokRBracket)
+			}
+		}
+		p.accept(TokAssign)
+		il.Inits = append(il.Inits, p.parseInitializer())
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	rb := p.expect(TokRBrace)
+	il.SetRange(lb.Pos, rb.End)
+	return il
+}
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+func (p *Parser) parseCompoundStmt() *CompoundStmt {
+	lb := p.expect(TokLBrace)
+	cs := &CompoundStmt{}
+	p.pushScope()
+	for !p.at(TokRBrace) && !p.at(TokEOF) && p.err == nil {
+		cs.Stmts = append(cs.Stmts, p.parseStmt())
+	}
+	p.popScope()
+	rb := p.expect(TokRBrace)
+	cs.SetRange(lb.Pos, rb.End)
+	return cs
+}
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.cur()
+	switch {
+	case p.at(TokLBrace):
+		return p.parseCompoundStmt()
+	case p.at(TokSemi):
+		p.advance()
+		ns := &NullStmt{}
+		ns.SetRange(t.Pos, t.End)
+		return ns
+	case t.Is("if"):
+		return p.parseIfStmt()
+	case t.Is("while"):
+		return p.parseWhileStmt()
+	case t.Is("do"):
+		return p.parseDoStmt()
+	case t.Is("for"):
+		return p.parseForStmt()
+	case t.Is("switch"):
+		return p.parseSwitchStmt()
+	case t.Is("case"):
+		p.advance()
+		v := p.parseConditionalExpr()
+		// GNU case ranges: case 1 ... 5:
+		if p.at(TokEllipsis) {
+			p.advance()
+			p.parseConditionalExpr()
+		}
+		p.expect(TokColon)
+		cs := &CaseStmt{Value: v}
+		if !p.at(TokRBrace) {
+			cs.Body = p.parseStmt()
+		}
+		end := t.End
+		if cs.Body != nil {
+			end = cs.Body.Range().End
+		}
+		cs.SetRange(t.Pos, end)
+		return cs
+	case t.Is("default"):
+		p.advance()
+		p.expect(TokColon)
+		dst := &DefaultStmt{}
+		if !p.at(TokRBrace) {
+			dst.Body = p.parseStmt()
+		}
+		end := t.End
+		if dst.Body != nil {
+			end = dst.Body.Range().End
+		}
+		dst.SetRange(t.Pos, end)
+		return dst
+	case t.Is("break"):
+		p.advance()
+		semi := p.expect(TokSemi)
+		bs := &BreakStmt{}
+		bs.SetRange(t.Pos, semi.End)
+		return bs
+	case t.Is("continue"):
+		p.advance()
+		semi := p.expect(TokSemi)
+		cs := &ContinueStmt{}
+		cs.SetRange(t.Pos, semi.End)
+		return cs
+	case t.Is("return"):
+		p.advance()
+		rs := &ReturnStmt{}
+		if !p.at(TokSemi) {
+			rs.Value = p.parseExpr()
+		}
+		semi := p.expect(TokSemi)
+		rs.SetRange(t.Pos, semi.End)
+		return rs
+	case t.Is("goto"):
+		p.advance()
+		lbl := p.expect(TokIdent)
+		semi := p.expect(TokSemi)
+		gs := &GotoStmt{Label: lbl.Text}
+		gs.SetRange(t.Pos, semi.End)
+		return gs
+	case t.Kind == TokIdent && p.peek(1).Kind == TokColon:
+		p.advance()
+		p.advance()
+		ls := &LabelStmt{Name: t.Text}
+		if !p.at(TokRBrace) {
+			ls.Body = p.parseStmt()
+		}
+		end := t.End
+		if ls.Body != nil {
+			end = ls.Body.Range().End
+		}
+		ls.SetRange(t.Pos, end)
+		return ls
+	case p.startsDecl():
+		return p.parseDeclStmt()
+	default:
+		e := p.parseExpr()
+		semi := p.expect(TokSemi)
+		es := &ExprStmt{X: e}
+		es.SetRange(t.Pos, semi.End)
+		return es
+	}
+}
+
+func (p *Parser) parseDeclStmt() Stmt {
+	start := p.cur().Pos
+	specs := p.parseDeclSpecs()
+	ds := &DeclStmt{}
+	if specs.ownedTag != nil {
+		ds.Decls = append(ds.Decls, specs.ownedTag)
+	}
+	if !p.at(TokSemi) {
+		for {
+			name, ty, nameRng, declStart := p.parseDeclarator(specs.base)
+			d := p.finishInitDeclarator(name, ty, specs, nameRng, declStart, false)
+			if d != nil {
+				ds.Decls = append(ds.Decls, d)
+			}
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+	}
+	semi := p.expect(TokSemi)
+	ds.SetRange(start, semi.End)
+	return ds
+}
+
+func (p *Parser) parseIfStmt() Stmt {
+	kw := p.next()
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	is := &IfStmt{Cond: cond}
+	is.Then = p.parseStmt()
+	end := is.Then.Range().End
+	if p.acceptKw("else") {
+		is.Else = p.parseStmt()
+		end = is.Else.Range().End
+	}
+	is.SetRange(kw.Pos, end)
+	return is
+}
+
+func (p *Parser) parseWhileStmt() Stmt {
+	kw := p.next()
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	ws := &WhileStmt{Cond: cond}
+	ws.Body = p.parseStmt()
+	ws.SetRange(kw.Pos, ws.Body.Range().End)
+	return ws
+}
+
+func (p *Parser) parseDoStmt() Stmt {
+	kw := p.next()
+	dsw := &DoStmt{}
+	dsw.Body = p.parseStmt()
+	if !p.acceptKw("while") {
+		p.fail("expected 'while' after do body")
+		return dsw
+	}
+	p.expect(TokLParen)
+	dsw.Cond = p.parseExpr()
+	p.expect(TokRParen)
+	semi := p.expect(TokSemi)
+	dsw.SetRange(kw.Pos, semi.End)
+	return dsw
+}
+
+func (p *Parser) parseForStmt() Stmt {
+	kw := p.next()
+	p.expect(TokLParen)
+	fs := &ForStmt{}
+	p.pushScope()
+	if !p.at(TokSemi) {
+		if p.startsDecl() {
+			fs.Init = p.parseDeclStmt()
+		} else {
+			start := p.cur().Pos
+			e := p.parseExpr()
+			semi := p.expect(TokSemi)
+			es := &ExprStmt{X: e}
+			es.SetRange(start, semi.End)
+			fs.Init = es
+		}
+	} else {
+		p.advance()
+	}
+	if !p.at(TokSemi) {
+		fs.Cond = p.parseExpr()
+	}
+	p.expect(TokSemi)
+	if !p.at(TokRParen) {
+		fs.Post = p.parseExpr()
+	}
+	p.expect(TokRParen)
+	fs.Body = p.parseStmt()
+	p.popScope()
+	fs.SetRange(kw.Pos, fs.Body.Range().End)
+	return fs
+}
+
+func (p *Parser) parseSwitchStmt() Stmt {
+	kw := p.next()
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	ss := &SwitchStmt{Cond: cond}
+	ss.Body = p.parseStmt()
+	ss.SetRange(kw.Pos, ss.Body.Range().End)
+	return ss
+}
+
+// ---------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------
+
+// parseExpr parses a full expression including the comma operator.
+func (p *Parser) parseExpr() Expr {
+	e := p.parseAssignExpr()
+	for p.at(TokComma) {
+		p.advance()
+		rhs := p.parseAssignExpr()
+		ce := &CommaExpr{LHS: e, RHS: rhs}
+		ce.SetRange(e.Range().Begin, rhs.Range().End)
+		e = ce
+	}
+	return e
+}
+
+var assignOps = map[TokenKind]BinOp{
+	TokAssign: BinAssign, TokPlusEq: BinAddAssign, TokMinusEq: BinSubAssign,
+	TokStarEq: BinMulAssign, TokSlashEq: BinDivAssign,
+	TokPercentEq: BinRemAssign, TokAmpEq: BinAndAssign,
+	TokPipeEq: BinOrAssign, TokCaretEq: BinXorAssign,
+	TokShlEq: BinShlAssign, TokShrEq: BinShrAssign,
+}
+
+func (p *Parser) parseAssignExpr() Expr {
+	lhs := p.parseConditionalExpr()
+	if op, ok := assignOps[p.cur().Kind]; ok {
+		opTok := p.next()
+		rhs := p.parseAssignExpr()
+		bo := &BinaryOperator{Op: op, LHS: lhs, RHS: rhs,
+			OpRange: SourceRange{opTok.Pos, opTok.End}}
+		bo.SetRange(lhs.Range().Begin, rhs.Range().End)
+		return bo
+	}
+	return lhs
+}
+
+func (p *Parser) parseConditionalExpr() Expr {
+	cond := p.parseBinaryExpr(0)
+	if !p.at(TokQuestion) {
+		return cond
+	}
+	p.advance()
+	then := p.parseExpr()
+	p.expect(TokColon)
+	els := p.parseConditionalExpr()
+	ce := &ConditionalExpr{Cond: cond, Then: then, Else: els}
+	ce.SetRange(cond.Range().Begin, els.Range().End)
+	return ce
+}
+
+// binPrec maps token kinds to (binary operator, precedence); higher binds
+// tighter.
+type binPrecEntry struct {
+	op   BinOp
+	prec int
+}
+
+var binPrec = map[TokenKind]binPrecEntry{
+	TokStar: {BinMul, 10}, TokSlash: {BinDiv, 10}, TokPercent: {BinRem, 10},
+	TokPlus: {BinAdd, 9}, TokMinus: {BinSub, 9},
+	TokShl: {BinShl, 8}, TokShr: {BinShr, 8},
+	TokLess: {BinLT, 7}, TokGreater: {BinGT, 7},
+	TokLessEq: {BinLE, 7}, TokGreaterEq: {BinGE, 7},
+	TokEqEq: {BinEQ, 6}, TokNotEq: {BinNE, 6},
+	TokAmp: {BinAnd, 5}, TokCaret: {BinXor, 4}, TokPipe: {BinOr, 3},
+	TokAmpAmp: {BinLAnd, 2}, TokPipePipe: {BinLOr, 1},
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) Expr {
+	lhs := p.parseCastExpr()
+	for {
+		ent, ok := binPrec[p.cur().Kind]
+		if !ok || ent.prec < minPrec {
+			return lhs
+		}
+		opTok := p.next()
+		rhs := p.parseBinaryExpr(ent.prec + 1)
+		bo := &BinaryOperator{Op: ent.op, LHS: lhs, RHS: rhs,
+			OpRange: SourceRange{opTok.Pos, opTok.End}}
+		bo.SetRange(lhs.Range().Begin, rhs.Range().End)
+		lhs = bo
+	}
+}
+
+// startsTypeName reports whether the token after a '(' begins a type name.
+func (p *Parser) startsTypeNameAt(n int) bool {
+	t := p.peek(n)
+	if t.Kind == TokKeyword && typeSpecKeywords[t.Text] &&
+		t.Text != "static" && t.Text != "extern" && t.Text != "typedef" &&
+		t.Text != "register" && t.Text != "auto" {
+		return true
+	}
+	if t.Kind == TokIdent {
+		_, ok := p.lookupTypedef(t.Text)
+		return ok
+	}
+	return false
+}
+
+func (p *Parser) parseCastExpr() Expr {
+	if p.at(TokLParen) && p.startsTypeNameAt(1) {
+		lp := p.next()
+		ty := p.parseTypeName()
+		rp := p.expect(TokRParen)
+		if p.at(TokLBrace) {
+			// Compound literal.
+			il := p.parseInitList()
+			cl := &CompoundLiteralExpr{To: ty, Init: il}
+			cl.SetRange(lp.Pos, il.Range().End)
+			return cl
+		}
+		x := p.parseCastExpr()
+		ce := &CastExpr{To: ty, X: x, TypeRange: SourceRange{lp.Pos, rp.End}}
+		ce.SetRange(lp.Pos, x.Range().End)
+		return ce
+	}
+	return p.parseUnaryExpr()
+}
+
+// parseTypeName parses a type-name (specifiers + abstract declarator).
+func (p *Parser) parseTypeName() QualType {
+	specs := p.parseDeclSpecs()
+	ty := p.parsePointers(specs.base)
+	// Abstract array/function suffixes.
+	_, ty, _ = p.parseDirectDeclarator(ty)
+	return ty
+}
+
+var unaryOps = map[TokenKind]UnOp{
+	TokPlus: UnPlus, TokMinus: UnMinus, TokTilde: UnNot, TokBang: UnLNot,
+	TokStar: UnDeref, TokAmp: UnAddr,
+}
+
+func (p *Parser) parseUnaryExpr() Expr {
+	t := p.cur()
+	switch {
+	case p.at(TokPlusPlus) || p.at(TokMinusMinus):
+		p.advance()
+		x := p.parseUnaryExpr()
+		op := UnPreInc
+		if t.Kind == TokMinusMinus {
+			op = UnPreDec
+		}
+		ue := &UnaryOperator{Op: op, X: x}
+		ue.SetRange(t.Pos, x.Range().End)
+		return ue
+	case t.Is("sizeof"):
+		p.advance()
+		se := &SizeofExpr{}
+		if p.at(TokLParen) && p.startsTypeNameAt(1) {
+			p.advance()
+			se.OfType = p.parseTypeName()
+			rp := p.expect(TokRParen)
+			se.SetRange(t.Pos, rp.End)
+			return se
+		}
+		se.X = p.parseUnaryExpr()
+		se.SetRange(t.Pos, se.X.Range().End)
+		return se
+	default:
+		if op, ok := unaryOps[t.Kind]; ok {
+			p.advance()
+			x := p.parseCastExpr()
+			ue := &UnaryOperator{Op: op, X: x}
+			ue.SetRange(t.Pos, x.Range().End)
+			return ue
+		}
+		return p.parsePostfixExpr()
+	}
+}
+
+func (p *Parser) parsePostfixExpr() Expr {
+	e := p.parsePrimaryExpr()
+	for p.err == nil {
+		t := p.cur()
+		switch t.Kind {
+		case TokLBracket:
+			p.advance()
+			idx := p.parseExpr()
+			rb := p.expect(TokRBracket)
+			ae := &ArraySubscriptExpr{Base: e, Index: idx}
+			ae.SetRange(e.Range().Begin, rb.End)
+			e = ae
+		case TokLParen:
+			p.advance()
+			call := &CallExpr{Fn: e}
+			for !p.at(TokRParen) && p.err == nil {
+				call.Args = append(call.Args, p.parseAssignExpr())
+				if _, ok := p.accept(TokComma); !ok {
+					break
+				}
+			}
+			rp := p.expect(TokRParen)
+			call.SetRange(e.Range().Begin, rp.End)
+			e = call
+		case TokDot, TokArrow:
+			p.advance()
+			fld := p.expect(TokIdent)
+			me := &MemberExpr{Base: e, Field: fld.Text, IsArrow: t.Kind == TokArrow}
+			me.SetRange(e.Range().Begin, fld.End)
+			e = me
+		case TokPlusPlus, TokMinusMinus:
+			p.advance()
+			op := UnPostInc
+			if t.Kind == TokMinusMinus {
+				op = UnPostDec
+			}
+			ue := &UnaryOperator{Op: op, X: e}
+			ue.SetRange(e.Range().Begin, t.End)
+			e = ue
+		default:
+			return e
+		}
+	}
+	return e
+}
+
+func (p *Parser) parsePrimaryExpr() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.advance()
+		v := parseIntLit(t.Text)
+		il := &IntegerLiteral{Value: v, Text: t.Text}
+		il.SetRange(t.Pos, t.End)
+		return il
+	case TokFloatLit:
+		p.advance()
+		txt := strings.TrimRight(t.Text, "fFlL")
+		v, _ := strconv.ParseFloat(txt, 64)
+		fl := &FloatingLiteral{Value: v, Text: t.Text}
+		fl.SetRange(t.Pos, t.End)
+		return fl
+	case TokCharLit:
+		p.advance()
+		cl := &CharLiteral{Value: decodeCharLit(t.Text), Text: t.Text}
+		cl.SetRange(t.Pos, t.End)
+		return cl
+	case TokStringLit:
+		p.advance()
+		sl := &StringLiteral{Value: decodeStringLit(t.Text), Text: t.Text}
+		sl.SetRange(t.Pos, t.End)
+		// Adjacent string literal concatenation.
+		for p.at(TokStringLit) {
+			t2 := p.next()
+			sl.Value += decodeStringLit(t2.Text)
+			sl.Text = p.src[sl.Range().Begin:t2.End]
+			sl.SetRange(sl.Range().Begin, t2.End)
+		}
+		return sl
+	case TokIdent:
+		p.advance()
+		dr := &DeclRefExpr{Name: t.Text}
+		dr.SetRange(t.Pos, t.End)
+		return dr
+	case TokLParen:
+		p.advance()
+		e := p.parseExpr()
+		rp := p.expect(TokRParen)
+		pe := &ParenExpr{X: e}
+		pe.SetRange(t.Pos, rp.End)
+		return pe
+	}
+	p.fail("expected expression, found %q", t.Text)
+	// Return a placeholder so callers do not crash while unwinding.
+	il := &IntegerLiteral{Value: 0, Text: "0"}
+	il.SetRange(t.Pos, t.End)
+	return il
+}
+
+func parseIntLit(text string) int64 {
+	s := strings.TrimRight(text, "uUlL")
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	case len(s) > 1 && s[0] == '0':
+		v, err = strconv.ParseUint(s[1:], 8, 64)
+	default:
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0
+	}
+	return int64(v)
+}
+
+func decodeCharLit(text string) byte {
+	body := strings.Trim(text, "'")
+	if body == "" {
+		return 0
+	}
+	if body[0] != '\\' {
+		return body[0]
+	}
+	if len(body) < 2 {
+		return '\\'
+	}
+	switch body[1] {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	case 'a':
+		return 7
+	case 'b':
+		return 8
+	case 'f':
+		return 12
+	case 'v':
+		return 11
+	case 'x':
+		if v, err := strconv.ParseUint(body[2:], 16, 8); err == nil {
+			return byte(v)
+		}
+	}
+	return body[1]
+}
+
+func decodeStringLit(text string) string {
+	if len(text) < 2 {
+		return ""
+	}
+	body := text[1 : len(text)-1]
+	var sb strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' || i+1 >= len(body) {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		switch body[i] {
+		case 'n':
+			sb.WriteByte('\n')
+		case 't':
+			sb.WriteByte('\t')
+		case 'r':
+			sb.WriteByte('\r')
+		case '0':
+			sb.WriteByte(0)
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case '\'':
+			sb.WriteByte('\'')
+		default:
+			sb.WriteByte(body[i])
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,320 @@
+package cast
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+#include <stdio.h>
+typedef unsigned long size_t;
+static char buffer[32];
+int g = 42;
+
+struct point { int x; int y; };
+enum color { RED, GREEN = 5, BLUE };
+
+int add(int a, int b) { return a + b; }
+
+unsigned foo(int x[64], int y[64]) {
+    int i;
+    unsigned acc = 0;
+    for (i = 0; i < 64; i++) {
+        acc += (unsigned)(x[i] * y[i]);
+    }
+    if (acc > 100) goto big;
+    while (acc < 10) { acc <<= 1; }
+    switch (acc & 3) {
+    case 0: acc++; break;
+    case 1: acc--; break;
+    default: acc ^= 0x5a;
+    }
+big:
+    return acc;
+}
+
+int main(void) {
+    struct point p = {1, 2};
+    int *q = &p.x;
+    double d = 3.14;
+    char c = 'a';
+    const char *s = "hello" " world";
+    long long big = 0x123456789abcdefLL;
+    p.y = add(p.x, *q);
+    d = d > 1.0 ? d * 2.0 : d / 2.0;
+    printf("%d %f %c %s %lld\n", p.y, d, c, s, big);
+    return 0;
+}
+`
+
+func mustParse(t *testing.T, src string) *TranslationUnit {
+	t.Helper()
+	tu, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tu
+}
+
+func mustCheck(t *testing.T, src string) *TranslationUnit {
+	t.Helper()
+	tu, err := ParseAndCheck(src)
+	if err != nil {
+		t.Fatalf("ParseAndCheck: %v", err)
+	}
+	return tu
+}
+
+func TestParseSample(t *testing.T) {
+	tu := mustCheck(t, sample)
+	var fns, vars int
+	for _, d := range tu.Decls {
+		switch d.(type) {
+		case *FunctionDecl:
+			fns++
+		case *VarDecl:
+			vars++
+		}
+	}
+	if fns != 3 {
+		t.Errorf("functions = %d, want 3", fns)
+	}
+	if vars != 2 {
+		t.Errorf("globals = %d, want 2", vars)
+	}
+}
+
+func TestNodeRangesAreOrdered(t *testing.T) {
+	tu := mustParse(t, sample)
+	Walk(tu, func(n Node) bool {
+		r := n.Range()
+		if r.Begin > r.End {
+			t.Errorf("%s has inverted range %v", n.Kind(), r)
+		}
+		if r.Begin < 0 || r.End > len(sample) {
+			t.Errorf("%s range %v outside source", n.Kind(), r)
+		}
+		return true
+	})
+}
+
+func TestChildrenContainedInParent(t *testing.T) {
+	tu := mustParse(t, sample)
+	Walk(tu, func(n Node) bool {
+		for _, c := range Children(n) {
+			// DeclStmt re-spans its decls; allow equality not strict.
+			if c.Range().Begin < n.Range().Begin || c.Range().End > n.Range().End {
+				t.Errorf("%s child %s range %v escapes parent %v",
+					n.Kind(), c.Kind(), c.Range(), n.Range())
+			}
+		}
+		return true
+	})
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	tu := mustCheck(t, sample)
+	printed := Print(tu)
+	tu2, err := ParseAndCheck(printed)
+	if err != nil {
+		t.Fatalf("reparse printed source: %v\n--- printed ---\n%s", err, printed)
+	}
+	// A second print must be a fixed point.
+	printed2 := Print(tu2)
+	if printed != printed2 {
+		t.Errorf("print not idempotent:\n--- first ---\n%s\n--- second ---\n%s",
+			printed, printed2)
+	}
+}
+
+func TestTypesResolved(t *testing.T) {
+	tu := mustCheck(t, sample)
+	missing := 0
+	Walk(tu, func(n Node) bool {
+		if e, ok := n.(Expr); ok {
+			if _, isInit := n.(*InitListExpr); isInit {
+				return true
+			}
+			if e.Type().IsNil() {
+				missing++
+				t.Errorf("%s %q has no type", n.Kind(), snippetOf(tu.Source, n))
+			}
+		}
+		return true
+	})
+	if missing > 0 {
+		t.Fatalf("%d expressions missing types", missing)
+	}
+}
+
+func snippetOf(src string, n Node) string {
+	r := n.Range()
+	if r.Begin < 0 || r.End > len(src) || r.Begin > r.End {
+		return "<bad range>"
+	}
+	s := src[r.Begin:r.End]
+	if len(s) > 40 {
+		s = s[:40] + "..."
+	}
+	return s
+}
+
+func TestDeclRefResolution(t *testing.T) {
+	tu := mustCheck(t, sample)
+	Walk(tu, func(n Node) bool {
+		if dr, ok := n.(*DeclRefExpr); ok {
+			if dr.Ref == nil {
+				t.Errorf("unresolved reference %q", dr.Name)
+			}
+		}
+		return true
+	})
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"int f( {",
+		"int x = ;",
+		"void g() { if }",
+		"int a[; ",
+		"struct { int",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestSemaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared", "int f(void) { return undeclared_var; }", "undeclared identifier"},
+		{"void-assign", "void g(void); int f(void) { int x = g(); return x; }", "incompatible type"},
+		{"void-return", "void f(void) { return 1; }", "should not return a value"},
+		{"bad-member", "struct s { int a; }; int f(void) { struct s v; return v.b; }", "no member named"},
+		{"member-nonstruct", "int f(void) { int x; return x.a; }", "not a structure"},
+		{"call-nonfunc", "int f(void) { int x; return x(1); }", "not a function"},
+		{"arity", "int g(int a); int f(void) { return g(1, 2); }", "expects"},
+		{"const-assign", "int f(void) { const int c = 1; c = 2; return c; }", "const"},
+		{"array-assign", "int f(void) { int a[4]; int b[4]; a = b; return 0; }", "not assignable"},
+		{"bad-binop", "struct s { int a; }; int f(void) { struct s v; return v + 1; }", "invalid operands"},
+		{"ptr-mul", "int f(int *p, int *q) { return p * q; }", "invalid operands"},
+		{"float-mod", "int f(void) { double d = 1.5; return d % 2; }", "invalid operands"},
+		{"missing-label", "int f(void) { goto nowhere; return 0; }", "undeclared label"},
+		{"deref-nonptr", "int f(void) { int x = 1; return *x; }", "indirection requires pointer"},
+		{"break-outside", "int f(void) { break; return 0; }", "outside of loop"},
+		{"case-outside", "int f(void) { case 1:; return 0; }", "not within a switch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tu, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse error (want sema error): %v", err)
+			}
+			err = Check(tu)
+			if err == nil {
+				t.Fatalf("Check passed, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSemaAccepts(t *testing.T) {
+	good := []string{
+		"int f(void) { int a = 5; return a << 2; }",
+		"int f(int *p) { return p[3]; }",
+		"int f(void) { char *s = \"x\"; return s[0]; }",
+		"double f(double a, double b) { return a > b ? a : b; }",
+		"int f(void) { return printf(\"hi %d\", 3); }",   // builtin
+		"int f(void) { undeclared_fn(1, 2); return 0; }", // implicit decl
+		"struct s; struct s *f(struct s *p) { return p; }",
+		"typedef int myint; myint f(myint m) { return m + 1; }",
+		"int f(void) { enum e { A, B }; return A + B; }",
+		"int f(void) { int a[2][3]; a[1][2] = 5; return a[1][2]; }",
+		"void f(int n) { switch (n) { case 1: break; default: break; } }",
+		"int f(void) { int i, sum = 0; for (i = 0; i < 10; ++i) sum += i; return sum; }",
+		"unsigned f(unsigned x) { return x >> 3 | x << 29; }",
+		"int f(void) { struct p { int x; } v = {1}; return v.x; }",
+		"long f(void) { return sizeof(int) + sizeof(long long); }",
+		"int f(int c) { return c ? 1 : 0; }",
+		"_Complex double x; int f(void) { return 0; }",
+		"int f(void) { int x = (int){ 7 }; return x; }",
+		"void f(void) { l: goto l; }",
+	}
+	for _, src := range good {
+		if _, err := ParseAndCheck(src); err != nil {
+			t.Errorf("ParseAndCheck(%q): %v", src, err)
+		}
+	}
+}
+
+func TestFunctionPointerDeclarator(t *testing.T) {
+	src := "int apply(int (*fn)(int, int), int a, int b) { return fn(a, b); }"
+	tu := mustCheck(t, src)
+	fd := tu.Decls[0].(*FunctionDecl)
+	if len(fd.Params) != 3 {
+		t.Fatalf("params = %d, want 3", len(fd.Params))
+	}
+	pt, ok := fd.Params[0].Ty.Canonical().T.(*PointerType)
+	if !ok {
+		t.Fatalf("param 0 type = %s, want pointer", fd.Params[0].Ty.CString())
+	}
+	if _, ok := pt.Elem.Canonical().T.(*FuncType); !ok {
+		t.Fatalf("param 0 pointee = %s, want function", pt.Elem.CString())
+	}
+}
+
+func TestMultiDimArrayType(t *testing.T) {
+	tu := mustCheck(t, "int a[2][3];")
+	vd := tu.Decls[0].(*VarDecl)
+	at, ok := vd.Ty.T.(*ArrayType)
+	if !ok || at.Size != 2 {
+		t.Fatalf("outer = %s, want [2]", vd.Ty.CString())
+	}
+	in, ok := at.Elem.T.(*ArrayType)
+	if !ok || in.Size != 3 {
+		t.Fatalf("inner = %s, want [3]", at.Elem.CString())
+	}
+	if vd.Ty.Size() != 24 {
+		t.Errorf("size = %d, want 24", vd.Ty.Size())
+	}
+}
+
+func TestRejectsTwoDataTypes(t *testing.T) {
+	bad := []string{
+		"int double x;",
+		"char float y;",
+		"void int f(void) { }",
+		"float char z;",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted two data types", src)
+		}
+	}
+	good := []string{
+		"short int a;", "int short b;", "long int c;", "long long int d;",
+		"long double e;", "unsigned int f;", "signed char g;",
+	}
+	for _, src := range good {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+		}
+	}
+}
+
+func TestFunctionDefinitionRangeIncludesSpecifiers(t *testing.T) {
+	src := "static int f(void) { return 1; }"
+	tu := mustParse(t, src)
+	fd := tu.Decls[0].(*FunctionDecl)
+	if fd.Range().Begin != 0 {
+		t.Errorf("definition begins at %d, want 0 (the specifiers)", fd.Range().Begin)
+	}
+}

@@ -1,0 +1,435 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the AST back to compilable C source. The output is not
+// byte-identical to the input (whitespace and redundant parentheses are
+// normalized) but parses to an equivalent tree.
+func Print(n Node) string {
+	var p printer
+	p.node(n)
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) ws() {
+	for i := 0; i < p.indent; i++ {
+		p.sb.WriteString("    ")
+	}
+}
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(&p.sb, format, args...)
+}
+
+func (p *printer) node(n Node) {
+	switch x := n.(type) {
+	case *TranslationUnit:
+		for _, d := range x.Decls {
+			p.decl(d)
+			p.sb.WriteString("\n")
+		}
+	case Decl:
+		p.decl(x)
+	case Stmt:
+		p.stmt(x)
+	case Expr:
+		p.sb.WriteString(ExprString(x))
+	}
+}
+
+func (p *printer) decl(d Decl) {
+	switch x := d.(type) {
+	case *FunctionDecl:
+		p.ws()
+		if x.Storage != StorageNone {
+			p.printf("%s ", x.Storage)
+		}
+		if x.Inline {
+			p.sb.WriteString("inline ")
+		}
+		var params []string
+		for _, pv := range x.Params {
+			params = append(params, FormatAsDecl(pv.Ty, pv.Name))
+		}
+		if x.Variadic {
+			params = append(params, "...")
+		}
+		if len(params) == 0 {
+			params = []string{"void"}
+		}
+		p.printf("%s(%s)", FormatAsDecl(x.Ret, x.Name), strings.Join(params, ", "))
+		if x.Body == nil {
+			p.sb.WriteString(";")
+			return
+		}
+		p.sb.WriteString(" ")
+		p.stmt(x.Body)
+	case *VarDecl:
+		p.ws()
+		if x.Storage != StorageNone {
+			p.printf("%s ", x.Storage)
+		}
+		p.sb.WriteString(FormatAsDecl(x.Ty, x.Name))
+		if x.Init != nil {
+			p.printf(" = %s", ExprString(x.Init))
+		}
+		p.sb.WriteString(";")
+	case *ParmVarDecl:
+		p.sb.WriteString(FormatAsDecl(x.Ty, x.Name))
+	case *FieldDecl:
+		p.ws()
+		p.printf("%s;", FormatAsDecl(x.Ty, x.Name))
+	case *RecordDecl:
+		p.ws()
+		kw := "struct"
+		if x.IsUnion {
+			kw = "union"
+		}
+		p.printf("%s %s", kw, x.Name)
+		if x.Complete {
+			p.sb.WriteString(" {\n")
+			p.indent++
+			for _, f := range x.Fields {
+				p.decl(f)
+				p.sb.WriteString("\n")
+			}
+			p.indent--
+			p.ws()
+			p.sb.WriteString("}")
+		}
+		p.sb.WriteString(";")
+	case *EnumDecl:
+		p.ws()
+		p.printf("enum %s {", x.Name)
+		for i, c := range x.Constants {
+			if i > 0 {
+				p.sb.WriteString(", ")
+			}
+			p.sb.WriteString(c.Name)
+			if c.Value != nil {
+				p.printf(" = %s", ExprString(c.Value))
+			}
+		}
+		p.sb.WriteString("};")
+	case *EnumConstantDecl:
+		p.sb.WriteString(x.Name)
+	case *TypedefDecl:
+		p.ws()
+		p.printf("typedef %s;", FormatAsDecl(x.Ty, x.Name))
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *CompoundStmt:
+		p.sb.WriteString("{\n")
+		p.indent++
+		for _, inner := range x.Stmts {
+			p.stmtLine(inner)
+		}
+		p.indent--
+		p.ws()
+		p.sb.WriteString("}")
+	case *DeclStmt:
+		for i, d := range x.Decls {
+			if i > 0 {
+				p.sb.WriteString("\n")
+			}
+			p.decl(d)
+		}
+	case *ExprStmt:
+		p.ws()
+		p.printf("%s;", ExprString(x.X))
+	case *IfStmt:
+		p.ws()
+		p.printf("if (%s) ", ExprString(x.Cond))
+		p.substmt(x.Then)
+		if x.Else != nil {
+			p.ws()
+			p.sb.WriteString("else ")
+			p.substmt(x.Else)
+		}
+	case *WhileStmt:
+		p.ws()
+		p.printf("while (%s) ", ExprString(x.Cond))
+		p.substmt(x.Body)
+	case *DoStmt:
+		p.ws()
+		p.sb.WriteString("do ")
+		p.substmt(x.Body)
+		p.ws()
+		p.printf("while (%s);", ExprString(x.Cond))
+	case *ForStmt:
+		p.ws()
+		p.sb.WriteString("for (")
+		switch init := x.Init.(type) {
+		case *DeclStmt:
+			saved := p.indent
+			p.indent = 0
+			p.decl(init.Decls[len(init.Decls)-1])
+			p.indent = saved
+		case *ExprStmt:
+			p.printf("%s;", ExprString(init.X))
+		default:
+			p.sb.WriteString(";")
+		}
+		p.sb.WriteString(" ")
+		if x.Cond != nil {
+			p.sb.WriteString(ExprString(x.Cond))
+		}
+		p.sb.WriteString("; ")
+		if x.Post != nil {
+			p.sb.WriteString(ExprString(x.Post))
+		}
+		p.sb.WriteString(") ")
+		p.substmt(x.Body)
+	case *SwitchStmt:
+		p.ws()
+		p.printf("switch (%s) ", ExprString(x.Cond))
+		p.substmt(x.Body)
+	case *CaseStmt:
+		p.ws()
+		p.printf("case %s:", ExprString(x.Value))
+		if x.Body != nil {
+			p.sb.WriteString("\n")
+			p.indent++
+			p.stmtLine(x.Body)
+			p.indent--
+			return
+		}
+	case *DefaultStmt:
+		p.ws()
+		p.sb.WriteString("default:")
+		if x.Body != nil {
+			p.sb.WriteString("\n")
+			p.indent++
+			p.stmtLine(x.Body)
+			p.indent--
+			return
+		}
+	case *BreakStmt:
+		p.ws()
+		p.sb.WriteString("break;")
+	case *ContinueStmt:
+		p.ws()
+		p.sb.WriteString("continue;")
+	case *ReturnStmt:
+		p.ws()
+		if x.Value != nil {
+			p.printf("return %s;", ExprString(x.Value))
+		} else {
+			p.sb.WriteString("return;")
+		}
+	case *GotoStmt:
+		p.ws()
+		p.printf("goto %s;", x.Label)
+	case *LabelStmt:
+		p.ws()
+		p.printf("%s:", x.Name)
+		if x.Body != nil {
+			p.sb.WriteString("\n")
+			p.stmtLine(x.Body)
+			return
+		}
+		p.sb.WriteString(";")
+	case *NullStmt:
+		p.ws()
+		p.sb.WriteString(";")
+	}
+}
+
+// stmtLine prints a statement followed by a newline.
+func (p *printer) stmtLine(s Stmt) {
+	p.stmt(s)
+	p.sb.WriteString("\n")
+}
+
+// substmt prints the body of a control statement, inlining compound
+// bodies on the same line.
+func (p *printer) substmt(s Stmt) {
+	if _, ok := s.(*CompoundStmt); ok {
+		p.stmt(s)
+		p.sb.WriteString("\n")
+		return
+	}
+	p.sb.WriteString("\n")
+	p.indent++
+	p.stmtLine(s)
+	p.indent--
+}
+
+// Expression precedence levels for the printer; higher binds tighter.
+const (
+	precComma = iota + 1
+	precAssign
+	precCond
+	precLOr
+	precLAnd
+	precOr
+	precXor
+	precAnd
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+	precPrimary
+)
+
+func binOpPrec(op BinOp) int {
+	switch op {
+	case BinMul, BinDiv, BinRem:
+		return precMul
+	case BinAdd, BinSub:
+		return precAdd
+	case BinShl, BinShr:
+		return precShift
+	case BinLT, BinGT, BinLE, BinGE:
+		return precRel
+	case BinEQ, BinNE:
+		return precEq
+	case BinAnd:
+		return precAnd
+	case BinXor:
+		return precXor
+	case BinOr:
+		return precOr
+	case BinLAnd:
+		return precLAnd
+	case BinLOr:
+		return precLOr
+	}
+	return precAssign
+}
+
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryOperator:
+		return binOpPrec(x.Op)
+	case *ConditionalExpr:
+		return precCond
+	case *CommaExpr:
+		return precComma
+	case *UnaryOperator:
+		if x.Op.IsPostfix() {
+			return precPostfix
+		}
+		return precUnary
+	case *CastExpr, *SizeofExpr:
+		return precUnary
+	case *CallExpr, *ArraySubscriptExpr, *MemberExpr, *CompoundLiteralExpr:
+		return precPostfix
+	}
+	return precPrimary
+}
+
+// exprAt renders e, parenthesizing it if its precedence is below min.
+func exprAt(e Expr, min int) string {
+	s := ExprString(e)
+	if exprPrec(e) < min {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// ExprString renders a single expression to C syntax, inserting
+// parentheses as required by operator precedence.
+func ExprString(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	switch x := e.(type) {
+	case *IntegerLiteral:
+		if x.Text != "" {
+			return x.Text
+		}
+		return fmt.Sprintf("%d", x.Value)
+	case *FloatingLiteral:
+		if x.Text != "" {
+			return x.Text
+		}
+		return fmt.Sprintf("%g", x.Value)
+	case *CharLiteral:
+		if x.Text != "" {
+			return x.Text
+		}
+		return fmt.Sprintf("'%c'", x.Value)
+	case *StringLiteral:
+		if x.Text != "" {
+			return x.Text
+		}
+		return fmt.Sprintf("%q", x.Value)
+	case *DeclRefExpr:
+		return x.Name
+	case *ParenExpr:
+		return "(" + ExprString(x.X) + ")"
+	case *UnaryOperator:
+		if x.Op.IsPostfix() {
+			return exprAt(x.X, precPostfix) + x.Op.String()
+		}
+		inner := exprAt(x.X, precUnary)
+		// Space avoids "- -x" gluing into "--x".
+		if (x.Op == UnMinus || x.Op == UnPlus || x.Op == UnAddr) &&
+			len(inner) > 0 && (inner[0] == '-' || inner[0] == '+' || inner[0] == '&') {
+			inner = " " + inner
+		}
+		return x.Op.String() + inner
+	case *BinaryOperator:
+		p := binOpPrec(x.Op)
+		if x.Op.IsAssignment() {
+			// Right-associative; LHS must be unary-level.
+			return fmt.Sprintf("%s %s %s",
+				exprAt(x.LHS, precUnary), x.Op, exprAt(x.RHS, precAssign))
+		}
+		return fmt.Sprintf("%s %s %s",
+			exprAt(x.LHS, p), x.Op, exprAt(x.RHS, p+1))
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, exprAt(a, precAssign))
+		}
+		return fmt.Sprintf("%s(%s)", exprAt(x.Fn, precPostfix),
+			strings.Join(args, ", "))
+	case *ArraySubscriptExpr:
+		return fmt.Sprintf("%s[%s]", exprAt(x.Base, precPostfix),
+			ExprString(x.Index))
+	case *MemberExpr:
+		sep := "."
+		if x.IsArrow {
+			sep = "->"
+		}
+		return exprAt(x.Base, precPostfix) + sep + x.Field
+	case *CastExpr:
+		return fmt.Sprintf("(%s)%s", x.To.CString(), exprAt(x.X, precUnary))
+	case *ConditionalExpr:
+		return fmt.Sprintf("%s ? %s : %s", exprAt(x.Cond, precLOr),
+			ExprString(x.Then), exprAt(x.Else, precCond))
+	case *SizeofExpr:
+		if x.X != nil {
+			return "sizeof(" + ExprString(x.X) + ")"
+		}
+		return "sizeof(" + x.OfType.CString() + ")"
+	case *InitListExpr:
+		var parts []string
+		for _, in := range x.Inits {
+			parts = append(parts, exprAt(in, precAssign))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *CompoundLiteralExpr:
+		return fmt.Sprintf("(%s)%s", x.To.CString(), ExprString(x.Init))
+	case *CommaExpr:
+		return fmt.Sprintf("%s, %s", exprAt(x.LHS, precAssign),
+			exprAt(x.RHS, precAssign))
+	}
+	return ""
+}

@@ -1,0 +1,267 @@
+package cast
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genExprTree builds a random well-typed integer expression tree over the
+// variables a, b, c (all int), with the given depth budget.
+func genExprTree(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			lit := &IntegerLiteral{Value: int64(rng.Intn(100))}
+			lit.SetType(IntTy)
+			return lit
+		case 1:
+			dr := &DeclRefExpr{Name: string(rune('a' + rng.Intn(3)))}
+			dr.SetType(IntTy)
+			return dr
+		default:
+			cl := &CharLiteral{Value: byte('a' + rng.Intn(26))}
+			cl.SetType(IntTy)
+			return cl
+		}
+	}
+	switch rng.Intn(8) {
+	case 0, 1, 2, 3:
+		ops := []BinOp{BinAdd, BinSub, BinMul, BinDiv, BinRem, BinShl,
+			BinShr, BinAnd, BinOr, BinXor, BinLT, BinGT, BinLE, BinGE,
+			BinEQ, BinNE, BinLAnd, BinLOr}
+		bo := &BinaryOperator{
+			Op:  ops[rng.Intn(len(ops))],
+			LHS: genExprTree(rng, depth-1),
+			RHS: genExprTree(rng, depth-1),
+		}
+		bo.SetType(IntTy)
+		return bo
+	case 4:
+		ops := []UnOp{UnMinus, UnNot, UnLNot, UnPlus}
+		uo := &UnaryOperator{Op: ops[rng.Intn(len(ops))], X: genExprTree(rng, depth-1)}
+		uo.SetType(IntTy)
+		return uo
+	case 5:
+		ce := &ConditionalExpr{
+			Cond: genExprTree(rng, depth-1),
+			Then: genExprTree(rng, depth-1),
+			Else: genExprTree(rng, depth-1),
+		}
+		ce.SetType(IntTy)
+		return ce
+	case 6:
+		pe := &ParenExpr{X: genExprTree(rng, depth-1)}
+		pe.SetType(IntTy)
+		return pe
+	default:
+		cx := &CommaExpr{LHS: genExprTree(rng, depth-1), RHS: genExprTree(rng, depth-1)}
+		cx.SetType(IntTy)
+		return cx
+	}
+}
+
+// normalize renders an expression to a canonical structural string,
+// ignoring ParenExpr wrappers (which the printer may legitimately drop or
+// add).
+func normalize(e Expr) string {
+	switch x := e.(type) {
+	case *ParenExpr:
+		return normalize(x.X)
+	case *IntegerLiteral:
+		return fmt.Sprintf("%d", x.Value)
+	case *CharLiteral:
+		// Char literals evaluate to ints; the printer may keep either
+		// spelling, so normalize to the value.
+		return fmt.Sprintf("%d", x.Value)
+	case *DeclRefExpr:
+		return x.Name
+	case *BinaryOperator:
+		return fmt.Sprintf("(%s %s %s)", normalize(x.LHS), x.Op, normalize(x.RHS))
+	case *UnaryOperator:
+		if x.Op.IsPostfix() {
+			return fmt.Sprintf("(%s %s-post)", normalize(x.X), x.Op)
+		}
+		return fmt.Sprintf("(%s-pre %s)", x.Op, normalize(x.X))
+	case *ConditionalExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", normalize(x.Cond),
+			normalize(x.Then), normalize(x.Else))
+	case *CommaExpr:
+		return fmt.Sprintf("(%s , %s)", normalize(x.LHS), normalize(x.RHS))
+	}
+	return "?"
+}
+
+// TestQuickExprPrintParseRoundTrip: printing a random expression tree and
+// re-parsing it yields a structurally identical expression. This is the
+// key correctness property of the precedence-aware printer.
+func TestQuickExprPrintParseRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := genExprTree(rng, 4)
+		// Char literals print by value only if Text is empty; our
+		// generated nodes have no Text, so ExprString uses '%c' form.
+		printed := ExprString(tree)
+		src := fmt.Sprintf("int f(int a, int b, int c) { return %s; }", printed)
+		tu, err := Parse(src)
+		if err != nil {
+			t.Logf("printed %q failed to parse: %v", printed, err)
+			return false
+		}
+		fd := tu.Decls[0].(*FunctionDecl)
+		ret := fd.Body.Stmts[0].(*ReturnStmt)
+		got := normalize(ret.Value)
+		want := normalize(tree)
+		if got != want {
+			t.Logf("tree mismatch:\n  printed: %s\n  want: %s\n  got:  %s",
+				printed, want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLexerNeverPanics: the lexer terminates without panicking on
+// arbitrary byte strings (it may return errors).
+func TestQuickLexerNeverPanics(t *testing.T) {
+	check := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("lexer panicked on %q: %v", data, r)
+			}
+		}()
+		toks, err := Lex(string(data))
+		if err == nil && len(toks) == 0 {
+			return false // must at least produce EOF
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParserNeverPanics: the parser terminates without panicking on
+// arbitrary byte strings.
+func TestQuickParserNeverPanics(t *testing.T) {
+	check := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked on %q: %v", data, r)
+			}
+		}()
+		_, _ = Parse(string(data))
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTokenPositionsCoverInput: token extents are monotonically
+// non-overlapping and within bounds.
+func TestQuickTokenPositionsCoverInput(t *testing.T) {
+	check := func(data []byte) bool {
+		toks, err := Lex(string(data))
+		if err != nil {
+			return true
+		}
+		prevEnd := 0
+		for _, tok := range toks {
+			if tok.Pos < prevEnd || tok.End < tok.Pos || tok.End > len(data) {
+				t.Logf("bad token extent %v in %q", tok, data)
+				return false
+			}
+			prevEnd = tok.End
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFormatAsDeclParsesBack: FormatAsDecl output re-parses to the
+// same type for randomly composed types.
+func TestQuickFormatAsDeclParsesBack(t *testing.T) {
+	genType := func(rng *rand.Rand) QualType {
+		base := []QualType{IntTy, CharTy, LongTy, DoubleTy, UIntTy,
+			ShortTy, FloatTy, ULongLongTy}[rng.Intn(8)]
+		ty := base
+		for i := 0; i < rng.Intn(3); i++ {
+			switch rng.Intn(2) {
+			case 0:
+				ty = PointerTo(ty)
+			case 1:
+				// Arrays of pointers are fine; pointers to arrays need
+				// parens that FormatAsDecl must emit correctly.
+				ty = ArrayOf(ty, int64(rng.Intn(9)+1))
+			}
+		}
+		return ty
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genType(rng)
+		decl := FormatAsDecl(ty, "x") + ";"
+		tu, err := Parse(decl)
+		if err != nil {
+			t.Logf("decl %q does not parse: %v", decl, err)
+			return false
+		}
+		vd, ok := tu.Decls[0].(*VarDecl)
+		if !ok {
+			t.Logf("decl %q did not yield a VarDecl", decl)
+			return false
+		}
+		if !SameType(vd.Ty, ty) {
+			t.Logf("decl %q re-parses as %s, want %s", decl,
+				vd.Ty.CString(), ty.CString())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWalkVisitsEveryChildOnce: Children() and Walk() agree on node
+// counts.
+func TestQuickWalkVisitsEveryChildOnce(t *testing.T) {
+	srcs := []string{sample,
+		"int f(int n) { while (n) { n--; } return n; }",
+		"struct s { int a; }; int g(struct s *p) { return p->a; }",
+	}
+	for _, src := range srcs {
+		tu := mustParse(t, src)
+		visited := map[Node]int{}
+		Walk(tu, func(n Node) bool {
+			visited[n]++
+			return true
+		})
+		for n, count := range visited {
+			if count != 1 {
+				t.Errorf("node %s visited %d times", n.Kind(), count)
+			}
+		}
+		var countChildren func(n Node) int
+		countChildren = func(n Node) int {
+			total := 1
+			for _, c := range Children(n) {
+				total += countChildren(c)
+			}
+			return total
+		}
+		if got := countChildren(tu); got != len(visited) {
+			t.Errorf("Children-count %d != Walk-count %d", got, len(visited))
+		}
+	}
+}
+
+var _ = reflect.DeepEqual

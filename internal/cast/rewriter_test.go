@@ -1,0 +1,285 @@
+package cast
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRewriterBasics(t *testing.T) {
+	rw := NewRewriter("int x = 42;")
+	if !rw.ReplaceText(SourceRange{8, 10}, "7") {
+		t.Fatal("replace failed")
+	}
+	if got := rw.Rewritten(); got != "int x = 7;" {
+		t.Fatalf("got %q", got)
+	}
+	rw.Reset()
+	if rw.HasEdits() {
+		t.Fatal("reset did not clear edits")
+	}
+	if got := rw.Rewritten(); got != "int x = 42;" {
+		t.Fatalf("after reset got %q", got)
+	}
+}
+
+func TestRewriterInsertions(t *testing.T) {
+	rw := NewRewriter("abc")
+	rw.InsertTextBefore(0, "<")
+	rw.InsertTextAfter(SourceRange{0, 3}, ">")
+	rw.InsertTextBefore(1, "|")
+	if got := rw.Rewritten(); got != "<a|bc>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRewriterOverlapRejected(t *testing.T) {
+	rw := NewRewriter("0123456789")
+	if !rw.ReplaceText(SourceRange{2, 6}, "X") {
+		t.Fatal("first replace failed")
+	}
+	if rw.ReplaceText(SourceRange{4, 8}, "Y") {
+		t.Fatal("overlapping replace accepted")
+	}
+	if rw.ReplaceText(SourceRange{5, 5}, "") == false {
+		// Zero-length inside a replacement is allowed as an edit but
+		// dropped at materialization; either is acceptable, but the call
+		// itself must not corrupt state.
+		t.Log("insertion inside replacement rejected")
+	}
+	if !rw.ReplaceText(SourceRange{6, 8}, "Z") {
+		t.Fatal("adjacent replace rejected")
+	}
+	if got := rw.Rewritten(); got != "01XZ89" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRewriterOutOfBounds(t *testing.T) {
+	rw := NewRewriter("abc")
+	if rw.ReplaceText(SourceRange{-1, 2}, "x") {
+		t.Error("negative begin accepted")
+	}
+	if rw.ReplaceText(SourceRange{0, 4}, "x") {
+		t.Error("end beyond buffer accepted")
+	}
+	if rw.ReplaceText(SourceRange{2, 1}, "x") {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestFindBracesRange(t *testing.T) {
+	src := "int f() { if (x) { y(); } return 0; }"
+	rw := NewRewriter(src)
+	r, ok := rw.FindBracesRange(0)
+	if !ok {
+		t.Fatal("braces not found")
+	}
+	if src[r.Begin] != '{' || src[r.End-1] != '}' || r.End != len(src) {
+		t.Fatalf("outer braces range %v => %q", r, src[r.Begin:r.End])
+	}
+	inner, ok := rw.FindBracesRange(r.Begin + 1)
+	if !ok || src[inner.Begin:inner.End] != "{ y(); }" {
+		t.Fatalf("inner braces %v => %q", inner, src[inner.Begin:inner.End])
+	}
+	if _, ok := rw.FindBracesRange(len(src)); ok {
+		t.Error("found braces past EOF")
+	}
+}
+
+func TestFindStrLocFrom(t *testing.T) {
+	rw := NewRewriter("foo bar foo")
+	if got := rw.FindStrLocFrom(0, "foo"); got != 0 {
+		t.Errorf("first foo at %d", got)
+	}
+	if got := rw.FindStrLocFrom(1, "foo"); got != 8 {
+		t.Errorf("second foo at %d", got)
+	}
+	if got := rw.FindStrLocFrom(9, "foo"); got != -1 {
+		t.Errorf("missing foo found at %d", got)
+	}
+	if got := rw.FindStrLocFrom(-1, "foo"); got != -1 {
+		t.Errorf("negative loc returned %d", got)
+	}
+}
+
+// TestQuickRewriterComposition: applying random non-overlapping
+// replacements through the rewriter equals composing them by hand
+// right-to-left.
+func TestQuickRewriterComposition(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 10
+		src := strings.Repeat("x", n)
+		// Build disjoint ranges.
+		type ed struct {
+			begin, end int
+			text       string
+		}
+		var edits []ed
+		pos := 0
+		for pos < n-2 && len(edits) < 6 {
+			begin := pos + rng.Intn(3)
+			if begin >= n {
+				break
+			}
+			end := begin + rng.Intn(3)
+			if end > n {
+				end = n
+			}
+			edits = append(edits, ed{begin, end,
+				strings.Repeat("Y", rng.Intn(3))})
+			pos = end + 1
+		}
+		rw := NewRewriter(src)
+		for _, e := range edits {
+			if !rw.ReplaceText(SourceRange{e.begin, e.end}, e.text) {
+				t.Logf("edit rejected: %+v", e)
+				return false
+			}
+		}
+		got := rw.Rewritten()
+		// Manual composition right-to-left keeps offsets valid.
+		want := src
+		sorted := append([]ed(nil), edits...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].begin > sorted[j].begin })
+		for _, e := range sorted {
+			want = want[:e.begin] + e.text + want[e.end:]
+		}
+		if got != want {
+			t.Logf("composition mismatch: got %q want %q (edits %+v)",
+				got, want, edits)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		ty   QualType
+		want int64
+	}{
+		{IntTy, 4}, {CharTy, 1}, {ShortTy, 2}, {LongTy, 8},
+		{DoubleTy, 8}, {FloatTy, 4}, {LongDoubleTy, 16},
+		{ComplexDoubleTy, 16},
+		{PointerTo(IntTy), 8},
+		{ArrayOf(IntTy, 10), 40},
+		{ArrayOf(ArrayOf(CharTy, 3), 2), 6},
+	}
+	for _, c := range cases {
+		if got := c.ty.Size(); got != c.want {
+			t.Errorf("Size(%s) = %d, want %d", c.ty.CString(), got, c.want)
+		}
+	}
+}
+
+func TestStructLayoutSize(t *testing.T) {
+	tu := mustCheck(t, `
+struct padded { char c; int i; char d; };
+struct packed2 { short a; short b; };
+union u { int i; char c[7]; };
+struct padded gp; struct packed2 gq; union u gu;
+`)
+	byName := map[string]QualType{}
+	for _, d := range tu.Decls {
+		if vd, ok := d.(*VarDecl); ok {
+			byName[vd.Name] = vd.Ty
+		}
+	}
+	if got := byName["gp"].Size(); got != 12 {
+		t.Errorf("padded size = %d, want 12", got)
+	}
+	if got := byName["gq"].Size(); got != 4 {
+		t.Errorf("packed2 size = %d, want 4", got)
+	}
+	if got := byName["gu"].Size(); got != 8 {
+		t.Errorf("union size = %d, want 8 (7 rounded to int align)", got)
+	}
+}
+
+func TestUsualArithmeticConversion(t *testing.T) {
+	cases := []struct {
+		a, b, want QualType
+	}{
+		{IntTy, IntTy, IntTy},
+		{CharTy, IntTy, IntTy},
+		{IntTy, LongTy, LongTy},
+		{UIntTy, IntTy, UIntTy},
+		{IntTy, DoubleTy, DoubleTy},
+		{FloatTy, LongTy, FloatTy}, // rank model: float > integer kinds
+		{DoubleTy, ComplexDoubleTy, ComplexDoubleTy},
+		{ShortTy, CharTy, IntTy}, // integer promotion
+	}
+	for _, c := range cases {
+		got := UsualArithmeticConversion(c.a, c.b)
+		if !SameType(got, c.want) {
+			t.Errorf("UAC(%s, %s) = %s, want %s",
+				c.a.CString(), c.b.CString(), got.CString(), c.want.CString())
+		}
+	}
+}
+
+func TestCheckBinopTypes(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		l, r QualType
+		want bool
+	}{
+		{BinAdd, IntTy, IntTy, true},
+		{BinAdd, PointerTo(IntTy), IntTy, true},
+		{BinAdd, PointerTo(IntTy), PointerTo(IntTy), false},
+		{BinSub, PointerTo(IntTy), PointerTo(IntTy), true},
+		{BinMul, PointerTo(IntTy), IntTy, false},
+		{BinRem, DoubleTy, IntTy, false},
+		{BinRem, IntTy, IntTy, true},
+		{BinShl, DoubleTy, IntTy, false},
+		{BinLAnd, PointerTo(IntTy), IntTy, true},
+		{BinLT, IntTy, DoubleTy, true},
+	}
+	for _, c := range cases {
+		if got := CheckBinopTypes(c.op, c.l, c.r); got != c.want {
+			t.Errorf("CheckBinopTypes(%s, %s, %s) = %v, want %v",
+				c.op, c.l.CString(), c.r.CString(), got, c.want)
+		}
+	}
+}
+
+func TestCheckAssignmentTypes(t *testing.T) {
+	if !CheckAssignmentTypes(IntTy, DoubleTy) {
+		t.Error("int = double should be allowed")
+	}
+	if CheckAssignmentTypes(ArrayOf(IntTy, 3), ArrayOf(IntTy, 3)) {
+		t.Error("array assignment should be rejected")
+	}
+	if CheckAssignmentTypes(IntTy.WithQuals(QualConst), IntTy) {
+		t.Error("assignment to const should be rejected")
+	}
+	if CheckAssignmentTypes(IntTy, VoidTy) {
+		t.Error("assignment from void should be rejected")
+	}
+}
+
+func TestDefaultValueExpr(t *testing.T) {
+	cases := map[string]QualType{
+		"0":   IntTy,
+		"0.0": DoubleTy,
+		"":    VoidTy,
+	}
+	for want, ty := range cases {
+		if got := DefaultValueExpr(ty); got != want {
+			t.Errorf("DefaultValueExpr(%s) = %q, want %q", ty.CString(), got, want)
+		}
+	}
+	if got := DefaultValueExpr(PointerTo(IntTy)); got != "0" {
+		t.Errorf("pointer default = %q", got)
+	}
+	if got := DefaultValueExpr(ArrayOf(IntTy, 2)); got != "{0}" {
+		t.Errorf("array default = %q", got)
+	}
+}

@@ -1,0 +1,133 @@
+// Package cast implements a C front-end for compiler fuzzing: a lexer, a
+// recursive-descent parser for a large C subset, a typed AST with source
+// locations, semantic analysis, a Clang-style source rewriter, and a
+// pretty-printer.
+//
+// The package is the substrate under the μAST mutation API
+// (internal/muast) and under the simulated compiler (internal/compilersim).
+package cast
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. Punctuation kinds are named after their spelling.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStringLit
+
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokColon    // :
+	TokQuestion // ?
+	TokEllipsis // ...
+
+	TokPlus       // +
+	TokMinus      // -
+	TokStar       // *
+	TokSlash      // /
+	TokPercent    // %
+	TokAmp        // &
+	TokPipe       // |
+	TokCaret      // ^
+	TokTilde      // ~
+	TokBang       // !
+	TokLess       // <
+	TokGreater    // >
+	TokAssign     // =
+	TokDot        // .
+	TokArrow      // ->
+	TokPlusPlus   // ++
+	TokMinusMinus // --
+	TokShl        // <<
+	TokShr        // >>
+	TokLessEq     // <=
+	TokGreaterEq  // >=
+	TokEqEq       // ==
+	TokNotEq      // !=
+	TokAmpAmp     // &&
+	TokPipePipe   // ||
+	TokPlusEq     // +=
+	TokMinusEq    // -=
+	TokStarEq     // *=
+	TokSlashEq    // /=
+	TokPercentEq  // %=
+	TokAmpEq      // &=
+	TokPipeEq     // |=
+	TokCaretEq    // ^=
+	TokShlEq      // <<=
+	TokShrEq      // >>=
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokKeyword: "keyword",
+	TokIntLit: "integer literal", TokFloatLit: "float literal",
+	TokCharLit: "char literal", TokStringLit: "string literal",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokColon: ":", TokQuestion: "?", TokEllipsis: "...",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokAmp: "&", TokPipe: "|", TokCaret: "^",
+	TokTilde: "~", TokBang: "!", TokLess: "<", TokGreater: ">",
+	TokAssign: "=", TokDot: ".", TokArrow: "->", TokPlusPlus: "++",
+	TokMinusMinus: "--", TokShl: "<<", TokShr: ">>", TokLessEq: "<=",
+	TokGreaterEq: ">=", TokEqEq: "==", TokNotEq: "!=", TokAmpAmp: "&&",
+	TokPipePipe: "||", TokPlusEq: "+=", TokMinusEq: "-=", TokStarEq: "*=",
+	TokSlashEq: "/=", TokPercentEq: "%=", TokAmpEq: "&=", TokPipeEq: "|=",
+	TokCaretEq: "^=", TokShlEq: "<<=", TokShrEq: ">>=",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its source extent.
+type Token struct {
+	Kind TokenKind
+	Text string // exact source spelling
+	Pos  int    // byte offset of the first character
+	End  int    // byte offset one past the last character
+	Line int    // 1-based line of Pos
+	Col  int    // 1-based column of Pos
+}
+
+// Is reports whether the token is the keyword kw.
+func (t Token) Is(kw string) bool {
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+// keywords recognized by the lexer. GNU-style extension spellings that
+// appear in compiler test suites are included so seeds lex cleanly.
+var keywords = map[string]bool{
+	"auto": true, "break": true, "case": true, "char": true,
+	"const": true, "continue": true, "default": true, "do": true,
+	"double": true, "else": true, "enum": true, "extern": true,
+	"float": true, "for": true, "goto": true, "if": true,
+	"inline": true, "int": true, "long": true, "register": true,
+	"restrict": true, "return": true, "short": true, "signed": true,
+	"sizeof": true, "static": true, "struct": true, "switch": true,
+	"typedef": true, "union": true, "unsigned": true, "void": true,
+	"volatile": true, "while": true,
+	"_Bool": true, "_Complex": true, "_Imaginary": true,
+	"__restrict": true, "__inline": true, "__volatile__": true,
+	"__const": true, "__signed__": true, "__extension__": true,
+}
+
+// IsKeyword reports whether s is a reserved word of the supported C subset.
+func IsKeyword(s string) bool { return keywords[s] }

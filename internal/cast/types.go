@@ -1,0 +1,599 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BasicKind enumerates the builtin scalar types.
+type BasicKind int
+
+// Builtin scalar kinds, ordered by integer conversion rank where that is
+// meaningful.
+const (
+	Void BasicKind = iota
+	Bool
+	Char
+	SChar
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	LongLong
+	ULongLong
+	Float
+	Double
+	LongDouble
+	ComplexDouble
+)
+
+var basicNames = [...]string{
+	Void: "void", Bool: "_Bool", Char: "char", SChar: "signed char",
+	UChar: "unsigned char", Short: "short", UShort: "unsigned short",
+	Int: "int", UInt: "unsigned int", Long: "long", ULong: "unsigned long",
+	LongLong: "long long", ULongLong: "unsigned long long",
+	Float: "float", Double: "double", LongDouble: "long double",
+	ComplexDouble: "_Complex double",
+}
+
+// String returns the C spelling of the basic kind.
+func (k BasicKind) String() string { return basicNames[k] }
+
+// Type is the interface implemented by all C types.
+type Type interface {
+	// CString renders the type as it would be spelled in a cast, e.g.
+	// "unsigned int" or "struct s *".
+	CString() string
+	typeNode()
+}
+
+// BasicType is a builtin scalar type.
+type BasicType struct{ K BasicKind }
+
+func (t *BasicType) CString() string { return t.K.String() }
+func (*BasicType) typeNode()         {}
+
+// PointerType is a pointer to Elem.
+type PointerType struct{ Elem QualType }
+
+func (t *PointerType) CString() string { return t.Elem.CString() + " *" }
+func (*PointerType) typeNode()         {}
+
+// ArrayType is a (possibly multi-dimensional via nesting) array.
+// Size < 0 means an incomplete array type ("[]").
+type ArrayType struct {
+	Elem QualType
+	Size int64
+}
+
+func (t *ArrayType) CString() string {
+	if t.Size < 0 {
+		return t.Elem.CString() + " []"
+	}
+	return fmt.Sprintf("%s [%d]", t.Elem.CString(), t.Size)
+}
+func (*ArrayType) typeNode() {}
+
+// RecordType is a struct or union type, referring to its declaration.
+type RecordType struct{ Decl *RecordDecl }
+
+func (t *RecordType) CString() string {
+	kw := "struct"
+	if t.Decl.IsUnion {
+		kw = "union"
+	}
+	if t.Decl.Name == "" {
+		return kw + " <anonymous>"
+	}
+	return kw + " " + t.Decl.Name
+}
+func (*RecordType) typeNode() {}
+
+// EnumType is an enumerated type.
+type EnumType struct{ Decl *EnumDecl }
+
+func (t *EnumType) CString() string {
+	if t.Decl.Name == "" {
+		return "enum <anonymous>"
+	}
+	return "enum " + t.Decl.Name
+}
+func (*EnumType) typeNode() {}
+
+// FuncType is a function type.
+type FuncType struct {
+	Ret      QualType
+	Params   []QualType
+	Variadic bool
+}
+
+func (t *FuncType) CString() string {
+	var parts []string
+	for _, p := range t.Params {
+		parts = append(parts, p.CString())
+	}
+	if t.Variadic {
+		parts = append(parts, "...")
+	}
+	return fmt.Sprintf("%s (%s)", t.Ret.CString(), strings.Join(parts, ", "))
+}
+func (*FuncType) typeNode() {}
+
+// TypedefType is a named alias; Underlying is fully resolved.
+type TypedefType struct {
+	Name       string
+	Underlying QualType
+}
+
+func (t *TypedefType) CString() string { return t.Name }
+func (*TypedefType) typeNode()         {}
+
+// Qualifiers is a bitmask of type qualifiers.
+type Qualifiers uint8
+
+// Qualifier bits.
+const (
+	QualConst Qualifiers = 1 << iota
+	QualVolatile
+	QualRestrict
+)
+
+func (q Qualifiers) String() string {
+	var parts []string
+	if q&QualConst != 0 {
+		parts = append(parts, "const")
+	}
+	if q&QualVolatile != 0 {
+		parts = append(parts, "volatile")
+	}
+	if q&QualRestrict != 0 {
+		parts = append(parts, "restrict")
+	}
+	return strings.Join(parts, " ")
+}
+
+// QualType pairs a type with its qualifiers. The zero QualType is "no
+// type" (unresolved).
+type QualType struct {
+	T Type
+	Q Qualifiers
+}
+
+// IsNil reports whether the QualType carries no type.
+func (qt QualType) IsNil() bool { return qt.T == nil }
+
+// CString renders the qualified type in cast position.
+func (qt QualType) CString() string {
+	if qt.T == nil {
+		return "<nil>"
+	}
+	if qt.Q == 0 {
+		return qt.T.CString()
+	}
+	return qt.Q.String() + " " + qt.T.CString()
+}
+
+// WithQuals returns the type with extra qualifiers added.
+func (qt QualType) WithQuals(q Qualifiers) QualType {
+	return QualType{T: qt.T, Q: qt.Q | q}
+}
+
+// Unqualified strips all qualifiers.
+func (qt QualType) Unqualified() QualType { return QualType{T: qt.T} }
+
+// Canonical resolves typedef chains.
+func (qt QualType) Canonical() QualType {
+	q := qt.Q
+	t := qt.T
+	for {
+		td, ok := t.(*TypedefType)
+		if !ok {
+			return QualType{T: t, Q: q}
+		}
+		q |= td.Underlying.Q
+		t = td.Underlying.T
+	}
+}
+
+// Basic returns the canonical basic kind, or (0, false) if the type is not
+// a basic type.
+func (qt QualType) Basic() (BasicKind, bool) {
+	if qt.IsNil() {
+		return 0, false
+	}
+	bt, ok := qt.Canonical().T.(*BasicType)
+	if !ok {
+		return 0, false
+	}
+	return bt.K, true
+}
+
+// IsVoid reports whether the type is void.
+func (qt QualType) IsVoid() bool { k, ok := qt.Basic(); return ok && k == Void }
+
+// IsInteger reports whether the type is an integer (including _Bool, char
+// and enum types).
+func (qt QualType) IsInteger() bool {
+	if qt.IsNil() {
+		return false
+	}
+	if _, ok := qt.Canonical().T.(*EnumType); ok {
+		return true
+	}
+	k, ok := qt.Basic()
+	return ok && k >= Bool && k <= ULongLong
+}
+
+// IsFloating reports whether the type is a real floating type.
+func (qt QualType) IsFloating() bool {
+	k, ok := qt.Basic()
+	return ok && (k == Float || k == Double || k == LongDouble)
+}
+
+// IsComplex reports whether the type is a complex floating type.
+func (qt QualType) IsComplex() bool {
+	k, ok := qt.Basic()
+	return ok && k == ComplexDouble
+}
+
+// IsArithmetic reports whether the type is integer or floating.
+func (qt QualType) IsArithmetic() bool {
+	return qt.IsInteger() || qt.IsFloating() || qt.IsComplex()
+}
+
+// IsPointer reports whether the canonical type is a pointer.
+func (qt QualType) IsPointer() bool {
+	if qt.IsNil() {
+		return false
+	}
+	_, ok := qt.Canonical().T.(*PointerType)
+	return ok
+}
+
+// IsArray reports whether the canonical type is an array.
+func (qt QualType) IsArray() bool {
+	if qt.IsNil() {
+		return false
+	}
+	_, ok := qt.Canonical().T.(*ArrayType)
+	return ok
+}
+
+// IsRecord reports whether the canonical type is a struct or union.
+func (qt QualType) IsRecord() bool {
+	if qt.IsNil() {
+		return false
+	}
+	_, ok := qt.Canonical().T.(*RecordType)
+	return ok
+}
+
+// IsFunc reports whether the canonical type is a function type.
+func (qt QualType) IsFunc() bool {
+	if qt.IsNil() {
+		return false
+	}
+	_, ok := qt.Canonical().T.(*FuncType)
+	return ok
+}
+
+// IsScalar reports whether the type is arithmetic or pointer — i.e. usable
+// in a boolean context.
+func (qt QualType) IsScalar() bool { return qt.IsArithmetic() || qt.IsPointer() }
+
+// IsUnsigned reports whether the type is an unsigned integer type.
+func (qt QualType) IsUnsigned() bool {
+	k, ok := qt.Basic()
+	if !ok {
+		return false
+	}
+	switch k {
+	case Bool, UChar, UShort, UInt, ULong, ULongLong:
+		return true
+	}
+	return false
+}
+
+// PointeeType returns the pointed-to type for pointers, or decayed element
+// type for arrays; ok is false otherwise.
+func (qt QualType) PointeeType() (QualType, bool) {
+	switch t := qt.Canonical().T.(type) {
+	case *PointerType:
+		return t.Elem, true
+	case *ArrayType:
+		return t.Elem, true
+	}
+	return QualType{}, false
+}
+
+// Decay converts array types to pointer-to-element and function types to
+// pointer-to-function, per C's usual conversions.
+func (qt QualType) Decay() QualType {
+	switch t := qt.Canonical().T.(type) {
+	case *ArrayType:
+		return QualType{T: &PointerType{Elem: t.Elem}}
+	case *FuncType:
+		return QualType{T: &PointerType{Elem: QualType{T: t}}}
+	}
+	return qt
+}
+
+// Size returns the byte size of the type under an LP64 model, or -1 for
+// incomplete types.
+func (qt QualType) Size() int64 {
+	switch t := qt.Canonical().T.(type) {
+	case *BasicType:
+		switch t.K {
+		case Void:
+			return -1
+		case Bool, Char, SChar, UChar:
+			return 1
+		case Short, UShort:
+			return 2
+		case Int, UInt, Float:
+			return 4
+		case Long, ULong, LongLong, ULongLong, Double:
+			return 8
+		case LongDouble, ComplexDouble:
+			return 16
+		}
+	case *PointerType:
+		return 8
+	case *ArrayType:
+		if t.Size < 0 {
+			return -1
+		}
+		es := t.Elem.Size()
+		if es < 0 {
+			return -1
+		}
+		return es * t.Size
+	case *RecordType:
+		if !t.Decl.Complete {
+			return -1
+		}
+		var total, maxAlign, maxField int64 = 0, 1, 0
+		for _, f := range t.Decl.Fields {
+			fs := f.Ty.Size()
+			if fs < 0 {
+				return -1
+			}
+			al := fieldAlign(f.Ty)
+			if al > maxAlign {
+				maxAlign = al
+			}
+			if t.Decl.IsUnion {
+				if fs > maxField {
+					maxField = fs
+				}
+			} else {
+				total = roundUp(total, al) + fs
+			}
+		}
+		if t.Decl.IsUnion {
+			total = maxField
+		}
+		if total == 0 {
+			return 0
+		}
+		return roundUp(total, maxAlign)
+	case *EnumType:
+		return 4
+	case *FuncType:
+		return -1
+	}
+	return -1
+}
+
+func fieldAlign(qt QualType) int64 {
+	sz := qt.Size()
+	switch {
+	case sz <= 0:
+		return 1
+	case sz >= 8:
+		return 8
+	default:
+		// Round down to power of two.
+		al := int64(1)
+		for al*2 <= sz {
+			al *= 2
+		}
+		return al
+	}
+}
+
+func roundUp(n, align int64) int64 { return (n + align - 1) / align * align }
+
+// Convenience constructors for common types.
+var (
+	VoidTy          = QualType{T: &BasicType{K: Void}}
+	BoolTy          = QualType{T: &BasicType{K: Bool}}
+	CharTy          = QualType{T: &BasicType{K: Char}}
+	IntTy           = QualType{T: &BasicType{K: Int}}
+	UIntTy          = QualType{T: &BasicType{K: UInt}}
+	LongTy          = QualType{T: &BasicType{K: Long}}
+	ULongTy         = QualType{T: &BasicType{K: ULong}}
+	LongLongTy      = QualType{T: &BasicType{K: LongLong}}
+	ULongLongTy     = QualType{T: &BasicType{K: ULongLong}}
+	ShortTy         = QualType{T: &BasicType{K: Short}}
+	UShortTy        = QualType{T: &BasicType{K: UShort}}
+	UCharTy         = QualType{T: &BasicType{K: UChar}}
+	FloatTy         = QualType{T: &BasicType{K: Float}}
+	DoubleTy        = QualType{T: &BasicType{K: Double}}
+	LongDoubleTy    = QualType{T: &BasicType{K: LongDouble}}
+	ComplexDoubleTy = QualType{T: &BasicType{K: ComplexDouble}}
+)
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem QualType) QualType {
+	return QualType{T: &PointerType{Elem: elem}}
+}
+
+// ArrayOf returns an array type of size n over elem.
+func ArrayOf(elem QualType, n int64) QualType {
+	return QualType{T: &ArrayType{Elem: elem, Size: n}}
+}
+
+// SameType reports structural equality of canonical types, ignoring
+// top-level qualifiers.
+func SameType(a, b QualType) bool {
+	a, b = a.Canonical(), b.Canonical()
+	if a.T == nil || b.T == nil {
+		return a.T == b.T
+	}
+	switch at := a.T.(type) {
+	case *BasicType:
+		bt, ok := b.T.(*BasicType)
+		return ok && at.K == bt.K
+	case *PointerType:
+		bt, ok := b.T.(*PointerType)
+		return ok && SameType(at.Elem, bt.Elem)
+	case *ArrayType:
+		bt, ok := b.T.(*ArrayType)
+		return ok && at.Size == bt.Size && SameType(at.Elem, bt.Elem)
+	case *RecordType:
+		bt, ok := b.T.(*RecordType)
+		return ok && at.Decl == bt.Decl
+	case *EnumType:
+		bt, ok := b.T.(*EnumType)
+		return ok && at.Decl == bt.Decl
+	case *FuncType:
+		bt, ok := b.T.(*FuncType)
+		if !ok || at.Variadic != bt.Variadic || len(at.Params) != len(bt.Params) {
+			return false
+		}
+		if !SameType(at.Ret, bt.Ret) {
+			return false
+		}
+		for i := range at.Params {
+			if !SameType(at.Params[i], bt.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// UsualArithmeticConversion computes the common type of two arithmetic
+// operands per (a simplified model of) C's usual arithmetic conversions.
+func UsualArithmeticConversion(a, b QualType) QualType {
+	if a.IsComplex() || b.IsComplex() {
+		return ComplexDoubleTy
+	}
+	ak, aok := a.Basic()
+	bk, bok := b.Basic()
+	if !aok {
+		if a.IsInteger() { // enum
+			ak, aok = Int, true
+		}
+	}
+	if !bok {
+		if b.IsInteger() {
+			bk, bok = Int, true
+		}
+	}
+	if !aok || !bok {
+		return IntTy
+	}
+	if ak < bk {
+		ak = bk
+	}
+	if ak < Int {
+		ak = Int // integer promotion
+	}
+	return QualType{T: &BasicType{K: ak}}
+}
+
+// FormatAsDecl renders a declaration of name with type qt, e.g.
+// FormatAsDecl(int[4], "x") == "int x[4]". It handles the inside-out C
+// declarator syntax for pointers, arrays and functions.
+func FormatAsDecl(qt QualType, name string) string {
+	if qt.IsNil() {
+		return name
+	}
+	return formatDeclarator(qt, name)
+}
+
+func formatDeclarator(qt QualType, inner string) string {
+	prefix := ""
+	if qt.Q != 0 {
+		prefix = qt.Q.String() + " "
+	}
+	switch t := qt.T.(type) {
+	case *BasicType:
+		if inner == "" {
+			return prefix + t.K.String()
+		}
+		return prefix + t.K.String() + " " + inner
+	case *TypedefType:
+		if inner == "" {
+			return prefix + t.Name
+		}
+		return prefix + t.Name + " " + inner
+	case *RecordType, *EnumType:
+		s := qt.T.CString()
+		if qt.Q != 0 {
+			s = qt.Q.String() + " " + s
+		}
+		if inner == "" {
+			return s
+		}
+		return s + " " + inner
+	case *PointerType:
+		in := "*" + prefix + inner
+		if needsParens(t.Elem.T) {
+			in = "(" + in + ")"
+		}
+		return formatDeclarator(t.Elem, in)
+	case *ArrayType:
+		dim := "[]"
+		if t.Size >= 0 {
+			dim = fmt.Sprintf("[%d]", t.Size)
+		}
+		return formatDeclarator(t.Elem, prefix+inner+dim)
+	case *FuncType:
+		var parts []string
+		for _, p := range t.Params {
+			parts = append(parts, FormatAsDecl(p, ""))
+		}
+		if t.Variadic {
+			parts = append(parts, "...")
+		}
+		if len(parts) == 0 {
+			parts = []string{"void"}
+		}
+		return formatDeclarator(t.Ret,
+			prefix+inner+"("+strings.Join(parts, ", ")+")")
+	}
+	return inner
+}
+
+func needsParens(t Type) bool {
+	switch t.(type) {
+	case *ArrayType, *FuncType:
+		return true
+	}
+	return false
+}
+
+// DefaultValueExpr returns a C expression spelling a reasonable default
+// value of type qt ("0", "0.0", "{0}", ...). Used by mutators that replace
+// removed results, mirroring Figure 4 of the paper.
+func DefaultValueExpr(qt QualType) string {
+	switch {
+	case qt.IsNil() || qt.IsVoid():
+		return ""
+	case qt.IsFloating() || qt.IsComplex():
+		return "0.0"
+	case qt.IsPointer():
+		return "0"
+	case qt.IsRecord() || qt.IsArray():
+		return "{0}"
+	default:
+		return "0"
+	}
+}

@@ -1,0 +1,310 @@
+package cast
+
+// Visitor is called for each node during a Walk. Returning false stops
+// descent into the node's children (the walk continues with siblings).
+type Visitor func(n Node) bool
+
+// Walk traverses the AST rooted at n in source order, calling v for every
+// node (pre-order).
+func Walk(n Node, v Visitor) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !v(n) {
+		return
+	}
+	for _, c := range Children(n) {
+		Walk(c, v)
+	}
+}
+
+// isNilNode guards against typed-nil interface values.
+func isNilNode(n Node) bool {
+	switch x := n.(type) {
+	case *TranslationUnit:
+		return x == nil
+	case *FunctionDecl:
+		return x == nil
+	case *VarDecl:
+		return x == nil
+	case *ParmVarDecl:
+		return x == nil
+	case *FieldDecl:
+		return x == nil
+	case *RecordDecl:
+		return x == nil
+	case *EnumDecl:
+		return x == nil
+	case *EnumConstantDecl:
+		return x == nil
+	case *TypedefDecl:
+		return x == nil
+	case *CompoundStmt:
+		return x == nil
+	case *DeclStmt:
+		return x == nil
+	case *ExprStmt:
+		return x == nil
+	case *IfStmt:
+		return x == nil
+	case *WhileStmt:
+		return x == nil
+	case *DoStmt:
+		return x == nil
+	case *ForStmt:
+		return x == nil
+	case *SwitchStmt:
+		return x == nil
+	case *CaseStmt:
+		return x == nil
+	case *DefaultStmt:
+		return x == nil
+	case *BreakStmt:
+		return x == nil
+	case *ContinueStmt:
+		return x == nil
+	case *ReturnStmt:
+		return x == nil
+	case *GotoStmt:
+		return x == nil
+	case *LabelStmt:
+		return x == nil
+	case *NullStmt:
+		return x == nil
+	case *IntegerLiteral:
+		return x == nil
+	case *FloatingLiteral:
+		return x == nil
+	case *CharLiteral:
+		return x == nil
+	case *StringLiteral:
+		return x == nil
+	case *DeclRefExpr:
+		return x == nil
+	case *BinaryOperator:
+		return x == nil
+	case *UnaryOperator:
+		return x == nil
+	case *CallExpr:
+		return x == nil
+	case *ArraySubscriptExpr:
+		return x == nil
+	case *MemberExpr:
+		return x == nil
+	case *CastExpr:
+		return x == nil
+	case *ConditionalExpr:
+		return x == nil
+	case *ParenExpr:
+		return x == nil
+	case *SizeofExpr:
+		return x == nil
+	case *InitListExpr:
+		return x == nil
+	case *CompoundLiteralExpr:
+		return x == nil
+	case *CommaExpr:
+		return x == nil
+	}
+	return false
+}
+
+// Children returns a node's direct AST children in source order. Nil
+// children are omitted.
+func Children(n Node) []Node {
+	var out []Node
+	add := func(c Node) {
+		if c != nil && !isNilNode(c) {
+			out = append(out, c)
+		}
+	}
+	switch x := n.(type) {
+	case *TranslationUnit:
+		for _, d := range x.Decls {
+			add(d)
+		}
+	case *FunctionDecl:
+		for _, pv := range x.Params {
+			add(pv)
+		}
+		if x.Body != nil {
+			add(x.Body)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			add(x.Init)
+		}
+	case *RecordDecl:
+		for _, f := range x.Fields {
+			add(f)
+		}
+	case *EnumDecl:
+		for _, c := range x.Constants {
+			add(c)
+		}
+	case *EnumConstantDecl:
+		if x.Value != nil {
+			add(x.Value)
+		}
+	case *CompoundStmt:
+		for _, s := range x.Stmts {
+			add(s)
+		}
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			add(d)
+		}
+	case *ExprStmt:
+		add(x.X)
+	case *IfStmt:
+		add(x.Cond)
+		add(x.Then)
+		if x.Else != nil {
+			add(x.Else)
+		}
+	case *WhileStmt:
+		add(x.Cond)
+		add(x.Body)
+	case *DoStmt:
+		add(x.Body)
+		add(x.Cond)
+	case *ForStmt:
+		if x.Init != nil {
+			add(x.Init)
+		}
+		if x.Cond != nil {
+			add(x.Cond)
+		}
+		if x.Post != nil {
+			add(x.Post)
+		}
+		add(x.Body)
+	case *SwitchStmt:
+		add(x.Cond)
+		add(x.Body)
+	case *CaseStmt:
+		add(x.Value)
+		if x.Body != nil {
+			add(x.Body)
+		}
+	case *DefaultStmt:
+		if x.Body != nil {
+			add(x.Body)
+		}
+	case *ReturnStmt:
+		if x.Value != nil {
+			add(x.Value)
+		}
+	case *LabelStmt:
+		if x.Body != nil {
+			add(x.Body)
+		}
+	case *BinaryOperator:
+		add(x.LHS)
+		add(x.RHS)
+	case *UnaryOperator:
+		add(x.X)
+	case *CallExpr:
+		add(x.Fn)
+		for _, a := range x.Args {
+			add(a)
+		}
+	case *ArraySubscriptExpr:
+		add(x.Base)
+		add(x.Index)
+	case *MemberExpr:
+		add(x.Base)
+	case *CastExpr:
+		add(x.X)
+	case *ConditionalExpr:
+		add(x.Cond)
+		add(x.Then)
+		add(x.Else)
+	case *ParenExpr:
+		add(x.X)
+	case *SizeofExpr:
+		if x.X != nil {
+			add(x.X)
+		}
+	case *InitListExpr:
+		for _, e := range x.Inits {
+			add(e)
+		}
+	case *CompoundLiteralExpr:
+		add(x.Init)
+	case *CommaExpr:
+		add(x.LHS)
+		add(x.RHS)
+	}
+	return out
+}
+
+// CollectKind returns all nodes of the given kind under root, in source
+// order.
+func CollectKind(root Node, k NodeKind) []Node {
+	var out []Node
+	Walk(root, func(n Node) bool {
+		if n.Kind() == k {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// CountNodes returns the total number of AST nodes under root.
+func CountNodes(root Node) int {
+	n := 0
+	Walk(root, func(Node) bool { n++; return true })
+	return n
+}
+
+// ParentMap maps each node to its parent, built with BuildParentMap.
+type ParentMap map[Node]Node
+
+// BuildParentMap computes the parent of every node under root.
+func BuildParentMap(root Node) ParentMap {
+	pm := ParentMap{}
+	var rec func(n Node)
+	rec = func(n Node) {
+		for _, c := range Children(n) {
+			pm[c] = n
+			rec(c)
+		}
+	}
+	rec(root)
+	return pm
+}
+
+// EnclosingFunction returns the FunctionDecl that lexically contains n, or
+// nil when n is at file scope.
+func (pm ParentMap) EnclosingFunction(n Node) *FunctionDecl {
+	for cur := pm[n]; cur != nil; cur = pm[cur] {
+		if fd, ok := cur.(*FunctionDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// EnclosingStmt returns the nearest enclosing statement of n (or n itself
+// if it is a statement).
+func (pm ParentMap) EnclosingStmt(n Node) Stmt {
+	for cur := n; cur != nil; cur = pm[cur] {
+		if s, ok := cur.(Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// EnclosingLoop returns the nearest enclosing loop statement of n, or nil.
+func (pm ParentMap) EnclosingLoop(n Node) Stmt {
+	for cur := pm[n]; cur != nil; cur = pm[cur] {
+		switch cur.(type) {
+		case *WhileStmt, *DoStmt, *ForStmt:
+			return cur.(Stmt)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package compilersim
+
+import (
+	"fmt"
+
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/compilersim/ir"
+)
+
+// AsmOp is a pseudo machine instruction kind (x86-64-flavoured).
+type AsmOp int
+
+// Pseudo machine ops.
+const (
+	AMov AsmOp = iota
+	AAdd
+	ASub
+	AIMul
+	AIDiv
+	AShl
+	AShr
+	AAnd
+	AOr
+	AXor
+	ANeg
+	ANot
+	ACmp
+	ASet
+	ALea
+	ALoad
+	AStore
+	ACall
+	ARet
+	AJmp
+	AJcc
+	AJmpTable
+	AVecOp
+	ASpill
+	AReload
+)
+
+var asmNames = [...]string{
+	AMov: "mov", AAdd: "add", ASub: "sub", AIMul: "imul", AIDiv: "idiv",
+	AShl: "shl", AShr: "shr", AAnd: "and", AOr: "or", AXor: "xor",
+	ANeg: "neg", ANot: "not", ACmp: "cmp", ASet: "set", ALea: "lea",
+	ALoad: "load", AStore: "store", ACall: "call", ARet: "ret",
+	AJmp: "jmp", AJcc: "jcc", AJmpTable: "jmptable", AVecOp: "vecop",
+	ASpill: "spill", AReload: "reload",
+}
+
+// String returns the mnemonic.
+func (a AsmOp) String() string { return asmNames[a] }
+
+// AsmInstr is a single emitted machine instruction.
+type AsmInstr struct {
+	Op  AsmOp
+	Reg int // destination register (or -1)
+}
+
+// Object is the back-end's output for one translation unit.
+type Object struct {
+	Instrs   []AsmInstr
+	Spills   int
+	Funcs    int
+	TextSize int
+}
+
+// numRegs is the size of the simulated general-purpose register file.
+const numRegs = 8
+
+// GenerateCode lowers an optimized IR program into pseudo machine code:
+// per-instruction selection, linear-scan register allocation with
+// spilling, and a peephole cleanup.
+func GenerateCode(prog *ir.Program, trace *cover.Tracer, feats Features) *Object {
+	obj := &Object{}
+	for _, f := range prog.Funcs {
+		genFuncCode(f, obj, trace, feats)
+	}
+	obj.TextSize = len(obj.Instrs) * 4
+	trace.HitN("be.textsize", obj.TextSize%101)
+	return obj
+}
+
+func genFuncCode(f *ir.Func, obj *Object, trace *cover.Tracer, feats Features) {
+	obj.Funcs++
+	// Linear-scan register allocation: compute last-use per temp over the
+	// linearized instruction stream, then assign registers greedily.
+	type interval struct{ start, end int }
+	intervals := map[int64]*interval{}
+	idx := 0
+	var linear []ir.Instr
+	for _, b := range f.Blocks {
+		if !b.Reachable && len(b.Instrs) == 0 {
+			continue
+		}
+		for _, in := range b.Instrs {
+			touch := func(v ir.Value) {
+				if v.Kind != ir.VTemp {
+					return
+				}
+				iv := intervals[v.ID]
+				if iv == nil {
+					intervals[v.ID] = &interval{idx, idx}
+				} else {
+					iv.end = idx
+				}
+			}
+			touch(in.Dst)
+			touch(in.A)
+			touch(in.B)
+			touch(in.C)
+			for _, a := range in.Args {
+				touch(a)
+			}
+			linear = append(linear, in)
+			idx++
+		}
+	}
+	// Greedy allocation.
+	regOf := map[int64]int{}
+	freeAt := [numRegs]int{}
+	spills := 0
+	for i, in := range linear {
+		if in.Dst.Kind == ir.VTemp {
+			if _, assigned := regOf[in.Dst.ID]; !assigned {
+				reg := -1
+				for r := 0; r < numRegs; r++ {
+					if freeAt[r] <= i {
+						reg = r
+						break
+					}
+				}
+				if reg < 0 {
+					spills++
+					trace.HitN("be.spill", spills%19)
+					reg = i % numRegs // evict
+				}
+				regOf[in.Dst.ID] = reg
+				if iv := intervals[in.Dst.ID]; iv != nil {
+					freeAt[reg] = iv.end + 1
+				}
+			}
+		}
+	}
+	obj.Spills += spills
+	if spills > 6 {
+		feats.Add("be.highpressure")
+	}
+	// Instruction selection.
+	emit := func(op AsmOp, reg int) {
+		obj.Instrs = append(obj.Instrs, AsmInstr{Op: op, Reg: reg})
+		trace.HitN("be."+op.String(), reg+1)
+	}
+	for _, in := range linear {
+		reg := -1
+		if in.Dst.Kind == ir.VTemp {
+			reg = regOf[in.Dst.ID]
+		}
+		switch in.Op {
+		case ir.OpConst, ir.OpCopy:
+			emit(AMov, reg)
+		case ir.OpAdd:
+			emit(AAdd, reg)
+		case ir.OpSub:
+			emit(ASub, reg)
+		case ir.OpMul:
+			emit(AIMul, reg)
+		case ir.OpDiv, ir.OpRem:
+			emit(AIDiv, reg)
+			feats.Add("be.div")
+		case ir.OpShl:
+			emit(AShl, reg)
+		case ir.OpShr:
+			emit(AShr, reg)
+		case ir.OpAnd:
+			emit(AAnd, reg)
+		case ir.OpOr:
+			emit(AOr, reg)
+		case ir.OpXor:
+			emit(AXor, reg)
+		case ir.OpNeg:
+			emit(ANeg, reg)
+		case ir.OpNot:
+			emit(ANot, reg)
+		case ir.OpLNot:
+			emit(ACmp, reg)
+			emit(ASet, reg)
+		case ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+			emit(ACmp, reg)
+			emit(ASet, reg)
+		case ir.OpLoad:
+			emit(ALoad, reg)
+		case ir.OpStore:
+			emit(AStore, -1)
+		case ir.OpAddr:
+			emit(ALea, reg)
+		case ir.OpCall:
+			emit(ACall, reg)
+		case ir.OpRet:
+			emit(ARet, -1)
+		case ir.OpBr:
+			emit(AJmp, -1)
+		case ir.OpCondBr:
+			emit(ACmp, -1)
+			emit(AJcc, -1)
+		case ir.OpSwitch:
+			if len(in.Cases) >= 5 {
+				emit(AJmpTable, -1)
+				feats.Add("be.jumptable")
+				trace.HitN("be.jumptable", len(in.Cases)%31)
+			} else {
+				for range in.Cases {
+					emit(ACmp, -1)
+					emit(AJcc, -1)
+				}
+			}
+		case ir.OpConvert:
+			emit(AMov, reg)
+		case ir.OpVecAdd, ir.OpVecMul:
+			emit(AVecOp, reg)
+			feats.Add("be.vec")
+		case ir.OpStrLen:
+			emit(ACall, reg)
+		}
+	}
+	// Peephole: drop adjacent redundant movs to the same register.
+	cleaned := obj.Instrs[:0]
+	var prev *AsmInstr
+	removed := 0
+	for i := range obj.Instrs {
+		in := obj.Instrs[i]
+		if prev != nil && prev.Op == AMov && in.Op == AMov && prev.Reg == in.Reg && in.Reg >= 0 {
+			removed++
+			continue
+		}
+		cleaned = append(cleaned, in)
+		prev = &cleaned[len(cleaned)-1]
+	}
+	obj.Instrs = cleaned
+	if removed > 0 {
+		trace.HitN("be.peephole", removed%13)
+	}
+}
+
+// DumpAsm renders the object for debugging.
+func DumpAsm(obj *Object) string {
+	s := ""
+	for _, in := range obj.Instrs {
+		if in.Reg >= 0 {
+			s += fmt.Sprintf("%s r%d\n", in.Op, in.Reg)
+		} else {
+			s += in.Op.String() + "\n"
+		}
+	}
+	return s
+}

@@ -1,0 +1,283 @@
+package compilersim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/compilersim/ir"
+)
+
+// Options selects the compilation configuration, mirroring the compiler
+// command line the macro fuzzer samples.
+type Options struct {
+	// OptLevel is 0..3 (-O0 .. -O3). The paper's RQ1 runs use -O2.
+	OptLevel int
+	// DisabledPasses names optimizer passes switched off, e.g.
+	// "loopvec" for -fno-tree-vectorize or "strbuiltin" for
+	// -fno-optimize-strlen.
+	DisabledPasses []string
+}
+
+// DefaultOptions is -O2 with the full pipeline.
+func DefaultOptions() Options { return Options{OptLevel: 2} }
+
+// FlagString renders the options like a compiler invocation.
+func (o Options) FlagString() string {
+	s := fmt.Sprintf("-O%d", o.OptLevel)
+	for _, p := range o.DisabledPasses {
+		s += " -fno-" + p
+	}
+	return s
+}
+
+// Result is the outcome of one compilation.
+type Result struct {
+	// OK means the input compiled (no diagnostics, no crash).
+	OK bool
+	// Diagnostics carries front-end errors for rejected programs.
+	Diagnostics []string
+	// Crash is non-nil when an injected defect fired.
+	Crash *CrashReport
+	// Hang mirrors a compiler that never terminates; the driver detects
+	// it instead of actually hanging.
+	Hang bool
+	// Coverage is the edge map for this single compilation.
+	Coverage *cover.Map
+	// Object is the generated code (nil unless fully compiled).
+	Object *Object
+	// Feats is exposed for tests and ablations.
+	Feats Features
+}
+
+// Compiler is one simulated compiler instance (a profile plus version).
+type Compiler struct {
+	Name    string // "gcc" or "clang"
+	Version int    // e.g. 14 or 18
+	bugs    []Bug
+	passes  []Pass
+}
+
+// New returns a compiler for the given profile name ("gcc"/"clang").
+func New(name string, version int) *Compiler {
+	c := &Compiler{Name: name, Version: version}
+	switch name {
+	case "gcc":
+		c.bugs = gccBugs()
+		c.passes = StandardPasses()
+	case "clang":
+		c.bugs = clangBugs()
+		// Clang profile: a differently-ordered pipeline (simplify before
+		// copyprop, extra CSE round) so the two compilers cover
+		// different edges on the same input.
+		c.passes = []Pass{
+			{"simplify", (*optimizer).algebraicSimplify},
+			{"constfold", (*optimizer).constFold},
+			{"copyprop", (*optimizer).copyProp},
+			{"cse", (*optimizer).cse},
+			{"dce", (*optimizer).dce},
+			{"loopvec", (*optimizer).loopVectorize},
+			{"strbuiltin", (*optimizer).strBuiltinOpt},
+			{"cse2", (*optimizer).cse},
+			{"latefold", (*optimizer).lateFold},
+			{"dce2", (*optimizer).dce},
+		}
+	default:
+		panic("compilersim: unknown profile " + name)
+	}
+	return c
+}
+
+// Bugs exposes the defect corpus (read-only) for the experiment harness.
+func (c *Compiler) Bugs() []Bug { return c.bugs }
+
+// BugStats returns per-component and per-kind defect counts.
+func (c *Compiler) BugStats() map[string]int { return bugStats(c.bugs) }
+
+// Compile runs the full pipeline on src.
+func (c *Compiler) Compile(src string, opts Options) Result {
+	covMap := cover.NewMap()
+	feats := Features{}
+	tc := &TriggerCtx{Source: src, Feats: feats, OptLevel: opts.OptLevel}
+
+	// ---- Front-end: lexing coverage (runs even for garbage input).
+	feTrace := cover.NewTracer(covMap, c.Name+".fe")
+	c.lexCoverage(src, feTrace)
+
+	tu, perr := cast.Parse(src)
+	tc.ParseOK = perr == nil
+	var diags []string
+	if perr != nil {
+		diags = append(diags, perr.Error())
+		// Error recovery is code too: distinct syntactic failure points
+		// exercise distinct diagnostic paths — the coverage a byte-level
+		// fuzzer climbs.
+		if pe, ok := perr.(*cast.ParseError); ok {
+			feTrace.HitN("parse.error", pe.Line%53)
+			feTrace.HitStr("parse.msg." + diagClass(pe.Msg))
+		} else {
+			feTrace.HitStr("parse.error")
+		}
+	} else {
+		// Parse-tree coverage: node-kind edges in source order.
+		cast.Walk(tu, func(n cast.Node) bool {
+			feTrace.HitStr("ast." + n.Kind().String())
+			return true
+		})
+		if cerr := cast.Check(tu); cerr != nil {
+			tc.CheckOK = false
+			if se, ok := cerr.(cast.SemaErrors); ok {
+				for _, e := range se {
+					diags = append(diags, e.Error())
+					feTrace.HitN("sema."+diagClass(e.Msg), e.Offset%41)
+				}
+			} else {
+				diags = append(diags, cerr.Error())
+			}
+		} else {
+			tc.CheckOK = true
+		}
+	}
+
+	// Front-end defects can fire on any input (error-recovery paths).
+	if crash := c.checkBugs(tc, FrontEnd); crash != nil {
+		return c.crashResult(crash, covMap, feats, diags)
+	}
+	if !tc.ParseOK || !tc.CheckOK {
+		return Result{OK: false, Diagnostics: diags, Coverage: covMap, Feats: feats}
+	}
+
+	// ---- IR generation.
+	irTrace := cover.NewTracer(covMap, c.Name+".ir")
+	prog := GenerateIR(tu, irTrace, feats)
+	if crash := c.checkBugs(tc, IRGen); crash != nil {
+		return c.crashResult(crash, covMap, feats, diags)
+	}
+
+	// ---- Optimizer.
+	if opts.OptLevel >= 1 {
+		optTrace := cover.NewTracer(covMap, c.Name+".opt")
+		Optimize(prog, c.enabledPasses(opts), optTrace, feats)
+		if crash := c.checkBugs(tc, Opt); crash != nil {
+			return c.crashResult(crash, covMap, feats, diags)
+		}
+	}
+
+	// ---- Back-end.
+	beTrace := cover.NewTracer(covMap, c.Name+".be")
+	obj := GenerateCode(prog, beTrace, feats)
+	if crash := c.checkBugs(tc, BackEnd); crash != nil {
+		return c.crashResult(crash, covMap, feats, diags)
+	}
+
+	return Result{OK: true, Coverage: covMap, Object: obj, Feats: feats}
+}
+
+// enabledPasses filters the profile pipeline by the options.
+func (c *Compiler) enabledPasses(opts Options) []Pass {
+	disabled := map[string]bool{}
+	for _, p := range opts.DisabledPasses {
+		disabled[p] = true
+	}
+	var out []Pass
+	for _, p := range c.passes {
+		base := strings.TrimRight(p.Name, "0123456789")
+		if disabled[p.Name] || disabled[base] {
+			continue
+		}
+		out = append(out, p)
+	}
+	if opts.OptLevel == 1 {
+		// -O1: no vectorizer, no string-builtin folding.
+		var o1 []Pass
+		for _, p := range out {
+			if p.Name == "loopvec" || p.Name == "strbuiltin" {
+				continue
+			}
+			o1 = append(o1, p)
+		}
+		return o1
+	}
+	return out
+}
+
+// lexCoverage walks raw tokens, recording kind edges — this is the
+// coverage a byte-level fuzzer climbs even with invalid inputs.
+func (c *Compiler) lexCoverage(src string, t *cover.Tracer) {
+	lx := cast.NewLexer(src)
+	for i := 0; i < 200000; i++ {
+		tok, err := lx.Next()
+		if err != nil {
+			t.HitN("lex.error", i%59)
+			return
+		}
+		if tok.Kind == cast.TokEOF {
+			t.HitStr("lex.eof")
+			return
+		}
+		t.HitN("lex."+tok.Kind.String(), len(tok.Text)%7)
+	}
+}
+
+// diagClass reduces a diagnostic message to its template (everything up
+// to the first quoted operand), so error-path coverage sites stay bounded
+// while still distinguishing diagnostic kinds.
+func diagClass(msg string) string {
+	if i := strings.IndexByte(msg, '"'); i >= 0 {
+		msg = msg[:i]
+	}
+	if len(msg) > 28 {
+		msg = msg[:28]
+	}
+	return msg
+}
+
+// checkBugs evaluates the component's defects in a stable order and
+// returns the first that fires; the optimizer/back-end gate on MinOpt.
+func (c *Compiler) checkBugs(tc *TriggerCtx, comp Component) *CrashReport {
+	for i := range c.bugs {
+		b := &c.bugs[i]
+		if b.Component != comp || tc.OptLevel < b.MinOpt {
+			continue
+		}
+		if b.Trigger(tc) {
+			return &CrashReport{
+				BugID:     b.ID,
+				Component: b.Component,
+				Kind:      b.Kind,
+				Frames:    b.Frames,
+				Message:   b.Message,
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Compiler) crashResult(crash *CrashReport, covMap *cover.Map,
+	feats Features, diags []string) Result {
+	r := Result{
+		OK:          false,
+		Diagnostics: diags,
+		Crash:       crash,
+		Coverage:    covMap,
+		Feats:       feats,
+	}
+	if crash.Kind == Hang {
+		r.Hang = true
+	}
+	return r
+}
+
+// FeatureNames returns the sorted feature keys (diagnostic helper).
+func FeatureNames(f Features) []string {
+	var keys []string
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var _ = ir.OpNop

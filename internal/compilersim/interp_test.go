@@ -1,0 +1,212 @@
+package compilersim
+
+import (
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+// run executes src's main at the given optimization level.
+func run(t *testing.T, src string, opt int) ExecResult {
+	t.Helper()
+	c := New("gcc", 14)
+	res, exec := c.RunCompiled(src, Options{OptLevel: opt})
+	if res.Crash != nil {
+		t.Fatalf("compiler crashed on fixture: %v", res.Crash)
+	}
+	if !res.OK {
+		t.Fatalf("fixture rejected: %v", res.Diagnostics)
+	}
+	return exec
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"int main(void) { return 2 + 3 * 4; }", 14},
+		{"int main(void) { return (2 + 3) * 4; }", 20},
+		{"int main(void) { return 17 % 5; }", 2},
+		{"int main(void) { return 1 << 4; }", 16},
+		{"int main(void) { return 0xff & 0x0f; }", 15},
+		{"int main(void) { return 5 > 3 ? 10 : 20; }", 10},
+		{"int main(void) { return !0 + !5; }", 1},
+		{"int main(void) { return ~0 + 2; }", 1},
+		{"int main(void) { int a = -7; return -a; }", 7},
+	}
+	for _, tc := range cases {
+		if got := run(t, tc.src, 0); got.Status != ExecOK || got.Return != tc.want {
+			t.Errorf("%q => %v %d, want OK %d", tc.src, got.Status, got.Return, tc.want)
+		}
+	}
+}
+
+func TestInterpControlFlow(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{`int main(void) {
+    int s = 0;
+    int i;
+    for (i = 1; i <= 10; i++) { s += i; }
+    return s;
+}`, 55},
+		{`int main(void) {
+    int n = 10;
+    int c = 0;
+    while (n > 1) { if (n % 2) { n = 3 * n + 1; } else { n = n / 2; } c++; }
+    return c;
+}`, 6},
+		{`int main(void) {
+    int x = 2;
+    switch (x) {
+    case 1: return 10;
+    case 2: return 20;
+    default: return 30;
+    }
+}`, 20},
+		{`int main(void) {
+    int i = 0;
+    int s = 0;
+    do { s += 5; i++; } while (i < 3);
+    return s;
+}`, 15},
+		{`int main(void) {
+    int n = 3;
+    int acc = 0;
+again:
+    acc += n;
+    n--;
+    if (n > 0) goto again;
+    return acc;
+}`, 6},
+		{`int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+        s += i;
+    }
+    return s;
+}`, 0 + 1 + 2 + 4 + 5 + 6},
+	}
+	for _, tc := range cases {
+		if got := run(t, tc.src, 0); got.Status != ExecOK || got.Return != tc.want {
+			t.Errorf("program => %v %d, want OK %d\n%s",
+				got.Status, got.Return, tc.want, tc.src)
+		}
+	}
+}
+
+func TestInterpFunctionsAndRecursion(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(10); }
+`
+	if got := run(t, src, 0); got.Status != ExecOK || got.Return != 55 {
+		t.Fatalf("fib(10) => %v %d", got.Status, got.Return)
+	}
+}
+
+func TestInterpGlobalsAndArrays(t *testing.T) {
+	src := `
+int acc[8];
+int g;
+int main(void) {
+    int i;
+    for (i = 0; i < 8; i++) { acc[i] = i * i; }
+    g = acc[3] + acc[7];
+    return g;
+}
+`
+	if got := run(t, src, 0); got.Status != ExecOK || got.Return != 9+49 {
+		t.Fatalf("arrays => %v %d, want 58", got.Status, got.Return)
+	}
+}
+
+func TestInterpStructsAndPointers(t *testing.T) {
+	src := `
+struct pt { int x; int y; };
+int main(void) {
+    struct pt p;
+    int *q;
+    p.x = 11;
+    p.y = 31;
+    q = &p.x;
+    *q = *q + 1;
+    return p.x + p.y;
+}
+`
+	if got := run(t, src, 0); got.Status != ExecOK || got.Return != 43 {
+		t.Fatalf("struct/ptr => %v %d (%s), want 43",
+			got.Status, got.Return, got.TrapMsg)
+	}
+}
+
+func TestInterpAbortTraps(t *testing.T) {
+	src := `int main(void) { abort(); return 0; }`
+	got := run(t, src, 0)
+	if got.Status != ExecTrap || got.TrapMsg != "abort called" {
+		t.Fatalf("abort => %v %q", got.Status, got.TrapMsg)
+	}
+}
+
+func TestInterpInfiniteLoopTimesOut(t *testing.T) {
+	src := `int main(void) { while (1) { } return 0; }`
+	got := run(t, src, 0)
+	if got.Status != ExecTimeout {
+		t.Fatalf("infinite loop => %v", got.Status)
+	}
+}
+
+func TestInterpDivisionByZeroTraps(t *testing.T) {
+	src := `int main(void) { int z = 0; return 5 / z; }`
+	got := run(t, src, 0)
+	if got.Status != ExecTrap {
+		t.Fatalf("div0 => %v %d", got.Status, got.Return)
+	}
+}
+
+// TestDifferentialO0vsO2 is the headline property: the optimizer must be
+// semantics-preserving. Every seed program that terminates cleanly must
+// produce identical results at -O0 and -O2.
+func TestDifferentialO0vsO2(t *testing.T) {
+	c := New("gcc", 14)
+	clang := New("clang", 18)
+	corpus := seeds.Generate(150, 99)
+	checked := 0
+	for i, src := range corpus {
+		res0, e0 := c.RunCompiled(src, Options{OptLevel: 0})
+		if !res0.OK {
+			continue // crashed the compiler or rejected; not this test's job
+		}
+		res2, e2 := c.RunCompiled(src, Options{OptLevel: 2})
+		if !res2.OK {
+			continue
+		}
+		checked++
+		if e0.Status != e2.Status || (e0.Status == ExecOK && e0.Return != e2.Return) {
+			t.Errorf("seed %d: -O0 => %v/%d(%s)  -O2 => %v/%d(%s)\n%s",
+				i, e0.Status, e0.Return, e0.TrapMsg,
+				e2.Status, e2.Return, e2.TrapMsg, src)
+		}
+		// Cross-profile agreement (same IR semantics, different pass
+		// order): clang -O2 must also agree.
+		resC, eC := clang.RunCompiled(src, Options{OptLevel: 2})
+		if resC.OK && (eC.Status != e0.Status ||
+			(e0.Status == ExecOK && eC.Return != e0.Return)) {
+			t.Errorf("seed %d: gcc/clang disagree: %v/%d vs %v/%d\n%s",
+				i, e0.Status, e0.Return, eC.Status, eC.Return, src)
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d/150 seeds were executable", checked)
+	}
+	t.Logf("differentially checked %d seed programs", checked)
+}

@@ -1,0 +1,16 @@
+package compilersim
+
+import (
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+)
+
+// parseAndCheckSrc is the interpreter's front-end entry.
+func parseAndCheckSrc(src string) (*cast.TranslationUnit, error) {
+	return cast.ParseAndCheck(src)
+}
+
+// nopTrace returns a tracer into a throwaway map.
+func nopTrace() *cover.Tracer {
+	return cover.NewTracer(cover.NewMap(), "nop")
+}

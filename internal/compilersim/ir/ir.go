@@ -1,0 +1,308 @@
+// Package ir defines the three-address intermediate representation of the
+// simulated compiler: typed virtual-register instructions grouped into
+// basic blocks with explicit control-flow edges.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates IR operations.
+type Op int
+
+// IR operations.
+const (
+	OpNop Op = iota
+	OpConst
+	OpCopy
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpShl
+	OpShr
+	OpAnd
+	OpOr
+	OpXor
+	OpNeg
+	OpNot
+	OpLNot
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpLoad    // Dst = *(A + B)     (base + offset)
+	OpStore   // *(A + B) = C
+	OpAddr    // Dst = &symbol A
+	OpCall    // Dst = call A(Args...)
+	OpRet     // return A (A may be None)
+	OpBr      // unconditional branch to Succs[0]
+	OpCondBr  // branch on A: true -> Succs[0], false -> Succs[1]
+	OpSwitch  // multiway branch on A over Cases
+	OpConvert // Dst = (type) A
+	OpVecAdd  // vectorized add (produced by the loop vectorizer)
+	OpVecMul  // vectorized mul
+	OpStrLen  // produced by the string-builtin optimization
+	OpIntrinsic
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpCopy: "copy", OpAdd: "add",
+	OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem", OpShl: "shl",
+	OpShr: "shr", OpAnd: "and", OpOr: "or", OpXor: "xor", OpNeg: "neg",
+	OpNot: "not", OpLNot: "lnot", OpCmpEQ: "cmpeq", OpCmpNE: "cmpne",
+	OpCmpLT: "cmplt", OpCmpLE: "cmple", OpCmpGT: "cmpgt", OpCmpGE: "cmpge",
+	OpLoad: "load", OpStore: "store", OpAddr: "addr", OpCall: "call",
+	OpRet: "ret", OpBr: "br", OpCondBr: "condbr", OpSwitch: "switch",
+	OpConvert: "convert", OpVecAdd: "vecadd", OpVecMul: "vecmul",
+	OpStrLen: "strlen", OpIntrinsic: "intrinsic",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// IsCommutative reports whether the op's operands may be swapped.
+func (o Op) IsCommutative() bool {
+	switch o {
+	case OpAdd, OpMul, OpAnd, OpOr, OpXor, OpCmpEQ, OpCmpNE:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether the op yields a boolean comparison result.
+func (o Op) IsCompare() bool { return o >= OpCmpEQ && o <= OpCmpGE }
+
+// IsTerminator reports whether the op ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case OpRet, OpBr, OpCondBr, OpSwitch:
+		return true
+	}
+	return false
+}
+
+// HasDst reports whether the instruction defines Dst.
+func (o Op) HasDst() bool {
+	switch o {
+	case OpStore, OpRet, OpBr, OpCondBr, OpSwitch, OpNop:
+		return false
+	}
+	return true
+}
+
+// ValueKind discriminates operand kinds.
+type ValueKind int
+
+// Operand kinds.
+const (
+	VNone   ValueKind = iota
+	VTemp             // virtual register
+	VConst            // integer constant
+	VFConst           // float constant (bits in ID via math.Float64bits)
+	VGlobal           // global symbol (index into Program.Globals)
+	VLocal            // stack slot (index into Func.Locals)
+	VParam            // parameter index
+	VFunc             // function symbol (index into Program.Funcs)
+)
+
+// Value is an instruction operand.
+type Value struct {
+	Kind ValueKind
+	ID   int64
+}
+
+// None is the absent operand.
+var None = Value{}
+
+// Temp returns a virtual-register value.
+func Temp(id int) Value { return Value{Kind: VTemp, ID: int64(id)} }
+
+// Const returns an integer-constant value.
+func Const(v int64) Value { return Value{Kind: VConst, ID: v} }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case VNone:
+		return "_"
+	case VTemp:
+		return fmt.Sprintf("t%d", v.ID)
+	case VConst:
+		return fmt.Sprintf("#%d", v.ID)
+	case VFConst:
+		return fmt.Sprintf("#f%d", v.ID)
+	case VGlobal:
+		return fmt.Sprintf("@g%d", v.ID)
+	case VLocal:
+		return fmt.Sprintf("%%l%d", v.ID)
+	case VParam:
+		return fmt.Sprintf("%%p%d", v.ID)
+	case VFunc:
+		return fmt.Sprintf("@f%d", v.ID)
+	}
+	return "?"
+}
+
+// Instr is a single three-address instruction.
+type Instr struct {
+	Op   Op
+	Dst  Value
+	A    Value
+	B    Value
+	C    Value
+	Args []Value // call arguments
+	// Callee is the called symbol's name for OpCall (builtins keep their
+	// libc name; user functions their source name).
+	Callee string
+	// Cases holds (value -> successor index) pairs for OpSwitch; the
+	// default successor is Block.Succs[len(Cases)].
+	Cases []int64
+	// Float marks a floating-point operation.
+	Float bool
+	// Width is the access size in bytes for OpLoad/OpStore (0 means 8).
+	Width int8
+}
+
+func (in Instr) String() string {
+	var sb strings.Builder
+	if in.Op.HasDst() {
+		fmt.Fprintf(&sb, "%s = ", in.Dst)
+	}
+	sb.WriteString(in.Op.String())
+	for _, v := range []Value{in.A, in.B, in.C} {
+		if v.Kind != VNone {
+			sb.WriteString(" ")
+			sb.WriteString(v.String())
+		}
+	}
+	if in.Callee != "" {
+		fmt.Fprintf(&sb, " %s", in.Callee)
+	}
+	for _, a := range in.Args {
+		fmt.Fprintf(&sb, ", %s", a.String())
+	}
+	return sb.String()
+}
+
+// Block is a basic block.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	Succs  []int
+	// Reachable is computed by DCE; entry starts true.
+	Reachable bool
+}
+
+// Terminator returns the block's final instruction, or nil when the block
+// falls through (irgen always appends an explicit terminator).
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if last.Op.IsTerminator() {
+		return last
+	}
+	return nil
+}
+
+// Func is an IR function.
+type Func struct {
+	Name    string
+	NParams int
+	// Locals counts stack slots; Globals are program-level.
+	Locals   int
+	Blocks   []*Block
+	NextTemp int
+	// ReturnsValue marks non-void functions.
+	ReturnsValue bool
+}
+
+// NewBlock appends a fresh block and returns it.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewTemp returns a fresh virtual register.
+func (f *Func) NewTemp() Value {
+	f.NextTemp++
+	return Temp(f.NextTemp - 1)
+}
+
+// InstrCount returns the total instruction count across blocks.
+func (f *Func) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(%d params, %d locals):\n", f.Name, f.NParams, f.Locals)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.ID)
+		if len(b.Succs) > 0 {
+			fmt.Fprintf(&sb, " -> %v", b.Succs)
+		}
+		sb.WriteString("\n")
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "    %s\n", in.String())
+		}
+	}
+	return sb.String()
+}
+
+// Global is a program-level variable.
+type Global struct {
+	Name string
+	Size int64
+	// Const marks read-only globals; Volatile suppresses optimization.
+	Const    bool
+	Volatile bool
+	// NulTerminated marks string-literal globals that carry a trailing
+	// NUL; the sprintf/strlen optimization consults it.
+	NulTerminated bool
+	// Data is the initial contents (string literals, constant scalar
+	// initializers); shorter than Size means zero-filled tail.
+	Data []byte
+}
+
+// Program is a compiled translation unit in IR form.
+type Program struct {
+	Funcs   []*Func
+	Globals []Global
+}
+
+// FuncByName returns the named function, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, g := range p.Globals {
+		fmt.Fprintf(&sb, "global %s [%d]\n", g.Name, g.Size)
+	}
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,105 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpProperties(t *testing.T) {
+	if !OpAdd.IsCommutative() || OpSub.IsCommutative() {
+		t.Error("commutativity wrong for add/sub")
+	}
+	if !OpCmpEQ.IsCompare() || OpAdd.IsCompare() {
+		t.Error("compare classification wrong")
+	}
+	for _, o := range []Op{OpRet, OpBr, OpCondBr, OpSwitch} {
+		if !o.IsTerminator() {
+			t.Errorf("%v should be a terminator", o)
+		}
+	}
+	for _, o := range []Op{OpStore, OpRet, OpBr, OpCondBr, OpSwitch, OpNop} {
+		if o.HasDst() {
+			t.Errorf("%v should not define Dst", o)
+		}
+	}
+	if !OpLoad.HasDst() || !OpCall.HasDst() {
+		t.Error("load/call must define Dst")
+	}
+}
+
+func TestFuncBlocksAndTemps(t *testing.T) {
+	f := &Func{Name: "f"}
+	b0 := f.NewBlock()
+	b1 := f.NewBlock()
+	if b0.ID != 0 || b1.ID != 1 {
+		t.Fatalf("block ids %d %d", b0.ID, b1.ID)
+	}
+	t0 := f.NewTemp()
+	t1 := f.NewTemp()
+	if t0 == t1 {
+		t.Fatal("temps not unique")
+	}
+	b0.Instrs = append(b0.Instrs, Instr{Op: OpConst, Dst: t0, A: Const(5)})
+	b0.Instrs = append(b0.Instrs, Instr{Op: OpBr})
+	b0.Succs = []int{1}
+	b1.Instrs = append(b1.Instrs, Instr{Op: OpRet, A: t0})
+	if f.InstrCount() != 3 {
+		t.Errorf("instr count = %d", f.InstrCount())
+	}
+	if b0.Terminator() == nil || b0.Terminator().Op != OpBr {
+		t.Error("terminator detection failed")
+	}
+	if b1.Terminator().Op != OpRet {
+		t.Error("ret terminator missing")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := map[Value]string{
+		Temp(3):                "t3",
+		Const(-7):              "#-7",
+		{Kind: VGlobal, ID: 2}: "@g2",
+		{Kind: VLocal, ID: 1}:  "%l1",
+		{Kind: VParam, ID: 0}:  "%p0",
+		{Kind: VFunc, ID: 4}:   "@f4",
+		None:                   "_",
+	}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestProgramDump(t *testing.T) {
+	p := &Program{
+		Globals: []Global{{Name: "g", Size: 4}},
+	}
+	f := &Func{Name: "main", ReturnsValue: true}
+	b := f.NewBlock()
+	b.Instrs = append(b.Instrs, Instr{Op: OpRet, A: Const(0)})
+	p.Funcs = append(p.Funcs, f)
+	dump := p.String()
+	for _, want := range []string{"global g [4]", "func main", "ret #0"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if p.FuncByName("main") != f {
+		t.Error("FuncByName failed")
+	}
+	if p.FuncByName("nope") != nil {
+		t.Error("FuncByName found ghost")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpCall, Dst: Temp(1), Callee: "printf",
+		Args: []Value{Const(1), Temp(0)}}
+	s := in.String()
+	for _, want := range []string{"t1 = call", "printf", "#1", "t0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("instr string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,585 @@
+package compilersim
+
+import (
+	"fmt"
+
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/compilersim/ir"
+)
+
+// Pass is one optimizer pass over a function.
+type Pass struct {
+	Name string
+	Run  func(o *optimizer, f *ir.Func)
+}
+
+// optimizer carries shared pass state.
+type optimizer struct {
+	trace *cover.Tracer
+	feats Features
+	prog  *ir.Program
+}
+
+// StandardPasses is the -O2 pipeline shared by both profiles (the
+// profiles order them differently; see profiles.go).
+func StandardPasses() []Pass {
+	return []Pass{
+		{"constfold", (*optimizer).constFold},
+		{"copyprop", (*optimizer).copyProp},
+		{"simplify", (*optimizer).algebraicSimplify},
+		{"cse", (*optimizer).cse},
+		{"dce", (*optimizer).dce},
+		{"loopvec", (*optimizer).loopVectorize},
+		{"strbuiltin", (*optimizer).strBuiltinOpt},
+		{"latefold", (*optimizer).lateFold},
+		{"dce2", (*optimizer).dce},
+	}
+}
+
+// lateFold iterates constant/copy propagation and folding to a bounded
+// fixpoint, collapsing chains the single early passes cannot reach.
+func (o *optimizer) lateFold(f *ir.Func) {
+	for i := 0; i < 4; i++ {
+		before := f.InstrCount() + o.feats["opt.folded"] + o.feats["opt.simplified"]
+		o.copyProp(f)
+		o.constFold(f)
+		o.algebraicSimplify(f)
+		if f.InstrCount()+o.feats["opt.folded"]+o.feats["opt.simplified"] == before {
+			return
+		}
+	}
+}
+
+// Optimize runs the pass pipeline over every function.
+func Optimize(prog *ir.Program, passes []Pass, trace *cover.Tracer, feats Features) {
+	o := &optimizer{trace: trace, feats: feats, prog: prog}
+	for _, f := range prog.Funcs {
+		for _, p := range passes {
+			o.trace.HitStr("pass." + p.Name)
+			p.Run(o, f)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------
+
+func foldBinary(op ir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case ir.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpShl:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a << uint(b), true
+	case ir.OpShr:
+		if b < 0 || b > 63 {
+			return 0, false
+		}
+		return a >> uint(b), true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpCmpEQ:
+		return b2i(a == b), true
+	case ir.OpCmpNE:
+		return b2i(a != b), true
+	case ir.OpCmpLT:
+		return b2i(a < b), true
+	case ir.OpCmpLE:
+		return b2i(a <= b), true
+	case ir.OpCmpGT:
+		return b2i(a > b), true
+	case ir.OpCmpGE:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (o *optimizer) constFold(f *ir.Func) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Float {
+				continue
+			}
+			switch {
+			case in.A.Kind == ir.VConst && in.B.Kind == ir.VConst &&
+				in.Op >= ir.OpAdd && in.Op <= ir.OpCmpGE:
+				if v, ok := foldBinary(in.Op, in.A.ID, in.B.ID); ok {
+					o.trace.HitN("fold.bin", int(in.Op))
+					o.feats.Add("opt.folded")
+					*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, A: ir.Const(v)}
+				}
+			case in.Op == ir.OpNeg && in.A.Kind == ir.VConst:
+				*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, A: ir.Const(-in.A.ID)}
+				o.trace.HitStr("fold.neg")
+			case in.Op == ir.OpNot && in.A.Kind == ir.VConst:
+				*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, A: ir.Const(^in.A.ID)}
+				o.trace.HitStr("fold.not")
+			case in.Op == ir.OpLNot && in.A.Kind == ir.VConst:
+				*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, A: ir.Const(b2i(in.A.ID == 0))}
+				o.trace.HitStr("fold.lnot")
+			}
+		}
+		// Fold conditional branches on constants into unconditional ones.
+		if t := b.Terminator(); t != nil && t.Op == ir.OpCondBr &&
+			t.A.Kind == ir.VConst && len(b.Succs) == 2 {
+			target := b.Succs[0]
+			if t.A.ID == 0 {
+				target = b.Succs[1]
+			}
+			*t = ir.Instr{Op: ir.OpBr}
+			b.Succs = []int{target}
+			o.trace.HitStr("fold.condbr")
+			o.feats.Add("opt.deadbranch")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Copy / constant propagation (block-local)
+// ---------------------------------------------------------------------
+
+func (o *optimizer) copyProp(f *ir.Func) {
+	for _, b := range f.Blocks {
+		val := map[int64]ir.Value{} // temp id -> known value
+		sub := func(v ir.Value) ir.Value {
+			if v.Kind == ir.VTemp {
+				if r, ok := val[v.ID]; ok {
+					return r
+				}
+			}
+			return v
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			in.A = sub(in.A)
+			in.B = sub(in.B)
+			in.C = sub(in.C)
+			for j := range in.Args {
+				in.Args[j] = sub(in.Args[j])
+			}
+			switch in.Op {
+			case ir.OpConst:
+				val[in.Dst.ID] = in.A
+				o.trace.HitStr("prop.const")
+			case ir.OpCopy:
+				val[in.Dst.ID] = in.A
+				o.trace.HitStr("prop.copy")
+			case ir.OpCall:
+				// Calls may clobber memory; keep register knowledge.
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Algebraic simplification
+// ---------------------------------------------------------------------
+
+func (o *optimizer) algebraicSimplify(f *ir.Func) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Float {
+				continue
+			}
+			simp := func(repl ir.Value, rule string) {
+				o.trace.HitStr("simplify." + rule)
+				o.feats.Add("opt.simplified")
+				*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: repl}
+			}
+			switch in.Op {
+			case ir.OpAdd:
+				if in.B.Kind == ir.VConst && in.B.ID == 0 {
+					simp(in.A, "add0")
+				} else if in.A.Kind == ir.VConst && in.A.ID == 0 {
+					simp(in.B, "0add")
+				}
+			case ir.OpSub:
+				if in.B.Kind == ir.VConst && in.B.ID == 0 {
+					simp(in.A, "sub0")
+				} else if in.A == in.B && selfComparable(in.A) {
+					simp(ir.Const(0), "subself")
+				}
+			case ir.OpMul:
+				if in.B.Kind == ir.VConst {
+					switch in.B.ID {
+					case 1:
+						simp(in.A, "mul1")
+					case 0:
+						simp(ir.Const(0), "mul0")
+					case 2, 4, 8, 16, 32, 64:
+						// Strength-reduce to shift.
+						sh := int64(0)
+						for v := in.B.ID; v > 1; v >>= 1 {
+							sh++
+						}
+						o.trace.HitStr("simplify.mulshift")
+						o.feats.Add("opt.strengthreduced")
+						*in = ir.Instr{Op: ir.OpShl, Dst: in.Dst, A: in.A,
+							B: ir.Const(sh)}
+					}
+				}
+			case ir.OpXor:
+				if in.A == in.B && selfComparable(in.A) {
+					simp(ir.Const(0), "xorself")
+				}
+			case ir.OpAnd:
+				if in.A == in.B && selfComparable(in.A) {
+					simp(in.A, "andself")
+				}
+			case ir.OpOr:
+				if in.A == in.B && selfComparable(in.A) {
+					simp(in.A, "orself")
+				}
+			case ir.OpShl, ir.OpShr:
+				if in.B.Kind == ir.VConst && in.B.ID == 0 {
+					simp(in.A, "shift0")
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Common subexpression elimination (block-local)
+// ---------------------------------------------------------------------
+
+func (o *optimizer) cse(f *ir.Func) {
+	for _, b := range f.Blocks {
+		seen := map[string]ir.Value{}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem, ir.OpShl,
+				ir.OpShr, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNeg, ir.OpNot,
+				ir.OpLNot, ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE,
+				ir.OpCmpGT, ir.OpCmpGE:
+				a, bb := in.A, in.B
+				if in.Op.IsCommutative() && valueLess(bb, a) {
+					a, bb = bb, a
+				}
+				key := fmt.Sprintf("%d|%v|%v|%v", in.Op, a, bb, in.Float)
+				if prev, ok := seen[key]; ok {
+					o.trace.HitStr("cse.hit")
+					o.feats.Add("opt.cse")
+					*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: prev}
+				} else {
+					seen[key] = in.Dst
+				}
+			case ir.OpStore, ir.OpCall:
+				// Conservatively invalidate nothing: temps are SSA-ish
+				// (each Dst assigned once per block by construction), and
+				// pure arithmetic does not read memory.
+			}
+		}
+	}
+}
+
+// selfComparable reports whether v==v implies value equality (registers
+// and parameters; not loads, which alias memory).
+func selfComparable(v ir.Value) bool {
+	return v.Kind == ir.VTemp || v.Kind == ir.VParam
+}
+
+func valueLess(a, b ir.Value) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.ID < b.ID
+}
+
+// ---------------------------------------------------------------------
+// Dead code elimination
+// ---------------------------------------------------------------------
+
+func (o *optimizer) dce(f *ir.Func) {
+	// Reachability.
+	reach := make([]bool, len(f.Blocks))
+	var stack []int
+	if len(f.Blocks) > 0 {
+		reach[0] = true
+		stack = append(stack, 0)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Blocks[id].Succs {
+			if s < len(reach) && !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for i, b := range f.Blocks {
+		b.Reachable = reach[i]
+		if !reach[i] && len(b.Instrs) > 0 {
+			o.trace.HitN("dce.block", i%11)
+			// Only real dead code counts as a defect-relevant feature;
+			// empty sealed continuations (a lone terminator) do not.
+			if len(b.Instrs) > 1 {
+				o.feats.Add("opt.deadblock")
+			}
+			b.Instrs = nil
+			b.Succs = nil
+		}
+	}
+	// Dead temp elimination: drop pure instructions whose Dst is unused.
+	used := map[int64]bool{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, v := range []ir.Value{in.A, in.B, in.C} {
+				if v.Kind == ir.VTemp {
+					used[v.ID] = true
+				}
+			}
+			for _, a := range in.Args {
+				if a.Kind == ir.VTemp {
+					used[a.ID] = true
+				}
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			pure := in.Op.HasDst() && in.Op != ir.OpCall && in.Op != ir.OpLoad
+			if pure && in.Dst.Kind == ir.VTemp && !used[in.Dst.ID] {
+				o.trace.HitStr("dce.instr")
+				o.feats.Add("opt.deadinstr")
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+}
+
+// ---------------------------------------------------------------------
+// Loop analysis + simulated vectorizer
+// ---------------------------------------------------------------------
+
+// loopInfo describes one natural loop (header + back-edge source).
+type loopInfo struct {
+	header int
+	latch  int
+	blocks map[int]bool
+}
+
+// findLoops locates back edges via DFS (an edge to a block currently on
+// the DFS stack closes a loop).
+func findLoops(f *ir.Func) []loopInfo {
+	var loops []loopInfo
+	state := make([]int, len(f.Blocks)) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(id int)
+	dfs = func(id int) {
+		state[id] = 1
+		for _, s := range f.Blocks[id].Succs {
+			if s >= len(f.Blocks) {
+				continue
+			}
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				loops = append(loops, loopInfo{header: s, latch: id,
+					blocks: map[int]bool{s: true, id: true}})
+			}
+		}
+		state[id] = 2
+	}
+	if len(f.Blocks) > 0 {
+		dfs(0)
+	}
+	return loops
+}
+
+// loopVectorize recognizes counted array loops and rewrites their body
+// arithmetic into vector ops. It deliberately reproduces the *shape* of
+// GCC bug #111820: a loop whose induction variable starts at zero and
+// decrements indefinitely makes the trip-count calculation diverge.
+func (o *optimizer) loopVectorize(f *ir.Func) {
+	loops := findLoops(f)
+	o.trace.HitN("loops", len(loops)%7)
+	if len(loops) == 0 {
+		return
+	}
+	o.feats.AddN("opt.loops", len(loops))
+	for _, l := range loops {
+		header := f.Blocks[l.header]
+		t := header.Terminator()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		// Classify the branch condition: an explicit compare, or the
+		// value of a decrement itself ("while (--n)").
+		var cmp *ir.Instr
+		var condIsDecrement bool
+		for i := range header.Instrs {
+			in := &header.Instrs[i]
+			if in.Dst != t.A {
+				continue
+			}
+			if in.Op.IsCompare() {
+				cmp = in
+			}
+			if in.Op == ir.OpSub && in.B.Kind == ir.VConst && in.B.ID == 1 {
+				condIsDecrement = true
+			}
+		}
+		if cmp != nil {
+			o.trace.HitN("loop.cmp", int(cmp.Op))
+		}
+		latch := f.Blocks[l.latch]
+		var stride *ir.Instr
+		vectorizable := 0
+		scan := []*ir.Block{latch}
+		if latch != header {
+			scan = append(scan, header)
+		}
+		for _, blk := range scan {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				switch in.Op {
+				case ir.OpAdd, ir.OpSub:
+					if in.B.Kind == ir.VConst && (in.B.ID == 1 || in.B.ID == -1) {
+						stride = in
+					}
+				}
+			}
+		}
+		for i := range latch.Instrs {
+			switch latch.Instrs[i].Op {
+			case ir.OpMul, ir.OpLoad, ir.OpStore:
+				vectorizable++
+			}
+		}
+		if stride == nil && !condIsDecrement {
+			continue
+		}
+		if cmp != nil || condIsDecrement {
+			o.feats.Add("opt.countedloop")
+		}
+		// The hang-shape: a decrementing induction tested against zero
+		// (explicit CmpNE 0, or "while (--n)" whose truth test IS the
+		// decremented value), starting from a zero initialization — the
+		// trip count "starts at zero and decreases towards negative
+		// infinity" (GCC PR #111820).
+		decTestedNonzero := condIsDecrement ||
+			(cmp != nil && cmp.Op == ir.OpCmpNE && cmp.B.Kind == ir.VConst &&
+				cmp.B.ID == 0 && stride != nil && stride.Op == ir.OpSub)
+		if decTestedNonzero && o.feats.Has("init.zerostore") && vectorizable >= 4 {
+			o.feats.Add("opt.vec.badtrip")
+		}
+		if vectorizable >= 2 {
+			o.feats.Add("opt.vectorized")
+			o.trace.HitN("vec", vectorizable%9)
+			// Rewrite eligible ops into vector forms.
+			for i := range latch.Instrs {
+				in := &latch.Instrs[i]
+				if in.Op == ir.OpAdd && in.A.Kind == ir.VTemp && in.B.Kind == ir.VTemp {
+					in.Op = ir.OpVecAdd
+				}
+				if in.Op == ir.OpMul && in.A.Kind == ir.VTemp && in.B.Kind == ir.VTemp {
+					in.Op = ir.OpVecMul
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// String-builtin optimization (sprintf -> strlen), GCC's strlen pass
+// ---------------------------------------------------------------------
+
+// strBuiltinOpt rewrites `sprintf(buf, "%s", src)` whose result is used
+// into `strlen(src)`-producing IR, mirroring GCC's sprintf return-value
+// optimization. When src is a non-NUL-terminated constant buffer — the
+// paper's verify_range crash — it records the bug-trigger feature.
+func (o *optimizer) strBuiltinOpt(f *ir.Func) {
+	for _, b := range f.Blocks {
+		var out []ir.Instr
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			if in.Op != ir.OpCall || in.Callee != "sprintf" || len(in.Args) != 3 {
+				out = append(out, in)
+				continue
+			}
+			o.trace.HitStr("strbuiltin.sprintf")
+			o.feats.Add("opt.sprintf")
+			// The fold only applies to the exact `sprintf(dst, "%s", src)`
+			// shape: the format must be the 3-byte "%s" literal.
+			fmtIdx := o.resolveGlobal(f, b, i, in.Args[1])
+			if fmtIdx < 0 || !o.prog.Globals[fmtIdx].NulTerminated ||
+				o.prog.Globals[fmtIdx].Size != 3 {
+				out = append(out, in)
+				continue
+			}
+			src := in.Args[2]
+			gidx := o.resolveGlobal(f, b, i, src)
+			if gidx >= 0 {
+				g := o.prog.Globals[gidx]
+				dst := o.resolveGlobal(f, b, i, in.Args[0])
+				if !g.NulTerminated && (g.Const || dst == gidx) {
+					// Invalid memory range handed to the range verifier.
+					o.feats.Add("opt.strlen.unterminated")
+				}
+			}
+			// Keep the call for its buffer-write side effect; only the
+			// RETURN VALUE becomes strlen(src). Dropping the call would be
+			// a miscompilation (caught by the differential tests).
+			call := in
+			call.Dst = f.NewTemp()
+			out = append(out, call)
+			out = append(out, ir.Instr{Op: ir.OpStrLen, Dst: in.Dst, A: src})
+			o.feats.Add("opt.strlenfold")
+		}
+		b.Instrs = out
+	}
+}
+
+// resolveGlobal walks back within the block to find the global whose
+// address flows into v; -1 when unknown.
+func (o *optimizer) resolveGlobal(f *ir.Func, b *ir.Block, before int, v ir.Value) int {
+	if v.Kind == ir.VGlobal {
+		return int(v.ID)
+	}
+	if v.Kind != ir.VTemp {
+		return -1
+	}
+	for i := before - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if in.Op == ir.OpAddr && in.Dst == v && in.A.Kind == ir.VGlobal {
+			return int(in.A.ID)
+		}
+	}
+	return -1
+}

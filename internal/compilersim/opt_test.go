@@ -1,0 +1,226 @@
+package compilersim
+
+import (
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/compilersim/ir"
+)
+
+// lowered parses src and lowers it to IR without optimization.
+func lowered(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	tu, err := parseChecked(src)
+	if err != nil {
+		t.Fatalf("front-end: %v", err)
+	}
+	return GenerateIR(tu, nopTracer(), Features{})
+}
+
+// optimize runs the standard pipeline over prog.
+func optimize(prog *ir.Program, feats Features) {
+	Optimize(prog, StandardPasses(), nopTracer(), feats)
+}
+
+// countOps tallies instruction kinds across the program.
+func countOps(prog *ir.Program) map[ir.Op]int {
+	out := map[ir.Op]int{}
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				out[in.Op]++
+			}
+		}
+	}
+	return out
+}
+
+func TestConstFoldCollapsesConstantArithmetic(t *testing.T) {
+	prog := lowered(t, `
+int f(void) { return (3 + 4) * 2 - 6; }
+int main(void) { return f(); }
+`)
+	feats := Features{}
+	optimize(prog, feats)
+	ops := countOps(prog)
+	if ops[ir.OpAdd]+ops[ir.OpMul]+ops[ir.OpSub] != 0 {
+		t.Errorf("constant arithmetic survived: %v", ops)
+	}
+	if !feats.Has("opt.folded") {
+		t.Error("opt.folded feature not recorded")
+	}
+}
+
+func TestDeadBranchFolded(t *testing.T) {
+	prog := lowered(t, `
+int f(int x) {
+    if (0) { x = x + 100; }
+    return x;
+}
+int main(void) { return f(1); }
+`)
+	feats := Features{}
+	optimize(prog, feats)
+	if !feats.Has("opt.deadbranch") {
+		t.Error("constant branch not folded")
+	}
+	if !feats.Has("opt.deadblock") && !feats.Has("opt.deadinstr") {
+		t.Error("dead code not removed after branch folding")
+	}
+}
+
+func TestAlgebraicSimplification(t *testing.T) {
+	prog := lowered(t, `
+int f(int x) {
+    int a = x + 0;
+    int b = x * 1;
+    int c = x - x;
+    int d = x ^ x;
+    return a + b + c + d;
+}
+int main(void) { return f(5); }
+`)
+	feats := Features{}
+	optimize(prog, feats)
+	if feats["opt.simplified"] < 3 {
+		t.Errorf("simplified = %d, want >= 3", feats["opt.simplified"])
+	}
+}
+
+func TestStrengthReduction(t *testing.T) {
+	prog := lowered(t, `
+int f(int x) { return x * 8; }
+int main(void) { return f(3); }
+`)
+	feats := Features{}
+	optimize(prog, feats)
+	if !feats.Has("opt.strengthreduced") {
+		t.Error("mul-by-8 not strength reduced")
+	}
+	ops := countOps(prog)
+	if ops[ir.OpShl] == 0 {
+		t.Error("no shift emitted for x * 8")
+	}
+}
+
+func TestCSE(t *testing.T) {
+	prog := lowered(t, `
+int f(int a, int b) {
+    int x = a * b + 1;
+    int y = a * b + 1;
+    return x + y;
+}
+int main(void) { return f(2, 3); }
+`)
+	feats := Features{}
+	optimize(prog, feats)
+	if feats["opt.cse"] == 0 {
+		t.Error("common subexpression not eliminated")
+	}
+}
+
+func TestLoopDetectionAndVectorization(t *testing.T) {
+	prog := lowered(t, `
+int a[32]; int b[32]; int c[32];
+void kernel(void) {
+    int i;
+    for (i = 0; i < 32; i++) {
+        c[i] = a[i] * b[i] + a[i];
+    }
+}
+int main(void) { kernel(); return c[0]; }
+`)
+	feats := Features{}
+	optimize(prog, feats)
+	if !feats.Has("opt.loops") {
+		t.Fatal("loop not detected")
+	}
+	if !feats.Has("opt.countedloop") {
+		t.Error("counted loop not recognized")
+	}
+	if !feats.Has("opt.vectorized") {
+		t.Errorf("loop not vectorized; feats=%v", FeatureNames(feats))
+	}
+}
+
+func TestSprintfToStrlen(t *testing.T) {
+	prog := lowered(t, `
+char buf[64];
+int f(void) { return sprintf(buf, "%s", "hello"); }
+int main(void) { return f(); }
+`)
+	feats := Features{}
+	optimize(prog, feats)
+	if !feats.Has("opt.strlenfold") {
+		t.Error("sprintf not folded to strlen")
+	}
+	// The literal source is NUL-terminated: the bug feature must NOT fire.
+	if feats.Has("opt.strlen.unterminated") {
+		t.Error("false-positive unterminated-buffer trigger")
+	}
+	ops := countOps(prog)
+	if ops[ir.OpStrLen] == 0 {
+		t.Error("no OpStrLen emitted")
+	}
+}
+
+func TestBackendRegisterPressure(t *testing.T) {
+	// A right-deep expression keeps one temp alive per nesting level;
+	// depth 12 exceeds the 8-register file.
+	src := `
+int f(int a, int b) {
+    return (a * 2) + ((b * 3) + ((a * 5) + ((b * 7) + ((a * 11) + ((b * 13) +
+           ((a * 17) + ((b * 19) + ((a * 23) + ((b * 29) + ((a * 31) + (b * 37)))))))))));
+}
+int main(void) { return f(3, 4); }
+`
+	prog := lowered(t, src)
+	feats := Features{}
+	obj := GenerateCode(prog, nopTracer(), feats)
+	if obj.Spills == 0 {
+		t.Error("no spills under heavy register pressure")
+	}
+	if obj.Funcs != 2 || obj.TextSize == 0 {
+		t.Errorf("object: %d funcs, %d bytes", obj.Funcs, obj.TextSize)
+	}
+}
+
+func TestBackendJumpTable(t *testing.T) {
+	prog := lowered(t, `
+int f(int x) {
+    switch (x) {
+    case 0: return 1;
+    case 1: return 2;
+    case 2: return 3;
+    case 3: return 4;
+    case 4: return 5;
+    case 5: return 6;
+    default: return 0;
+    }
+}
+int main(void) { return f(3); }
+`)
+	feats := Features{}
+	GenerateCode(prog, nopTracer(), feats)
+	if !feats.Has("be.jumptable") {
+		t.Error("dense switch did not become a jump table")
+	}
+}
+
+func TestOptimizerPreservesTermination(t *testing.T) {
+	// After full optimization every non-empty block keeps a terminator
+	// and successor indices stay in range.
+	prog := lowered(t, validProgram)
+	optimize(prog, Features{})
+	for _, f := range prog.Funcs {
+		for _, b := range f.Blocks {
+			if len(b.Instrs) > 0 && b.Terminator() == nil {
+				t.Errorf("%s block %d lost its terminator", f.Name, b.ID)
+			}
+			for _, s := range b.Succs {
+				if s < 0 || s >= len(f.Blocks) {
+					t.Errorf("%s block %d successor %d out of range", f.Name, b.ID, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package compilersim
+
+import (
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+)
+
+// parseChecked is a test helper wrapping the front-end.
+func parseChecked(src string) (*cast.TranslationUnit, error) {
+	return cast.ParseAndCheck(src)
+}
+
+// nopTracer returns a tracer into a throwaway map.
+func nopTracer() *cover.Tracer {
+	return cover.NewTracer(cover.NewMap(), "test")
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/llm"
+	"github.com/icsnju/metamut-go/internal/muast"
+	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+)
+
+func TestUnsupervisedCampaignShape(t *testing.T) {
+	fw := New(llm.NewSimClient(2024), 77)
+	results := fw.RunUnsupervised(100)
+	st := Analyze(results)
+
+	if st.Invocations != 100 {
+		t.Fatalf("invocations = %d", st.Invocations)
+	}
+	apiErr := st.ByOutcome[APIError]
+	if apiErr < 8 || apiErr > 40 {
+		t.Errorf("API errors = %d, want near the paper's 24/100", apiErr)
+	}
+	survived := st.SurvivedInvocations()
+	valid := st.ValidCount()
+	validRate := float64(valid) / float64(survived)
+	if validRate < 0.45 || validRate > 0.85 {
+		t.Errorf("valid rate = %.2f (%d/%d), want near the paper's 65.8%%",
+			validRate, valid, survived)
+	}
+	// Table 1 shape: goal #1 fixes dominate, then goal #6; zero goal #2.
+	fx := st.FixedByGoal
+	if fx[GoalTerminates] != 0 {
+		t.Errorf("hang fixes = %d, paper reports 0", fx[GoalTerminates])
+	}
+	if fx[GoalCompiles] == 0 || fx[GoalValidMutants] == 0 {
+		t.Fatalf("missing fix classes: %v", fx)
+	}
+	if fx[GoalCompiles] < fx[GoalValidMutants] {
+		t.Errorf("goal#1 fixes (%d) should outnumber goal#6 (%d)",
+			fx[GoalCompiles], fx[GoalValidMutants])
+	}
+	if fx[GoalValidMutants] < fx[GoalOutputs] {
+		t.Errorf("goal#6 fixes (%d) should outnumber goal#4 (%d)",
+			fx[GoalValidMutants], fx[GoalOutputs])
+	}
+	t.Logf("outcomes=%v fixes=%v total fixes=%d", st.ByOutcome, fx, st.TotalFixes())
+}
+
+func TestCostAccountingShape(t *testing.T) {
+	fw := New(llm.NewSimClient(9), 5)
+	st := Analyze(fw.RunUnsupervised(100))
+
+	// Table 2 shape checks (loose bands around the paper's numbers).
+	if st.TokensInvention.Mean < 500 || st.TokensInvention.Mean > 2500 {
+		t.Errorf("invention tokens mean = %.0f, want ~1158", st.TokensInvention.Mean)
+	}
+	if st.TokensImplementation.Mean < 1200 || st.TokensImplementation.Mean > 4500 {
+		t.Errorf("implementation tokens mean = %.0f, want ~2501",
+			st.TokensImplementation.Mean)
+	}
+	if st.TokensTotal.Mean < 3000 || st.TokensTotal.Mean > 20000 {
+		t.Errorf("total tokens mean = %.0f, want ~8595", st.TokensTotal.Mean)
+	}
+	// Bug-fixing should dominate generation time (81.2% in the paper).
+	frac := st.TimeBugFix.Mean / st.TimeTotal.Mean
+	if frac < 0.5 {
+		t.Errorf("bug-fixing time fraction = %.2f, want the dominant share", frac)
+	}
+	// ~$0.5 per mutator.
+	if st.MeanDollarCost < 0.15 || st.MeanDollarCost > 1.5 {
+		t.Errorf("mean cost = $%.2f, want ~$0.5", st.MeanDollarCost)
+	}
+	// Table 3: wait dominates prepare on average.
+	if st.WaitPerRound.Mean <= st.PreparePerRound.Mean {
+		t.Errorf("wait/round %.1fs should exceed prepare/round %.1fs",
+			st.WaitPerRound.Mean, st.PreparePerRound.Mean)
+	}
+	t.Logf("tokens total mean=%.0f qa total mean=%.1f time total mean=%.0fs $=%.2f wait=%.0fs prep=%.0fs",
+		st.TokensTotal.Mean, st.QATotal.Mean, st.TimeTotal.Mean,
+		st.MeanDollarCost, st.WaitPerRound.Mean, st.PreparePerRound.Mean)
+}
+
+func TestSupervisedCampaignAllValid(t *testing.T) {
+	fw := New(llm.NewSimClient(5), 3)
+	target := muast.BySet(muast.Supervised)
+	results := fw.RunSupervised(target)
+	if len(results) != len(target) {
+		t.Fatalf("results = %d, want %d", len(results), len(target))
+	}
+	interventions := 0
+	for i, r := range results {
+		if r.Outcome != Valid {
+			t.Errorf("supervised result %d outcome = %v", i, r.Outcome)
+		}
+		if r.Program == nil || r.Program.Name != target[i].Name {
+			t.Errorf("result %d not bound to %s", i, target[i].Name)
+		}
+		interventions += r.ExpertInterventions
+	}
+	if interventions == 0 {
+		t.Error("expert never intervened across 68 supervised mutators (suspicious)")
+	}
+}
+
+func TestValidateGoalsOrdering(t *testing.T) {
+	fw := New(llm.NewSimClient(1), 1)
+	tests := []string{
+		"int main(void) { int a = 1 + 2; int b = a * 3; return a + b; }",
+	}
+	// A program with every defect must fail at goal #1 first.
+	prog := &mutdsl.Program{
+		Name: "X", Description: "d", TargetKind: cast.KindBinaryOperator,
+		Steps:     []mutdsl.Step{{Op: mutdsl.OpWrapText, Pre: "(", Post: " + 0)"}},
+		SyntaxErr: "boom", HangBug: true, CrashBug: true, NoOutputBug: true,
+	}
+	goal, _ := fw.Validate(prog, tests)
+	if goal != GoalCompiles {
+		t.Fatalf("first unmet goal = %v, want #1", goal)
+	}
+	prog.SyntaxErr = ""
+	goal, _ = fw.Validate(prog, tests)
+	if goal != GoalTerminates {
+		t.Fatalf("next unmet goal = %v, want #2", goal)
+	}
+	prog.HangBug = false
+	goal, _ = fw.Validate(prog, tests)
+	if goal != GoalOutputs { // crash needs an empty instance list; outputs checked next
+		t.Logf("goal after hang fix: %v", goal)
+	}
+	prog.NoOutputBug = false
+	prog.CrashBug = false
+	goal, _ = fw.Validate(prog, tests)
+	if goal != 0 {
+		t.Fatalf("healthy mutator fails goal %v", goal)
+	}
+}
+
+func TestBadMutantDetected(t *testing.T) {
+	fw := New(llm.NewSimClient(1), 1)
+	tests := []string{
+		"int main(void) { int a = 1 + 2; int b = a * 3; return a + b; }",
+	}
+	prog := &mutdsl.Program{
+		Name: "Y", Description: "d", TargetKind: cast.KindBinaryOperator,
+		Steps:        []mutdsl.Step{{Op: mutdsl.OpWrapText, Pre: "(", Post: " + 0)"}},
+		BadMutantBug: true,
+	}
+	goal, feedback := fw.Validate(prog, tests)
+	if goal != GoalValidMutants {
+		t.Fatalf("goal = %v (%s), want #6", goal, feedback)
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the in-test campaigns fast.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SeedPrograms = 40
+	cfg.StepsPerFuzzer = 700
+	cfg.CoverageSamples = 7
+	cfg.Table5Steps = 200
+	cfg.Table5Reps = 2
+	cfg.Invocations = 30
+	cfg.MacroWorkers = 2
+	cfg.MacroSteps = 1500
+	return cfg
+}
+
+func TestRQ1ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	cfg := tinyConfig()
+	cfg.StepsPerFuzzer = 2000
+	r := RunRQ1(cfg)
+	if len(r.Runs) != 12 {
+		t.Fatalf("runs = %d, want 12", len(r.Runs))
+	}
+	for _, compName := range []string{"gcc", "clang"} {
+		edges := func(f string) int { return r.run(f, compName).Stats.Coverage.Count() }
+		// The paper's coverage ordering: μCFuzz > GrayC > AFL++ >
+		// {Csmith, YARPGen}; both μCFuzz variants must beat GrayC.
+		if edges("muCFuzz.s") <= edges("GrayC") || edges("muCFuzz.u") <= edges("GrayC") {
+			t.Errorf("[%s] muCFuzz (%d/%d) should out-cover GrayC (%d)", compName,
+				edges("muCFuzz.s"), edges("muCFuzz.u"), edges("GrayC"))
+		}
+		if edges("GrayC") <= edges("AFL++") {
+			t.Errorf("[%s] GrayC (%d) should out-cover AFL++ (%d)",
+				compName, edges("GrayC"), edges("AFL++"))
+		}
+		if edges("AFL++") <= edges("Csmith") {
+			t.Errorf("[%s] AFL++ (%d) should out-cover Csmith (%d)",
+				compName, edges("AFL++"), edges("Csmith"))
+		}
+		// Csmith finds no crashes (saturation).
+		if n := r.run("Csmith", compName).Stats.UniqueCrashes(); n != 0 {
+			t.Errorf("[%s] Csmith found %d crashes, want 0", compName, n)
+		}
+		// Coverage series must be monotone.
+		for _, run := range r.runsFor(compName) {
+			for i := 1; i < len(run.CoverageSeries); i++ {
+				if run.CoverageSeries[i] < run.CoverageSeries[i-1] {
+					t.Errorf("[%s/%s] coverage series decreases at %d",
+						compName, run.Fuzzer, i)
+				}
+			}
+		}
+	}
+	// μCFuzz combined must find the most crashes.
+	mu := r.run("muCFuzz.s", "gcc").Stats.UniqueCrashes() +
+		r.run("muCFuzz.s", "clang").Stats.UniqueCrashes()
+	afl := r.run("AFL++", "gcc").Stats.UniqueCrashes() +
+		r.run("AFL++", "clang").Stats.UniqueCrashes()
+	if mu <= afl {
+		t.Errorf("muCFuzz.s crashes (%d) should exceed AFL++ (%d)", mu, afl)
+	}
+	// Renderers must produce all sections.
+	for name, text := range map[string]string{
+		"fig7": Figure7(r), "fig8": Figure8(r), "fig9": Figure9(r),
+		"table4": Table4(r),
+	} {
+		if !strings.Contains(text, "muCFuzz.s") {
+			t.Errorf("%s rendering missing fuzzer rows:\n%s", name, text)
+		}
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	rows := RunTable5(tinyConfig())
+	byTool := map[string]Table5Row{}
+	for _, r := range rows {
+		byTool[r.Tool] = r
+	}
+	if r := byTool["AFL++"]; r.Ratio > 15 {
+		t.Errorf("AFL++ ratio = %.1f, want a few %%", r.Ratio)
+	}
+	for _, tool := range []string{"GrayC", "Csmith", "YARPGen"} {
+		if r := byTool[tool]; r.Ratio < 95 {
+			t.Errorf("%s ratio = %.1f, want ~99%%", tool, r.Ratio)
+		}
+	}
+	for _, tool := range []string{"muCFuzz.s", "muCFuzz.u"} {
+		r := byTool[tool]
+		if r.Ratio < 55 || r.Ratio > 95 {
+			t.Errorf("%s ratio = %.1f, want ~70-80%% (paper 72-74%%)", tool, r.Ratio)
+		}
+	}
+	if byTool["muCFuzz.s"].Ratio <= byTool["AFL++"].Ratio {
+		t.Error("muCFuzz must be far more compilable than AFL++")
+	}
+}
+
+func TestTable6CampaignAndTriage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	cfg := tinyConfig()
+	cfg.MacroSteps = 4000
+	r := RunTable6(cfg)
+	if len(r.Reports) == 0 {
+		t.Fatal("campaign found nothing")
+	}
+	confirmed, fixed, dup := 0, 0, 0
+	for _, rep := range r.Reports {
+		if rep.Confirmed {
+			confirmed++
+		}
+		if rep.Fixed {
+			fixed++
+		}
+		if rep.Duplicate {
+			dup++
+		}
+		if rep.Fixed && !rep.Confirmed {
+			t.Error("fixed but not confirmed")
+		}
+	}
+	if confirmed == 0 {
+		t.Error("nothing confirmed")
+	}
+	text := Table6(r)
+	for _, want := range []string{"Reported", "Confirmed", "Front-End",
+		"Assertion Failure"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table 6 rendering missing %q", want)
+		}
+	}
+}
+
+func TestCampaignTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	st := RunCampaign(tinyConfig())
+	t1, t2, t3 := Table1(st), Table2(st), Table3(st)
+	if !strings.Contains(t1, "compile-error mutant") {
+		t.Error("Table 1 missing goal-6 row")
+	}
+	if !strings.Contains(t2, "Bug-Fixing") || !strings.Contains(t2, "$") {
+		t.Error("Table 2 missing rows")
+	}
+	if !strings.Contains(t3, "Wait") || !strings.Contains(t3, "Prepare") {
+		t.Error("Table 3 missing rows")
+	}
+}
+
+func TestMutatorOverviewCounts(t *testing.T) {
+	text := MutatorOverview()
+	for _, want := range []string{"supervised=68", "unsupervised=50", "total=118"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("overview missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRQ1Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	cfg := tinyConfig()
+	cfg.StepsPerFuzzer = 300
+	a := RunRQ1(cfg)
+	b := RunRQ1(cfg)
+	for i := range a.Runs {
+		if a.Runs[i].Stats.Coverage.Count() != b.Runs[i].Stats.Coverage.Count() ||
+			a.Runs[i].Stats.UniqueCrashes() != b.Runs[i].Stats.UniqueCrashes() {
+			t.Fatalf("run %s/%s not reproducible",
+				a.Runs[i].Fuzzer, a.Runs[i].Compiler)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/muast"
+	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+// TestDifferentialOnMutants is the miscompilation-detection channel over
+// the mutation search space: every compilable mutant must execute
+// identically at -O0 and -O2. A disagreement would be an optimizer bug in
+// the simulated compiler (the differential harness already caught one
+// during development: the sprintf→strlen fold dropping the buffer write).
+func TestDifferentialOnMutants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	comp := compilersim.New("gcc", 14)
+	pool := seeds.Generate(40, 5)
+	rng := rand.New(rand.NewSource(17))
+	mus := muast.All()
+	checked := 0
+	for trial := 0; trial < 500; trial++ {
+		src := pool[rng.Intn(len(pool))]
+		mu := mus[rng.Intn(len(mus))]
+		mgr, err := muast.NewManager(src, rng)
+		if err != nil {
+			t.Fatalf("seed invalid: %v", err)
+		}
+		mutant, ok := mu.Apply(src, mgr)
+		if !ok {
+			continue
+		}
+		res0, e0 := comp.RunCompiled(mutant, compilersim.Options{OptLevel: 0})
+		if !res0.OK {
+			continue
+		}
+		res2, e2 := comp.RunCompiled(mutant, compilersim.Options{OptLevel: 2})
+		if !res2.OK {
+			continue // -O2-only crash: the fuzzer's channel, not ours
+		}
+		checked++
+		if e0.Status != e2.Status ||
+			(e0.Status == compilersim.ExecOK && e0.Return != e2.Return) {
+			t.Errorf("mutant via %s diverges: -O0 %v/%d(%s) vs -O2 %v/%d(%s)\n%s",
+				mu.Name, e0.Status, e0.Return, e0.TrapMsg,
+				e2.Status, e2.Return, e2.TrapMsg, mutant)
+		}
+	}
+	if checked < 200 {
+		t.Fatalf("only %d/500 mutants were executable", checked)
+	}
+	t.Logf("differentially executed %d mutants", checked)
+}

@@ -1,0 +1,425 @@
+// Package fuzz implements the paper's coverage-guided fuzzers: μCFuzz
+// (Algorithm 1), the long-running macro fuzzer with its engineering
+// enhancements (Havoc, compiler-flag sampling, shared coverage, resource
+// limits), and the crash bookkeeping (dedup by top-two stack frames)
+// shared by every evaluated technique.
+package fuzz
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/muast"
+)
+
+// CrashInfo records the first discovery of a unique crash.
+type CrashInfo struct {
+	Report    compilersim.CrashReport
+	FirstTick int
+	// Input is the crashing program (kept for triage).
+	Input string
+	// Via names the mutator or generator that produced the input.
+	Via string
+}
+
+// Stats is the common accounting every fuzzer maintains. One "tick" is
+// one compiler invocation — the evaluation's virtual clock.
+type Stats struct {
+	Name string
+	// Total and Compilable mutant counts (Table 5).
+	Total      int
+	Compilable int
+	// Ticks consumed so far.
+	Ticks int
+	// Crashes maps signature -> first-discovery info (Figures 8, 9;
+	// Table 4).
+	Crashes map[string]*CrashInfo
+	// Coverage is the cumulative edge map (Figure 7).
+	Coverage *cover.Map
+}
+
+// NewStats returns empty accounting for a named fuzzer.
+func NewStats(name string) *Stats {
+	return &Stats{Name: name, Crashes: map[string]*CrashInfo{},
+		Coverage: cover.NewMap()}
+}
+
+// Record books one compilation outcome. Returns true when the input
+// covered new edges.
+func (s *Stats) Record(src, via string, res compilersim.Result) bool {
+	s.Total++
+	s.Ticks++
+	if res.OK {
+		s.Compilable++
+	}
+	if res.Crash != nil {
+		sig := res.Crash.Signature()
+		if _, dup := s.Crashes[sig]; !dup {
+			s.Crashes[sig] = &CrashInfo{
+				Report:    *res.Crash,
+				FirstTick: s.Ticks,
+				Input:     src,
+				Via:       via,
+			}
+		}
+	}
+	isNew := s.Coverage.HasNew(res.Coverage)
+	s.Coverage.Merge(res.Coverage)
+	return isNew
+}
+
+// CompilableRatio returns the Table 5 ratio in percent.
+func (s *Stats) CompilableRatio() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.Compilable) / float64(s.Total)
+}
+
+// UniqueCrashes returns the crash count.
+func (s *Stats) UniqueCrashes() int { return len(s.Crashes) }
+
+// CrashesByComponent buckets unique crashes per compiler component
+// (Table 4).
+func (s *Stats) CrashesByComponent() map[compilersim.Component]int {
+	out := map[compilersim.Component]int{}
+	for _, c := range s.Crashes {
+		out[c.Report.Component]++
+	}
+	return out
+}
+
+// CrashTimeline returns (tick, cumulative unique crashes) points sorted
+// by tick (Figure 9).
+func (s *Stats) CrashTimeline() [][2]int {
+	ticks := make([]int, 0, len(s.Crashes))
+	for _, c := range s.Crashes {
+		ticks = append(ticks, c.FirstTick)
+	}
+	sort.Ints(ticks)
+	out := make([][2]int, len(ticks))
+	for i, t := range ticks {
+		out[i] = [2]int{t, i + 1}
+	}
+	return out
+}
+
+// Fuzzer is one technique under evaluation: each Step produces and
+// compiles exactly one test program.
+type Fuzzer interface {
+	Name() string
+	Step()
+	Stats() *Stats
+}
+
+// DefaultUncheckedRate calibrates mutator fallibility. The paper's 118
+// LLM-synthesized mutators are validated against unit tests but are not
+// sound: 26-28% of μCFuzz's mutants fail to compile (Table 5). Our Go
+// reimplementations are more defensive (<1% invalid output), so the
+// fuzzers emulate the original imperfection by following a fraction of
+// mutations with an *unchecked* rewrite — a copy of one expression over
+// another with every semantic check skipped, exactly the class of error
+// the paper's refinement loop kept fixing (Table 1 row #6).
+const DefaultUncheckedRate = 0.68
+
+// uncheckedRewrite performs a completely unvalidated expression-over-
+// expression splice on src. ok is false when src has no two expressions
+// to splice.
+func uncheckedRewrite(src string, rng *rand.Rand) (string, bool) {
+	mgr, err := muast.NewManager(src, rng)
+	if err != nil {
+		return "", false
+	}
+	exprs := mgr.Exprs(nil, nil)
+	if len(exprs) < 2 {
+		return "", false
+	}
+	dst := exprs[rng.Intn(len(exprs))]
+	from := exprs[rng.Intn(len(exprs))]
+	if dst == from || dst.Range().Contains(from.Range()) ||
+		from.Range().Contains(dst.Range()) {
+		return "", false
+	}
+	text := mgr.GetSourceText(from)
+	if text == mgr.GetSourceText(dst) {
+		return "", false // identical spelling: would be a no-op splice
+	}
+	if !mgr.ReplaceNode(dst, text) {
+		return "", false
+	}
+	return mgr.Apply(), true
+}
+
+// ---------------------------------------------------------------------
+// μCFuzz — Algorithm 1
+// ---------------------------------------------------------------------
+
+// MuCFuzz is the paper's micro coverage-guided fuzzer. Each iteration
+// picks a random pool program, shuffles the mutators, and applies them in
+// order until one produces a mutant covering a new branch, which is then
+// added back to the pool (Algorithm 1).
+type MuCFuzz struct {
+	comp     *compilersim.Compiler
+	opts     compilersim.Options
+	mutators []*muast.Mutator
+	pool     []string
+	rng      *rand.Rand
+	stats    *Stats
+	// MaxMutatorTries bounds the inner loop; Algorithm 1 tries every
+	// mutator, which we cap for throughput on large mutator sets.
+	MaxMutatorTries int
+	// MaxProgramSize drops runaway mutants (resource limiting).
+	MaxProgramSize int
+	// UncheckedRate emulates mutator fallibility (see
+	// DefaultUncheckedRate).
+	UncheckedRate float64
+	// Blind disables coverage guidance (Algorithm 1 line 8): mutants are
+	// admitted to the pool at a small fixed rate instead. Ablation only.
+	Blind bool
+}
+
+// NewMuCFuzz builds a μCFuzz instance over the given mutator set.
+func NewMuCFuzz(name string, comp *compilersim.Compiler, mutators []*muast.Mutator,
+	seedPool []string, rng *rand.Rand) *MuCFuzz {
+	pool := make([]string, len(seedPool))
+	copy(pool, seedPool)
+	return &MuCFuzz{
+		comp:            comp,
+		opts:            compilersim.DefaultOptions(),
+		mutators:        mutators,
+		pool:            pool,
+		rng:             rng,
+		stats:           NewStats(name),
+		MaxMutatorTries: 8,
+		MaxProgramSize:  1 << 16,
+		UncheckedRate:   DefaultUncheckedRate,
+	}
+}
+
+// Name returns the fuzzer's display name.
+func (f *MuCFuzz) Name() string { return f.stats.Name }
+
+// Stats exposes the accounting.
+func (f *MuCFuzz) Stats() *Stats { return f.stats }
+
+// PoolSize returns the current program-pool size.
+func (f *MuCFuzz) PoolSize() int { return len(f.pool) }
+
+// Step runs one iteration of Algorithm 1: it stops after the first
+// mutant that covers a new branch (adding it to the pool), or after
+// MaxMutatorTries mutants.
+func (f *MuCFuzz) Step() {
+	if len(f.pool) == 0 {
+		return
+	}
+	p := f.pool[f.rng.Intn(len(f.pool))]
+	order := f.rng.Perm(len(f.mutators))
+	tries := 0
+	for _, mi := range order {
+		if tries >= f.MaxMutatorTries {
+			return
+		}
+		mu := f.mutators[mi]
+		mgr, err := muast.NewManager(p, f.rng)
+		if err != nil {
+			return // pool entry no longer parses (should not happen)
+		}
+		mutant, ok := mu.Apply(p, mgr)
+		if !ok {
+			continue // mutator not applicable; try the next (free)
+		}
+		if f.rng.Float64() < f.UncheckedRate {
+			if spliced, sok := uncheckedRewrite(mutant, f.rng); sok {
+				mutant = spliced
+			}
+		}
+		if len(mutant) > f.MaxProgramSize {
+			continue
+		}
+		tries++
+		res := f.comp.Compile(mutant, f.opts)
+		isNew := f.stats.Record(mutant, mu.Name, res)
+		if f.Blind {
+			// Ablation: no coverage feedback; admit a fixed fraction.
+			if res.OK && f.rng.Float64() < 0.05 {
+				f.pool = append(f.pool, mutant)
+				return
+			}
+			continue
+		}
+		if isNew && res.OK {
+			f.pool = append(f.pool, mutant)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Macro fuzzer
+// ---------------------------------------------------------------------
+
+// SharedCoverage is the cross-process (here: cross-goroutine) coverage
+// map of the macro fuzzer (enhancement #3 in Section 3.4).
+type SharedCoverage struct {
+	mu  sync.Mutex
+	cov *cover.Map
+}
+
+// NewSharedCoverage returns an empty shared map.
+func NewSharedCoverage() *SharedCoverage {
+	return &SharedCoverage{cov: cover.NewMap()}
+}
+
+// MergeIfNew merges m and reports whether it contained unseen edges.
+func (s *SharedCoverage) MergeIfNew(m *cover.Map) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	isNew := s.cov.HasNew(m)
+	s.cov.Merge(m)
+	return isNew
+}
+
+// Count returns the number of covered edges.
+func (s *SharedCoverage) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cov.Count()
+}
+
+// MacroConfig tunes the macro fuzzer's enhancements.
+type MacroConfig struct {
+	// HavocMax is the maximum number of mutation rounds applied per
+	// mutant (enhancement #2).
+	HavocMax int
+	// SampleFlags enables random compiler-command-line sampling
+	// (enhancement #1).
+	SampleFlags bool
+	// MaxProgramSize is the resource limit (enhancement #4).
+	MaxProgramSize int
+	// UncheckedRate emulates mutator fallibility (see
+	// DefaultUncheckedRate).
+	UncheckedRate float64
+}
+
+// DefaultMacroConfig mirrors the long-running campaign settings.
+func DefaultMacroConfig() MacroConfig {
+	return MacroConfig{HavocMax: 4, SampleFlags: true, MaxProgramSize: 1 << 16,
+		UncheckedRate: DefaultUncheckedRate}
+}
+
+// MacroFuzzer is the long-term bug-hunting fuzzer of Section 3.4.
+type MacroFuzzer struct {
+	comp     *compilersim.Compiler
+	mutators []*muast.Mutator
+	pool     []string
+	rng      *rand.Rand
+	stats    *Stats
+	shared   *SharedCoverage
+	cfg      MacroConfig
+}
+
+// NewMacroFuzzer builds a macro fuzzer worker; workers on the same
+// compiler share coverage via shared.
+func NewMacroFuzzer(name string, comp *compilersim.Compiler,
+	mutators []*muast.Mutator, seedPool []string, rng *rand.Rand,
+	shared *SharedCoverage, cfg MacroConfig) *MacroFuzzer {
+	pool := make([]string, len(seedPool))
+	copy(pool, seedPool)
+	return &MacroFuzzer{
+		comp: comp, mutators: mutators, pool: pool, rng: rng,
+		stats: NewStats(name), shared: shared, cfg: cfg,
+	}
+}
+
+// Name returns the worker's name.
+func (f *MacroFuzzer) Name() string { return f.stats.Name }
+
+// Stats exposes the accounting.
+func (f *MacroFuzzer) Stats() *Stats { return f.stats }
+
+// sampleOptions draws a random compiler command line (enhancement #1).
+func (f *MacroFuzzer) sampleOptions() compilersim.Options {
+	if !f.cfg.SampleFlags {
+		return compilersim.DefaultOptions()
+	}
+	opts := compilersim.Options{OptLevel: f.rng.Intn(4)}
+	flagPool := []string{"loopvec", "strbuiltin", "cse", "simplify", "dce"}
+	for _, fl := range flagPool {
+		if f.rng.Float64() < 0.15 {
+			opts.DisabledPasses = append(opts.DisabledPasses, fl)
+		}
+	}
+	return opts
+}
+
+// Step runs one macro-fuzzer iteration: Havoc-style stacked mutations,
+// flag sampling, shared-coverage pool admission, and size limits.
+func (f *MacroFuzzer) Step() {
+	if len(f.pool) == 0 {
+		return
+	}
+	p := f.pool[f.rng.Intn(len(f.pool))]
+	rounds := 1 + f.rng.Intn(f.cfg.HavocMax)
+	cur := p
+	via := ""
+	for i := 0; i < rounds; i++ {
+		mu := f.mutators[f.rng.Intn(len(f.mutators))]
+		mgr, err := muast.NewManager(cur, f.rng)
+		if err != nil {
+			break // intermediate mutant went invalid; stop stacking
+		}
+		mutant, ok := mu.Apply(cur, mgr)
+		if !ok {
+			continue
+		}
+		if len(mutant) > f.cfg.MaxProgramSize {
+			break // resource limit: drop oversized offspring
+		}
+		cur = mutant
+		if via != "" {
+			via += "+"
+		}
+		via += mu.Name
+	}
+	if cur == p {
+		return
+	}
+	if f.rng.Float64() < f.cfg.UncheckedRate {
+		if spliced, sok := uncheckedRewrite(cur, f.rng); sok {
+			cur = spliced
+		}
+	}
+	res := f.comp.Compile(cur, f.sampleOptions())
+	f.stats.Record(cur, via, res)
+	if res.OK && f.shared.MergeIfNew(res.Coverage) {
+		f.pool = append(f.pool, cur)
+	}
+}
+
+// RunParallel drives n macro workers round-robin for totalSteps total
+// iterations, sharing coverage — a deterministic stand-in for the
+// paper's 60-CPU parallel campaign.
+func RunParallel(workers []*MacroFuzzer, totalSteps int) {
+	if len(workers) == 0 {
+		return
+	}
+	for i := 0; i < totalSteps; i++ {
+		workers[i%len(workers)].Step()
+	}
+}
+
+// MergedCrashes unions workers' unique crashes (earliest discovery wins).
+func MergedCrashes(workers []*MacroFuzzer) map[string]*CrashInfo {
+	out := map[string]*CrashInfo{}
+	for _, w := range workers {
+		for sig, c := range w.stats.Crashes {
+			if prev, ok := out[sig]; !ok || c.FirstTick < prev.FirstTick {
+				out[sig] = c
+			}
+		}
+	}
+	return out
+}

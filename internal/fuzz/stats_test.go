@@ -1,0 +1,127 @@
+package fuzz
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+func TestStatsZeroValues(t *testing.T) {
+	s := NewStats("x")
+	if s.CompilableRatio() != 0 {
+		t.Error("empty ratio not 0")
+	}
+	if s.UniqueCrashes() != 0 || len(s.CrashTimeline()) != 0 {
+		t.Error("empty stats report crashes")
+	}
+	if len(s.CrashesByComponent()) != 0 {
+		t.Error("empty component map not empty")
+	}
+}
+
+func TestStatsRecordAccounting(t *testing.T) {
+	s := NewStats("x")
+	okRes := compilersim.Result{OK: true, Coverage: cover.NewMap()}
+	okRes.Coverage.Set(1)
+	if !s.Record("a", "m", okRes) {
+		t.Error("first new edge not reported")
+	}
+	if s.Record("a", "m", okRes) {
+		t.Error("same edges reported as new twice")
+	}
+	badRes := compilersim.Result{OK: false, Coverage: cover.NewMap()}
+	s.Record("b", "m", badRes)
+	if s.Total != 3 || s.Compilable != 2 {
+		t.Errorf("total=%d compilable=%d", s.Total, s.Compilable)
+	}
+	if r := s.CompilableRatio(); r < 66 || r > 67 {
+		t.Errorf("ratio = %.2f", r)
+	}
+}
+
+func TestSharedCoverageConcurrent(t *testing.T) {
+	shared := NewSharedCoverage()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				m := cover.NewMap()
+				m.Set(rng.Uint32())
+				shared.MergeIfNew(m)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if shared.Count() == 0 {
+		t.Fatal("no edges merged")
+	}
+}
+
+func TestMacroFlagSampling(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	cfg := DefaultMacroConfig()
+	f := NewMacroFuzzer("m", comp, muast.All(), seeds.Generate(10, 1),
+		rand.New(rand.NewSource(3)), NewSharedCoverage(), cfg)
+	levels := map[int]int{}
+	disabled := 0
+	for i := 0; i < 400; i++ {
+		o := f.sampleOptions()
+		levels[o.OptLevel]++
+		disabled += len(o.DisabledPasses)
+	}
+	for lvl := 0; lvl <= 3; lvl++ {
+		if levels[lvl] == 0 {
+			t.Errorf("-O%d never sampled", lvl)
+		}
+	}
+	if disabled == 0 {
+		t.Error("pass-disabling flags never sampled")
+	}
+	// With sampling disabled, options are fixed.
+	cfg.SampleFlags = false
+	f2 := NewMacroFuzzer("m2", comp, muast.All(), seeds.Generate(10, 1),
+		rand.New(rand.NewSource(3)), NewSharedCoverage(), cfg)
+	for i := 0; i < 20; i++ {
+		o := f2.sampleOptions()
+		if o.OptLevel != 2 || len(o.DisabledPasses) != 0 {
+			t.Fatalf("fixed options expected, got %+v", o)
+		}
+	}
+}
+
+func TestUncheckedRewriteProducesOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := seeds.Generate(5, 1)[4]
+	produced := 0
+	for i := 0; i < 30; i++ {
+		if out, ok := uncheckedRewrite(src, rng); ok {
+			produced++
+			if out == src {
+				t.Error("unchecked rewrite was a no-op")
+			}
+		}
+	}
+	if produced == 0 {
+		t.Fatal("unchecked rewrite never applied")
+	}
+}
+
+func TestMergedCrashesKeepsEarliest(t *testing.T) {
+	mk := func(tick int) *MacroFuzzer {
+		m := &MacroFuzzer{stats: NewStats("w")}
+		m.stats.Crashes["sig"] = &CrashInfo{FirstTick: tick}
+		return m
+	}
+	merged := MergedCrashes([]*MacroFuzzer{mk(50), mk(10), mk(30)})
+	if merged["sig"].FirstTick != 10 {
+		t.Errorf("earliest = %d, want 10", merged["sig"].FirstTick)
+	}
+}

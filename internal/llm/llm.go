@@ -1,0 +1,527 @@
+// Package llm provides the language-model client used by the MetaMut
+// framework. The paper drives GPT-4 through OpenAI's ChatCompletion API;
+// this package defines the same call surface (prompted requests, token
+// accounting, latency, throttling errors) and a deterministic simulated
+// model whose behaviour — invention quality, implementation fault rates,
+// repair ability, token/latency distributions — is calibrated to the
+// paper's measurements (Tables 1-3, Section 4.1).
+//
+// The substitution is documented in DESIGN.md: everything around the
+// model (prompts, template, validation loop) is real; only the text
+// generator is statistical.
+package llm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+)
+
+// Usage is the per-call accounting a ChatCompletion response carries.
+type Usage struct {
+	PromptTokens     int
+	CompletionTokens int
+	// Wait is the simulated time awaiting the response (Table 3 row 1).
+	Wait time.Duration
+}
+
+// TotalTokens returns prompt + completion tokens.
+func (u Usage) TotalTokens() int { return u.PromptTokens + u.CompletionTokens }
+
+// ErrThrottled models the API-side failures (rate limiting, timeouts)
+// that killed 24 of the paper's 100 unsupervised invocations.
+var ErrThrottled = errors.New("llm: API throttled or timed out")
+
+// Params mirrors the sampling configuration the paper uses
+// (temperature 0.8, top-p 0.95). AllowCompound opens the template design
+// space the paper's Limitations section flags as future work: inventions
+// may perform TWO actions on the same program structure.
+type Params struct {
+	Temperature   float64
+	TopP          float64
+	AllowCompound bool
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params { return Params{Temperature: 0.8, TopP: 0.95} }
+
+// Invention is the model's answer to the mutator-invention prompt.
+type Invention struct {
+	Name        string
+	Description string
+	// Action and Structure echo the template slots; creative inventions
+	// leave the listed vocabulary.
+	Action    string
+	Structure string
+	Creative  bool
+	// SecondAction is set for compound (two-action) inventions, the
+	// template extension from the paper's Limitations section.
+	SecondAction string
+	// TargetKind is the AST node kind the description talks about.
+	TargetKind cast.NodeKind
+}
+
+// Client is the call surface MetaMut needs from a language model.
+type Client interface {
+	// Invent asks for a new mutator name + description, given the
+	// action/structure lists and the names generated so far (the
+	// "sampling hints" that bias against duplicates).
+	Invent(actions, structures, priorNames []string, p Params) (Invention, Usage, error)
+	// Synthesize fills the mutator template for an invention, returning
+	// a tentative implementation.
+	Synthesize(inv Invention, p Params) (*mutdsl.Program, Usage, error)
+	// GenerateTests produces test programs containing the structure the
+	// mutator targets.
+	GenerateTests(inv Invention, n int, p Params) ([]string, Usage, error)
+	// Fix repairs an implementation given validation feedback (the
+	// unmet goal number and its error message). It returns the revised
+	// implementation.
+	Fix(prog *mutdsl.Program, goal int, feedback string, p Params) (*mutdsl.Program, Usage, error)
+}
+
+// FaultRates calibrates the simulated model's implementation defects to
+// the distribution MetaMut's refinement loop repaired (Table 1, per
+// invocation over the 100-invocation unsupervised campaign).
+type FaultRates struct {
+	Syntax    float64 // goal #1: mutator does not compile
+	Hang      float64 // goal #2: mutator hangs (never repaired)
+	Crash     float64 // goal #3: mutator crashes
+	NoOutput  float64 // goal #4: outputs nothing
+	NoRewrite float64 // goal #5: does not rewrite
+	BadMutant float64 // goal #6: creates compile-error mutants
+	// RepeatSyntax is the chance a syntax fix introduces another syntax
+	// error (why goal-#1 fixes dominate Table 1).
+	RepeatSyntax float64
+	// Mismatch marks implementations that pass every automated goal yet
+	// do not do what the description says (7 of the paper's 26 invalid).
+	Mismatch float64
+	// Unthorough marks implementations whose defects only author-written
+	// tests expose (10 of 26).
+	Unthorough float64
+	// Duplicate is the residual chance of inventing a duplicate despite
+	// the sampling hints (3 of 26).
+	Duplicate float64
+	// APIError is the per-call throttling probability (~24% of
+	// invocations at ~6 calls each).
+	APIError float64
+}
+
+// DefaultFaultRates reproduces the paper's Section 4.1 statistics.
+func DefaultFaultRates() FaultRates {
+	return FaultRates{
+		Syntax:       0.42,
+		Hang:         0.065,
+		Crash:        0.04,
+		NoOutput:     0.11,
+		NoRewrite:    0.01,
+		BadMutant:    0.33,
+		RepeatSyntax: 0.30,
+		Mismatch:     0.075,
+		Unthorough:   0.11,
+		Duplicate:    0.033,
+		APIError:     0.03,
+	}
+}
+
+// SimClient is the deterministic simulated GPT-4.
+type SimClient struct {
+	rng   *rand.Rand
+	rates FaultRates
+	// Clock accumulates simulated wall time.
+	Clock time.Duration
+}
+
+// NewSimClient returns a simulated model with the default calibration.
+func NewSimClient(seed int64) *SimClient {
+	return &SimClient{rng: rand.New(rand.NewSource(seed)), rates: DefaultFaultRates()}
+}
+
+// NewSimClientWithRates returns a simulated model with custom fault
+// calibration (used by ablation benches).
+func NewSimClientWithRates(seed int64, rates FaultRates) *SimClient {
+	return &SimClient{rng: rand.New(rand.NewSource(seed)), rates: rates}
+}
+
+// lognormal draws a log-normally distributed value with the given median
+// and sigma, clamped to [lo, hi].
+func (c *SimClient) lognormal(median, sigma, lo, hi float64) float64 {
+	v := median * math.Exp(sigma*c.rng.NormFloat64())
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// waitFor draws a response latency scaled by the completion length, so
+// short invention answers come back in ~15s and long implementations in
+// ~50s, bounded by Table 3's observed 11-123s range.
+func (c *SimClient) waitFor(completionTokens int) time.Duration {
+	base := 2.0 + float64(completionTokens)/18.0
+	d := time.Duration(c.lognormal(base, 0.25, 11, 123) * float64(time.Second))
+	c.Clock += d
+	return d
+}
+
+func (c *SimClient) throttled() bool { return c.rng.Float64() < c.rates.APIError }
+
+// Actions is the [Action] vocabulary of the invention prompt (Section
+// 3.1: derived from Clang AST/IR API member functions).
+var Actions = []string{
+	"Add", "Modify", "Copy", "Swap", "Inline", "Destruct", "Group",
+	"Combine", "Lift", "Switch", "Inverse", "Remove", "Duplicate",
+	"Wrap", "Split", "Merge", "Reorder", "Replace", "Expand", "Hoist",
+}
+
+// Structures is the [Program Structure] vocabulary (all AST node kinds).
+var Structures = []string{
+	"BinaryOperator", "UnaryOperator", "LogicalExpr", "CharLiteral",
+	"IntegerLiteral", "FloatingLiteral", "StringLiteral", "IfStmt",
+	"WhileStmt", "DoStmt", "ForStmt", "SwitchStmt", "CaseStmt",
+	"ReturnStmt", "GotoStmt", "LabelStmt", "CompoundStmt", "VarDecl",
+	"ParmVarDecl", "FunctionDecl", "FieldDecl", "CallExpr",
+	"ArraySubscriptExpr", "MemberExpr", "CastExpr", "ConditionalExpr",
+	"InitListExpr", "ArrayDimension", "Attribute", "Builtins",
+}
+
+// structureKind maps prompt vocabulary to concrete node kinds the DSL
+// can visit; entries outside the AST map to a related kind.
+var structureKind = map[string]cast.NodeKind{
+	"BinaryOperator":     cast.KindBinaryOperator,
+	"UnaryOperator":      cast.KindUnaryOperator,
+	"LogicalExpr":        cast.KindBinaryOperator,
+	"CharLiteral":        cast.KindCharLiteral,
+	"IntegerLiteral":     cast.KindIntegerLiteral,
+	"FloatingLiteral":    cast.KindFloatingLiteral,
+	"StringLiteral":      cast.KindStringLiteral,
+	"IfStmt":             cast.KindIfStmt,
+	"WhileStmt":          cast.KindWhileStmt,
+	"DoStmt":             cast.KindDoStmt,
+	"ForStmt":            cast.KindForStmt,
+	"SwitchStmt":         cast.KindSwitchStmt,
+	"CaseStmt":           cast.KindCaseStmt,
+	"ReturnStmt":         cast.KindReturnStmt,
+	"GotoStmt":           cast.KindGotoStmt,
+	"LabelStmt":          cast.KindLabelStmt,
+	"CompoundStmt":       cast.KindCompoundStmt,
+	"VarDecl":            cast.KindVarDecl,
+	"ParmVarDecl":        cast.KindParmVarDecl,
+	"FunctionDecl":       cast.KindFunctionDecl,
+	"FieldDecl":          cast.KindFieldDecl,
+	"CallExpr":           cast.KindCallExpr,
+	"ArraySubscriptExpr": cast.KindArraySubscriptExpr,
+	"MemberExpr":         cast.KindMemberExpr,
+	"CastExpr":           cast.KindCastExpr,
+	"ConditionalExpr":    cast.KindConditionalExpr,
+	"InitListExpr":       cast.KindInitListExpr,
+	"ArrayDimension":     cast.KindArraySubscriptExpr,
+	"Attribute":          cast.KindVarDecl,
+	"Builtins":           cast.KindCallExpr,
+}
+
+// creativeInventions are off-template mutators in the spirit of the 33
+// "creative" ones the paper observed (Ret2V, SimpleUninliner, ...).
+var creativeInventions = []Invention{
+	{Name: "ModifyFunctionReturnTypeToVoid",
+		Description: "Change a function's return type to void, remove all return statements, and replace all uses of the function's result with a default value.",
+		Action:      "Modify", Structure: "FunctionDecl", Creative: true,
+		TargetKind: cast.KindFunctionDecl},
+	{Name: "SimpleUninliner",
+		Description: "Turn a block of code into a function call.",
+		Action:      "Lift", Structure: "CompoundStmt", Creative: true,
+		TargetKind: cast.KindCompoundStmt},
+	{Name: "TransformSwitchToIfElse",
+		Description: "This mutator identifies a 'switch' statement in the code and transforms it into an equivalent series of 'if-else' statements, effectively altering the control flow structure.",
+		Action:      "Switch", Structure: "SwitchStmt", Creative: true,
+		TargetKind: cast.KindSwitchStmt},
+	{Name: "DecayArrayToFlattenedStorage",
+		Description: "Cast an aggregate into flat integer storage and rewrite member references into pointer arithmetic over it.",
+		Action:      "Combine", Structure: "MemberExpr", Creative: true,
+		TargetKind: cast.KindMemberExpr},
+	{Name: "OutlineConditionIntoPredicate",
+		Description: "Extract a branch condition into a new predicate function and call it at the original site.",
+		Action:      "Lift", Structure: "IfStmt", Creative: true,
+		TargetKind: cast.KindIfStmt},
+}
+
+// Invent samples a mutator name/description from the probability space
+// the prompt defines (Section 3.1).
+func (c *SimClient) Invent(actions, structures, priorNames []string, p Params) (Invention, Usage, error) {
+	usage := Usage{
+		PromptTokens:     700 + c.rng.Intn(300) + 4*len(priorNames),
+		CompletionTokens: int(c.lognormal(240, 0.4, 60, 900)),
+	}
+	usage.Wait = c.waitFor(usage.CompletionTokens)
+	if c.throttled() {
+		return Invention{}, usage, ErrThrottled
+	}
+	prior := map[string]bool{}
+	for _, n := range priorNames {
+		prior[n] = true
+	}
+	// Creative leap with modest probability (33/118 inventions were
+	// off-template), scaled by temperature.
+	if c.rng.Float64() < 0.28*p.Temperature/0.8 {
+		inv := creativeInventions[c.rng.Intn(len(creativeInventions))]
+		if !prior[inv.Name] || c.rng.Float64() < c.rates.Duplicate {
+			return inv, usage, nil
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		action := actions[c.rng.Intn(len(actions))]
+		structure := structures[c.rng.Intn(len(structures))]
+		second := ""
+		if p.AllowCompound && c.rng.Float64() < 0.35 {
+			second = actions[c.rng.Intn(len(actions))]
+			if second == action {
+				second = ""
+			}
+		}
+		name := action + second + structure
+		// The sampling hints bias against duplicates, but do not
+		// eliminate them.
+		if prior[name] && c.rng.Float64() >= c.rates.Duplicate && attempt < 25 {
+			continue
+		}
+		inv := Invention{
+			Name:   name,
+			Action: action, Structure: structure, SecondAction: second,
+			Description: fmt.Sprintf(
+				"This mutator performs %s on %s: it locates a %s in the program and applies the %s transformation while keeping the program compilable.",
+				action, structure, structure, action),
+			TargetKind: structureKind[structure],
+		}
+		if second != "" {
+			inv.Description = fmt.Sprintf(
+				"This mutator performs %s followed by %s on %s, combining two small-step transformations while keeping the program compilable.",
+				action, second, structure)
+		}
+		return inv, usage, nil
+	}
+}
+
+// actionOp maps invented actions to DSL rewrite operations.
+var actionOp = map[string]mutdsl.OpKind{
+	"Add": mutdsl.OpInsertAfter, "Modify": mutdsl.OpWrapText,
+	"Copy": mutdsl.OpReplaceWithCopy, "Swap": mutdsl.OpSwapWithSibling,
+	"Inline": mutdsl.OpReplaceWithText, "Destruct": mutdsl.OpDeleteNode,
+	"Group": mutdsl.OpWrapText, "Combine": mutdsl.OpReplaceWithCopy,
+	"Lift": mutdsl.OpWrapText, "Switch": mutdsl.OpSwapWithSibling,
+	"Inverse": mutdsl.OpWrapText, "Remove": mutdsl.OpDeleteNode,
+	"Duplicate": mutdsl.OpDuplicateAfter, "Wrap": mutdsl.OpWrapText,
+	"Split": mutdsl.OpWrapText, "Merge": mutdsl.OpReplaceWithCopy,
+	"Reorder": mutdsl.OpSwapWithSibling, "Replace": mutdsl.OpReplaceWithText,
+	"Expand": mutdsl.OpWrapText, "Hoist": mutdsl.OpSwapWithSibling,
+}
+
+// Synthesize fills the template (Figure 2) in one shot, producing a
+// tentative implementation with the calibrated defect profile.
+func (c *SimClient) Synthesize(inv Invention, p Params) (*mutdsl.Program, Usage, error) {
+	usage := Usage{
+		PromptTokens:     1500 + c.rng.Intn(500), // template + μAST header + example
+		CompletionTokens: int(c.lognormal(900, 0.45, 200, 2400)),
+	}
+	usage.Wait = c.waitFor(usage.CompletionTokens)
+	if c.throttled() {
+		return nil, usage, ErrThrottled
+	}
+	op, ok := actionOp[inv.Action]
+	if !ok {
+		op = mutdsl.OpWrapText
+	}
+	prog := &mutdsl.Program{
+		Name:                  inv.Name,
+		Description:           inv.Description,
+		TargetKind:            inv.TargetKind,
+		RequireSideEffectFree: c.rng.Float64() < 0.5,
+	}
+	mkStep := func(op mutdsl.OpKind) mutdsl.Step {
+		switch op {
+		case mutdsl.OpWrapText:
+			pre, post := c.wrapPairFor(inv.TargetKind)
+			return mutdsl.Step{Op: op, Pre: pre, Post: post}
+		case mutdsl.OpReplaceWithText:
+			return mutdsl.Step{Op: op, Text: c.replacementFor(inv.TargetKind)}
+		case mutdsl.OpInsertAfter:
+			return mutdsl.Step{Op: op, Text: c.insertionFor(inv.TargetKind)}
+		default:
+			return mutdsl.Step{Op: op}
+		}
+	}
+	prog.Steps = []mutdsl.Step{mkStep(op)}
+	if inv.SecondAction != "" {
+		second, ok := actionOp[inv.SecondAction]
+		if !ok {
+			second = mutdsl.OpInsertAfter
+		}
+		// Two rewrites on the same node easily collide in the rewriter;
+		// compound implementations carry a higher defect load, which is
+		// exactly why the paper left multi-action templates as future
+		// work.
+		prog.Steps = append(prog.Steps, mkStep(second))
+	}
+	c.injectFaults(prog)
+	return prog, usage, nil
+}
+
+// wrapPairFor picks a type-appropriate wrapping for the node kind.
+func (c *SimClient) wrapPairFor(k cast.NodeKind) (string, string) {
+	switch k {
+	case cast.KindCompoundStmt:
+		return "{ ", " }"
+	case cast.KindIfStmt, cast.KindWhileStmt,
+		cast.KindDoStmt, cast.KindForStmt, cast.KindSwitchStmt,
+		cast.KindReturnStmt, cast.KindGotoStmt, cast.KindLabelStmt,
+		cast.KindCaseStmt:
+		return "if (1) { ", " }"
+	case cast.KindVarDecl, cast.KindParmVarDecl, cast.KindFunctionDecl,
+		cast.KindFieldDecl:
+		return "", " /* grouped */"
+	default:
+		pairs := [][2]string{
+			{"(", " + 0)"}, {"(1 ? (", ") : 0)"}, {"(-(-(", ")))"},
+			{"((0, (", ")))"},
+		}
+		pr := pairs[c.rng.Intn(len(pairs))]
+		return pr[0], pr[1]
+	}
+}
+
+func (c *SimClient) replacementFor(k cast.NodeKind) string {
+	switch k {
+	case cast.KindIntegerLiteral, cast.KindCharLiteral:
+		return fmt.Sprintf("%d", c.rng.Intn(256))
+	case cast.KindFloatingLiteral:
+		return "1.5"
+	case cast.KindStringLiteral:
+		return "\"mut\""
+	default:
+		return "0"
+	}
+}
+
+func (c *SimClient) insertionFor(k cast.NodeKind) string {
+	switch k {
+	case cast.KindCompoundStmt, cast.KindIfStmt, cast.KindWhileStmt,
+		cast.KindForStmt, cast.KindDoStmt, cast.KindSwitchStmt:
+		return " ;"
+	case cast.KindVarDecl:
+		return " /* added */"
+	default:
+		return " + 0"
+	}
+}
+
+// injectFaults seeds the tentative implementation with the calibrated
+// defect mix.
+func (c *SimClient) injectFaults(prog *mutdsl.Program) {
+	r := c.rng
+	if r.Float64() < c.rates.Syntax {
+		prog.SyntaxErr = syntaxErrors[r.Intn(len(syntaxErrors))]
+	}
+	if r.Float64() < c.rates.Hang {
+		prog.HangBug = true
+	}
+	if r.Float64() < c.rates.Crash {
+		prog.CrashBug = true
+	}
+	if r.Float64() < c.rates.NoOutput {
+		prog.NoOutputBug = true
+	}
+	if r.Float64() < c.rates.NoRewrite {
+		prog.NoRewriteBug = true
+	}
+	if r.Float64() < c.rates.BadMutant {
+		prog.BadMutantBug = true
+	}
+}
+
+var syntaxErrors = []string{
+	"use of undeclared identifier 'TheFunctions'",
+	"no member named 'getReturnTypeSourceRange' in 'FunctionDecl'",
+	"expected ';' after expression",
+	"cannot initialize 'SourceRange' with an rvalue of type 'SourceLocation'",
+	"no matching function for call to 'ReplaceText'",
+	"use of undeclared identifier 'randElement'",
+}
+
+// GenerateTests produces compilable C programs that contain the mutator's
+// target structure ("Generate test cases for which the mutator can be
+// applied").
+func (c *SimClient) GenerateTests(inv Invention, n int, p Params) ([]string, Usage, error) {
+	usage := Usage{
+		PromptTokens:     300 + c.rng.Intn(120),
+		CompletionTokens: int(c.lognormal(float64(170*n), 0.3, 120, 2200)),
+	}
+	usage.Wait = c.waitFor(usage.CompletionTokens)
+	if c.throttled() {
+		return nil, usage, ErrThrottled
+	}
+	var tests []string
+	for i := 0; i < n; i++ {
+		if c.rng.Float64() < 0.12 {
+			// The model occasionally emits a generic program that lacks
+			// the requested structure — which is exactly what exposes
+			// missing-emptiness-check crashes (goal #3).
+			tests = append(tests, fmt.Sprintf(
+				"int main(void) {\n    return %d;\n}\n", c.rng.Intn(100)))
+			continue
+		}
+		tests = append(tests, testProgramFor(inv.TargetKind, i))
+	}
+	return tests, usage, nil
+}
+
+// Fix repairs the unmet goal reported by the validation loop. Hang bugs
+// resist repair — the paper reports zero goal-#2 fixes and names hangs as
+// a failure mode LLMs fall short on.
+func (c *SimClient) Fix(prog *mutdsl.Program, goal int, feedback string, p Params) (*mutdsl.Program, Usage, error) {
+	usage := Usage{
+		PromptTokens:     900 + c.rng.Intn(400) + len(feedback)/3,
+		CompletionTokens: int(c.lognormal(650, 0.5, 150, 2000)),
+	}
+	usage.Wait = c.waitFor(usage.CompletionTokens)
+	if c.throttled() {
+		return nil, usage, ErrThrottled
+	}
+	fixed := prog.Clone()
+	switch goal {
+	case 1:
+		fixed.SyntaxErr = ""
+		// Rewriting the code sometimes introduces a fresh compile error —
+		// the reason goal-#1 fixes dominate Table 1.
+		if c.rng.Float64() < c.rates.RepeatSyntax {
+			next := syntaxErrors[c.rng.Intn(len(syntaxErrors))]
+			if next == prog.SyntaxErr {
+				next = next + " (round 2)"
+			}
+			fixed.SyntaxErr = next
+		}
+	case 2:
+		// Hangs resist repair entirely — the paper reports zero goal-#2
+		// fixes and identifies hang bugs as beyond current LLMs.
+	case 3:
+		fixed.CrashBug = false
+	case 4:
+		fixed.NoOutputBug = false
+	case 5:
+		// The usual root cause is an over-restrictive applicability
+		// check; the model relaxes it.
+		fixed.NoRewriteBug = false
+		fixed.RequireSideEffectFree = false
+	case 6:
+		// Adding the missing checks usually works; when the rewrite
+		// itself is broken the model sometimes rewrites it wholesale.
+		if c.rng.Float64() < 0.85 {
+			fixed.BadMutantBug = false
+		}
+		if c.rng.Float64() < 0.5 {
+			fixed.Steps = mutdsl.SafeStepsFor(fixed.TargetKind)
+		}
+	}
+	return fixed, usage, nil
+}
+
+// Rates exposes the calibration (for tests).
+func (c *SimClient) Rates() FaultRates { return c.rates }

@@ -1,0 +1,218 @@
+package llm
+
+import (
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+)
+
+func TestInventAvoidsDuplicates(t *testing.T) {
+	c := NewSimClientWithRates(1, FaultRates{}) // no API errors
+	var prior []string
+	dups := 0
+	for i := 0; i < 120; i++ {
+		inv, usage, err := c.Invent(Actions, Structures, prior, DefaultParams())
+		if err != nil {
+			t.Fatalf("invent: %v", err)
+		}
+		if usage.TotalTokens() == 0 || usage.Wait == 0 {
+			t.Fatal("missing usage accounting")
+		}
+		for _, p := range prior {
+			if p == inv.Name {
+				dups++
+			}
+		}
+		prior = append(prior, inv.Name)
+	}
+	// With zero residual-duplicate rate and sampling hints, duplicates
+	// should be rare even over 120 draws from a finite space.
+	if dups > 12 {
+		t.Errorf("%d duplicates in 120 inventions", dups)
+	}
+}
+
+func TestInventProducesCreativeMutators(t *testing.T) {
+	c := NewSimClientWithRates(7, FaultRates{})
+	creative := 0
+	for i := 0; i < 200; i++ {
+		inv, _, err := c.Invent(Actions, Structures, nil, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.Creative {
+			creative++
+		}
+	}
+	// The paper observed 33/118 (~28%) creative inventions.
+	if creative < 20 || creative > 100 {
+		t.Errorf("creative inventions = %d/200, want roughly 28%%", creative)
+	}
+}
+
+func TestSynthesizeYieldsCompilableTemplates(t *testing.T) {
+	c := NewSimClientWithRates(3, FaultRates{}) // no injected faults
+	for i := 0; i < 60; i++ {
+		inv, _, err := c.Invent(Actions, Structures, nil, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, _, err := c.Synthesize(inv, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mutdsl.Compile(prog); err != nil {
+			t.Errorf("fault-free synthesis does not compile: %v (%+v)", err, prog)
+		}
+		if prog.Name != inv.Name {
+			t.Errorf("program name %q != invention %q", prog.Name, inv.Name)
+		}
+	}
+}
+
+func TestGeneratedTestsContainStructure(t *testing.T) {
+	kinds := []cast.NodeKind{
+		cast.KindIfStmt, cast.KindWhileStmt, cast.KindForStmt,
+		cast.KindSwitchStmt, cast.KindGotoStmt, cast.KindCallExpr,
+		cast.KindArraySubscriptExpr, cast.KindMemberExpr,
+		cast.KindBinaryOperator, cast.KindCastExpr, cast.KindDoStmt,
+		cast.KindStringLiteral, cast.KindConditionalExpr,
+	}
+	for _, k := range kinds {
+		for v := 0; v < 3; v++ {
+			src := testProgramFor(k, v)
+			tu, err := cast.ParseAndCheck(src)
+			if err != nil {
+				t.Fatalf("test for %s invalid: %v\n%s", k, err, src)
+			}
+			if len(cast.CollectKind(tu, k)) == 0 {
+				t.Errorf("test for %s does not contain a %s:\n%s", k, k, src)
+			}
+		}
+	}
+}
+
+func TestFaultInjectionRates(t *testing.T) {
+	c := NewSimClient(11)
+	n := 400
+	syntax, bad := 0, 0
+	for i := 0; i < n; i++ {
+		inv, _, err := c.Invent(Actions, Structures, nil, DefaultParams())
+		if err != nil {
+			continue
+		}
+		prog, _, err := c.Synthesize(inv, DefaultParams())
+		if err != nil {
+			continue
+		}
+		if prog.SyntaxErr != "" {
+			syntax++
+		}
+		if prog.BadMutantBug {
+			bad++
+		}
+	}
+	rates := c.Rates()
+	if f := float64(syntax) / float64(n); f < rates.Syntax-0.12 || f > rates.Syntax+0.12 {
+		t.Errorf("syntax fault rate = %.2f, want ~%.2f", f, rates.Syntax)
+	}
+	if f := float64(bad) / float64(n); f < rates.BadMutant-0.12 || f > rates.BadMutant+0.12 {
+		t.Errorf("bad-mutant fault rate = %.2f, want ~%.2f", f, rates.BadMutant)
+	}
+}
+
+func TestFixRepairsReportedGoal(t *testing.T) {
+	c := NewSimClientWithRates(2, FaultRates{}) // deterministic repairs
+	prog := &mutdsl.Program{
+		Name: "X", Description: "d", TargetKind: cast.KindBinaryOperator,
+		Steps:       []mutdsl.Step{{Op: mutdsl.OpWrapText, Pre: "(", Post: ")"}},
+		SyntaxErr:   "boom",
+		CrashBug:    true,
+		NoOutputBug: true,
+	}
+	fixed, _, err := c.Fix(prog, 1, "compile error", DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.SyntaxErr != "" {
+		t.Error("goal-1 fix did not clear the syntax error (RepeatSyntax=0)")
+	}
+	if !fixed.CrashBug || !fixed.NoOutputBug {
+		t.Error("goal-1 fix must not silently clear other defects")
+	}
+	fixed2, _, _ := c.Fix(fixed, 3, "crash", DefaultParams())
+	if fixed2.CrashBug {
+		t.Error("goal-3 fix did not clear the crash bug")
+	}
+	// Hang bugs are never repaired.
+	prog.HangBug = true
+	fixedH, _, _ := c.Fix(prog, 2, "hang", DefaultParams())
+	if !fixedH.HangBug {
+		t.Error("goal-2 fix repaired a hang; the paper reports zero such fixes")
+	}
+}
+
+func TestLatencyWithinTable3Bounds(t *testing.T) {
+	c := NewSimClient(13)
+	for i := 0; i < 200; i++ {
+		inv, usage, err := c.Invent(Actions, Structures, nil, DefaultParams())
+		_ = inv
+		if err != nil {
+			continue
+		}
+		secs := usage.Wait.Seconds()
+		if secs < 11 || secs > 123 {
+			t.Fatalf("wait %f s outside Table 3's 11-123s", secs)
+		}
+	}
+}
+
+func TestStructureKindCoversVocabulary(t *testing.T) {
+	for _, s := range Structures {
+		if _, ok := structureKind[s]; !ok {
+			t.Errorf("structure %q has no node-kind mapping", s)
+		}
+	}
+}
+
+func TestCompoundInventionExtension(t *testing.T) {
+	c := NewSimClientWithRates(21, FaultRates{})
+	p := DefaultParams()
+	p.AllowCompound = true
+	compound := 0
+	for i := 0; i < 150; i++ {
+		inv, _, err := c.Invent(Actions, Structures, nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.SecondAction == "" {
+			continue
+		}
+		compound++
+		if inv.SecondAction == inv.Action {
+			t.Errorf("compound invention repeats its action: %+v", inv)
+		}
+		prog, _, err := c.Synthesize(inv, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(prog.Steps) != 2 {
+			t.Errorf("compound synthesis has %d steps, want 2", len(prog.Steps))
+		}
+	}
+	if compound == 0 {
+		t.Fatal("AllowCompound never produced a two-action invention")
+	}
+	// Without the extension flag, no compound inventions appear.
+	p.AllowCompound = false
+	for i := 0; i < 100; i++ {
+		inv, _, err := c.Invent(Actions, Structures, nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inv.SecondAction != "" {
+			t.Fatal("compound invention without AllowCompound")
+		}
+	}
+}

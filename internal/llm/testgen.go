@@ -1,0 +1,192 @@
+package llm
+
+import (
+	"fmt"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+)
+
+// testProgramFor emits a small compilable C program guaranteed to contain
+// the given structure, standing in for the LLM's test-case generation —
+// the paper found GPT-4 reliably produces such snippets.
+func testProgramFor(k cast.NodeKind, variant int) string {
+	v := variant % 3
+	switch k {
+	case cast.KindIfStmt:
+		return fmt.Sprintf(`
+int pick%d(int a, int b) {
+    if (a > b) { return a - b; } else { return b - a; }
+}
+int main(void) { return pick%d(%d, 4); }
+`, v, v, v+1)
+	case cast.KindWhileStmt:
+		return fmt.Sprintf(`
+int count%d(int n) {
+    int c = 0;
+    while (n > 0) { n = n / 2; c++; }
+    return c;
+}
+int main(void) { return count%d(%d); }
+`, v, v, 10+v)
+	case cast.KindDoStmt:
+		return fmt.Sprintf(`
+int spin%d(int n) {
+    int c = 0;
+    do { c += n; n--; } while (n > 0);
+    return c;
+}
+int main(void) { return spin%d(%d); }
+`, v, v, 3+v)
+	case cast.KindForStmt:
+		return fmt.Sprintf(`
+int total%d(void) {
+    int i;
+    int s = 0;
+    for (i = 0; i < %d; i++) { s += i * i; }
+    return s;
+}
+int main(void) { return total%d(); }
+`, v, 8+v, v)
+	case cast.KindSwitchStmt, cast.KindCaseStmt:
+		return fmt.Sprintf(`
+int route%d(int x) {
+    switch (x %% 3) {
+    case 0: return 10;
+    case 1: return 20;
+    default: return 30;
+    }
+}
+int main(void) { return route%d(%d); }
+`, v, v, v+2)
+	case cast.KindGotoStmt, cast.KindLabelStmt:
+		return fmt.Sprintf(`
+int hop%d(int n) {
+    int acc = 0;
+again:
+    acc += n;
+    n--;
+    if (n > 0) goto again;
+    return acc;
+}
+int main(void) { return hop%d(%d); }
+`, v, v, 3+v)
+	case cast.KindReturnStmt, cast.KindFunctionDecl, cast.KindParmVarDecl:
+		return fmt.Sprintf(`
+int doubleIt%d(int x) { return x * 2; }
+int addOne%d(int x) { return x + 1; }
+int main(void) { return doubleIt%d(addOne%d(%d)); }
+`, v, v, v, v, v+1)
+	case cast.KindVarDecl:
+		return fmt.Sprintf(`
+int gv%d = %d;
+int main(void) {
+    int a = 3;
+    int b = a + gv%d;
+    int c = b * 2;
+    return c;
+}
+`, v, 5+v, v)
+	case cast.KindCallExpr:
+		return fmt.Sprintf(`
+int helper%d(int a, int b) { return a + b; }
+int main(void) {
+    int x = helper%d(1, 2);
+    x += helper%d(x, 3);
+    return x;
+}
+`, v, v, v)
+	case cast.KindArraySubscriptExpr:
+		return fmt.Sprintf(`
+int arr%d[8];
+int main(void) {
+    int i;
+    for (i = 0; i < 8; i++) { arr%d[i] = i; }
+    return arr%d[3] + arr%d[5];
+}
+`, v, v, v, v)
+	case cast.KindMemberExpr, cast.KindFieldDecl:
+		return fmt.Sprintf(`
+struct pt%d { int x; int y; };
+int main(void) {
+    struct pt%d p;
+    p.x = %d;
+    p.y = p.x * 2;
+    return p.x + p.y;
+}
+`, v, v, v+1)
+	case cast.KindCastExpr:
+		return fmt.Sprintf(`
+int main(void) {
+    double d = %d.5;
+    int i = (int)d;
+    long l = (long)i + (long)d;
+    return (int)l;
+}
+`, v+1)
+	case cast.KindConditionalExpr:
+		return fmt.Sprintf(`
+int main(void) {
+    int a = %d;
+    int b = a > 2 ? a * 2 : a + 1;
+    return b > 5 ? b - 5 : b;
+}
+`, v+1)
+	case cast.KindStringLiteral:
+		return fmt.Sprintf(`
+int main(void) {
+    const char *s = "hello%d";
+    return (int)strlen(s);
+}
+`, v)
+	case cast.KindCharLiteral:
+		return fmt.Sprintf(`
+int main(void) {
+    char c = 'a';
+    char d = 'z';
+    return (d - c) + %d;
+}
+`, v)
+	case cast.KindFloatingLiteral:
+		return fmt.Sprintf(`
+int main(void) {
+    double d = 1.5 * %d.0 + 0.25;
+    return d > 2.0 ? 1 : 0;
+}
+`, v+1)
+	case cast.KindUnaryOperator:
+		return fmt.Sprintf(`
+int main(void) {
+    int a = %d;
+    int b = -a;
+    int c = !b;
+    int d = ~c;
+    return a + b + c + d;
+}
+`, v+1)
+	case cast.KindInitListExpr:
+		return fmt.Sprintf(`
+int main(void) {
+    int a[4] = {1, 2, 3, %d};
+    return a[0] + a[3];
+}
+`, v+4)
+	case cast.KindCompoundStmt:
+		return fmt.Sprintf(`
+int main(void) {
+    int x = %d;
+    { int y = x + 1; x = y * 2; }
+    { x = x - 1; }
+    return x;
+}
+`, v+1)
+	default: // BinaryOperator, IntegerLiteral and anything else
+		return fmt.Sprintf(`
+int main(void) {
+    int a = %d + 4;
+    int b = a * 3 - 2;
+    int c = (a << 1) ^ (b >> 1);
+    return a + b + c;
+}
+`, v+1)
+	}
+}

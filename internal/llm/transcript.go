@@ -1,0 +1,146 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+)
+
+// TranscriptEntry is one recorded model interaction.
+type TranscriptEntry struct {
+	Seq   int
+	Kind  string // "invent" | "synthesize" | "tests" | "fix"
+	Query string // condensed request description
+	Reply string // condensed response description
+	Usage Usage
+	Err   error
+}
+
+// Recorder wraps a Client and records every interaction — the analogue
+// of the chat histories the paper publishes alongside the mutators
+// ("The mutator generation logs, including the chat history between
+// MetaMut and GPT-4, are available in our repository").
+type Recorder struct {
+	Inner Client
+
+	mu      sync.Mutex
+	entries []TranscriptEntry
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner Client) *Recorder { return &Recorder{Inner: inner} }
+
+func (r *Recorder) record(kind, query, reply string, usage Usage, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = append(r.entries, TranscriptEntry{
+		Seq: len(r.entries), Kind: kind, Query: query, Reply: reply,
+		Usage: usage, Err: err,
+	})
+}
+
+// Entries returns a copy of the transcript.
+func (r *Recorder) Entries() []TranscriptEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TranscriptEntry(nil), r.entries...)
+}
+
+// Len returns the number of recorded interactions.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// TotalUsage sums token and wait accounting across the transcript.
+func (r *Recorder) TotalUsage() Usage {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total Usage
+	for _, e := range r.entries {
+		total.PromptTokens += e.Usage.PromptTokens
+		total.CompletionTokens += e.Usage.CompletionTokens
+		total.Wait += e.Usage.Wait
+	}
+	return total
+}
+
+// Render prints the transcript as a readable chat log.
+func (r *Recorder) Render() string {
+	var sb strings.Builder
+	for _, e := range r.Entries() {
+		fmt.Fprintf(&sb, "[%03d] %-10s >> %s\n", e.Seq, e.Kind, e.Query)
+		if e.Err != nil {
+			fmt.Fprintf(&sb, "      %-10s << ERROR: %v\n", "", e.Err)
+		} else {
+			fmt.Fprintf(&sb, "      %-10s << %s\n", "", e.Reply)
+		}
+		fmt.Fprintf(&sb, "      tokens=%d wait=%s\n",
+			e.Usage.TotalTokens(), e.Usage.Wait.Round(time.Second))
+	}
+	return sb.String()
+}
+
+// Invent implements Client.
+func (r *Recorder) Invent(actions, structures, priorNames []string, p Params) (Invention, Usage, error) {
+	inv, usage, err := r.Inner.Invent(actions, structures, priorNames, p)
+	reply := ""
+	if err == nil {
+		reply = inv.Name + ": " + truncate(inv.Description, 80)
+	}
+	r.record("invent",
+		fmt.Sprintf("invent a mutator (%d prior names as sampling hints)", len(priorNames)),
+		reply, usage, err)
+	return inv, usage, err
+}
+
+// Synthesize implements Client.
+func (r *Recorder) Synthesize(inv Invention, p Params) (*mutdsl.Program, Usage, error) {
+	prog, usage, err := r.Inner.Synthesize(inv, p)
+	reply := ""
+	if err == nil {
+		reply = fmt.Sprintf("implementation targeting %s with %d step(s)",
+			prog.TargetKind, len(prog.Steps))
+	}
+	r.record("synthesize", "fill the mutator template for "+inv.Name,
+		reply, usage, err)
+	return prog, usage, err
+}
+
+// GenerateTests implements Client.
+func (r *Recorder) GenerateTests(inv Invention, n int, p Params) ([]string, Usage, error) {
+	tests, usage, err := r.Inner.GenerateTests(inv, n, p)
+	reply := ""
+	if err == nil {
+		reply = fmt.Sprintf("%d test programs", len(tests))
+	}
+	r.record("tests",
+		fmt.Sprintf("generate %d test cases for %s", n, inv.Name),
+		reply, usage, err)
+	return tests, usage, err
+}
+
+// Fix implements Client.
+func (r *Recorder) Fix(prog *mutdsl.Program, goal int, feedback string, p Params) (*mutdsl.Program, Usage, error) {
+	fixed, usage, err := r.Inner.Fix(prog, goal, feedback, p)
+	reply := ""
+	if err == nil {
+		reply = "revised implementation"
+	}
+	r.record("fix",
+		fmt.Sprintf("goal #%d unmet: %s", goal, truncate(feedback, 70)),
+		reply, usage, err)
+	return fixed, usage, err
+}
+
+func truncate(s string, n int) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

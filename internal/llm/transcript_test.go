@@ -1,0 +1,63 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCapturesPipeline(t *testing.T) {
+	rec := NewRecorder(NewSimClientWithRates(1, FaultRates{}))
+	p := DefaultParams()
+	inv, _, err := rec.Invent(Actions, Structures, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := rec.Synthesize(inv, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rec.GenerateTests(inv, 3, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rec.Fix(prog, 6, "mutant fails to compile", p); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("recorded %d entries, want 4", rec.Len())
+	}
+	kinds := []string{"invent", "synthesize", "tests", "fix"}
+	for i, e := range rec.Entries() {
+		if e.Kind != kinds[i] {
+			t.Errorf("entry %d kind = %s, want %s", i, e.Kind, kinds[i])
+		}
+		if e.Usage.TotalTokens() == 0 {
+			t.Errorf("entry %d missing usage", i)
+		}
+	}
+	total := rec.TotalUsage()
+	if total.TotalTokens() == 0 || total.Wait == 0 {
+		t.Error("total usage empty")
+	}
+	log := rec.Render()
+	for _, want := range []string{"invent", "synthesize", "goal #6", inv.Name} {
+		if !strings.Contains(log, want) {
+			t.Errorf("rendered log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestRecorderRecordsErrors(t *testing.T) {
+	rates := DefaultFaultRates()
+	rates.APIError = 1.0 // every call throttled
+	rec := NewRecorder(NewSimClientWithRates(2, rates))
+	_, _, err := rec.Invent(Actions, Structures, nil, DefaultParams())
+	if err == nil {
+		t.Fatal("expected throttling")
+	}
+	if rec.Len() != 1 || rec.Entries()[0].Err == nil {
+		t.Error("error not recorded")
+	}
+	if !strings.Contains(rec.Render(), "ERROR") {
+		t.Error("rendered log missing error marker")
+	}
+}

@@ -1,0 +1,409 @@
+// Package muast implements the paper's μAST API (Figure 6): a simplified
+// mutation-oriented facade over the C AST in internal/cast. It provides
+// the query, rewriting, semantic-checking and helper primitives that
+// MetaMut-generated mutators are written against, plus the mutator
+// registry that both the supervised and unsupervised mutator sets
+// register into.
+package muast
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+)
+
+// Manager is the mutation context handed to every mutator invocation: one
+// parsed, semantically-checked program, a source rewriter, and a seeded
+// random stream. It corresponds to the Mutator/Manager pair of the
+// paper's C++ template (Figure 2).
+type Manager struct {
+	TU *cast.TranslationUnit
+	RW *cast.Rewriter
+
+	rng     *rand.Rand
+	parents cast.ParentMap
+	nameSeq int
+	idents  map[string]bool
+}
+
+// NewManager parses and checks src and returns a mutation context using
+// the given random stream. It fails if src is not a valid program —
+// mutators are only ever applied to compilable inputs.
+func NewManager(src string, rng *rand.Rand) (*Manager, error) {
+	tu, err := cast.ParseAndCheck(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewManagerFromTU(tu, rng), nil
+}
+
+// NewManagerFromTU wraps an already-parsed translation unit.
+func NewManagerFromTU(tu *cast.TranslationUnit, rng *rand.Rand) *Manager {
+	m := &Manager{
+		TU:     tu,
+		RW:     cast.NewRewriter(tu.Source),
+		rng:    rng,
+		idents: map[string]bool{},
+	}
+	identRe := regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*`)
+	for _, id := range identRe.FindAllString(tu.Source, -1) {
+		m.idents[id] = true
+	}
+	return m
+}
+
+// Rand exposes the manager's random stream.
+func (m *Manager) Rand() *rand.Rand { return m.rng }
+
+// Apply materializes all recorded edits, returning the mutated source.
+func (m *Manager) Apply() string { return m.RW.Rewritten() }
+
+// Changed reports whether any rewrite has been recorded.
+func (m *Manager) Changed() bool { return m.RW.HasEdits() }
+
+// ---------------------------------------------------------------------
+// Query APIs
+// ---------------------------------------------------------------------
+
+// GetSourceText extracts the original source code of a tree node, for
+// replication at new locations.
+func (m *Manager) GetSourceText(n cast.Node) string {
+	return m.RW.GetSourceText(n.Range())
+}
+
+// FindStrLocFrom locates the position of a string starting from a
+// specified location; -1 when absent.
+func (m *Manager) FindStrLocFrom(loc int, target string) int {
+	return m.RW.FindStrLocFrom(loc, target)
+}
+
+// FindBracesRange identifies the range of the next pair of enclosed
+// braces at or after from.
+func (m *Manager) FindBracesRange(from int) (cast.SourceRange, bool) {
+	return m.RW.FindBracesRange(from)
+}
+
+// RandElement chooses a uniformly random element of elements; it panics
+// on an empty slice (mutators must check emptiness and bail out first).
+func RandElement[T any](m *Manager, elements []T) T {
+	return elements[m.rng.Intn(len(elements))]
+}
+
+// RandBool returns true with probability p.
+func (m *Manager) RandBool(p float64) bool { return m.rng.Float64() < p }
+
+// Collect returns every node of the given kind, in source order.
+func (m *Manager) Collect(k cast.NodeKind) []cast.Node {
+	return cast.CollectKind(m.TU, k)
+}
+
+// Functions returns all function definitions (not prototypes).
+func (m *Manager) Functions() []*cast.FunctionDecl {
+	var out []*cast.FunctionDecl
+	for _, d := range m.TU.Decls {
+		if fd, ok := d.(*cast.FunctionDecl); ok && fd.IsDefinition() {
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// GlobalVars returns all file-scope variable declarations.
+func (m *Manager) GlobalVars() []*cast.VarDecl {
+	var out []*cast.VarDecl
+	for _, d := range m.TU.Decls {
+		if vd, ok := d.(*cast.VarDecl); ok {
+			out = append(out, vd)
+		}
+	}
+	return out
+}
+
+// LocalVars returns all block-scope variable declarations under fn (or
+// everywhere when fn is nil).
+func (m *Manager) LocalVars(fn *cast.FunctionDecl) []*cast.VarDecl {
+	var root cast.Node = m.TU
+	if fn != nil {
+		root = fn
+	}
+	var out []*cast.VarDecl
+	cast.Walk(root, func(n cast.Node) bool {
+		if vd, ok := n.(*cast.VarDecl); ok && !vd.IsGlobal {
+			out = append(out, vd)
+		}
+		return true
+	})
+	return out
+}
+
+// Exprs returns every expression node under root (the whole unit when
+// root is nil) that satisfies pred; a nil pred selects all.
+func (m *Manager) Exprs(root cast.Node, pred func(cast.Expr) bool) []cast.Expr {
+	if root == nil {
+		root = m.TU
+	}
+	var out []cast.Expr
+	cast.Walk(root, func(n cast.Node) bool {
+		if e, ok := n.(cast.Expr); ok && (pred == nil || pred(e)) {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// Stmts returns every statement node under root satisfying pred.
+func (m *Manager) Stmts(root cast.Node, pred func(cast.Stmt) bool) []cast.Stmt {
+	if root == nil {
+		root = m.TU
+	}
+	var out []cast.Stmt
+	cast.Walk(root, func(n cast.Node) bool {
+		if s, ok := n.(cast.Stmt); ok && (pred == nil || pred(s)) {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+// Parents lazily computes and caches the parent map.
+func (m *Manager) Parents() cast.ParentMap {
+	if m.parents == nil {
+		m.parents = cast.BuildParentMap(m.TU)
+	}
+	return m.parents
+}
+
+// ReturnsOf returns all return statements lexically inside fn.
+func (m *Manager) ReturnsOf(fn *cast.FunctionDecl) []*cast.ReturnStmt {
+	var out []*cast.ReturnStmt
+	cast.Walk(fn, func(n cast.Node) bool {
+		if rs, ok := n.(*cast.ReturnStmt); ok {
+			out = append(out, rs)
+		}
+		return true
+	})
+	return out
+}
+
+// CallsTo returns all calls that resolve to fn anywhere in the unit.
+func (m *Manager) CallsTo(fn *cast.FunctionDecl) []*cast.CallExpr {
+	var out []*cast.CallExpr
+	cast.Walk(m.TU, func(n cast.Node) bool {
+		if ce, ok := n.(*cast.CallExpr); ok {
+			if ce.Callee != nil && ce.Callee.Name == fn.Name {
+				out = append(out, ce)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// UsesOf returns all references to the given declaration.
+func (m *Manager) UsesOf(d cast.Decl) []*cast.DeclRefExpr {
+	var out []*cast.DeclRefExpr
+	cast.Walk(m.TU, func(n cast.Node) bool {
+		if dr, ok := n.(*cast.DeclRefExpr); ok && dr.Ref == d {
+			out = append(out, dr)
+		}
+		return true
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Rewriting APIs
+// ---------------------------------------------------------------------
+
+// ReplaceNode replaces a node's source extent with text.
+func (m *Manager) ReplaceNode(n cast.Node, text string) bool {
+	return m.RW.ReplaceNode(n, text)
+}
+
+// ReplaceRange replaces a source range with text.
+func (m *Manager) ReplaceRange(r cast.SourceRange, text string) bool {
+	return m.RW.ReplaceText(r, text)
+}
+
+// RemoveNode deletes a node's source extent.
+func (m *Manager) RemoveNode(n cast.Node) bool { return m.RW.RemoveNode(n) }
+
+// InsertBefore inserts text before the node.
+func (m *Manager) InsertBefore(n cast.Node, text string) bool {
+	return m.RW.InsertTextBefore(n.Range().Begin, text)
+}
+
+// InsertAfter inserts text after the node.
+func (m *Manager) InsertAfter(n cast.Node, text string) bool {
+	return m.RW.InsertTextAfter(n.Range(), text)
+}
+
+// RemoveParmFromFuncDecl removes a parameter from a function declaration,
+// including the separating comma — simply removing the declaration node
+// is insufficient to fully eliminate the parameter (Figure 6).
+func (m *Manager) RemoveParmFromFuncDecl(fn *cast.FunctionDecl, pv *cast.ParmVarDecl) bool {
+	r := pv.Range()
+	src := m.RW.Source()
+	idx := -1
+	for i, p := range fn.Params {
+		if p == pv {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	switch {
+	case len(fn.Params) == 1:
+		// Sole parameter: leave "(void)" to keep a valid prototype.
+		return m.RW.ReplaceText(r, "void")
+	case idx < len(fn.Params)-1:
+		// Remove through the trailing comma.
+		end := r.End
+		for end < len(src) && (src[end] == ' ' || src[end] == '\t' || src[end] == '\n') {
+			end++
+		}
+		if end < len(src) && src[end] == ',' {
+			end++
+			for end < len(src) && src[end] == ' ' {
+				end++
+			}
+		}
+		return m.RW.ReplaceText(cast.SourceRange{Begin: r.Begin, End: end}, "")
+	default:
+		// Last parameter: remove the preceding comma too.
+		begin := r.Begin
+		for begin > 0 && (src[begin-1] == ' ' || src[begin-1] == '\t' || src[begin-1] == '\n') {
+			begin--
+		}
+		if begin > 0 && src[begin-1] == ',' {
+			begin--
+		}
+		return m.RW.ReplaceText(cast.SourceRange{Begin: begin, End: r.End}, "")
+	}
+}
+
+// RemoveArgFromExpr removes the index-th argument from a function
+// invocation, adjusting the separating comma.
+func (m *Manager) RemoveArgFromExpr(call *cast.CallExpr, index int) bool {
+	if index < 0 || index >= len(call.Args) {
+		return false
+	}
+	r := call.Args[index].Range()
+	src := m.RW.Source()
+	switch {
+	case len(call.Args) == 1:
+		return m.RW.ReplaceText(r, "")
+	case index < len(call.Args)-1:
+		end := r.End
+		for end < len(src) && (src[end] == ' ' || src[end] == '\t' || src[end] == '\n') {
+			end++
+		}
+		if end < len(src) && src[end] == ',' {
+			end++
+			for end < len(src) && src[end] == ' ' {
+				end++
+			}
+		}
+		return m.RW.ReplaceText(cast.SourceRange{Begin: r.Begin, End: end}, "")
+	default:
+		begin := r.Begin
+		for begin > 0 && (src[begin-1] == ' ' || src[begin-1] == '\t' || src[begin-1] == '\n') {
+			begin--
+		}
+		if begin > 0 && src[begin-1] == ',' {
+			begin--
+		}
+		return m.RW.ReplaceText(cast.SourceRange{Begin: begin, End: r.End}, "")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Semantic checking APIs
+// ---------------------------------------------------------------------
+
+// CheckBinop checks whether operator op can be applied to lhs and rhs.
+func (m *Manager) CheckBinop(op cast.BinOp, lhs, rhs cast.Expr) bool {
+	return cast.CheckBinopTypes(op, lhs.Type(), rhs.Type())
+}
+
+// CheckBinopTypes checks operator applicability on raw types.
+func (m *Manager) CheckBinopTypes(op cast.BinOp, lt, rt cast.QualType) bool {
+	return cast.CheckBinopTypes(op, lt, rt)
+}
+
+// CheckAssignment checks whether an expression of type rhsTy can replace
+// an expression of type lhsTy in assignment position.
+func (m *Manager) CheckAssignment(lhsTy, rhsTy cast.QualType) bool {
+	return cast.CheckAssignmentTypes(lhsTy, rhsTy)
+}
+
+// IsSideEffectFree conservatively reports whether evaluating e twice is
+// safe (no assignments, calls, or ++/--).
+func (m *Manager) IsSideEffectFree(e cast.Expr) bool {
+	safe := true
+	cast.Walk(e, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.CallExpr:
+			safe = false
+		case *cast.BinaryOperator:
+			if x.Op.IsAssignment() {
+				safe = false
+			}
+		case *cast.UnaryOperator:
+			switch x.Op {
+			case cast.UnPreInc, cast.UnPreDec, cast.UnPostInc, cast.UnPostDec:
+				safe = false
+			}
+		}
+		return safe
+	})
+	return safe
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+// GenerateUniqueName generates an identifier based on baseName that does
+// not collide with any identifier in the program or a previously
+// generated name.
+func (m *Manager) GenerateUniqueName(baseName string) string {
+	for {
+		m.nameSeq++
+		cand := fmt.Sprintf("%s_%d", baseName, m.nameSeq)
+		if !m.idents[cand] {
+			m.idents[cand] = true
+			return cand
+		}
+	}
+}
+
+// FormatAsDecl formats a given type and identifier as a variable
+// declaration, handling C's inside-out declarator syntax.
+func (m *Manager) FormatAsDecl(ty cast.QualType, name string) string {
+	return cast.FormatAsDecl(ty, name)
+}
+
+// DefaultValueExpr spells a default value of the given type.
+func (m *Manager) DefaultValueExpr(ty cast.QualType) string {
+	return cast.DefaultValueExpr(ty)
+}
+
+// IndentOf returns the leading whitespace of the line containing off,
+// used when inserting statements.
+func (m *Manager) IndentOf(off int) string {
+	src := m.RW.Source()
+	lineStart := strings.LastIndexByte(src[:min(off, len(src))], '\n') + 1
+	i := lineStart
+	for i < len(src) && (src[i] == ' ' || src[i] == '\t') {
+		i++
+	}
+	return src[lineStart:i]
+}

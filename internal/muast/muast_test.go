@@ -1,0 +1,243 @@
+package muast
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+)
+
+const prog = `
+int gv = 3;
+int add3(int a, int b, int c) { return a + b + c; }
+int twice(int x) { return x * 2; }
+int main(void) {
+    int r = add3(1, 2, 3);
+    r += twice(r);
+    r = add3(r, gv, 0);
+    return r;
+}
+`
+
+func newMgr(t *testing.T, src string) *Manager {
+	t.Helper()
+	m, err := NewManager(src, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+func TestNewManagerRejectsInvalid(t *testing.T) {
+	if _, err := NewManager("int f( {", rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+	if _, err := NewManager("int f(void) { return nosuch; }",
+		rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("semantically invalid program accepted")
+	}
+}
+
+func TestQueryAPIs(t *testing.T) {
+	m := newMgr(t, prog)
+	if got := len(m.Functions()); got != 3 {
+		t.Errorf("Functions = %d, want 3", got)
+	}
+	if got := len(m.GlobalVars()); got != 1 {
+		t.Errorf("GlobalVars = %d, want 1", got)
+	}
+	if got := len(m.LocalVars(nil)); got != 1 {
+		t.Errorf("LocalVars = %d, want 1", got)
+	}
+	calls := m.Collect(cast.KindCallExpr)
+	if len(calls) != 3 {
+		t.Errorf("CallExprs = %d, want 3", len(calls))
+	}
+	var add3 *cast.FunctionDecl
+	for _, fn := range m.Functions() {
+		if fn.Name == "add3" {
+			add3 = fn
+		}
+	}
+	if got := len(m.CallsTo(add3)); got != 2 {
+		t.Errorf("CallsTo(add3) = %d, want 2", got)
+	}
+	if got := len(m.ReturnsOf(add3)); got != 1 {
+		t.Errorf("ReturnsOf(add3) = %d, want 1", got)
+	}
+}
+
+func TestGetSourceText(t *testing.T) {
+	m := newMgr(t, prog)
+	for _, fn := range m.Functions() {
+		text := m.GetSourceText(fn)
+		if !strings.Contains(text, fn.Name) {
+			t.Errorf("source text of %s does not contain its name: %q",
+				fn.Name, text)
+		}
+	}
+}
+
+func TestRemoveParmFromFuncDecl(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		parm int
+		want string
+	}{
+		{"middle", "int f(int a, int b, int c) { return a + c; }", 1,
+			"int f(int a, int c)"},
+		{"last", "int f(int a, int b) { return a; }", 1, "int f(int a)"},
+		{"first", "int f(int a, int b) { return b; }", 0, "int f(int b)"},
+		{"only", "int f(int a) { return 0; }", 0, "int f(void)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMgr(t, tc.src)
+			fn := m.Functions()[0]
+			if !m.RemoveParmFromFuncDecl(fn, fn.Params[tc.parm]) {
+				t.Fatal("removal failed")
+			}
+			out := m.Apply()
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("got %q, want substring %q", out, tc.want)
+			}
+			if _, err := cast.ParseAndCheck(out); err != nil {
+				t.Fatalf("mutant does not compile: %v\n%s", err, out)
+			}
+		})
+	}
+}
+
+func TestRemoveArgFromExpr(t *testing.T) {
+	src := "int g(int a, int b, int c); int main(void) { return g(1, 2, 3); }"
+	for idx, want := range map[int]string{
+		0: "g(2, 3)", 1: "g(1, 3)", 2: "g(1, 2)",
+	} {
+		m := newMgr(t, src)
+		call := m.Collect(cast.KindCallExpr)[0].(*cast.CallExpr)
+		if !m.RemoveArgFromExpr(call, idx) {
+			t.Fatalf("remove arg %d failed", idx)
+		}
+		if out := m.Apply(); !strings.Contains(out, want) {
+			t.Errorf("remove arg %d: got %q, want %q", idx, out, want)
+		}
+	}
+	m := newMgr(t, src)
+	call := m.Collect(cast.KindCallExpr)[0].(*cast.CallExpr)
+	if m.RemoveArgFromExpr(call, 5) {
+		t.Error("out-of-range arg removal succeeded")
+	}
+}
+
+func TestGenerateUniqueName(t *testing.T) {
+	m := newMgr(t, prog)
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		n := m.GenerateUniqueName("tmp")
+		if seen[n] {
+			t.Fatalf("duplicate generated name %q", n)
+		}
+		if strings.Contains(prog, n) {
+			t.Fatalf("generated name %q collides with program identifier", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestIsSideEffectFree(t *testing.T) {
+	m := newMgr(t, `
+int g(void);
+int main(void) {
+    int a = 1;
+    int pure = a + 2 * 3;
+    int impure1 = g();
+    int impure2 = a++;
+    int impure3 = (a = 5);
+    return pure + impure1 + impure2 + impure3;
+}
+`)
+	vars := m.LocalVars(nil)
+	got := map[string]bool{}
+	for _, vd := range vars {
+		if vd.Init != nil {
+			got[vd.Name] = m.IsSideEffectFree(vd.Init)
+		}
+	}
+	want := map[string]bool{
+		"a": true, "pure": true,
+		"impure1": false, "impure2": false, "impure3": false,
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("IsSideEffectFree(init of %s) = %v, want %v",
+				name, got[name], w)
+		}
+	}
+}
+
+func TestUsesOf(t *testing.T) {
+	m := newMgr(t, prog)
+	gv := m.GlobalVars()[0]
+	uses := m.UsesOf(gv)
+	if len(uses) != 1 {
+		t.Fatalf("uses of gv = %d, want 1", len(uses))
+	}
+}
+
+func TestRegistryRejectsBadEntries(t *testing.T) {
+	for _, info := range []Info{
+		{},
+		{Name: "X"},
+		{Name: "X", Description: "d"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%+v) did not panic", info)
+				}
+			}()
+			Register(info)
+		}()
+	}
+}
+
+func TestIndentOf(t *testing.T) {
+	m := newMgr(t, "int main(void) {\n    int x = 1;\n\treturn x;\n}")
+	decl := m.LocalVars(nil)[0]
+	if got := m.IndentOf(decl.Range().Begin); got != "    " {
+		t.Errorf("IndentOf = %q, want 4 spaces", got)
+	}
+}
+
+// TestQuickApplyAlwaysParseable: replacing any expression with a same-type
+// default through the Manager keeps the program parseable.
+func TestQuickApplyAlwaysParseable(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewManager(prog, rng)
+		if err != nil {
+			return false
+		}
+		exprs := m.Exprs(nil, func(e cast.Expr) bool {
+			return e.Type().IsInteger()
+		})
+		if len(exprs) == 0 {
+			return true
+		}
+		e := exprs[rng.Intn(len(exprs))]
+		// Only replace expressions not used as lvalues.
+		m.ReplaceNode(e, "(0)")
+		out := m.Apply()
+		_, perr := cast.Parse(out)
+		if perr != nil {
+			t.Logf("unparseable after replace: %v\n%s", perr, out)
+		}
+		return perr == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,142 @@
+package muast
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Category classifies mutators by their target program structure,
+// following Section 4.1 of the paper: Variable (16), Expression (50),
+// Statement (27), Function (19) and Type (6).
+type Category int
+
+// Mutator categories.
+const (
+	CatVariable Category = iota
+	CatExpression
+	CatStatement
+	CatFunction
+	CatType
+)
+
+var categoryNames = [...]string{
+	CatVariable: "Variable", CatExpression: "Expression",
+	CatStatement: "Statement", CatFunction: "Function", CatType: "Type",
+}
+
+// String returns the category name.
+func (c Category) String() string { return categoryNames[c] }
+
+// Set identifies which generation campaign produced a mutator.
+type Set int
+
+// Mutator sets: the 68 supervised mutators (M_s) came from two weeks of
+// interactive prompt refinement; the 50 unsupervised ones (M_u) from 100
+// fully-automatic MetaMut invocations.
+const (
+	Supervised Set = iota
+	Unsupervised
+)
+
+// String returns "supervised" or "unsupervised".
+func (s Set) String() string {
+	if s == Supervised {
+		return "supervised"
+	}
+	return "unsupervised"
+}
+
+// MutateFunc is a mutator implementation: collect mutation instances,
+// select one, check validity, rewrite. It returns true when the program
+// changed (template Step 6).
+type MutateFunc func(m *Manager) bool
+
+// Info is a mutator's registry entry.
+type Info struct {
+	Name        string
+	Description string
+	Category    Category
+	Set         Set
+	// Creative marks mutators that do not strictly follow the
+	// "[Action] on [Program Structure]" template (33 of 118).
+	Creative bool
+	Fn       MutateFunc
+}
+
+// Mutator is a registered mutator bound to its metadata; applying it to a
+// program is the fundamental small-step of the fuzzer's search space.
+type Mutator struct{ Info }
+
+// Apply runs the mutator over src and returns the mutant. ok is false
+// when the mutator found no applicable mutation instance, or src failed
+// to parse. A returned mutant is NOT guaranteed to be compilable — that
+// is the fuzzer's and the validation loop's job to determine.
+func (mu *Mutator) Apply(src string, mgr *Manager) (mutant string, ok bool) {
+	if !mu.Fn(mgr) || !mgr.Changed() {
+		return "", false
+	}
+	return mgr.Apply(), true
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Mutator{}
+)
+
+// Register adds a mutator to the global registry. It panics on duplicate
+// names or missing fields — registration happens at init time and a bad
+// entry is a programming error.
+func Register(info Info) {
+	if info.Name == "" || info.Description == "" || info.Fn == nil {
+		panic(fmt.Sprintf("muast: incomplete mutator registration %+v", info))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic("muast: duplicate mutator " + info.Name)
+	}
+	registry[info.Name] = &Mutator{Info: info}
+}
+
+// Lookup returns the named mutator.
+func Lookup(name string) (*Mutator, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	mu, ok := registry[name]
+	return mu, ok
+}
+
+// All returns every registered mutator, sorted by name.
+func All() []*Mutator {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Mutator, 0, len(registry))
+	for _, mu := range registry {
+		out = append(out, mu)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// BySet returns the mutators of one generation campaign, sorted by name.
+func BySet(s Set) []*Mutator {
+	var out []*Mutator
+	for _, mu := range All() {
+		if mu.Set == s {
+			out = append(out, mu)
+		}
+	}
+	return out
+}
+
+// ByCategory returns the mutators of one category, sorted by name.
+func ByCategory(c Category) []*Mutator {
+	var out []*Mutator
+	for _, mu := range All() {
+		if mu.Category == c {
+			out = append(out, mu)
+		}
+	}
+	return out
+}

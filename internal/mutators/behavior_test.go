@@ -1,0 +1,596 @@
+package mutators
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/muast"
+)
+
+// applyOn applies the named mutator to src with the given seed and
+// returns the mutant; it fails the test when the mutator does not apply.
+func applyOn(t *testing.T, name, src string, seed int64) string {
+	t.Helper()
+	mu, ok := muast.Lookup(name)
+	if !ok {
+		t.Fatalf("mutator %s not registered", name)
+	}
+	mgr, err := muast.NewManager(src, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	mutant, applied := mu.Apply(src, mgr)
+	if !applied {
+		t.Fatalf("%s did not apply to fixture", name)
+	}
+	return mutant
+}
+
+// tryApply is applyOn without the must-apply requirement.
+func tryApply(t *testing.T, name, src string, seed int64) (string, bool) {
+	t.Helper()
+	mu, ok := muast.Lookup(name)
+	if !ok {
+		t.Fatalf("mutator %s not registered", name)
+	}
+	mgr, err := muast.NewManager(src, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("fixture invalid: %v", err)
+	}
+	return mu.Apply(src, mgr)
+}
+
+// TestRet2VBehavior replays the paper's Figure 3-5 walkthrough: the
+// return type becomes void, the return statements disappear, and the
+// call-site use is replaced by a constant.
+func TestRet2VBehavior(t *testing.T) {
+	src := `
+unsigned foo(int x, int y) {
+    if (x > y) goto gt;
+    return 0x01234567;
+gt:
+    return 0x12345678;
+}
+int main(void) {
+    int r = (int)foo(1, 2);
+    return r;
+}
+`
+	out := applyOn(t, "ModifyFunctionReturnTypeToVoid", src, 1)
+	if !strings.Contains(out, "void foo") {
+		t.Errorf("return type not rewritten to void:\n%s", out)
+	}
+	if strings.Contains(out, "return 0x01234567") ||
+		strings.Contains(out, "return 0x12345678") {
+		t.Errorf("return statements survived:\n%s", out)
+	}
+	if strings.Contains(out, "foo(1, 2)") && !strings.Contains(out, "= 0") {
+		t.Errorf("call-site result use not replaced:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("Ret2V mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestSwitchInitExprSwapsInits(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 11;
+    int b = 22;
+    return a + b;
+}
+`
+	out := applyOn(t, "SwitchInitExpr", src, 1)
+	if !strings.Contains(out, "a = 22") || !strings.Contains(out, "b = 11") {
+		t.Errorf("initializers not swapped:\n%s", out)
+	}
+}
+
+func TestInverseUnaryOperatorForms(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 5;
+    int m = -a;
+    return m;
+}
+`
+	out := applyOn(t, "InverseUnaryOperator", src, 1)
+	if !strings.Contains(out, "-(-(") {
+		t.Errorf("-a not inverted to -(-a):\n%s", out)
+	}
+	src2 := `
+int main(void) {
+    int a = 5;
+    int n = !a;
+    return n;
+}
+`
+	out2 := applyOn(t, "InverseUnaryOperator", src2, 1)
+	if !strings.Contains(out2, "!!") {
+		t.Errorf("!a not inverted to !!a:\n%s", out2)
+	}
+}
+
+func TestDuplicateBranchCopiesOneArm(t *testing.T) {
+	src := `
+int main(void) {
+    int x = 3;
+    if (x > 1) { x = 100; } else { x = 200; }
+    return x;
+}
+`
+	out := applyOn(t, "DuplicateBranch", src, 1)
+	c100 := strings.Count(out, "x = 100")
+	c200 := strings.Count(out, "x = 200")
+	if !(c100 == 2 && c200 == 0) && !(c100 == 0 && c200 == 2) {
+		t.Errorf("branches not duplicated (100s=%d, 200s=%d):\n%s", c100, c200, out)
+	}
+}
+
+func TestTransformSwitchToIfElse(t *testing.T) {
+	src := `
+int classify(int v) {
+    int out = 0;
+    switch (v) {
+    case 0: out = 10; break;
+    case 1: out = 20; break;
+    default: out = 30; break;
+    }
+    return out;
+}
+int main(void) { return classify(1); }
+`
+	out := applyOn(t, "TransformSwitchToIfElse", src, 1)
+	if strings.Contains(out, "switch") {
+		t.Errorf("switch survived:\n%s", out)
+	}
+	if strings.Count(out, "if (") < 2 || !strings.Contains(out, "else") {
+		t.Errorf("no if-else chain emitted:\n%s", out)
+	}
+	for _, frag := range []string{"out = 10", "out = 20", "out = 30"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("arm %q lost:\n%s", frag, out)
+		}
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("if-else mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestExpandCompoundAssignment(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 1;
+    a += 5;
+    return a;
+}
+`
+	out := applyOn(t, "ExpandCompoundAssignment", src, 1)
+	if !strings.Contains(out, "a = a + (5)") {
+		t.Errorf("a += 5 not expanded:\n%s", out)
+	}
+}
+
+func TestContractToCompoundAssignment(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 1;
+    a = a + 5;
+    return a;
+}
+`
+	out := applyOn(t, "ContractToCompoundAssignment", src, 1)
+	if !strings.Contains(out, "a += 5") {
+		t.Errorf("a = a + 5 not contracted:\n%s", out)
+	}
+}
+
+func TestApplyDeMorgan(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 1;
+    int b = 0;
+    if (a && b) { return 1; }
+    return 0;
+}
+`
+	out := applyOn(t, "ApplyDeMorgan", src, 1)
+	if !strings.Contains(out, "!(!(") || !strings.Contains(out, "||") {
+		t.Errorf("De Morgan not applied:\n%s", out)
+	}
+}
+
+func TestStrengthReduceMul(t *testing.T) {
+	src := `
+int main(void) {
+    int x = 3;
+    int y = x * 8;
+    return y;
+}
+`
+	out := applyOn(t, "StrengthReduceMul", src, 1)
+	if !strings.Contains(out, "<< 3") {
+		t.Errorf("x * 8 not reduced to shift:\n%s", out)
+	}
+}
+
+func TestReplaceSubscriptWithDeref(t *testing.T) {
+	src := `
+int a[4];
+int main(void) {
+    a[2] = 7;
+    return a[2];
+}
+`
+	out := applyOn(t, "ReplaceSubscriptWithDeref", src, 1)
+	if !strings.Contains(out, "*((a) + (2))") {
+		t.Errorf("subscript not rewritten:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("deref mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestSwapSubscriptBaseStaysValid(t *testing.T) {
+	src := `
+int a[4];
+int main(void) {
+    return a[2];
+}
+`
+	out := applyOn(t, "SwapSubscriptBase", src, 1)
+	if !strings.Contains(out, "(2)[a]") {
+		t.Errorf("a[2] not commuted to 2[a]:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("commuted subscript invalid: %v\n%s", err, out)
+	}
+}
+
+func TestRemoveFunctionParameterUpdatesCallSites(t *testing.T) {
+	src := `
+int f(int used, int unused) { return used; }
+int main(void) { return f(1, 2); }
+`
+	out := applyOn(t, "RemoveFunctionParameter", src, 1)
+	if strings.Contains(out, "unused") {
+		t.Errorf("unused parameter survived:\n%s", out)
+	}
+	if !strings.Contains(out, "f(1)") {
+		t.Errorf("call site not updated:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestAddFunctionParameterUpdatesCallSites(t *testing.T) {
+	src := `
+int f(int a) { return a; }
+int main(void) { return f(1) + f(2); }
+`
+	out := applyOn(t, "AddFunctionParameter", src, 1)
+	re := regexp.MustCompile(`f\(1, 0\)`)
+	if !re.MatchString(out) {
+		t.Errorf("call sites not extended with default arg:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestRenameFunctionRenamesUses(t *testing.T) {
+	src := `
+int helper(int a) { return a; }
+int main(void) { return helper(1) + helper(2); }
+`
+	out := applyOn(t, "RenameFunction", src, 1)
+	if strings.Contains(out, "helper(1)") {
+		t.Errorf("call sites kept the old name:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestChangeParamScopeMovesParameter(t *testing.T) {
+	src := `
+void f(int n) {
+    while (n > 0) { n--; }
+}
+int main(void) { return 0; }
+`
+	out := applyOn(t, "ChangeParamScope", src, 1)
+	if !strings.Contains(out, "f(void)") && !strings.Contains(out, "f()") {
+		t.Errorf("parameter not removed from signature:\n%s", out)
+	}
+	if !strings.Contains(out, "int n = 0;") {
+		t.Errorf("local declaration with default init missing:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestDecaySmallStruct(t *testing.T) {
+	src := `
+struct s2 { int a; int b; };
+int main(void) {
+    struct s2 v;
+    v.a = 1;
+    v.b = 2;
+    return v.a + v.b;
+}
+`
+	out := applyOn(t, "DecaySmallStruct", src, 1)
+	if !strings.Contains(out, "long long combinedVar") {
+		t.Errorf("combined storage missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(char *)&combinedVar") {
+		t.Errorf("member access not rewritten to pointer arithmetic:\n%s", out)
+	}
+	if !strings.Contains(out, "+ 4") {
+		t.Errorf("second field's offset missing:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestStructToIntRequiresUnusedVar(t *testing.T) {
+	used := `
+struct s { int a; };
+int main(void) {
+    struct s v;
+    v.a = 1;
+    return v.a;
+}
+`
+	if _, ok := tryApply(t, "StructToInt", used, 1); ok {
+		t.Error("StructToInt applied to a used struct variable")
+	}
+	unused := `
+struct s { int a; };
+int main(void) {
+    struct s v;
+    return 0;
+}
+`
+	out, ok := tryApply(t, "StructToInt", unused, 1)
+	if !ok {
+		t.Fatal("StructToInt did not apply to unused struct variable")
+	}
+	if !strings.Contains(out, "int v;") {
+		t.Errorf("type not rewritten:\n%s", out)
+	}
+}
+
+func TestSimpleUninlinerOutlinesStatement(t *testing.T) {
+	src := `
+int g0;
+int seven(void) { return 7; }
+int main(void) {
+    g0 = seven();
+    return g0;
+}
+`
+	out := applyOn(t, "SimpleUninliner", src, 1)
+	if !strings.Contains(out, "static void uninlined") {
+		t.Errorf("no helper emitted:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestForToWhilePreservesPieces(t *testing.T) {
+	src := `
+int main(void) {
+    int s = 0;
+    int i;
+    for (i = 0; i < 5; i++) { s += i; }
+    return s;
+}
+`
+	out := applyOn(t, "ForToWhile", src, 1)
+	if strings.Contains(out, "for (") {
+		t.Errorf("for loop survived:\n%s", out)
+	}
+	for _, frag := range []string{"while (i < 5)", "i = 0", "i++", "s += i"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("piece %q lost:\n%s", frag, out)
+		}
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestMergeNestedIf(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 1;
+    int b = 2;
+    if (a > 0) { if (b > 1) { return 9; } }
+    return 0;
+}
+`
+	out := applyOn(t, "MergeNestedIf", src, 1)
+	if !strings.Contains(out, "&&") {
+		t.Errorf("conditions not conjoined:\n%s", out)
+	}
+	if strings.Count(out, "if (") != 1 {
+		t.Errorf("nested ifs survived:\n%s", out)
+	}
+}
+
+func TestCaseFallthroughToggleRemovesBreak(t *testing.T) {
+	src := `
+int main(void) {
+    int x = 1;
+    switch (x) {
+    case 0: x = 10; break;
+    case 1: x = 20; break;
+    default: x = 30; break;
+    }
+    return x;
+}
+`
+	out := applyOn(t, "CaseFallthroughToggle", src, 1)
+	if strings.Count(out, "break;") >= strings.Count(src, "break;") {
+		t.Errorf("no break removed:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestConditionAlwaysFalseNeutralizesBranch(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 1;
+    if (a > 0) { a = 2; }
+    return a;
+}
+`
+	out := applyOn(t, "ConditionAlwaysFalse", src, 1)
+	if !strings.Contains(out, "&& 0") {
+		t.Errorf("condition not strengthened:\n%s", out)
+	}
+}
+
+func TestMakeParamsConstOnlyReadOnly(t *testing.T) {
+	src := `
+int f(int readOnly, int mutated) {
+    mutated = mutated + 1;
+    return readOnly + mutated;
+}
+int main(void) { return f(1, 2); }
+`
+	out := applyOn(t, "MakeParamsConst", src, 1)
+	if !strings.Contains(out, "const int readOnly") {
+		t.Errorf("read-only parameter not const-qualified:\n%s", out)
+	}
+	if strings.Contains(out, "const int mutated") {
+		t.Errorf("written parameter const-qualified:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestVarToArrayRewritesUses(t *testing.T) {
+	src := `
+int main(void) {
+    int v = 5;
+    v = v + 1;
+    return v;
+}
+`
+	out := applyOn(t, "VarToArray", src, 1)
+	if !strings.Contains(out, "v[1]") || !strings.Contains(out, "v[0]") {
+		t.Errorf("array conversion incomplete:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestInsertForwardGotoIsWellFormed(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 1;
+    a = a + 1;
+    return a;
+}
+`
+	out := applyOn(t, "InsertForwardGoto", src, 1)
+	if !strings.Contains(out, "goto skip") || !strings.Contains(out, "skip_") {
+		t.Errorf("forward goto not inserted:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestChangeBinaryOperatorTypeSafety(t *testing.T) {
+	// With doubles in play, only float-compatible replacements may be
+	// chosen — never % or shifts.
+	src := `
+int main(void) {
+    double d = 1.5;
+    double e = d + 2.5;
+    return (int)e;
+}
+`
+	for seed := int64(0); seed < 20; seed++ {
+		out, ok := tryApply(t, "ChangeBinaryOperator", src, seed)
+		if !ok {
+			continue
+		}
+		if _, err := cast.ParseAndCheck(out); err != nil {
+			t.Fatalf("seed %d produced invalid operator swap: %v\n%s",
+				seed, err, out)
+		}
+	}
+}
+
+func TestRemoveElseBranch(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 1;
+    if (a > 0) { a = 2; } else { a = 3; }
+    return a;
+}
+`
+	out := applyOn(t, "RemoveElseBranch", src, 1)
+	if strings.Contains(out, "else") || strings.Contains(out, "a = 3") {
+		t.Errorf("else branch survived:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestCombineVariableRewritesAllUses(t *testing.T) {
+	src := `
+int gx;
+int main(void) {
+    gx = 4;
+    return gx + 1;
+}
+`
+	out := applyOn(t, "CombineVariable", src, 1)
+	if !strings.Contains(out, "long long combinedVar") {
+		t.Errorf("combined variable missing:\n%s", out)
+	}
+	if regexp.MustCompile(`\bgx\b`).MatchString(out) {
+		t.Errorf("raw reference to combined variable survived:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}
+
+func TestHoistDeclToTop(t *testing.T) {
+	src := `
+int main(void) {
+    int a = 1;
+    a = a + 1;
+    int late = a * 2;
+    return late;
+}
+`
+	out := applyOn(t, "HoistDeclToTop", src, 1)
+	declPos := strings.Index(out, "int late;")
+	assignPos := strings.Index(out, "late = a * 2;")
+	if declPos < 0 || assignPos < 0 || declPos > assignPos {
+		t.Errorf("declaration not hoisted above its assignment:\n%s", out)
+	}
+	if _, err := cast.ParseAndCheck(out); err != nil {
+		t.Fatalf("mutant invalid: %v\n%s", err, out)
+	}
+}

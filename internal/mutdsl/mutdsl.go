@@ -1,0 +1,326 @@
+// Package mutdsl defines the small mutation language that the (simulated)
+// LLM emits when MetaMut asks it to synthesize a mutator implementation.
+// A mutdsl program is the Go-side analogue of the C++ mutator class the
+// paper's template (Figure 2) produces: select nodes of a target kind,
+// check applicability, and perform a rewrite built from μAST operations.
+//
+// The DSL has its own compiler (well-formedness checker) and interpreter,
+// so MetaMut's validation goal #1 ("μ compiles") is a real check with
+// real error messages, and goals #2-#6 are observed by actually running
+// the synthesized mutator over test programs.
+package mutdsl
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/muast"
+)
+
+// OpKind enumerates the rewrite operations a synthesized mutator may
+// perform on its selected node.
+type OpKind int
+
+// Rewrite operations.
+const (
+	OpReplaceWithText OpKind = iota // replace node with literal text
+	OpWrapText                      // replace node with Pre + text + Post
+	OpDeleteNode                    // delete the node's text
+	OpInsertBefore                  // insert Text before the node
+	OpInsertAfter                   // insert Text after the node
+	OpDuplicateAfter                // insert a copy of the node after it
+	OpSwapWithSibling               // swap text with another node of the same kind
+	OpReplaceWithCopy               // replace with a copy of another same-kind node
+)
+
+var opKindNames = [...]string{
+	"ReplaceWithText", "WrapText", "DeleteNode", "InsertBefore",
+	"InsertAfter", "DuplicateAfter", "SwapWithSibling", "ReplaceWithCopy",
+}
+
+// String returns the op name.
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Step is one rewrite action of a synthesized mutator.
+type Step struct {
+	Op OpKind
+	// Pre/Post wrap the node's own text for OpWrapText; Text is the
+	// literal payload for replace/insert ops.
+	Pre, Post, Text string
+}
+
+// Program is a synthesized mutator implementation: collect all nodes of
+// TargetKind (template Step 2), pick one at random (Step 3), verify
+// applicability (Step 4), then run the rewrite steps (Step 5).
+type Program struct {
+	Name        string
+	Description string
+	// TargetKind is the node kind the visitor collects.
+	TargetKind cast.NodeKind
+	// RequireSideEffectFree gates the mutation on a semantic check.
+	RequireSideEffectFree bool
+	// Steps are applied to the selected node in order.
+	Steps []Step
+
+	// The following fields model the defect classes the validation-
+	// refinement loop repairs (Table 1). They are set by the simulated
+	// LLM's fault injection and cleared by successful repairs.
+
+	// SyntaxErr, when non-empty, makes Compile fail with this message
+	// (goal #1 violation).
+	SyntaxErr string
+	// HangBug makes the mutator loop forever on inputs containing the
+	// target kind (goal #2).
+	HangBug bool
+	// CrashBug makes the mutator panic when the target list is empty
+	// (goal #3: a missing emptiness check).
+	CrashBug bool
+	// NoOutputBug makes the mutator return without writing anything
+	// (goal #4).
+	NoOutputBug bool
+	// NoRewriteBug makes the mutator "report success" without recording
+	// any edit (goal #5).
+	NoRewriteBug bool
+	// BadMutantBug skips the applicability checks so emitted mutants
+	// frequently fail to compile (goal #6).
+	BadMutantBug bool
+}
+
+// Clone returns a deep copy (Steps shared copy-on-write is avoided).
+func (p *Program) Clone() *Program {
+	cp := *p
+	cp.Steps = append([]Step(nil), p.Steps...)
+	return &cp
+}
+
+// CompileError is a DSL compilation diagnostic (validation goal #1).
+type CompileError struct{ Msg string }
+
+func (e *CompileError) Error() string { return "mutator compile error: " + e.Msg }
+
+// Compile checks the program's well-formedness, mirroring "clang++ -c
+// Mutator.cpp" in the paper's loop. It returns the executable mutator.
+func Compile(p *Program) (*Executable, error) {
+	if p.SyntaxErr != "" {
+		return nil, &CompileError{Msg: p.SyntaxErr}
+	}
+	if p.Name == "" {
+		return nil, &CompileError{Msg: "mutator class has no name"}
+	}
+	if p.TargetKind.String() == "UnknownNode" {
+		return nil, &CompileError{Msg: "unknown AST node kind in visitor"}
+	}
+	if len(p.Steps) == 0 {
+		return nil, &CompileError{Msg: "mutate() has no rewrite steps"}
+	}
+	for i, s := range p.Steps {
+		switch s.Op {
+		case OpReplaceWithText, OpInsertBefore, OpInsertAfter:
+			if s.Text == "" {
+				return nil, &CompileError{
+					Msg: fmt.Sprintf("step %d: %s requires text", i, s.Op)}
+			}
+		case OpWrapText:
+			if s.Pre == "" && s.Post == "" {
+				return nil, &CompileError{
+					Msg: fmt.Sprintf("step %d: WrapText requires pre or post", i)}
+			}
+		}
+	}
+	return &Executable{prog: p}, nil
+}
+
+// Executable is a compiled DSL mutator.
+type Executable struct {
+	prog *Program
+}
+
+// Outcome describes one application of a synthesized mutator to a test
+// program, observed by the validation loop.
+type Outcome struct {
+	// Hang / Crash report goal #2 / #3 violations (detected, not real).
+	Hang  bool
+	Crash bool
+	// CrashMsg carries the simulated stack trace line.
+	CrashMsg string
+	// Output is the produced mutant; Wrote is false when the mutator
+	// produced no output at all (goal #4).
+	Output string
+	Wrote  bool
+	// Changed is true when Output differs from the input (goal #5).
+	Changed bool
+}
+
+// Apply runs the mutator over src. It never actually hangs or panics —
+// injected defects are reported through the Outcome, the way MetaMut's
+// sandboxed runner observes timeouts and crashes.
+func (e *Executable) Apply(src string, rng *rand.Rand) Outcome {
+	p := e.prog
+	mgr, err := muast.NewManager(src, rng)
+	if err != nil {
+		// The test program itself must be valid; treat as no-op.
+		return Outcome{Wrote: true, Output: src}
+	}
+	nodes := cast.CollectKind(mgr.TU, p.TargetKind)
+	if p.HangBug && len(nodes) > 0 {
+		return Outcome{Hang: true}
+	}
+	if len(nodes) == 0 {
+		if p.CrashBug {
+			return Outcome{Crash: true,
+				CrashMsg: "SIGSEGV in " + p.Name + "::mutate() (empty instance vector)"}
+		}
+		return Outcome{Wrote: true, Output: src, Changed: false}
+	}
+	if p.NoOutputBug {
+		return Outcome{Wrote: false}
+	}
+	if p.NoRewriteBug {
+		return Outcome{Wrote: true, Output: src, Changed: false}
+	}
+	// Select a mutation instance (template Step 3), honoring the
+	// applicability checks (Step 4): like a real mutator, candidates that
+	// fail the check are skipped, not fatal. BadMutantBug skips the
+	// checks entirely.
+	var node cast.Node
+	for _, i := range rng.Perm(len(nodes)) {
+		cand := nodes[i]
+		if !p.BadMutantBug && p.RequireSideEffectFree {
+			if expr, ok := cand.(cast.Expr); ok && !mgr.IsSideEffectFree(expr) {
+				continue
+			}
+		}
+		node = cand
+		break
+	}
+	if node == nil {
+		return Outcome{Wrote: true, Output: src, Changed: false}
+	}
+	for _, s := range p.Steps {
+		e.applyStep(mgr, node, nodes, s, rng)
+	}
+	if p.BadMutantBug {
+		corruptNear(mgr, node)
+	}
+	out := mgr.Apply()
+	return Outcome{Wrote: true, Output: out, Changed: out != src}
+}
+
+// corruptNear models the dominant real-world mutator defect ("creates
+// compile-error mutants", Table 1 row #6): a rewrite with an off-by-one
+// source range that eats an adjacent token. It deletes the first
+// non-space character after the node.
+func corruptNear(mgr *muast.Manager, node cast.Node) {
+	src := mgr.RW.Source()
+	for i := node.Range().End; i < len(src); i++ {
+		c := src[i]
+		if c == ' ' || c == '\t' || c == '\n' {
+			continue
+		}
+		mgr.ReplaceRange(cast.SourceRange{Begin: i, End: i + 1}, "")
+		return
+	}
+	// Node at EOF: eat the character before it instead.
+	if b := node.Range().Begin; b > 0 {
+		mgr.ReplaceRange(cast.SourceRange{Begin: b - 1, End: b}, "")
+	}
+}
+
+func (e *Executable) applyStep(mgr *muast.Manager, node cast.Node,
+	all []cast.Node, s Step, rng *rand.Rand) {
+	txt := mgr.GetSourceText(node)
+	switch s.Op {
+	case OpReplaceWithText:
+		mgr.ReplaceNode(node, s.Text)
+	case OpWrapText:
+		mgr.ReplaceNode(node, s.Pre+txt+s.Post)
+	case OpDeleteNode:
+		// Statements need a placeholder semicolon to stay parseable;
+		// expressions are replaced by a neutral literal.
+		if _, isStmt := node.(cast.Stmt); isStmt {
+			mgr.ReplaceNode(node, ";")
+		} else {
+			mgr.ReplaceNode(node, "0")
+		}
+	case OpInsertBefore:
+		mgr.InsertBefore(node, s.Text)
+	case OpInsertAfter:
+		mgr.InsertAfter(node, s.Text)
+	case OpDuplicateAfter:
+		if _, isStmt := node.(cast.Stmt); isStmt {
+			mgr.InsertAfter(node, " "+txt)
+		} else {
+			mgr.ReplaceNode(node, "("+txt+" + "+txt+")")
+		}
+	case OpSwapWithSibling, OpReplaceWithCopy:
+		var other cast.Node
+		for _, cand := range all {
+			if cand != node && !cand.Range().Contains(node.Range()) &&
+				!node.Range().Contains(cand.Range()) {
+				other = cand
+				break
+			}
+		}
+		if other == nil {
+			return
+		}
+		otherTxt := mgr.GetSourceText(other)
+		if s.Op == OpSwapWithSibling {
+			mgr.ReplaceNode(node, otherTxt)
+			mgr.ReplaceNode(other, txt)
+		} else {
+			mgr.ReplaceNode(node, otherTxt)
+		}
+	}
+}
+
+// SafeStepsFor returns a rewrite guaranteed to keep mutants of the given
+// node kind compilable — the shape a correct implementation converges to.
+func SafeStepsFor(k cast.NodeKind) []Step {
+	switch k {
+	case cast.KindCompoundStmt:
+		// A compound statement may be a function body, where an if-wrap
+		// would be invalid; an extra brace pair is always legal.
+		return []Step{{Op: OpWrapText, Pre: "{ ", Post: " }"}}
+	case cast.KindIfStmt, cast.KindWhileStmt,
+		cast.KindDoStmt, cast.KindForStmt, cast.KindSwitchStmt,
+		cast.KindReturnStmt, cast.KindGotoStmt, cast.KindLabelStmt,
+		cast.KindCaseStmt, cast.KindExprStmt, cast.KindNullStmt,
+		cast.KindDeclStmt, cast.KindBreakStmt, cast.KindContinueStmt,
+		cast.KindDefaultStmt:
+		return []Step{{Op: OpWrapText, Pre: "if (1) { ", Post: " }"}}
+	case cast.KindFunctionDecl, cast.KindVarDecl, cast.KindParmVarDecl,
+		cast.KindFieldDecl, cast.KindRecordDecl, cast.KindEnumDecl,
+		cast.KindEnumConstantDecl, cast.KindTypedefDecl,
+		cast.KindTranslationUnit, cast.KindInitListExpr:
+		return []Step{{Op: OpInsertAfter, Text: " /* reviewed */"}}
+	default:
+		return []Step{{Op: OpWrapText, Pre: "(", Post: " + 0)"}}
+	}
+}
+
+// Render prints the program as the C++-template instantiation it stands
+// for — useful in logs and documentation.
+func (p *Program) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "class %s : public Mutator, public ASTVisitor {\n", p.Name)
+	fmt.Fprintf(&sb, "  // %s\n", p.Description)
+	fmt.Fprintf(&sb, "  bool Visit%s(%s *node); // collect instances\n",
+		p.TargetKind, p.TargetKind)
+	fmt.Fprintf(&sb, "  bool mutate() override; // %d rewrite step(s)\n",
+		len(p.Steps))
+	for i, s := range p.Steps {
+		fmt.Fprintf(&sb, "  //   step %d: %s\n", i+1, s.Op)
+	}
+	sb.WriteString("};\n")
+	fmt.Fprintf(&sb, "static RegisterMutator<%s> M(\"%s\", \"%s\");\n",
+		p.Name, p.Name, p.Description)
+	return sb.String()
+}

@@ -1,0 +1,195 @@
+package mutdsl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+)
+
+const testSrc = `
+int g0 = 4;
+int add(int a, int b) { return a + b; }
+int main(void) {
+    int x = add(1, 2);
+    int y = x * 3;
+    if (x > y) { x = y; }
+    while (y > 0) { y--; }
+    return x + y + g0;
+}
+`
+
+func compileOK(t *testing.T, p *Program) *Executable {
+	t.Helper()
+	exe, err := Compile(p)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return exe
+}
+
+func TestCompileRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+		want string
+	}{
+		{"syntax", Program{SyntaxErr: "boom", Name: "X",
+			TargetKind: cast.KindIfStmt,
+			Steps:      []Step{{Op: OpDeleteNode}}}, "boom"},
+		{"noname", Program{TargetKind: cast.KindIfStmt,
+			Steps: []Step{{Op: OpDeleteNode}}}, "no name"},
+		{"nosteps", Program{Name: "X", TargetKind: cast.KindIfStmt}, "no rewrite steps"},
+		{"emptytext", Program{Name: "X", TargetKind: cast.KindIfStmt,
+			Steps: []Step{{Op: OpReplaceWithText}}}, "requires text"},
+		{"emptywrap", Program{Name: "X", TargetKind: cast.KindIfStmt,
+			Steps: []Step{{Op: OpWrapText}}}, "requires pre or post"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile(&tc.prog)
+			if err == nil {
+				t.Fatal("compiled")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEveryOpProducesParseableMutant(t *testing.T) {
+	ops := []struct {
+		name string
+		kind cast.NodeKind
+		step Step
+	}{
+		{"wrap-expr", cast.KindBinaryOperator, Step{Op: OpWrapText, Pre: "(", Post: " + 0)"}},
+		{"wrap-stmt", cast.KindIfStmt, Step{Op: OpWrapText, Pre: "if (1) { ", Post: " }"}},
+		{"replace-lit", cast.KindIntegerLiteral, Step{Op: OpReplaceWithText, Text: "7"}},
+		{"delete-stmt", cast.KindWhileStmt, Step{Op: OpDeleteNode}},
+		{"dup-expr", cast.KindIntegerLiteral, Step{Op: OpDuplicateAfter}},
+		{"swap", cast.KindIntegerLiteral, Step{Op: OpSwapWithSibling}},
+		{"copy", cast.KindIntegerLiteral, Step{Op: OpReplaceWithCopy}},
+		{"insert-after-expr", cast.KindIntegerLiteral, Step{Op: OpInsertAfter, Text: " + 0"}},
+	}
+	for _, op := range ops {
+		t.Run(op.name, func(t *testing.T) {
+			prog := &Program{Name: "T", Description: "d",
+				TargetKind: op.kind, Steps: []Step{op.step}}
+			exe := compileOK(t, prog)
+			out := exe.Apply(testSrc, rand.New(rand.NewSource(3)))
+			if !out.Wrote {
+				t.Fatal("no output")
+			}
+			if _, err := cast.Parse(out.Output); err != nil {
+				t.Fatalf("mutant unparseable: %v\n%s", err, out.Output)
+			}
+		})
+	}
+}
+
+func TestDefectObservability(t *testing.T) {
+	base := Program{Name: "T", Description: "d",
+		TargetKind: cast.KindIfStmt,
+		Steps:      []Step{{Op: OpWrapText, Pre: "if (1) { ", Post: " }"}}}
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+	hang := base
+	hang.HangBug = true
+	if out := mustExe(t, &hang).Apply(testSrc, rng()); !out.Hang {
+		t.Error("hang not observed")
+	}
+
+	noOut := base
+	noOut.NoOutputBug = true
+	if out := mustExe(t, &noOut).Apply(testSrc, rng()); out.Wrote {
+		t.Error("no-output bug produced output")
+	}
+
+	noRewrite := base
+	noRewrite.NoRewriteBug = true
+	if out := mustExe(t, &noRewrite).Apply(testSrc, rng()); !out.Wrote || out.Changed {
+		t.Error("no-rewrite bug changed the program")
+	}
+
+	crash := base
+	crash.CrashBug = true
+	// Crash fires only when the instance vector is empty.
+	noIfs := "int main(void) { return 1; }"
+	if out := mustExe(t, &crash).Apply(noIfs, rng()); !out.Crash {
+		t.Error("crash not observed on structure-free input")
+	}
+	if out := mustExe(t, &crash).Apply(testSrc, rng()); out.Crash {
+		t.Error("crash observed although instances exist")
+	}
+
+	bad := base
+	bad.BadMutantBug = true
+	out := mustExe(t, &bad).Apply(testSrc, rng())
+	if !out.Changed {
+		t.Fatal("bad-mutant bug did not change the program")
+	}
+	if _, err := cast.ParseAndCheck(out.Output); err == nil {
+		t.Error("bad-mutant output unexpectedly compiles")
+	}
+}
+
+func mustExe(t *testing.T, p *Program) *Executable {
+	t.Helper()
+	pc := p.Clone()
+	exe, err := Compile(pc)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return exe
+}
+
+func TestSafeStepsAlwaysValid(t *testing.T) {
+	kinds := []cast.NodeKind{
+		cast.KindIfStmt, cast.KindWhileStmt, cast.KindForStmt,
+		cast.KindReturnStmt, cast.KindFunctionDecl, cast.KindVarDecl,
+		cast.KindBinaryOperator, cast.KindIntegerLiteral, cast.KindCallExpr,
+		cast.KindCompoundStmt, cast.KindExprStmt,
+	}
+	for _, k := range kinds {
+		prog := &Program{Name: "S", Description: "d", TargetKind: k,
+			Steps: SafeStepsFor(k)}
+		exe := compileOK(t, prog)
+		for seed := int64(0); seed < 5; seed++ {
+			out := exe.Apply(testSrc, rand.New(rand.NewSource(seed)))
+			if !out.Changed {
+				continue
+			}
+			if _, err := cast.ParseAndCheck(out.Output); err != nil {
+				t.Errorf("SafeStepsFor(%s) mutant invalid: %v\n%s",
+					k, err, out.Output)
+			}
+		}
+	}
+}
+
+func TestApplyOnStructureFreeInputIsNoop(t *testing.T) {
+	prog := &Program{Name: "T", Description: "d",
+		TargetKind: cast.KindSwitchStmt,
+		Steps:      []Step{{Op: OpDeleteNode}}}
+	exe := compileOK(t, prog)
+	out := exe.Apply("int main(void) { return 0; }", rand.New(rand.NewSource(1)))
+	if !out.Wrote || out.Changed {
+		t.Errorf("no-structure apply: wrote=%v changed=%v", out.Wrote, out.Changed)
+	}
+}
+
+func TestRenderMentionsTemplateParts(t *testing.T) {
+	prog := &Program{Name: "MyMutator", Description: "does things",
+		TargetKind: cast.KindIfStmt,
+		Steps:      []Step{{Op: OpDeleteNode}}}
+	r := prog.Render()
+	for _, want := range []string{"class MyMutator", "VisitIfStmt",
+		"RegisterMutator", "mutate() override"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Render missing %q:\n%s", want, r)
+		}
+	}
+}

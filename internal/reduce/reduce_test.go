@@ -1,0 +1,110 @@
+package reduce
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/compilersim"
+)
+
+// crashingProgram triggers gcc's strlen-optimization defect and carries
+// plenty of irrelevant baggage for the reducer to strip.
+const crashingProgram = `
+int unrelated_global_a = 5;
+int unrelated_global_b = 6;
+char const buffer[32];
+
+int noise1(int x) { return x * 3 + 1; }
+int noise2(int x, int y) {
+    int t = x + y;
+    if (t > 10) { t -= 5; } else { t += 5; }
+    while (t > 100) { t /= 2; }
+    return t;
+}
+
+int test4(void) { return sprintf(buffer, "%s", buffer); }
+
+int main(void) {
+    int a = noise1(3);
+    int b = noise2(a, 4);
+    if (test4() != 3) abort();
+    return a + b;
+}
+`
+
+func TestReduceCrashPreservingSignature(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	opts := compilersim.DefaultOptions()
+	res := comp.Compile(crashingProgram, opts)
+	if res.Crash == nil {
+		t.Fatalf("fixture does not crash; feats=%v", compilersim.FeatureNames(res.Feats))
+	}
+	sig := res.Crash.Signature()
+	oracle := CrashOracle(comp, opts, sig)
+
+	out := Reduce(crashingProgram, oracle, DefaultConfig())
+	if !oracle(out.Output) {
+		t.Fatal("reduced program no longer crashes with the same signature")
+	}
+	if len(out.Output) >= len(crashingProgram) {
+		t.Fatalf("no reduction achieved (%d -> %d bytes)",
+			len(crashingProgram), len(out.Output))
+	}
+	if out.Ratio(crashingProgram) > 0.6 {
+		t.Errorf("reduction ratio %.2f, want <= 0.6\n%s",
+			out.Ratio(crashingProgram), out.Output)
+	}
+	// The noise functions must be gone; the essential sprintf must stay.
+	if strings.Contains(out.Output, "noise2") {
+		t.Errorf("irrelevant function survived:\n%s", out.Output)
+	}
+	if !strings.Contains(out.Output, "sprintf") {
+		t.Errorf("essential call removed:\n%s", out.Output)
+	}
+	t.Logf("reduced %d -> %d bytes in %d passes (%d tried, %d kept):\n%s",
+		len(crashingProgram), len(out.Output), out.Passes, out.Tried,
+		out.Kept, out.Output)
+}
+
+func TestReduceRefusesNonCrashingInput(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	oracle := CrashOracle(comp, compilersim.DefaultOptions(), "nope|nope")
+	src := "int main(void) { return 0; }"
+	out := Reduce(src, oracle, DefaultConfig())
+	if out.Output != src {
+		t.Error("non-reproducing input was modified")
+	}
+	if out.Tried != 0 && out.Kept != 0 {
+		t.Error("budget spent on a non-reproducing input")
+	}
+}
+
+func TestReduceRespectsBudget(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	opts := compilersim.DefaultOptions()
+	res := comp.Compile(crashingProgram, opts)
+	if res.Crash == nil {
+		t.Skip("fixture does not crash")
+	}
+	oracle := CrashOracle(comp, opts, res.Crash.Signature())
+	cfg := Config{MaxOracleCalls: 5, MaxPasses: 2}
+	out := Reduce(crashingProgram, oracle, cfg)
+	if out.Tried > 5 {
+		t.Errorf("oracle called %d times, budget 5", out.Tried)
+	}
+}
+
+func TestReducedOutputStillParses(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	opts := compilersim.DefaultOptions()
+	res := comp.Compile(crashingProgram, opts)
+	if res.Crash == nil {
+		t.Skip("fixture does not crash")
+	}
+	oracle := CrashOracle(comp, opts, res.Crash.Signature())
+	out := Reduce(crashingProgram, oracle, DefaultConfig())
+	if _, err := cast.Parse(out.Output); err != nil {
+		t.Errorf("reduced output does not parse: %v\n%s", err, out.Output)
+	}
+}

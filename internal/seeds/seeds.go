@@ -1,0 +1,223 @@
+// Package seeds synthesizes the seed corpus that bootstraps all
+// mutation-based fuzzers, standing in for the 1,839 programs the paper
+// derives from the GCC and Clang test suites. The generator emits small,
+// deterministic, compilable C programs in the style of compiler test
+// suites: arithmetic kernels, loops over arrays, switch ladders, struct
+// and pointer manipulation, string builtins, and goto webs.
+package seeds
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// handWritten are fixed seeds mirroring well-known test-suite files,
+// including the shapes behind the paper's case-study bugs.
+var handWritten = []string{
+	// In the style of GCC test #20001226-1 (the Ret2V case study).
+	`
+unsigned foo(int x[64], int y[64]) {
+    int i;
+    unsigned s = 0;
+    for (i = 0; i < 64; i++) {
+        if (x[i] > y[i]) goto gt;
+        if (x[i] < y[i]) goto lt;
+    }
+    return 0x01234567;
+gt:
+    return 0x12345678;
+lt:
+    return 0xF0123456;
+}
+int main(void) { int a[64]; int b[64]; a[0] = 1; b[0] = 2; return (int)foo(a, b) & 1; }
+`,
+	// sprintf/strlen-optimization shape.
+	`
+static char buffer[32];
+int test4(void) { return sprintf(buffer, "%s", "bar"); }
+void main_test(void) {
+    memset(buffer, 'A', 32);
+    if (test4() != 3) abort();
+}
+int main(void) { main_test(); return 0; }
+`,
+	// Loop-nest reduction shape (the PR #111820 neighborhood).
+	`
+int r[6];
+void f(int n) {
+    while (--n) {
+        r[0] += r[5];
+        r[1] += r[0]; r[2] += r[1]; r[3] += r[2];
+        r[4] += r[3]; r[5] += r[4];
+    }
+}
+int main(void) { f(10); return r[5]; }
+`,
+	// _Complex double corner.
+	`
+_Complex double x;
+double parts(void) { return (double)x; }
+int main(void) { return parts() == 0.0 ? 0 : 1; }
+`,
+	// Struct passing and compound literals.
+	`
+struct s2 { int a; int b; };
+void foo(struct s2 *ptr) { *ptr = (struct s2){0, 0}; }
+int main(void) { struct s2 v; foo(&v); return v.a + v.b; }
+`,
+}
+
+// Generate returns n deterministic seed programs (the fixed hand-written
+// ones first, then synthesized ones from the given base seed).
+func Generate(n int, seed int64) []string {
+	out := make([]string, 0, n)
+	for _, s := range handWritten {
+		if len(out) == n {
+			return out
+		}
+		out = append(out, s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for len(out) < n {
+		out = append(out, synth(rng, len(out)))
+	}
+	return out
+}
+
+// synth builds one synthetic test program.
+func synth(rng *rand.Rand, idx int) string {
+	g := &gen{rng: rng, idx: idx}
+	switch rng.Intn(7) {
+	case 0:
+		return g.arithKernel()
+	case 1:
+		return g.arrayLoop()
+	case 2:
+		return g.switchLadder()
+	case 3:
+		return g.structGame()
+	case 4:
+		return g.gotoWeb()
+	case 5:
+		return g.stringPlay()
+	default:
+		return g.mixed()
+	}
+}
+
+type gen struct {
+	rng *rand.Rand
+	idx int
+	buf strings.Builder
+}
+
+func (g *gen) p(format string, args ...any) {
+	fmt.Fprintf(&g.buf, format, args...)
+}
+
+func (g *gen) intOp() string {
+	return []string{"+", "-", "*", "|", "&", "^"}[g.rng.Intn(6)]
+}
+
+func (g *gen) cmp() string {
+	return []string{"<", ">", "<=", ">=", "==", "!="}[g.rng.Intn(6)]
+}
+
+func (g *gen) lit() int { return g.rng.Intn(97) + 1 }
+
+func (g *gen) arithKernel() string {
+	g.p("int k%d(int a, int b, int c) {\n", g.idx)
+	g.p("    int t0 = a %s b;\n", g.intOp())
+	nv := g.rng.Intn(4) + 2
+	for i := 1; i <= nv; i++ {
+		g.p("    int t%d = t%d %s (c %s %d);\n", i, i-1, g.intOp(), g.intOp(), g.lit())
+	}
+	g.p("    if (t%d %s %d) t%d = t%d %s a;\n", nv, g.cmp(), g.lit(), nv, nv, g.intOp())
+	g.p("    return t%d;\n}\n", nv)
+	g.p("int main(void) { return k%d(%d, %d, %d) & 0xff; }\n",
+		g.idx, g.lit(), g.lit(), g.lit())
+	return g.buf.String()
+}
+
+func (g *gen) arrayLoop() string {
+	n := g.rng.Intn(24) + 8
+	g.p("int arr%d[%d];\n", g.idx, n)
+	g.p("int fill%d(int start) {\n", g.idx)
+	g.p("    int i;\n    int acc = 0;\n")
+	g.p("    for (i = 0; i < %d; i++) {\n", n)
+	g.p("        arr%d[i] = (i %s %d) %s start;\n", g.idx, g.intOp(), g.lit(), g.intOp())
+	g.p("        acc += arr%d[i];\n    }\n", g.idx)
+	if g.rng.Intn(2) == 0 {
+		g.p("    while (acc > %d) { acc -= arr%d[acc %% %d]; }\n", g.lit()*10, g.idx, n)
+	}
+	g.p("    return acc;\n}\n")
+	g.p("int main(void) { return fill%d(%d) & 0x7f; }\n", g.idx, g.lit())
+	return g.buf.String()
+}
+
+func (g *gen) switchLadder() string {
+	arms := g.rng.Intn(7) + 3
+	g.p("int classify%d(int v) {\n    int out = 0;\n    switch (v %% %d) {\n",
+		g.idx, arms+1)
+	for i := 0; i < arms; i++ {
+		g.p("    case %d: out = v %s %d; break;\n", i, g.intOp(), g.lit())
+	}
+	g.p("    default: out = -v; break;\n    }\n    return out;\n}\n")
+	g.p("int main(void) {\n    int i; int s = 0;\n")
+	g.p("    for (i = 0; i < %d; i++) s += classify%d(i);\n", arms*3, g.idx)
+	g.p("    return s & 0xff;\n}\n")
+	return g.buf.String()
+}
+
+func (g *gen) structGame() string {
+	g.p("struct node%d { int val; int weight; };\n", g.idx)
+	g.p("struct node%d pool%d[8];\n", g.idx, g.idx)
+	g.p("int tally%d(int n) {\n", g.idx)
+	g.p("    int i; int sum = 0;\n")
+	g.p("    for (i = 0; i < 8; i++) {\n")
+	g.p("        pool%d[i].val = i %s n;\n", g.idx, g.intOp())
+	g.p("        pool%d[i].weight = pool%d[i].val %s %d;\n", g.idx, g.idx, g.intOp(), g.lit())
+	g.p("        sum += pool%d[i].weight;\n    }\n", g.idx)
+	g.p("    return sum;\n}\n")
+	g.p("int main(void) { return tally%d(%d) & 0xff; }\n", g.idx, g.lit())
+	return g.buf.String()
+}
+
+func (g *gen) gotoWeb() string {
+	g.p("int walk%d(int n) {\n    int steps = 0;\n", g.idx)
+	g.p("start:\n    if (n <= 0) goto done;\n")
+	g.p("    if (n %% 2) { n = n * 3 + 1; steps++; goto check; }\n")
+	g.p("    n = n / 2; steps++;\n")
+	g.p("check:\n    if (steps > %d) goto done;\n    goto start;\n", g.lit()+20)
+	g.p("done:\n    return steps;\n}\n")
+	g.p("int main(void) { return walk%d(%d); }\n", g.idx, g.lit())
+	return g.buf.String()
+}
+
+func (g *gen) stringPlay() string {
+	msg := []string{"hello", "compiler", "fuzz", "abcdef", "xyz"}[g.rng.Intn(5)]
+	g.p("static char buf%d[64];\n", g.idx)
+	g.p("int build%d(void) {\n", g.idx)
+	g.p("    int n = sprintf(buf%d, \"%%s-%%d\", \"%s\", %d);\n", g.idx, msg, g.lit())
+	g.p("    if ((unsigned long)n != strlen(buf%d)) abort();\n", g.idx)
+	g.p("    return n;\n}\n")
+	g.p("int main(void) { return build%d(); }\n", g.idx)
+	return g.buf.String()
+}
+
+func (g *gen) mixed() string {
+	g.p("int gshared%d = %d;\n", g.idx, g.lit())
+	g.p("int helper%d(int a, int b) { return a %s b; }\n", g.idx, g.intOp())
+	g.p("double scale%d(double d, int k) {\n", g.idx)
+	g.p("    double out = d;\n    int i;\n")
+	g.p("    for (i = 0; i < k; i++) { out = out * 1.5 - (double)i; }\n")
+	g.p("    return out;\n}\n")
+	g.p("int main(void) {\n")
+	g.p("    int x = helper%d(gshared%d, %d);\n", g.idx, g.idx, g.lit())
+	g.p("    double d = scale%d((double)x, %d);\n", g.idx, g.rng.Intn(6)+2)
+	g.p("    if (d > 100.0) x = x %s %d; else x = -x;\n", g.intOp(), g.lit())
+	g.p("    do { x = x / 2; } while (x > %d);\n", g.lit())
+	g.p("    return x & 0xff;\n}\n")
+	return g.buf.String()
+}

@@ -1,0 +1,126 @@
+// Package metamut is the public API of the MetaMut reproduction: a
+// framework that uses a large language model to invent, synthesize, and
+// refine semantic-aware mutation operators for C programs, plus the
+// coverage-guided compiler fuzzers (μCFuzz and the macro fuzzer) that
+// consume them — a Go implementation of "The Mutators Reloaded: Fuzzing
+// Compilers with Large Language Model Generated Mutation Operators"
+// (ASPLOS 2024).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//   - mutator access and application (the 118 registered operators),
+//   - the MetaMut generation pipeline over a pluggable LLM client,
+//   - the simulated GCC/Clang compilers used as fuzzing targets,
+//   - μCFuzz, the macro fuzzer, and the four baselines,
+//   - the experiment harness reproducing the paper's tables and figures.
+//
+// See the examples/ directory for runnable walkthroughs.
+package metamut
+
+import (
+	"math/rand"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/core"
+	"github.com/icsnju/metamut-go/internal/fuzz"
+	"github.com/icsnju/metamut-go/internal/llm"
+	"github.com/icsnju/metamut-go/internal/muast"
+	_ "github.com/icsnju/metamut-go/internal/mutators" // register the 118 mutators
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+// Mutator is a registered semantic-aware mutation operator.
+type Mutator = muast.Mutator
+
+// Manager is the mutation context (parsed program + rewriter + RNG).
+type Manager = muast.Manager
+
+// Category classifies mutators (Variable/Expression/Statement/Function/Type).
+type Category = muast.Category
+
+// Set identifies the generation campaign (Supervised/Unsupervised).
+type Set = muast.Set
+
+// Re-exported category and set constants.
+const (
+	CatVariable   = muast.CatVariable
+	CatExpression = muast.CatExpression
+	CatStatement  = muast.CatStatement
+	CatFunction   = muast.CatFunction
+	CatType       = muast.CatType
+	Supervised    = muast.Supervised
+	Unsupervised  = muast.Unsupervised
+)
+
+// Mutators returns all 118 registered mutators, sorted by name.
+func Mutators() []*Mutator { return muast.All() }
+
+// MutatorsBySet returns the supervised (M_s, 68) or unsupervised
+// (M_u, 50) set.
+func MutatorsBySet(s Set) []*Mutator { return muast.BySet(s) }
+
+// LookupMutator returns the named mutator.
+func LookupMutator(name string) (*Mutator, bool) { return muast.Lookup(name) }
+
+// Mutate applies the named mutator once to the C program src using the
+// given random stream. ok is false when the mutator found no applicable
+// mutation instance or src does not compile.
+func Mutate(src, mutatorName string, rng *rand.Rand) (mutant string, ok bool) {
+	mu, found := muast.Lookup(mutatorName)
+	if !found {
+		return "", false
+	}
+	mgr, err := muast.NewManager(src, rng)
+	if err != nil {
+		return "", false
+	}
+	return mu.Apply(src, mgr)
+}
+
+// Compiler is a simulated C compiler profile used as the fuzzing target.
+type Compiler = compilersim.Compiler
+
+// CompileOptions selects optimization level and disabled passes.
+type CompileOptions = compilersim.Options
+
+// CompileResult is one compilation outcome (coverage, crash, object).
+type CompileResult = compilersim.Result
+
+// NewCompiler returns a simulated compiler; name is "gcc" or "clang".
+func NewCompiler(name string, version int) *Compiler {
+	return compilersim.New(name, version)
+}
+
+// Framework is the MetaMut generation pipeline (Figure 1).
+type Framework = core.Framework
+
+// LLMClient is the language-model interface the pipeline drives.
+type LLMClient = llm.Client
+
+// NewFramework wires the pipeline over a client; see NewSimulatedLLM.
+func NewFramework(client LLMClient, seed int64) *Framework {
+	return core.New(client, seed)
+}
+
+// NewSimulatedLLM returns the deterministic GPT-4 stand-in whose
+// behaviour is calibrated to the paper's measurements.
+func NewSimulatedLLM(seed int64) *llm.SimClient { return llm.NewSimClient(seed) }
+
+// MuCFuzz is the paper's micro coverage-guided fuzzer (Algorithm 1).
+type MuCFuzz = fuzz.MuCFuzz
+
+// MacroFuzzer is the long-running bug-hunting fuzzer (Section 3.4).
+type MacroFuzzer = fuzz.MacroFuzzer
+
+// FuzzStats is the shared fuzzing accounting (coverage, crashes, ratios).
+type FuzzStats = fuzz.Stats
+
+// NewMuCFuzz builds a μCFuzz instance over a mutator set and seed pool.
+func NewMuCFuzz(name string, comp *Compiler, mutators []*Mutator,
+	seedPool []string, rng *rand.Rand) *MuCFuzz {
+	return fuzz.NewMuCFuzz(name, comp, mutators, seedPool, rng)
+}
+
+// SeedCorpus deterministically synthesizes n compiler-test-suite-style
+// seed programs.
+func SeedCorpus(n int, seed int64) []string { return seeds.Generate(n, seed) }

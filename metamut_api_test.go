@@ -1,0 +1,82 @@
+package metamut
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPublicMutatorAccess(t *testing.T) {
+	all := Mutators()
+	if len(all) != 118 {
+		t.Fatalf("Mutators() = %d, want 118", len(all))
+	}
+	if got := len(MutatorsBySet(Supervised)); got != 68 {
+		t.Errorf("supervised = %d, want 68", got)
+	}
+	if got := len(MutatorsBySet(Unsupervised)); got != 50 {
+		t.Errorf("unsupervised = %d, want 50", got)
+	}
+	mu, ok := LookupMutator("DuplicateBranch")
+	if !ok || mu.Category != CatStatement {
+		t.Errorf("DuplicateBranch lookup failed: %v %v", ok, mu)
+	}
+	if _, ok := LookupMutator("NoSuchMutator"); ok {
+		t.Error("ghost mutator found")
+	}
+}
+
+func TestPublicMutateAndCompile(t *testing.T) {
+	src := `
+int f(int a) { return a * 2; }
+int main(void) { return f(21); }
+`
+	rng := rand.New(rand.NewSource(1))
+	mutant, ok := Mutate(src, "ModifyFunctionReturnTypeToVoid", rng)
+	if !ok {
+		t.Fatal("mutation did not apply")
+	}
+	if !strings.Contains(mutant, "void f") {
+		t.Errorf("unexpected mutant:\n%s", mutant)
+	}
+	comp := NewCompiler("gcc", 14)
+	res := comp.Compile(mutant, CompileOptions{OptLevel: 2})
+	if !res.OK && res.Crash == nil {
+		t.Errorf("mutant rejected: %v", res.Diagnostics)
+	}
+	if _, ok := Mutate("not a C program {{{", "DuplicateBranch", rng); ok {
+		t.Error("mutation applied to garbage input")
+	}
+	if _, ok := Mutate(src, "NoSuchMutator", rng); ok {
+		t.Error("unknown mutator applied")
+	}
+}
+
+func TestPublicPipeline(t *testing.T) {
+	fw := NewFramework(NewSimulatedLLM(3), 4)
+	results := fw.RunUnsupervised(5)
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestPublicFuzzing(t *testing.T) {
+	comp := NewCompiler("clang", 18)
+	f := NewMuCFuzz("t", comp, MutatorsBySet(Supervised),
+		SeedCorpus(20, 1), rand.New(rand.NewSource(2)))
+	for f.Stats().Ticks < 150 {
+		f.Step()
+	}
+	if f.Stats().Total == 0 || f.Stats().Coverage.Count() == 0 {
+		t.Error("fuzzer made no progress")
+	}
+}
+
+func TestSeedCorpusDeterministic(t *testing.T) {
+	a, b := SeedCorpus(10, 5), SeedCorpus(10, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seed corpus not deterministic")
+		}
+	}
+}
