@@ -1,0 +1,29 @@
+# Standard-library-only Go module; these targets are the full local CI.
+
+GO ?= go
+
+.PHONY: check build vet test race bench clean
+
+# check is the one-stop gate: vet, build, full test suite, then the
+# race-detector pass over the concurrency-bearing packages.
+check: vet build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The obs registry and the fuzz stats are the two shared-mutable-state
+# hot spots; they get a dedicated -race pass.
+race:
+	$(GO) test -race ./internal/obs ./internal/fuzz
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+clean:
+	$(GO) clean ./...

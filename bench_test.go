@@ -21,6 +21,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
 	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
 
@@ -312,6 +313,34 @@ func BenchmarkCompilePipeline(b *testing.B) {
 		if !res.OK {
 			b.Fatal("seed rejected")
 		}
+	}
+}
+
+// BenchmarkRecordUninstrumented / BenchmarkRecordInstrumented compare
+// the per-tick accounting cost with observability off vs. on. The
+// instrumented path pre-resolves its metric handles, so it must stay
+// within ~2x of the baseline (and allocation-free in steady state).
+func BenchmarkRecordUninstrumented(b *testing.B) {
+	benchRecord(b, false)
+}
+
+func BenchmarkRecordInstrumented(b *testing.B) {
+	benchRecord(b, true)
+}
+
+func benchRecord(b *testing.B, instrumented bool) {
+	src := seeds.Generate(10, 3)[7]
+	comp := compilersim.New("gcc", 14)
+	res := comp.Compile(src, compilersim.DefaultOptions())
+	s := fuzz.NewStats("bench")
+	if instrumented {
+		s.Instrument(obs.NewRegistry())
+	}
+	s.Record(src, "BenchMutator", res) // absorb the first-merge coverage work
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Record(src, "BenchMutator", res)
 	}
 }
 

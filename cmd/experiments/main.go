@@ -9,6 +9,10 @@
 //	experiments -run mutators       # section 4.1 registry stats
 //
 // The -steps / -invocations / -macrosteps flags scale the campaigns.
+//
+// Observability: -metrics-out/-trace-out write a final JSON metrics
+// snapshot and a JSONL span journal (one span per experiment);
+// -debug-addr serves /debug/metrics and /debug/pprof while running.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	"github.com/icsnju/metamut-go/internal/experiments"
+	"github.com/icsnju/metamut-go/internal/obs"
 )
 
 func main() {
@@ -31,9 +36,18 @@ func main() {
 		macroSteps  = flag.Int("macrosteps", 24000, "macro-fuzzer compilations per compiler")
 		seedProgs   = flag.Int("seeds", 120, "seed corpus size")
 	)
+	cli := obs.BindCLIFlags()
 	flag.Parse()
 
+	reg := obs.NewRegistry()
+	shutdown, err := cli.Activate(reg, "experiments")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	cfg := experiments.DefaultConfig()
+	cfg.Obs = reg
 	cfg.Seed = *seed
 	cfg.StepsPerFuzzer = *steps
 	cfg.Table5Steps = *table5Steps
@@ -54,7 +68,9 @@ func main() {
 		ran = true
 	}
 	if all || want["table1"] || want["table2"] || want["table3"] {
+		sp := reg.Span("campaign")
 		st := experiments.RunCampaign(cfg)
+		sp.End()
 		if all || want["table1"] {
 			fmt.Println(experiments.Table1(st))
 		}
@@ -67,7 +83,9 @@ func main() {
 		ran = true
 	}
 	if all || want["rq1"] {
+		sp := reg.Span("rq1")
 		r := experiments.RunRQ1(cfg)
+		sp.End()
 		fmt.Println(experiments.Figure7(r))
 		fmt.Println(experiments.Figure8(r))
 		fmt.Println(experiments.Figure9(r))
@@ -75,15 +93,25 @@ func main() {
 		ran = true
 	}
 	if all || want["table5"] {
-		fmt.Println(experiments.Table5(experiments.RunTable5(cfg)))
+		sp := reg.Span("table5")
+		rows := experiments.RunTable5(cfg)
+		sp.End()
+		fmt.Println(experiments.Table5(rows))
 		ran = true
 	}
 	if all || want["table6"] {
-		fmt.Println(experiments.Table6(experiments.RunTable6(cfg)))
+		sp := reg.Span("table6")
+		r := experiments.RunTable6(cfg)
+		sp.End()
+		fmt.Println(experiments.Table6(r))
 		ran = true
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
 		os.Exit(2)
+	}
+	if err := shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

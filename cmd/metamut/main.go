@@ -5,17 +5,24 @@
 //	metamut -n 20            # 20 invocations
 //	metamut -n 100 -v        # the paper's campaign size, verbose
 //	metamut -list            # list the 118 registered mutators instead
+//
+// Observability: -stats-interval N prints a live status line every N
+// invocations; -metrics-out/-trace-out write the final JSON snapshot
+// and the JSONL span journal; -debug-addr serves /debug/metrics and
+// /debug/pprof while the campaign runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"github.com/icsnju/metamut-go/internal/core"
 	"github.com/icsnju/metamut-go/internal/experiments"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
 	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/obs"
 )
 
 func main() {
@@ -27,6 +34,7 @@ func main() {
 		transcript = flag.Bool("transcript", false, "print the model chat log")
 		compound   = flag.Bool("compound", false, "allow two-action (compound) inventions — the paper's future-work template extension")
 	)
+	cli := obs.BindCLIFlags()
 	flag.Parse()
 
 	if *list {
@@ -42,10 +50,33 @@ func main() {
 		return
 	}
 
+	reg := obs.NewRegistry()
+	shutdown, err := cli.Activate(reg, "metamut")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	rec := llm.NewRecorder(llm.NewSimClient(*seed))
+	rec.Instrument(reg)
 	fw := core.New(rec, *seed+1)
+	fw.Obs = reg
 	fw.Params.AllowCompound = *compound
-	results := fw.RunUnsupervised(*n)
+
+	sp := reg.Span("campaign")
+	valid := 0
+	results := fw.RunUnsupervisedProgress(*n, func(i int, r core.Result) {
+		if r.Outcome == core.Valid {
+			valid++
+		}
+		if cli.StatsInterval > 0 && i%cli.StatsInterval == 0 {
+			u := rec.TotalUsage()
+			fmt.Printf("[stats] invocations=%-4d valid=%-4d tokens=%-8d wait=%s\n",
+				i, valid, u.TotalTokens(), u.Wait.Round(1e9))
+		}
+	})
+	sp.EndWith(map[string]any{"invocations": *n, "valid": valid})
+
 	for i, r := range results {
 		if !*verbose {
 			continue
@@ -71,6 +102,11 @@ func main() {
 	if *transcript {
 		fmt.Println("---- model transcript ----")
 		fmt.Print(rec.Render())
+	}
+
+	if err := shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -5,22 +5,58 @@
 //	mucfuzz -compiler gcc -steps 10000
 //	mucfuzz -compiler clang -set u -steps 5000
 //	mucfuzz -macro -workers 8 -steps 40000
+//
+// Observability: -stats-interval N prints a live status line every N
+// steps; -metrics-out/-trace-out write the final JSON snapshot and the
+// JSONL span journal; -debug-addr serves /debug/metrics and
+// /debug/pprof while the campaign runs.
+//
+//	mucfuzz -steps 2000 -stats-interval 500 -metrics-out m.json -trace-out t.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/fuzz"
+	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
 	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/reduce"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
+
+// statusPrinter emits the one-line live campaign status.
+type statusPrinter struct {
+	lastTime  time.Time
+	lastTicks int
+}
+
+func newStatusPrinter() *statusPrinter {
+	return &statusPrinter{lastTime: time.Now()}
+}
+
+// line prints the live status for the aggregated stats so far.
+func (p *statusPrinter) line(st *fuzz.Stats) {
+	now := time.Now()
+	dt := now.Sub(p.lastTime).Seconds()
+	rate := 0.0
+	if dt > 0 {
+		rate = float64(st.Ticks-p.lastTicks) / dt
+	}
+	fmt.Printf("[stats] ticks=%-8d ticks/s=%-8.0f edges=%-6d crashes=%-4d compilable=%.1f%%\n",
+		st.Ticks, rate, st.Coverage.Count(), st.UniqueCrashes(),
+		st.CompilableRatio())
+	p.lastTime = now
+	p.lastTicks = st.Ticks
+}
 
 func main() {
 	var (
@@ -33,14 +69,26 @@ func main() {
 		workers  = flag.Int("workers", 4, "macro-fuzzer parallel workers")
 		doReduce = flag.Bool("reduce", false, "minimize each crashing input before printing")
 	)
+	cli := obs.BindCLIFlags()
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	shutdown, err := cli.Activate(reg, "mucfuzz")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	version := 14
 	if *compiler == "clang" {
 		version = 18
 	}
 	comp := compilersim.New(*compiler, version)
+	comp.Instrument(reg)
+
+	sp := reg.Span("seed-gen")
 	pool := seeds.Generate(*nSeeds, *seed)
+	sp.End()
 
 	var mutators []*muast.Mutator
 	switch *set {
@@ -51,18 +99,33 @@ func main() {
 	default:
 		mutators = muast.All()
 	}
+	// The arsenal was LLM-generated offline; surface the token spend it
+	// embodies so campaign dashboards can relate throughput to cost.
+	llm.RecordArsenalCost(reg, len(mutators))
 
+	status := newStatusPrinter()
 	var stats []*fuzz.Stats
+	sp = reg.Span("fuzz")
 	if *macro {
 		shared := fuzz.NewSharedCoverage()
 		var ws []*fuzz.MacroFuzzer
 		for i := 0; i < *workers; i++ {
-			ws = append(ws, fuzz.NewMacroFuzzer(
+			w := fuzz.NewMacroFuzzer(
 				fmt.Sprintf("macro-%d", i), comp, mutators, pool,
 				rand.New(rand.NewSource(*seed+int64(i))), shared,
-				fuzz.DefaultMacroConfig()))
+				fuzz.DefaultMacroConfig())
+			w.Stats().Instrument(reg)
+			ws = append(ws, w)
 		}
-		fuzz.RunParallel(ws, *steps)
+		fuzz.RunParallelProgress(ws, *steps, cli.StatsInterval, func(done int) {
+			if cli.StatsInterval > 0 {
+				agg := fuzz.NewStats("live")
+				for _, w := range ws {
+					agg.MergeFrom(w.Stats())
+				}
+				status.line(agg)
+			}
+		})
 		for _, w := range ws {
 			stats = append(stats, w.Stats())
 		}
@@ -70,36 +133,43 @@ func main() {
 	} else {
 		f := fuzz.NewMuCFuzz("muCFuzz."+*set, comp, mutators, pool,
 			rand.New(rand.NewSource(*seed)))
+		f.Stats().Instrument(reg)
+		next := cli.StatsInterval
 		for f.Stats().Ticks < *steps {
 			f.Step()
+			if cli.StatsInterval > 0 && f.Stats().Ticks >= next {
+				status.line(f.Stats())
+				next += cli.StatsInterval
+			}
 		}
 		stats = append(stats, f.Stats())
 		fmt.Printf("pool grew to %d programs\n", f.PoolSize())
 	}
+	sp.End()
 
-	crashes := map[string]*fuzz.CrashInfo{}
-	total, compilable, edges := 0, 0, 0
+	sp = reg.Span("report")
+	agg := fuzz.NewStats("all")
 	for _, st := range stats {
-		total += st.Total
-		compilable += st.Compilable
-		if c := st.Coverage.Count(); c > edges {
-			edges = c
-		}
-		for sig, ci := range st.Crashes {
-			if prev, ok := crashes[sig]; !ok || ci.FirstTick < prev.FirstTick {
-				crashes[sig] = ci
-			}
-		}
+		agg.MergeFrom(st)
 	}
+	crashes := agg.Crashes
 	fmt.Printf("target: %s-%d   mutants: %d   compilable: %.1f%%   edges: %d\n",
-		*compiler, version, total, 100*float64(compilable)/float64(max(1, total)), edges)
+		*compiler, version, agg.Total, agg.CompilableRatio(),
+		agg.Coverage.Count())
 	fmt.Printf("unique crashes: %d\n", len(crashes))
 	var sigs []string
 	for sig := range crashes {
 		sigs = append(sigs, sig)
 	}
+	// Deterministic report order: discovery tick, then signature, so
+	// equal-seed runs print identical reports even when several crashes
+	// share a tick.
 	sort.Slice(sigs, func(i, j int) bool {
-		return crashes[sigs[i]].FirstTick < crashes[sigs[j]].FirstTick
+		ci, cj := crashes[sigs[i]], crashes[sigs[j]]
+		if ci.FirstTick != cj.FirstTick {
+			return ci.FirstTick < cj.FirstTick
+		}
+		return sigs[i] < sigs[j]
 	})
 	for _, sig := range sigs {
 		c := crashes[sig]
@@ -115,11 +185,10 @@ func main() {
 			}
 		}
 	}
-}
+	sp.End()
 
-func max(a, b int) int {
-	if a > b {
-		return a
+	if err := shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	return b
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/compilersim/ir"
+	"github.com/icsnju/metamut-go/internal/obs"
 )
 
 // Options selects the compilation configuration, mirroring the compiler
@@ -58,6 +59,14 @@ type Compiler struct {
 	Version int    // e.g. 14 or 18
 	bugs    []Bug
 	passes  []Pass
+	tele    *compilerTelemetry
+}
+
+// compilerTelemetry holds pre-resolved handles so the per-compilation
+// hot path never does a family lookup.
+type compilerTelemetry struct {
+	ok, reject, crash, hang *obs.Counter
+	byComponent             *obs.CounterVec
 }
 
 // New returns a compiler for the given profile name ("gcc"/"clang").
@@ -96,8 +105,45 @@ func (c *Compiler) Bugs() []Bug { return c.bugs }
 // BugStats returns per-component and per-kind defect counts.
 func (c *Compiler) BugStats() map[string]int { return bugStats(c.bugs) }
 
+// Instrument attaches live telemetry: every Compile updates
+// compile_results_total{compiler,outcome} and, for crashes,
+// compiler_crashes_total{compiler,component}.
+func (c *Compiler) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	results := reg.Counter("compile_results_total", "compiler", "outcome")
+	c.tele = &compilerTelemetry{
+		ok:          results.With(c.Name, "ok"),
+		reject:      results.With(c.Name, "reject"),
+		crash:       results.With(c.Name, "crash"),
+		hang:        results.With(c.Name, "hang"),
+		byComponent: reg.Counter("compiler_crashes_total", "compiler", "component"),
+	}
+}
+
 // Compile runs the full pipeline on src.
 func (c *Compiler) Compile(src string, opts Options) Result {
+	res := c.compile(src, opts)
+	if t := c.tele; t != nil {
+		switch {
+		case res.OK:
+			t.ok.Inc()
+		case res.Hang:
+			t.hang.Inc()
+			t.byComponent.With(c.Name, res.Crash.Component.String()).Inc()
+		case res.Crash != nil:
+			t.crash.Inc()
+			t.byComponent.With(c.Name, res.Crash.Component.String()).Inc()
+		default:
+			t.reject.Inc()
+		}
+	}
+	return res
+}
+
+// compile is the uninstrumented pipeline.
+func (c *Compiler) compile(src string, opts Options) Result {
 	covMap := cover.NewMap()
 	feats := Features{}
 	tc := &TriggerCtx{Source: src, Feats: feats, OptLevel: opts.OptLevel}

@@ -14,6 +14,13 @@ import (
 // 50 valid mutators). Valid mutator names feed back into the invention
 // prompt's sampling hints.
 func (f *Framework) RunUnsupervised(n int) []Result {
+	return f.RunUnsupervisedProgress(n, nil)
+}
+
+// RunUnsupervisedProgress is RunUnsupervised with a live-status hook:
+// progress (when non-nil) is invoked after every invocation with its
+// 1-based index and result.
+func (f *Framework) RunUnsupervisedProgress(n int, progress func(i int, res Result)) []Result {
 	var results []Result
 	var priorNames []string
 	for i := 0; i < n; i++ {
@@ -21,6 +28,9 @@ func (f *Framework) RunUnsupervised(n int) []Result {
 		results = append(results, res)
 		if res.Outcome == Valid {
 			priorNames = append(priorNames, res.Program.Name)
+		}
+		if progress != nil {
+			progress(i+1, res)
 		}
 	}
 	return results
@@ -44,6 +54,23 @@ func (f *Framework) RunSupervised(target []*muast.Mutator) []Result {
 }
 
 func (f *Framework) generateSupervisedOne(mu *muast.Mutator, priorNames []string) Result {
+	sp := f.Obs.Span("invocation")
+	res := f.supervisedOne(mu, priorNames)
+	sp.EndWith(map[string]any{"outcome": res.Outcome.String(),
+		"mutator": mu.Name, "tokens": res.Cost.TotalTokens()})
+	f.recordInvocation(res)
+	return res
+}
+
+// recordRetry counts an expert retry through an API error
+// (llm_retries_total{stage}).
+func (f *Framework) recordRetry(stage string) {
+	if f.Obs != nil {
+		f.Obs.Counter("llm_retries_total", "stage").With(stage).Inc()
+	}
+}
+
+func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result {
 	res := Result{FixedByGoal: map[Goal]int{}}
 	inv := llm.Invention{
 		Name:        mu.Name,
@@ -55,6 +82,7 @@ func (f *Framework) generateSupervisedOne(mu *muast.Mutator, priorNames []string
 
 	// The expert retries through API errors rather than abandoning the
 	// invocation.
+	sp := f.stageSpan("synthesize")
 	var prog *mutdsl.Program
 	for {
 		p, usage, err := f.Client.Synthesize(inv, f.Params)
@@ -66,10 +94,13 @@ func (f *Framework) generateSupervisedOne(mu *muast.Mutator, priorNames []string
 			prog = p
 			break
 		}
+		f.recordRetry(llm.StageImplementation)
 	}
+	sp.End()
 	prog.Name = mu.Name
 	prog.Description = mu.Description
 
+	sp = f.stageSpan("generate-tests")
 	var tests []string
 	for {
 		t, usage, err := f.Client.GenerateTests(inv, f.TestsPerMutator, f.Params)
@@ -81,12 +112,17 @@ func (f *Framework) generateSupervisedOne(mu *muast.Mutator, priorNames []string
 			tests = t
 			break
 		}
+		f.recordRetry(llm.StageTestGen)
 	}
+	sp.End()
 
+	refineSpan := f.stageSpan("refine")
+	defer refineSpan.End()
 	for attempt := 0; ; attempt++ {
 		prep := f.prepareTime()
 		res.Cost.BugFixTime += prep
 		res.Cost.PrepareTime += prep
+		f.recordPrepare(prep)
 		goal, feedback := f.Validate(prog, tests)
 		if goal == goalAllMet {
 			break
@@ -94,6 +130,9 @@ func (f *Framework) generateSupervisedOne(mu *muast.Mutator, priorNames []string
 		if attempt >= f.MaxRepairAttempts {
 			// Expert intervention: diagnose and fix directly.
 			res.ExpertInterventions++
+			if f.Obs != nil {
+				f.Obs.Counter("expert_interventions_total").With().Inc()
+			}
 			prog = expertFix(prog)
 			continue
 		}
@@ -103,6 +142,7 @@ func (f *Framework) generateSupervisedOne(mu *muast.Mutator, priorNames []string
 		res.Cost.BugFixTime += usage.Wait
 		res.Cost.WaitTime += usage.Wait
 		if err != nil {
+			f.recordRetry(llm.StageBugFix)
 			continue // expert retries through throttling
 		}
 		if f.ViolatesGoal(prog, tests, goal) && !f.ViolatesGoal(fixed, tests, goal) {

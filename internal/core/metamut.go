@@ -15,6 +15,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/mutdsl"
+	"github.com/icsnju/metamut-go/internal/obs"
 )
 
 // Goal numbers the six validation goals of Section 3.3.
@@ -133,7 +134,13 @@ type Framework struct {
 	// model only ever hears "the mutant does not work" instead of the
 	// simplest unmet goal's precise feedback.
 	CoarseFeedback bool
-	rng            *rand.Rand
+	// Obs receives campaign telemetry (invocation spans,
+	// invocations_total{outcome}, refinement_fixes_total{goal}, prepare
+	// and simulated-wait accounting). nil disables instrumentation;
+	// wire the same registry into the llm client via llm.Instrument to
+	// also capture per-call token telemetry.
+	Obs *obs.Registry
+	rng *rand.Rand
 }
 
 // New returns a framework over the given model with the paper's
@@ -162,10 +169,44 @@ func (f *Framework) prepareTime() time.Duration {
 // synthesis → validation/refinement → (simulated) manual verification.
 // priorNames feeds the invention prompt's sampling hints.
 func (f *Framework) GenerateOne(priorNames []string) Result {
+	sp := f.Obs.Span("invocation")
+	res := f.generateOne(priorNames)
+	sp.EndWith(map[string]any{"outcome": res.Outcome.String(),
+		"tokens": res.Cost.TotalTokens(), "qa": res.Cost.TotalQA()})
+	f.recordInvocation(res)
+	return res
+}
+
+// recordInvocation books one finished invocation's telemetry.
+func (f *Framework) recordInvocation(res Result) {
+	if f.Obs == nil {
+		return
+	}
+	f.Obs.Counter("invocations_total", "outcome").With(res.Outcome.String()).Inc()
+	fixes := f.Obs.Counter("refinement_fixes_total", "goal")
+	for g, n := range res.FixedByGoal {
+		fixes.With(goalDescriptions[g]).Add(int64(n))
+	}
+	f.Obs.Histogram("invocation_qa_rounds", obs.LinearBuckets(1, 4, 10)).
+		With().Observe(float64(res.Cost.TotalQA()))
+}
+
+// stageSpan opens a named pipeline-stage span (no-op when Obs is nil).
+func (f *Framework) stageSpan(name string) *obs.Span { return f.Obs.Span(name) }
+
+// recordPrepare books one refinement round's simulated prepare time
+// (Table 3 row 2).
+func (f *Framework) recordPrepare(d time.Duration) {
+	f.Obs.Histogram("prepare_seconds", nil).With().Observe(d.Seconds())
+}
+
+func (f *Framework) generateOne(priorNames []string) Result {
 	res := Result{FixedByGoal: map[Goal]int{}}
 
 	// ❶ Mutator invention (one QA round).
+	sp := f.stageSpan("invent")
 	inv, usage, err := f.Client.Invent(llm.Actions, llm.Structures, priorNames, f.Params)
+	sp.End()
 	res.Cost.QAInvention = 1
 	res.Cost.InventionTokens = usage.TotalTokens()
 	res.Cost.InventionTime = usage.Wait
@@ -177,7 +218,9 @@ func (f *Framework) GenerateOne(priorNames []string) Result {
 	res.Invention = inv
 
 	// ❷ Implementation synthesis (one QA round).
+	sp = f.stageSpan("synthesize")
 	prog, usage, err := f.Client.Synthesize(inv, f.Params)
+	sp.End()
 	res.Cost.QAImplementation = 1
 	res.Cost.ImplementationTokens = usage.TotalTokens()
 	res.Cost.ImplementationTime = usage.Wait
@@ -190,7 +233,9 @@ func (f *Framework) GenerateOne(priorNames []string) Result {
 
 	// ❸ Validation and refinement. Test generation is the loop's first
 	// QA round.
+	sp = f.stageSpan("generate-tests")
 	tests, usage, err := f.Client.GenerateTests(inv, f.TestsPerMutator, f.Params)
+	sp.End()
 	res.Cost.QABugFix++
 	res.Cost.BugFixTokens += usage.TotalTokens()
 	res.Cost.BugFixTime += usage.Wait
@@ -200,10 +245,13 @@ func (f *Framework) GenerateOne(priorNames []string) Result {
 		return res
 	}
 
+	refineSpan := f.stageSpan("refine")
+	defer refineSpan.End()
 	for attempt := 0; ; attempt++ {
 		prep := f.prepareTime()
 		res.Cost.BugFixTime += prep
 		res.Cost.PrepareTime += prep
+		f.recordPrepare(prep)
 
 		goal, feedback := f.Validate(prog, tests)
 		if goal == goalAllMet {

@@ -26,6 +26,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/muast"
 	_ "github.com/icsnju/metamut-go/internal/mutators" // register the 118
+	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
 
@@ -49,6 +50,10 @@ type Config struct {
 	// MacroWorkers and MacroSteps configure the RQ2 campaign.
 	MacroWorkers int
 	MacroSteps   int
+	// Obs, when non-nil, receives metrics from every campaign the
+	// experiments run (compilers, fuzzer stats, LLM clients). All
+	// instrumentation is nil-safe, so a nil Obs costs nothing.
+	Obs *obs.Registry
 }
 
 // DefaultConfig returns the scaled-down defaults.
@@ -125,9 +130,11 @@ func RunRQ1(cfg Config) *RQ1Result {
 			version = 18
 		}
 		comp := compilersim.New(compName, version)
+		comp.Instrument(cfg.Obs)
 		for fi, fname := range FuzzerNames {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(fi)*977))
 			f := newFuzzer(fname, comp, pool, rng)
+			f.Stats().Instrument(cfg.Obs)
 			run := RQ1Run{Fuzzer: fname, Compiler: compName}
 			interval := cfg.StepsPerFuzzer / cfg.CoverageSamples
 			if interval == 0 {
@@ -363,12 +370,14 @@ type Table5Row struct {
 func RunTable5(cfg Config) []Table5Row {
 	pool := seeds.Generate(cfg.SeedPrograms, cfg.Seed)
 	comp := compilersim.New("gcc", 14)
+	comp.Instrument(cfg.Obs)
 	var rows []Table5Row
 	for fi, fname := range FuzzerNames {
 		row := Table5Row{Tool: fname}
 		for rep := 0; rep < cfg.Table5Reps; rep++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(fi*1000+rep)))
 			f := newFuzzer(fname, comp, pool, rng)
+			f.Stats().Instrument(cfg.Obs)
 			for f.Stats().Ticks < cfg.Table5Steps {
 				f.Step()
 			}

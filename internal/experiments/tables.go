@@ -18,7 +18,10 @@ import (
 // RunCampaign executes the unsupervised MetaMut campaign once and
 // analyzes it (shared by Tables 1-3).
 func RunCampaign(cfg Config) *core.CampaignStats {
-	fw := core.New(llm.NewSimClient(cfg.Seed), cfg.Seed+1)
+	client := llm.NewSimClient(cfg.Seed)
+	llm.Instrument(client, cfg.Obs)
+	fw := core.New(client, cfg.Seed+1)
+	fw.Obs = cfg.Obs
 	return core.Analyze(fw.RunUnsupervised(cfg.Invocations))
 }
 
@@ -148,13 +151,16 @@ func RunTable6(cfg Config) *Table6Result {
 			version = 14
 		}
 		comp := compilersim.New(compName, version)
+		comp.Instrument(cfg.Obs)
 		shared := fuzz.NewSharedCoverage()
 		var workers []*fuzz.MacroFuzzer
 		for w := 0; w < cfg.MacroWorkers; w++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci*100+w)))
-			workers = append(workers, fuzz.NewMacroFuzzer(
+			mf := fuzz.NewMacroFuzzer(
 				fmt.Sprintf("macro-%s-%d", compName, w), comp, muast.All(),
-				pool, rng, shared, fuzz.DefaultMacroConfig()))
+				pool, rng, shared, fuzz.DefaultMacroConfig())
+			mf.Stats().Instrument(cfg.Obs)
+			workers = append(workers, mf)
 		}
 		fuzz.RunParallel(workers, cfg.MacroSteps)
 		merged := fuzz.MergedCrashes(workers)

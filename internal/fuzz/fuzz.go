@@ -8,11 +8,13 @@ package fuzz
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/obs"
 )
 
 // CrashInfo records the first discovery of a unique crash.
@@ -39,12 +41,56 @@ type Stats struct {
 	Crashes map[string]*CrashInfo
 	// Coverage is the cumulative edge map (Figure 7).
 	Coverage *cover.Map
+
+	// Observability handles, resolved once by Instrument (all nil when
+	// telemetry is off, so Record stays allocation-free).
+	obsTicks   *obs.Counter
+	obsMutants *obs.CounterVec
+	obsCrashes *obs.Counter
+	obsEdges   *obs.Gauge
 }
 
 // NewStats returns empty accounting for a named fuzzer.
 func NewStats(name string) *Stats {
 	return &Stats{Name: name, Crashes: map[string]*CrashInfo{},
 		Coverage: cover.NewMap()}
+}
+
+// Instrument attaches live telemetry: every Record updates
+// compile_ticks, mutants_total{mutator,outcome},
+// crashes_unique_total{fuzzer}, and coverage_edges{fuzzer}. A nil
+// registry leaves the stats uninstrumented.
+func (s *Stats) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.obsTicks = reg.Counter("compile_ticks").With()
+	s.obsMutants = reg.Counter("mutants_total", "mutator", "outcome")
+	s.obsCrashes = reg.Counter("crashes_unique_total", "fuzzer").With(s.Name)
+	s.obsEdges = reg.Gauge("coverage_edges", "fuzzer").With(s.Name)
+}
+
+// resultOutcome labels one compilation for mutants_total.
+func resultOutcome(res compilersim.Result) string {
+	switch {
+	case res.OK:
+		return "ok"
+	case res.Hang:
+		return "hang"
+	case res.Crash != nil:
+		return "crash"
+	default:
+		return "reject"
+	}
+}
+
+// primaryMutator reduces a Havoc chain ("CopyExpr+DuplicateBranch") to
+// its first mutator, bounding mutants_total's label cardinality.
+func primaryMutator(via string) string {
+	if i := strings.IndexByte(via, '+'); i >= 0 {
+		return via[:i]
+	}
+	return via
 }
 
 // Record books one compilation outcome. Returns true when the input
@@ -55,6 +101,10 @@ func (s *Stats) Record(src, via string, res compilersim.Result) bool {
 	if res.OK {
 		s.Compilable++
 	}
+	s.obsTicks.Inc()
+	if s.obsMutants != nil {
+		s.obsMutants.With(primaryMutator(via), resultOutcome(res)).Inc()
+	}
 	if res.Crash != nil {
 		sig := res.Crash.Signature()
 		if _, dup := s.Crashes[sig]; !dup {
@@ -64,11 +114,36 @@ func (s *Stats) Record(src, via string, res compilersim.Result) bool {
 				Input:     src,
 				Via:       via,
 			}
+			s.obsCrashes.Inc()
 		}
 	}
 	isNew := s.Coverage.HasNew(res.Coverage)
 	s.Coverage.Merge(res.Coverage)
+	if isNew {
+		s.obsEdges.Set(int64(s.Coverage.Count()))
+	}
 	return isNew
+}
+
+// MergeFrom folds another fuzzer's accounting into s: totals add up,
+// crashes union with the earliest discovery winning, coverage maps
+// merge. This is the one tested aggregation path the macro fuzzer's
+// per-worker stats flow through.
+func (s *Stats) MergeFrom(o *Stats) {
+	if o == nil {
+		return
+	}
+	s.Total += o.Total
+	s.Compilable += o.Compilable
+	s.Ticks += o.Ticks
+	for sig, c := range o.Crashes {
+		if prev, ok := s.Crashes[sig]; !ok || c.FirstTick < prev.FirstTick {
+			s.Crashes[sig] = c
+		}
+	}
+	if o.Coverage != nil {
+		s.Coverage.Merge(o.Coverage)
+	}
 }
 
 // CompilableRatio returns the Table 5 ratio in percent.
@@ -403,23 +478,34 @@ func (f *MacroFuzzer) Step() {
 // iterations, sharing coverage — a deterministic stand-in for the
 // paper's 60-CPU parallel campaign.
 func RunParallel(workers []*MacroFuzzer, totalSteps int) {
+	RunParallelProgress(workers, totalSteps, 0, nil)
+}
+
+// RunParallelProgress is RunParallel with a live-status hook: progress
+// is invoked after every `every` scheduled steps (and once at the end)
+// with the number of steps completed. every <= 0 or a nil callback
+// disables the hook.
+func RunParallelProgress(workers []*MacroFuzzer, totalSteps, every int,
+	progress func(done int)) {
 	if len(workers) == 0 {
 		return
 	}
 	for i := 0; i < totalSteps; i++ {
 		workers[i%len(workers)].Step()
+		if every > 0 && progress != nil && (i+1)%every == 0 && i+1 < totalSteps {
+			progress(i + 1)
+		}
+	}
+	if progress != nil {
+		progress(totalSteps)
 	}
 }
 
 // MergedCrashes unions workers' unique crashes (earliest discovery wins).
 func MergedCrashes(workers []*MacroFuzzer) map[string]*CrashInfo {
-	out := map[string]*CrashInfo{}
+	agg := NewStats("merged")
 	for _, w := range workers {
-		for sig, c := range w.stats.Crashes {
-			if prev, ok := out[sig]; !ok || c.FirstTick < prev.FirstTick {
-				out[sig] = c
-			}
-		}
+		agg.MergeFrom(w.stats)
 	}
-	return out
+	return agg.Crashes
 }

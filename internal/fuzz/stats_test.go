@@ -1,13 +1,16 @@
 package fuzz
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
 
@@ -123,5 +126,161 @@ func TestMergedCrashesKeepsEarliest(t *testing.T) {
 	merged := MergedCrashes([]*MacroFuzzer{mk(50), mk(10), mk(30)})
 	if merged["sig"].FirstTick != 10 {
 		t.Errorf("earliest = %d, want 10", merged["sig"].FirstTick)
+	}
+}
+
+func TestMergeFrom(t *testing.T) {
+	a := NewStats("a")
+	a.Total, a.Compilable, a.Ticks = 10, 7, 10
+	a.Crashes["s1"] = &CrashInfo{FirstTick: 40}
+	a.Crashes["s2"] = &CrashInfo{FirstTick: 5}
+	a.Coverage.Set(1)
+
+	b := NewStats("b")
+	b.Total, b.Compilable, b.Ticks = 4, 1, 4
+	b.Crashes["s1"] = &CrashInfo{FirstTick: 8} // earlier discovery wins
+	b.Crashes["s3"] = &CrashInfo{FirstTick: 2}
+	b.Coverage.Set(2)
+
+	m := NewStats("m")
+	m.MergeFrom(a)
+	m.MergeFrom(b)
+	m.MergeFrom(nil) // no-op
+
+	if m.Total != 14 || m.Compilable != 8 || m.Ticks != 14 {
+		t.Errorf("totals = %d/%d/%d, want 14/8/14", m.Total, m.Compilable, m.Ticks)
+	}
+	if m.UniqueCrashes() != 3 {
+		t.Errorf("crashes = %d, want 3", m.UniqueCrashes())
+	}
+	if m.Crashes["s1"].FirstTick != 8 {
+		t.Errorf("s1 FirstTick = %d, want earliest 8", m.Crashes["s1"].FirstTick)
+	}
+	if m.Coverage.Count() != 2 {
+		t.Errorf("coverage = %d, want 2", m.Coverage.Count())
+	}
+	// Sources must be untouched.
+	if a.Total != 10 || b.UniqueCrashes() != 2 || a.Crashes["s1"].FirstTick != 40 {
+		t.Error("MergeFrom mutated a source")
+	}
+}
+
+func TestRecordInstrumented(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewStats("f1")
+	s.Instrument(reg)
+
+	okRes := compilersim.Result{OK: true, Coverage: cover.NewMap()}
+	okRes.Coverage.Set(7)
+	s.Record("src", "MutA", okRes)
+	s.Record("src", "MutA+MutB", okRes) // Havoc chain credits MutA
+	crashRes := compilersim.Result{
+		Coverage: cover.NewMap(),
+		Crash: &compilersim.CrashReport{
+			Component: compilersim.FrontEnd,
+			Message:   "boom",
+			Frames:    [2]string{"f", "g"},
+		},
+	}
+	s.Record("src", "MutB", crashRes)
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("compile_ticks"); got != 3 {
+		t.Errorf("compile_ticks = %d, want 3", got)
+	}
+	if got := snap.Counter("mutants_total", "MutA", "ok"); got != 2 {
+		t.Errorf("mutants_total{MutA,ok} = %d, want 2 (chain credited to head)", got)
+	}
+	if got := snap.Counter("mutants_total", "MutB", "crash"); got != 1 {
+		t.Errorf("mutants_total{MutB,crash} = %d, want 1", got)
+	}
+	if got := snap.Counter("crashes_unique_total", "f1"); got != 1 {
+		t.Errorf("crashes_unique_total = %d, want 1", got)
+	}
+}
+
+func TestResultOutcomeLabels(t *testing.T) {
+	rep := &compilersim.CrashReport{}
+	cases := []struct {
+		res  compilersim.Result
+		want string
+	}{
+		{compilersim.Result{OK: true}, "ok"},
+		{compilersim.Result{Hang: true, Crash: rep}, "hang"},
+		{compilersim.Result{Crash: rep}, "crash"},
+		{compilersim.Result{}, "reject"},
+	}
+	for _, c := range cases {
+		if got := resultOutcome(c.res); got != c.want {
+			t.Errorf("resultOutcome(%+v) = %q, want %q", c.res, got, c.want)
+		}
+	}
+	if primaryMutator("A+B+C") != "A" || primaryMutator("A") != "A" {
+		t.Error("primaryMutator mishandled chains")
+	}
+}
+
+// TestInstrumentedFuzzersConcurrent drives independent fuzzers from
+// separate goroutines against one shared registry — the macro-campaign
+// shape — and must stay clean under -race.
+func TestInstrumentedFuzzersConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	comp := compilersim.New("gcc", 14)
+	comp.Instrument(reg)
+	pool := seeds.Generate(20, 1)
+	const workers, steps = 4, 60
+
+	var wg sync.WaitGroup
+	fs := make([]*MuCFuzz, workers)
+	for i := 0; i < workers; i++ {
+		fs[i] = NewMuCFuzz(fmt.Sprintf("w%d", i), comp, muast.All(), pool,
+			rand.New(rand.NewSource(int64(i))))
+		fs[i].Stats().Instrument(reg)
+		wg.Add(1)
+		go func(f *MuCFuzz) {
+			defer wg.Done()
+			for f.Stats().Ticks < steps {
+				f.Step()
+			}
+		}(fs[i])
+	}
+	wg.Wait()
+
+	total := 0
+	for _, f := range fs {
+		total += f.Stats().Ticks
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("compile_ticks"); got != int64(total) {
+		t.Errorf("compile_ticks = %d, want %d", got, total)
+	}
+	if got := snap.CounterSum("mutants_total"); got != int64(total) {
+		t.Errorf("mutants_total sum = %d, want %d", got, total)
+	}
+	if got := snap.CounterSum("compile_results_total"); got != int64(total) {
+		t.Errorf("compile_results_total sum = %d, want %d", got, total)
+	}
+}
+
+func TestRunParallelProgressCallback(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	pool := seeds.Generate(10, 1)
+	var ws []*MacroFuzzer
+	for i := 0; i < 2; i++ {
+		ws = append(ws, NewMacroFuzzer(fmt.Sprintf("m%d", i), comp, muast.All(),
+			pool, rand.New(rand.NewSource(int64(i))), NewSharedCoverage(),
+			DefaultMacroConfig()))
+	}
+	var calls []int
+	RunParallelProgress(ws, 10, 3, func(done int) { calls = append(calls, done) })
+	want := []int{3, 6, 9, 10}
+	if !reflect.DeepEqual(calls, want) {
+		t.Errorf("progress calls = %v, want %v", calls, want)
+	}
+	// A Step is a scheduling slot, not necessarily a compile (a havoc
+	// round may find no applicable mutation), so ticks <= steps.
+	got := ws[0].Stats().Ticks + ws[1].Stats().Ticks
+	if got == 0 || got > 10 {
+		t.Errorf("ticks = %d, want in 1..10", got)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/mutdsl"
+	"github.com/icsnju/metamut-go/internal/obs"
 )
 
 // Usage is the per-call accounting a ChatCompletion response carries.
@@ -128,12 +129,106 @@ func DefaultFaultRates() FaultRates {
 	}
 }
 
+// Instrumentable is implemented by clients (and client wrappers) that
+// accept an observability registry.
+type Instrumentable interface {
+	Instrument(reg *obs.Registry)
+}
+
+// Instrument attaches a registry to any client that supports it,
+// looking through wrappers via the Instrumentable interface.
+func Instrument(c Client, reg *obs.Registry) {
+	if i, ok := c.(Instrumentable); ok {
+		i.Instrument(reg)
+	}
+}
+
+// Pipeline stages for llm_tokens{stage} / llm_wait_seconds{stage} —
+// Table 2's cost rows (test generation is bucketed with bug fixing
+// there, but telemetry keeps it distinct).
+const (
+	StageInvention      = "invention"
+	StageImplementation = "implementation"
+	StageTestGen        = "testgen"
+	StageBugFix         = "bugfix"
+)
+
+// clientTelemetry holds the SimClient's metric handles.
+type clientTelemetry struct {
+	calls  *obs.CounterVec // llm_calls_total{method,result}
+	tokens *obs.CounterVec // llm_tokens{stage}
+	faults *obs.CounterVec // llm_faults_total{class}
+	wait   *obs.HistogramVec
+}
+
+// record books one simulated API call.
+func (t *clientTelemetry) record(method, stage string, u Usage, err error) {
+	if t == nil {
+		return
+	}
+	result := "ok"
+	if err != nil {
+		result = "throttled"
+	}
+	t.calls.With(method, result).Inc()
+	t.tokens.With(stage).Add(int64(u.TotalTokens()))
+	t.wait.With(stage).Observe(u.Wait.Seconds())
+}
+
+// fault books one injected implementation defect.
+func (t *clientTelemetry) fault(class string) {
+	if t == nil {
+		return
+	}
+	t.faults.With(class).Inc()
+}
+
+// ArsenalGenerationCost is the Table-2 calibrated mean token spend per
+// valid mutator, split by stage. Fuzzing-only tools (mucfuzz) charge
+// this once per loaded mutator so their snapshots still surface the
+// LLM cost the mutator arsenal embodies.
+var ArsenalGenerationCost = map[string]int{
+	StageInvention:      1100,
+	StageImplementation: 3100,
+	StageTestGen:        900,
+	StageBugFix:         6800,
+}
+
+// RecordArsenalCost credits llm_tokens{stage} with the estimated
+// generation cost of a pre-built arsenal of n mutators.
+func RecordArsenalCost(reg *obs.Registry, n int) {
+	if reg == nil || n <= 0 {
+		return
+	}
+	tokens := reg.Counter("llm_tokens", "stage")
+	for stage, perMutator := range ArsenalGenerationCost {
+		tokens.With(stage).Add(int64(n * perMutator))
+	}
+}
+
 // SimClient is the deterministic simulated GPT-4.
 type SimClient struct {
 	rng   *rand.Rand
 	rates FaultRates
+	tele  *clientTelemetry
 	// Clock accumulates simulated wall time.
 	Clock time.Duration
+}
+
+// Instrument attaches live telemetry: every call updates
+// llm_calls_total{method,result}, llm_tokens{stage}, and the
+// llm_wait_seconds{stage} histogram; injected defects count into
+// llm_faults_total{class}.
+func (c *SimClient) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.tele = &clientTelemetry{
+		calls:  reg.Counter("llm_calls_total", "method", "result"),
+		tokens: reg.Counter("llm_tokens", "stage"),
+		faults: reg.Counter("llm_faults_total", "class"),
+		wait:   reg.Histogram("llm_wait_seconds", nil, "stage"),
+	}
 }
 
 // NewSimClient returns a simulated model with the default calibration.
@@ -254,8 +349,10 @@ func (c *SimClient) Invent(actions, structures, priorNames []string, p Params) (
 	}
 	usage.Wait = c.waitFor(usage.CompletionTokens)
 	if c.throttled() {
+		c.tele.record("invent", StageInvention, usage, ErrThrottled)
 		return Invention{}, usage, ErrThrottled
 	}
+	c.tele.record("invent", StageInvention, usage, nil)
 	prior := map[string]bool{}
 	for _, n := range priorNames {
 		prior[n] = true
@@ -324,8 +421,10 @@ func (c *SimClient) Synthesize(inv Invention, p Params) (*mutdsl.Program, Usage,
 	}
 	usage.Wait = c.waitFor(usage.CompletionTokens)
 	if c.throttled() {
+		c.tele.record("synthesize", StageImplementation, usage, ErrThrottled)
 		return nil, usage, ErrThrottled
 	}
+	c.tele.record("synthesize", StageImplementation, usage, nil)
 	op, ok := actionOp[inv.Action]
 	if !ok {
 		op = mutdsl.OpWrapText
@@ -419,21 +518,27 @@ func (c *SimClient) injectFaults(prog *mutdsl.Program) {
 	r := c.rng
 	if r.Float64() < c.rates.Syntax {
 		prog.SyntaxErr = syntaxErrors[r.Intn(len(syntaxErrors))]
+		c.tele.fault("syntax")
 	}
 	if r.Float64() < c.rates.Hang {
 		prog.HangBug = true
+		c.tele.fault("hang")
 	}
 	if r.Float64() < c.rates.Crash {
 		prog.CrashBug = true
+		c.tele.fault("crash")
 	}
 	if r.Float64() < c.rates.NoOutput {
 		prog.NoOutputBug = true
+		c.tele.fault("no-output")
 	}
 	if r.Float64() < c.rates.NoRewrite {
 		prog.NoRewriteBug = true
+		c.tele.fault("no-rewrite")
 	}
 	if r.Float64() < c.rates.BadMutant {
 		prog.BadMutantBug = true
+		c.tele.fault("bad-mutant")
 	}
 }
 
@@ -456,8 +561,10 @@ func (c *SimClient) GenerateTests(inv Invention, n int, p Params) ([]string, Usa
 	}
 	usage.Wait = c.waitFor(usage.CompletionTokens)
 	if c.throttled() {
+		c.tele.record("generate-tests", StageTestGen, usage, ErrThrottled)
 		return nil, usage, ErrThrottled
 	}
+	c.tele.record("generate-tests", StageTestGen, usage, nil)
 	var tests []string
 	for i := 0; i < n; i++ {
 		if c.rng.Float64() < 0.12 {
@@ -483,8 +590,10 @@ func (c *SimClient) Fix(prog *mutdsl.Program, goal int, feedback string, p Param
 	}
 	usage.Wait = c.waitFor(usage.CompletionTokens)
 	if c.throttled() {
+		c.tele.record("fix", StageBugFix, usage, ErrThrottled)
 		return nil, usage, ErrThrottled
 	}
+	c.tele.record("fix", StageBugFix, usage, nil)
 	fixed := prog.Clone()
 	switch goal {
 	case 1:
@@ -497,6 +606,7 @@ func (c *SimClient) Fix(prog *mutdsl.Program, goal int, feedback string, p Param
 				next = next + " (round 2)"
 			}
 			fixed.SyntaxErr = next
+			c.tele.fault("syntax-repeat")
 		}
 	case 2:
 		// Hangs resist repair entirely — the paper reports zero goal-#2

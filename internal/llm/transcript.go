@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/icsnju/metamut-go/internal/mutdsl"
+	"github.com/icsnju/metamut-go/internal/obs"
 )
 
 // TranscriptEntry is one recorded model interaction.
@@ -143,4 +144,10 @@ func truncate(s string, n int) string {
 		return s
 	}
 	return s[:n] + "..."
+}
+
+// Instrument forwards the observability registry to the wrapped
+// client, so telemetry reaches the SimClient behind a Recorder.
+func (r *Recorder) Instrument(reg *obs.Registry) {
+	Instrument(r.Inner, reg)
 }

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+)
+
+// DefaultDurationBuckets spans 100µs to ~100s exponentially — wide
+// enough for both real stage durations and the simulated LLM waits
+// (Table 3's 11-123s range).
+var DefaultDurationBuckets = ExpBuckets(1e-4, 4, 11)
+
+// ExpBuckets returns n upper bounds starting at start, each factor
+// times the previous (an implicit +Inf bucket is always appended by
+// the histogram itself).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n upper bounds starting at start with the
+// given width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram. A value lands in the first
+// bucket whose upper bound is >= the value (Prometheus "le"
+// semantics); values above every bound land in the implicit +Inf
+// bucket. Safe for concurrent use and on a nil receiver.
+type Histogram struct {
+	buckets []float64      // upper bounds, ascending
+	counts  []atomic.Int64 // len(buckets)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.buckets) && v > h.buckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// BucketCounts returns the per-bucket counts; the final entry is the
+// +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// HistogramVec is a labeled family of histograms sharing one bucket
+// layout (e.g. span_seconds{span}).
+type HistogramVec struct {
+	vec[Histogram]
+	buckets []float64
+}
+
+// With returns the histogram for the given label values, creating it
+// with the family's bucket layout on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key := strings.Join(values, labelSep)
+	v.mu.RLock()
+	h, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.m[key]; ok {
+		return h
+	}
+	h = &Histogram{
+		buckets: v.buckets,
+		counts:  make([]atomic.Int64, len(v.buckets)+1),
+	}
+	v.m[key] = h
+	return h
+}

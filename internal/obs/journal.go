@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Journal appends structured events as JSON lines (one object per
+// line). Spans write their completions here; instrumented code may add
+// its own events. Safe for concurrent use; a nil *Journal no-ops.
+type Journal struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	start time.Time
+}
+
+// NewJournal wraps an arbitrary writer (the caller keeps ownership of
+// closing it unless it is also an io.Closer handed to OpenJournal).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// OpenJournal creates (truncating) a JSONL journal file.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := NewJournal(f)
+	j.c = f
+	return j, nil
+}
+
+// Event appends one line carrying the event kind, a millisecond offset
+// from journal creation, and the given fields. Reserved field names
+// "kind" and "t_ms" are overwritten. encoding/json sorts map keys, so
+// lines are deterministic for a given payload.
+func (j *Journal) Event(kind string, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["kind"] = kind
+	rec["t_ms"] = time.Since(j.start).Milliseconds()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // unmarshalable attachment: drop the event, never crash
+	}
+	j.mu.Lock()
+	j.w.Write(line)
+	j.w.WriteByte('\n')
+	j.mu.Unlock()
+}
+
+// Flush forces buffered lines out.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.w.Flush()
+}
+
+// Close flushes and closes the underlying file (if OpenJournal created
+// one).
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	err := j.Flush()
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
