@@ -2,11 +2,12 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench clean
+.PHONY: check build vet staticcheck test race bench clean
 
-# check is the one-stop gate: vet, build, full test suite, then the
-# race-detector pass over the concurrency-bearing packages.
-check: vet build test race
+# check is the one-stop gate: vet (+ staticcheck when installed), build,
+# full test suite, then the race-detector pass over the
+# concurrency-bearing packages.
+check: vet staticcheck build test race
 
 build:
 	$(GO) build ./...
@@ -14,13 +15,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck is optional tooling: run it when present, skip quietly in
+# environments that only have the Go toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # The obs registry and the fuzz stats are the two shared-mutable-state
-# hot spots; they get a dedicated -race pass.
+# hot spots; mutcheck rides along because the fuzzers call it from the
+# same paths the race pass exercises.
 race:
-	$(GO) test -race ./internal/obs ./internal/fuzz
+	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/core"
 	"github.com/icsnju/metamut-go/internal/experiments"
@@ -21,6 +22,8 @@ import (
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
 	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/mutcheck"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
 	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
@@ -342,6 +345,55 @@ func benchRecord(b *testing.B, instrumented bool) {
 	for i := 0; i < b.N; i++ {
 		s.Record(src, "BenchMutator", res)
 	}
+}
+
+// BenchmarkStaticRejectPath / BenchmarkCompilersimRejectPath price the
+// two ways of discarding the same invalid mutant: the mutcheck front-end
+// analysis versus a full simulated compiler tick (lexing, coverage walk,
+// bug checks). Their gap is the saving μCFuzz's pre-compile filter banks
+// on every statically-rejected mutant.
+func BenchmarkStaticRejectPath(b *testing.B) {
+	src := badMutant(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, rejected := mutcheck.Reject(src); !rejected {
+			b.Fatal("mutant unexpectedly accepted")
+		}
+	}
+}
+
+func BenchmarkCompilersimRejectPath(b *testing.B) {
+	src := badMutant(b)
+	comp := compilersim.New("gcc", 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := comp.Compile(src, compilersim.DefaultOptions()); res.OK {
+			b.Fatal("mutant unexpectedly compiled")
+		}
+	}
+}
+
+// badMutant produces the canonical invalid mutant: a BadMutantBug
+// rewrite (off-by-one source range eating an adjacent token) applied to
+// a seed program.
+func badMutant(b *testing.B) string {
+	b.Helper()
+	prog := &mutdsl.Program{Name: "BenchBad", Description: "d",
+		TargetKind:   cast.KindBinaryOperator,
+		Steps:        []mutdsl.Step{{Op: mutdsl.OpWrapText, Pre: "(", Post: " + 0)"}},
+		BadMutantBug: true}
+	exe, err := mutdsl.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := seeds.Generate(10, 3)[7]
+	out := exe.Apply(src, rand.New(rand.NewSource(2)))
+	if !out.Changed {
+		b.Fatal("bad-mutant rewrite changed nothing")
+	}
+	return out.Output
 }
 
 func BenchmarkMutatorApplication(b *testing.B) {

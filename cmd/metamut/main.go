@@ -5,6 +5,8 @@
 //	metamut -n 20            # 20 invocations
 //	metamut -n 100 -v        # the paper's campaign size, verbose
 //	metamut -list            # list the 118 registered mutators instead
+//	metamut -lint -n 30      # statically lint 30 raw syntheses and exit
+//	metamut -n 100 -no-static  # ablation: dynamic-only validation loop
 //
 // Observability: -stats-interval N prints a live status line every N
 // invocations; -metrics-out/-trace-out write the final JSON snapshot
@@ -16,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"github.com/icsnju/metamut-go/internal/core"
 	"github.com/icsnju/metamut-go/internal/experiments"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/mutcheck"
 	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
 	"github.com/icsnju/metamut-go/internal/obs"
 )
 
@@ -33,6 +38,8 @@ func main() {
 		list       = flag.Bool("list", false, "list registered mutators and exit")
 		transcript = flag.Bool("transcript", false, "print the model chat log")
 		compound   = flag.Bool("compound", false, "allow two-action (compound) inventions — the paper's future-work template extension")
+		lint       = flag.Bool("lint", false, "statically lint -n raw syntheses (no refinement) and exit")
+		noStatic   = flag.Bool("no-static", false, "ablation: disable the mutcheck linter; every defect costs a compile-and-run round")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -57,10 +64,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *lint {
+		runLint(llm.NewSimClient(*seed), *n, *compound)
+		return
+	}
+
 	rec := llm.NewRecorder(llm.NewSimClient(*seed))
 	rec.Instrument(reg)
 	fw := core.New(rec, *seed+1)
 	fw.Obs = reg
+	fw.NoStatic = *noStatic
 	fw.Params.AllowCompound = *compound
 
 	sp := reg.Span("campaign")
@@ -99,6 +112,17 @@ func main() {
 	fmt.Println(experiments.Table1(st))
 	fmt.Println(experiments.Table2(st))
 	fmt.Println(experiments.Table3(st))
+	if !*noStatic {
+		staticN, dynamicN := 0, 0
+		for _, v := range st.StaticCatches {
+			staticN += v
+		}
+		for _, v := range st.DynamicCatches {
+			dynamicN += v
+		}
+		fmt.Printf("shift-left: %d defects caught statically, %d dynamically (%d feedback tokens saved)\n",
+			staticN, dynamicN, st.TokensSaved)
+	}
 	if *transcript {
 		fmt.Println("---- model transcript ----")
 		fmt.Print(rec.Render())
@@ -115,4 +139,49 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// runLint synthesizes n raw mutator implementations (no refinement
+// loop) and prints every mutcheck diagnostic, warnings included — the
+// shift-left report an engineer would read before paying for dynamic QA.
+func runLint(client llm.Client, n int, compound bool) {
+	params := llm.DefaultParams()
+	params.AllowCompound = compound
+	perCheck := map[string]int{}
+	clean, unlintable := 0, 0
+	for i := 0; i < n; i++ {
+		inv, _, err := client.Invent(llm.Actions, llm.Structures, nil, params)
+		if err != nil {
+			continue // throttled; lint mode just skips
+		}
+		prog, _, err := client.Synthesize(inv, params)
+		if err != nil {
+			continue
+		}
+		if _, cerr := mutdsl.Compile(prog); cerr != nil {
+			// Goal #1 territory: nothing to lint until the source compiles.
+			unlintable++
+			fmt.Printf("#%03d %-34s does not compile: %v\n", i+1, prog.Name, cerr)
+			continue
+		}
+		diags := mutcheck.Lint(prog)
+		if len(diags) == 0 {
+			clean++
+			continue
+		}
+		fmt.Printf("#%03d %s\n", i+1, prog.Name)
+		for _, d := range diags {
+			perCheck[d.Check]++
+			fmt.Printf("     %s\n", d)
+		}
+	}
+	fmt.Printf("\nlinted %d syntheses: %d clean, %d uncompilable\n", n, clean, unlintable)
+	var checks []string
+	for c := range perCheck {
+		checks = append(checks, c)
+	}
+	sort.Strings(checks)
+	for _, c := range checks {
+		fmt.Printf("  %-24s %d\n", c, perCheck[c])
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/mutcheck"
 	_ "github.com/icsnju/metamut-go/internal/mutators"
 	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/reduce"
@@ -68,6 +69,8 @@ func main() {
 		macro    = flag.Bool("macro", false, "run the macro fuzzer instead of μCFuzz")
 		workers  = flag.Int("workers", 4, "macro-fuzzer parallel workers")
 		doReduce = flag.Bool("reduce", false, "minimize each crashing input before printing")
+		lint     = flag.Bool("lint", false, "statically analyze the seed corpus plus sampled mutants and exit")
+		noStatic = flag.Bool("no-static", false, "ablation: compile statically-invalid mutants instead of filtering them")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -103,17 +106,24 @@ func main() {
 	// embodies so campaign dashboards can relate throughput to cost.
 	llm.RecordArsenalCost(reg, len(mutators))
 
+	if *lint {
+		runLint(pool, mutators, *seed)
+		return
+	}
+
 	status := newStatusPrinter()
 	var stats []*fuzz.Stats
 	sp = reg.Span("fuzz")
 	if *macro {
 		shared := fuzz.NewSharedCoverage()
+		cfg := fuzz.DefaultMacroConfig()
+		cfg.StaticFilter = !*noStatic
 		var ws []*fuzz.MacroFuzzer
 		for i := 0; i < *workers; i++ {
 			w := fuzz.NewMacroFuzzer(
 				fmt.Sprintf("macro-%d", i), comp, mutators, pool,
 				rand.New(rand.NewSource(*seed+int64(i))), shared,
-				fuzz.DefaultMacroConfig())
+				cfg)
 			w.Stats().Instrument(reg)
 			ws = append(ws, w)
 		}
@@ -133,6 +143,7 @@ func main() {
 	} else {
 		f := fuzz.NewMuCFuzz("muCFuzz."+*set, comp, mutators, pool,
 			rand.New(rand.NewSource(*seed)))
+		f.StaticFilter = !*noStatic
 		f.Stats().Instrument(reg)
 		next := cli.StatsInterval
 		for f.Stats().Ticks < *steps {
@@ -156,6 +167,10 @@ func main() {
 	fmt.Printf("target: %s-%d   mutants: %d   compilable: %.1f%%   edges: %d\n",
 		*compiler, version, agg.Total, agg.CompilableRatio(),
 		agg.Coverage.Count())
+	if agg.StaticRejects > 0 {
+		fmt.Printf("static filter: %d mutants rejected before compilation (%d ticks saved)\n",
+			agg.StaticRejects, agg.StaticRejects)
+	}
 	fmt.Printf("unique crashes: %d\n", len(crashes))
 	var sigs []string
 	for sig := range crashes {
@@ -190,5 +205,56 @@ func main() {
 	if err := shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// runLint is the standalone shift-left report: it semantically analyzes
+// the seed corpus (which must be clean) and one sampled mutant per
+// mutator, tallying diagnostics per check.
+func runLint(pool []string, mutators []*muast.Mutator, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	perCheck := map[string]int{}
+	tally := func(src string) (errs int) {
+		for _, d := range mutcheck.Analyze(src) {
+			perCheck[d.Check]++
+			if d.Severity == mutcheck.Error {
+				errs++
+			}
+		}
+		return errs
+	}
+	seedErrs := 0
+	for _, s := range pool {
+		seedErrs += tally(s)
+	}
+	fmt.Printf("seed corpus: %d programs, %d front-end errors (want 0)\n",
+		len(pool), seedErrs)
+
+	sampled, rejected := 0, 0
+	for _, mu := range mutators {
+		p := pool[rng.Intn(len(pool))]
+		mgr, err := muast.NewManager(p, rng)
+		if err != nil {
+			continue
+		}
+		mutant, ok := mu.Apply(p, mgr)
+		if !ok {
+			continue
+		}
+		sampled++
+		if tally(mutant) > 0 {
+			rejected++
+			fmt.Printf("  %-36s would be statically rejected\n", mu.Name)
+		}
+	}
+	fmt.Printf("sampled %d mutants (one per applicable mutator): %d statically rejected\n",
+		sampled, rejected)
+	var checks []string
+	for c := range perCheck {
+		checks = append(checks, c)
+	}
+	sort.Strings(checks)
+	for _, c := range checks {
+		fmt.Printf("  %-24s %d\n", c, perCheck[c])
 	}
 }

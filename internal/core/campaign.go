@@ -6,6 +6,7 @@ import (
 
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/mutdsl"
 )
 
@@ -71,7 +72,8 @@ func (f *Framework) recordRetry(stage string) {
 }
 
 func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result {
-	res := Result{FixedByGoal: map[Goal]int{}}
+	res := Result{FixedByGoal: map[Goal]int{},
+		StaticCatches: map[Goal]int{}, DynamicCatches: map[Goal]int{}}
 	inv := llm.Invention{
 		Name:        mu.Name,
 		Description: mu.Description,
@@ -118,15 +120,14 @@ func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result
 
 	refineSpan := f.stageSpan("refine")
 	defer refineSpan.End()
+	lastGoal := goalAllMet
 	for attempt := 0; ; attempt++ {
-		prep := f.prepareTime()
-		res.Cost.BugFixTime += prep
-		res.Cost.PrepareTime += prep
-		f.recordPrepare(prep)
-		goal, feedback := f.Validate(prog, tests)
+		goal, feedback, static := f.diagnose(prog, tests, &res)
 		if goal == goalAllMet {
 			break
 		}
+		f.recordCatch(goal, lastGoal, static, &res)
+		lastGoal = goal
 		if attempt >= f.MaxRepairAttempts {
 			// Expert intervention: diagnose and fix directly.
 			res.ExpertInterventions++
@@ -145,7 +146,11 @@ func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result
 			f.recordRetry(llm.StageBugFix)
 			continue // expert retries through throttling
 		}
-		if f.ViolatesGoal(prog, tests, goal) && !f.ViolatesGoal(fixed, tests, goal) {
+		if static {
+			if mutcheck.Violates(prog, int(goal)) && !mutcheck.Violates(fixed, int(goal)) {
+				res.FixedByGoal[goal]++
+			}
+		} else if f.ViolatesGoal(prog, tests, goal) && !f.ViolatesGoal(fixed, tests, goal) {
 			res.FixedByGoal[goal]++
 		}
 		prog = fixed
@@ -210,6 +215,12 @@ type CampaignStats struct {
 	ByOutcome   map[Outcome]int
 	// FixedByGoal reproduces Table 1: refinement-loop repairs by goal.
 	FixedByGoal map[Goal]int
+	// StaticCatches / DynamicCatches split defect detections between the
+	// mutcheck linter and the compile-and-run validator; TokensSaved is
+	// the estimated feedback-token spend the static rounds avoided.
+	StaticCatches  map[Goal]int
+	DynamicCatches map[Goal]int
+	TokensSaved    int
 
 	// Token/QA/time summaries over valid mutators (Table 2's rows).
 	TokensInvention      Summary
@@ -234,10 +245,12 @@ type CampaignStats struct {
 // Analyze computes the campaign statistics.
 func Analyze(results []Result) *CampaignStats {
 	st := &CampaignStats{
-		Results:     results,
-		Invocations: len(results),
-		ByOutcome:   map[Outcome]int{},
-		FixedByGoal: map[Goal]int{},
+		Results:        results,
+		Invocations:    len(results),
+		ByOutcome:      map[Outcome]int{},
+		FixedByGoal:    map[Goal]int{},
+		StaticCatches:  map[Goal]int{},
+		DynamicCatches: map[Goal]int{},
 	}
 	var tokInv, tokImpl, tokFix, tokTot []float64
 	var qaFix, qaTot []float64
@@ -249,6 +262,13 @@ func Analyze(results []Result) *CampaignStats {
 		st.ByOutcome[r.Outcome]++
 		for g, n := range r.FixedByGoal {
 			st.FixedByGoal[g] += n
+		}
+		for g, n := range r.StaticCatches {
+			st.StaticCatches[g] += n
+			st.TokensSaved += llm.DynamicFeedbackTokens[int(g)] * n
+		}
+		for g, n := range r.DynamicCatches {
+			st.DynamicCatches[g] += n
 		}
 		if r.Outcome != Valid {
 			continue

@@ -14,6 +14,7 @@ import (
 
 	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/llm"
+	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/mutdsl"
 	"github.com/icsnju/metamut-go/internal/obs"
 )
@@ -117,6 +118,14 @@ type Result struct {
 	Cost      Cost
 	// FixedByGoal counts refinement-loop repairs per goal (Table 1).
 	FixedByGoal map[Goal]int
+	// StaticCatches counts defect episodes the mutcheck linter reported
+	// before any compile-and-run round; DynamicCatches counts episodes
+	// only the dynamic validator saw. An episode is a maximal streak of
+	// refinement rounds reporting the same goal — one defect resisting
+	// repair for many rounds is counted once. Together they measure the
+	// shift-left pipeline's reach.
+	StaticCatches  map[Goal]int
+	DynamicCatches map[Goal]int
 	// Expert marks supervised-campaign author interventions.
 	ExpertInterventions int
 }
@@ -134,6 +143,10 @@ type Framework struct {
 	// model only ever hears "the mutant does not work" instead of the
 	// simplest unmet goal's precise feedback.
 	CoarseFeedback bool
+	// NoStatic disables the mutcheck linter pass (ablation): every
+	// defect costs a full compile-and-run QA round, reproducing the
+	// paper's dynamic-only validation loop.
+	NoStatic bool
 	// Obs receives campaign telemetry (invocation spans,
 	// invocations_total{outcome}, refinement_fixes_total{goal}, prepare
 	// and simulated-wait accounting). nil disables instrumentation;
@@ -200,8 +213,60 @@ func (f *Framework) recordPrepare(d time.Duration) {
 	f.Obs.Histogram("prepare_seconds", nil).With().Observe(d.Seconds())
 }
 
+// diagnose returns the simplest unmet validation goal with its feedback
+// and whether it was found statically. The mutcheck linter runs first —
+// on a mutator whose source compiles — and a lint Error becomes the QA
+// feedback without spending the compile-and-run round; only when the
+// linter is clean (or disabled via NoStatic) does the dynamic validator
+// run, charging the paper's prepare time.
+func (f *Framework) diagnose(prog *mutdsl.Program, tests []string, res *Result) (Goal, string, bool) {
+	if !f.NoStatic {
+		if _, err := mutdsl.Compile(prog); err == nil {
+			if d, ok := mutcheck.FirstError(mutcheck.Lint(prog)); ok {
+				msg := fmt.Sprintf("static analysis (%s): %s — %s", d.Check, d.Message, d.Fix)
+				return Goal(d.Goal), msg, true
+			}
+		}
+	}
+	prep := f.prepareTime()
+	res.Cost.BugFixTime += prep
+	res.Cost.PrepareTime += prep
+	f.recordPrepare(prep)
+	goal, feedback := f.Validate(prog, tests)
+	return goal, feedback, false
+}
+
+// recordCatch books one defect *episode* — the first refinement round
+// that reports a given goal; consecutive rounds re-reporting the same
+// goal are the same defect resisting repair, not new detections. lastGoal
+// is the previous round's goal (goalAllMet on the first round).
+func (f *Framework) recordCatch(goal, lastGoal Goal, static bool, res *Result) {
+	if goal == lastGoal {
+		return
+	}
+	if static {
+		res.StaticCatches[goal]++
+		if f.Obs != nil {
+			f.Obs.Counter("static_catches_total", "goal").
+				With(goalDescriptions[goal]).Inc()
+		}
+		llm.RecordStaticSavings(f.Obs, int(goal))
+		return
+	}
+	res.DynamicCatches[goal]++
+}
+
+// recordInputParseFailure counts test programs the mutator could not
+// even read (the input failed to parse, so no goal is assessable).
+func (f *Framework) recordInputParseFailure() {
+	if f.Obs != nil {
+		f.Obs.Counter("mutator_input_parse_failures_total").With().Inc()
+	}
+}
+
 func (f *Framework) generateOne(priorNames []string) Result {
-	res := Result{FixedByGoal: map[Goal]int{}}
+	res := Result{FixedByGoal: map[Goal]int{},
+		StaticCatches: map[Goal]int{}, DynamicCatches: map[Goal]int{}}
 
 	// ❶ Mutator invention (one QA round).
 	sp := f.stageSpan("invent")
@@ -247,16 +312,14 @@ func (f *Framework) generateOne(priorNames []string) Result {
 
 	refineSpan := f.stageSpan("refine")
 	defer refineSpan.End()
+	lastGoal := goalAllMet
 	for attempt := 0; ; attempt++ {
-		prep := f.prepareTime()
-		res.Cost.BugFixTime += prep
-		res.Cost.PrepareTime += prep
-		f.recordPrepare(prep)
-
-		goal, feedback := f.Validate(prog, tests)
+		goal, feedback, static := f.diagnose(prog, tests, &res)
 		if goal == goalAllMet {
 			break
 		}
+		f.recordCatch(goal, lastGoal, static, &res)
+		lastGoal = goal
 		if attempt >= f.MaxRepairAttempts {
 			res.Outcome = InvalidRefinementFailed
 			res.Program = prog
@@ -279,13 +342,21 @@ func (f *Framework) generateOne(priorNames []string) Result {
 		// Classify the repair (Table 1): a fix is credited only when the
 		// specific defect was repaired. For goal #1 every resolved compile
 		// error counts — a repair that introduces a *different* compile
-		// error still fixed the reported one.
-		if goal == GoalCompiles {
+		// error still fixed the reported one. Statically-reported defects
+		// are re-checked with the linter, dynamic ones by re-running.
+		switch {
+		case static:
+			if mutcheck.Violates(prog, int(goal)) && !mutcheck.Violates(fixed, int(goal)) {
+				res.FixedByGoal[goal]++
+			}
+		case goal == GoalCompiles:
 			if prog.SyntaxErr != "" && fixed.SyntaxErr != prog.SyntaxErr {
 				res.FixedByGoal[goal]++
 			}
-		} else if f.ViolatesGoal(prog, tests, goal) && !f.ViolatesGoal(fixed, tests, goal) {
-			res.FixedByGoal[goal]++
+		default:
+			if f.ViolatesGoal(prog, tests, goal) && !f.ViolatesGoal(fixed, tests, goal) {
+				res.FixedByGoal[goal]++
+			}
 		}
 		prog = fixed
 	}
@@ -334,6 +405,9 @@ func (f *Framework) ViolatesGoal(prog *mutdsl.Program, tests []string, goal Goal
 	hang, crash := false, false
 	for _, test := range tests {
 		out := exe.Apply(test, rand.New(rand.NewSource(int64(len(test)))))
+		if out.ParseFailed {
+			continue // the mutator never ran; no goal is assessable
+		}
 		if out.Hang {
 			hang = true
 			continue
@@ -388,6 +462,12 @@ func (f *Framework) Validate(prog *mutdsl.Program, tests []string) (Goal, string
 	for _, test := range tests {
 		// Deterministic per-application stream so validation is stable.
 		out := exe.Apply(test, rand.New(rand.NewSource(int64(len(test)))))
+		if out.ParseFailed {
+			// The test itself is invalid; the mutator never ran. Count
+			// it and keep the application out of every goal's evidence.
+			f.recordInputParseFailure()
+			continue
+		}
 		switch {
 		case out.Hang:
 			return GoalTerminates, "timeout: mutator exceeded its budget on a test case\n<stack trace: " + prog.Name + "::mutate>"

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/llm"
+)
+
+// TestStaticAnalysisCatchRate is the shift-left acceptance gate: over a
+// deterministic seeded campaign, the mutcheck linter must report at
+// least half of all goal #3/#5/#6 defects before any compile-and-run
+// round spends prepare time.
+func TestStaticAnalysisCatchRate(t *testing.T) {
+	fw := New(llm.NewSimClient(2024), 77)
+	st := Analyze(fw.RunUnsupervised(80))
+
+	static, dynamic := 0, 0
+	for _, g := range []Goal{GoalReturns, GoalChanges, GoalValidMutants} {
+		static += st.StaticCatches[g]
+		dynamic += st.DynamicCatches[g]
+	}
+	if static+dynamic == 0 {
+		t.Fatal("campaign injected no goal #3/#5/#6 defects (suspicious)")
+	}
+	rate := float64(static) / float64(static+dynamic)
+	t.Logf("static=%d dynamic=%d rate=%.2f tokens saved=%d",
+		static, dynamic, rate, st.TokensSaved)
+	if rate < 0.5 {
+		t.Errorf("static catch rate = %.2f (%d/%d), want >= 0.5",
+			rate, static, static+dynamic)
+	}
+	if st.TokensSaved <= 0 {
+		t.Errorf("TokensSaved = %d, want > 0 with %d static catches",
+			st.TokensSaved, static)
+	}
+	// Goal #1 (syntax) and #2 (halting) remain dynamic-only.
+	if st.StaticCatches[GoalCompiles] != 0 || st.StaticCatches[GoalTerminates] != 0 {
+		t.Errorf("goals #1/#2 must stay dynamic, got static catches %v",
+			st.StaticCatches)
+	}
+}
+
+// TestNoStaticAblation checks the -no-static ablation: with the linter
+// disabled every defect is caught dynamically and the campaign still
+// converges to the same loose validity band.
+func TestNoStaticAblation(t *testing.T) {
+	fw := New(llm.NewSimClient(2024), 77)
+	fw.NoStatic = true
+	st := Analyze(fw.RunUnsupervised(80))
+
+	for g, n := range st.StaticCatches {
+		if n != 0 {
+			t.Errorf("NoStatic campaign recorded static catch goal %v ×%d", g, n)
+		}
+	}
+	if st.TokensSaved != 0 {
+		t.Errorf("NoStatic campaign saved %d tokens, want 0", st.TokensSaved)
+	}
+	dynamic := 0
+	for _, n := range st.DynamicCatches {
+		dynamic += n
+	}
+	if dynamic == 0 {
+		t.Error("NoStatic campaign caught nothing dynamically")
+	}
+	survived := st.SurvivedInvocations()
+	if survived > 0 {
+		rate := float64(st.ValidCount()) / float64(survived)
+		if rate < 0.4 || rate > 0.9 {
+			t.Errorf("NoStatic valid rate = %.2f, out of loose band", rate)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/obs"
 )
 
@@ -34,6 +35,10 @@ type Stats struct {
 	// Total and Compilable mutant counts (Table 5).
 	Total      int
 	Compilable int
+	// StaticRejects counts mutants the mutcheck front-end analysis
+	// discarded before they consumed a compiler tick (subset of
+	// Total - Compilable).
+	StaticRejects int
 	// Ticks consumed so far.
 	Ticks int
 	// Crashes maps signature -> first-discovery info (Figures 8, 9;
@@ -44,10 +49,11 @@ type Stats struct {
 
 	// Observability handles, resolved once by Instrument (all nil when
 	// telemetry is off, so Record stays allocation-free).
-	obsTicks   *obs.Counter
-	obsMutants *obs.CounterVec
-	obsCrashes *obs.Counter
-	obsEdges   *obs.Gauge
+	obsTicks         *obs.Counter
+	obsMutants       *obs.CounterVec
+	obsCrashes       *obs.Counter
+	obsEdges         *obs.Gauge
+	obsStaticRejects *obs.CounterVec
 }
 
 // NewStats returns empty accounting for a named fuzzer.
@@ -68,6 +74,7 @@ func (s *Stats) Instrument(reg *obs.Registry) {
 	s.obsMutants = reg.Counter("mutants_total", "mutator", "outcome")
 	s.obsCrashes = reg.Counter("crashes_unique_total", "fuzzer").With(s.Name)
 	s.obsEdges = reg.Gauge("coverage_edges", "fuzzer").With(s.Name)
+	s.obsStaticRejects = reg.Counter("static_rejects_total", "check")
 }
 
 // resultOutcome labels one compilation for mutants_total.
@@ -125,6 +132,20 @@ func (s *Stats) Record(src, via string, res compilersim.Result) bool {
 	return isNew
 }
 
+// RecordStaticReject books one mutant the static analysis discarded
+// before compilation. The mutant counts toward Total (it was produced)
+// but consumes no compiler tick — that is the saving being measured.
+func (s *Stats) RecordStaticReject(via, check string) {
+	s.Total++
+	s.StaticRejects++
+	if s.obsMutants != nil {
+		s.obsMutants.With(primaryMutator(via), "static-reject").Inc()
+	}
+	if s.obsStaticRejects != nil {
+		s.obsStaticRejects.With(check).Inc()
+	}
+}
+
 // MergeFrom folds another fuzzer's accounting into s: totals add up,
 // crashes union with the earliest discovery winning, coverage maps
 // merge. This is the one tested aggregation path the macro fuzzer's
@@ -135,6 +156,7 @@ func (s *Stats) MergeFrom(o *Stats) {
 	}
 	s.Total += o.Total
 	s.Compilable += o.Compilable
+	s.StaticRejects += o.StaticRejects
 	s.Ticks += o.Ticks
 	for sig, c := range o.Crashes {
 		if prev, ok := s.Crashes[sig]; !ok || c.FirstTick < prev.FirstTick {
@@ -254,6 +276,10 @@ type MuCFuzz struct {
 	// Blind disables coverage guidance (Algorithm 1 line 8): mutants are
 	// admitted to the pool at a small fixed rate instead. Ablation only.
 	Blind bool
+	// StaticFilter discards mutants the mutcheck front-end analysis
+	// rejects before they consume a compiler tick. Off by default; the
+	// mucfuzz CLI enables it (and exposes -no-static to turn it off).
+	StaticFilter bool
 }
 
 // NewMuCFuzz builds a μCFuzz instance over the given mutator set.
@@ -313,6 +339,13 @@ func (f *MuCFuzz) Step() {
 		}
 		if len(mutant) > f.MaxProgramSize {
 			continue
+		}
+		if f.StaticFilter {
+			if check, rejected := mutcheck.Reject(mutant); rejected {
+				tries++
+				f.stats.RecordStaticReject(mu.Name, check)
+				continue
+			}
 		}
 		tries++
 		res := f.comp.Compile(mutant, f.opts)
@@ -377,6 +410,9 @@ type MacroConfig struct {
 	// UncheckedRate emulates mutator fallibility (see
 	// DefaultUncheckedRate).
 	UncheckedRate float64
+	// StaticFilter discards statically-invalid mutants before they
+	// consume a compiler tick (see MuCFuzz.StaticFilter).
+	StaticFilter bool
 }
 
 // DefaultMacroConfig mirrors the long-running campaign settings.
@@ -465,6 +501,12 @@ func (f *MacroFuzzer) Step() {
 	if f.rng.Float64() < f.cfg.UncheckedRate {
 		if spliced, sok := uncheckedRewrite(cur, f.rng); sok {
 			cur = spliced
+		}
+	}
+	if f.cfg.StaticFilter {
+		if check, rejected := mutcheck.Reject(cur); rejected {
+			f.stats.RecordStaticReject(via, check)
+			return
 		}
 	}
 	res := f.comp.Compile(cur, f.sampleOptions())

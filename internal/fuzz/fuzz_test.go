@@ -154,3 +154,41 @@ func TestMacroResourceLimit(t *testing.T) {
 }
 
 func newEmptyCov() *cover.Map { return cover.NewMap() }
+
+func TestStaticFilterSavesTicks(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	f := NewMuCFuzz("muCFuzz.static", comp, muast.BySet(muast.Supervised),
+		testPool(t, 20), rand.New(rand.NewSource(7)))
+	f.StaticFilter = true
+	for i := 0; i < 120; i++ {
+		f.Step()
+	}
+	st := f.Stats()
+	if st.StaticRejects == 0 {
+		t.Fatal("static filter rejected nothing (unchecked rewrites should trip it)")
+	}
+	if st.Ticks != st.Total-st.StaticRejects {
+		t.Errorf("ticks=%d, want Total-StaticRejects=%d (rejects must not tick)",
+			st.Ticks, st.Total-st.StaticRejects)
+	}
+	// Soundness downstream of mutcheck's contract: everything that
+	// reached the compiler and everything rejected stays consistent —
+	// compilable counts only ticked mutants.
+	if st.Compilable > st.Ticks {
+		t.Errorf("compilable=%d > ticks=%d", st.Compilable, st.Ticks)
+	}
+	t.Logf("mutants=%d static-rejects=%d ticks=%d compilable=%.1f%%",
+		st.Total, st.StaticRejects, st.Ticks, st.CompilableRatio())
+}
+
+func TestStaticRejectMergeFrom(t *testing.T) {
+	a, b := NewStats("a"), NewStats("b")
+	a.RecordStaticReject("M1", "parse-error")
+	b.RecordStaticReject("M2", "sema-error")
+	b.RecordStaticReject("M2+M3", "parse-error")
+	a.MergeFrom(b)
+	if a.Total != 3 || a.StaticRejects != 3 || a.Ticks != 0 {
+		t.Errorf("merged total=%d rejects=%d ticks=%d, want 3/3/0",
+			a.Total, a.StaticRejects, a.Ticks)
+	}
+}

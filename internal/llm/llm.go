@@ -206,6 +206,26 @@ func RecordArsenalCost(reg *obs.Registry, n int) {
 	}
 }
 
+// DynamicFeedbackTokens estimates, per validation goal, the extra
+// prompt tokens a dynamic QA round spends carrying runtime evidence
+// that a static diagnostic replaces: goal #3 quotes the crash stack,
+// goal #5 the no-op run report, goal #6 dumps the failing mutant with
+// its compiler diagnostics. Calibrated against the feedback strings the
+// simulated validator produces.
+var DynamicFeedbackTokens = map[int]int{3: 160, 5: 90, 6: 720}
+
+// RecordStaticSavings credits llm_tokens_saved{goal} for one defect the
+// static linter caught before the dynamic round ran — the token-cost
+// attribution of the shift-left pipeline.
+func RecordStaticSavings(reg *obs.Registry, goal int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("llm_tokens_saved", "goal").
+		With(fmt.Sprintf("goal%d", goal)).
+		Add(int64(DynamicFeedbackTokens[goal]))
+}
+
 // SimClient is the deterministic simulated GPT-4.
 type SimClient struct {
 	rng   *rand.Rand

@@ -1,0 +1,171 @@
+package mutcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+)
+
+// Linter check identifiers.
+const (
+	CheckMissingEmptyGuard = "missing-empty-guard" // goal #3
+	CheckNoRewrite         = "no-rewrite"          // goal #5
+	CheckNeverApplies      = "never-applies"       // goal #5
+	CheckUncheckedRewrite  = "unchecked-rewrite"   // goal #6
+	CheckBadPayload        = "bad-payload"         // goal #6
+	CheckSelfCancelling    = "self-cancelling"     // advisory
+	CheckDeadStep          = "dead-step"           // advisory
+	CheckIneffectiveCheck  = "ineffective-check"   // advisory
+)
+
+// Lint statically analyzes a mutator implementation and returns its
+// findings ordered by validation goal (simplest first, the staging
+// Validate uses), Errors before Warnings within a goal. A program whose
+// source does not parse (SyntaxErr) cannot be analyzed and lints empty —
+// goal #1 stays with the compiler.
+func Lint(p *mutdsl.Program) []Diagnostic {
+	if p == nil || p.SyntaxErr != "" {
+		return nil
+	}
+	var out []Diagnostic
+
+	// Goal #3: the CrashBug shape is a mutate() that indexes the
+	// collected instance vector without an emptiness check.
+	if p.CrashBug {
+		out = append(out, Diagnostic{
+			Check: CheckMissingEmptyGuard, Severity: Error, Goal: 3, Step: -1, Offset: -1,
+			Message: fmt.Sprintf("mutate() selects an instance without checking that any %s was collected; on inputs with no instance it dereferences an empty vector", p.TargetKind),
+			Fix:     "guard the selection with an emptiness check and return false when no instance exists",
+		})
+	}
+
+	// Goal #5: returns true without recording any rewrite.
+	if p.NoRewriteBug {
+		out = append(out, Diagnostic{
+			Check: CheckNoRewrite, Severity: Error, Goal: 5, Step: -1, Offset: -1,
+			Message: "mutate() returns true on every path without recording a rewrite; every output equals its input",
+			Fix:     "record the rewrite against the selected node before returning true",
+		})
+	}
+
+	// Goal #5: op/kind combinations that can never apply. A sibling of
+	// the translation unit cannot exist, so sibling-relative rewrites
+	// are dead on arrival.
+	for i, s := range p.Steps {
+		if (s.Op == mutdsl.OpSwapWithSibling || s.Op == mutdsl.OpReplaceWithCopy) &&
+			p.TargetKind == cast.KindTranslationUnit {
+			out = append(out, Diagnostic{
+				Check: CheckNeverApplies, Severity: Error, Goal: 5, Step: i, Offset: -1,
+				Message: fmt.Sprintf("step %d (%s) needs a second non-overlapping %s, but a translation unit has no sibling; the rewrite can never apply", i, s.Op, p.TargetKind),
+				Fix:     "target a node kind that can occur more than once, or use a self-contained rewrite",
+			})
+		}
+	}
+
+	// Goal #6: the BadMutantBug shape is a rewrite whose source range
+	// extends one token past the node (and that skips the applicability
+	// checks), eating adjacent text.
+	if p.BadMutantBug {
+		out = append(out, Diagnostic{
+			Check: CheckUncheckedRewrite, Severity: Error, Goal: 6, Step: -1, Offset: -1,
+			Message: "the rewrite's source range extends past the node's end and consumes the adjacent token, so mutants fail to compile",
+			Fix:     "clamp the replacement range to the node's own extent and keep the applicability checks before rewriting",
+		})
+	}
+
+	// Goal #6: payloads that cannot parse in the target node's
+	// grammatical context.
+	out = append(out, lintPayloads(p)...)
+
+	// Advisory findings.
+	out = append(out, lintStepInteractions(p)...)
+	if p.RequireSideEffectFree && !isExprKind(p.TargetKind) {
+		out = append(out, Diagnostic{
+			Check: CheckIneffectiveCheck, Severity: Warning, Goal: 0, Step: -1, Offset: -1,
+			Message: fmt.Sprintf("the side-effect-freedom check only applies to expressions; it never filters a %s instance", p.TargetKind),
+			Fix:     "drop the check or target an expression kind",
+		})
+	}
+
+	sort.SliceStable(out, func(i, j int) bool {
+		gi, gj := out[i].Goal, out[j].Goal
+		if gi == 0 {
+			gi = 99 // goalless advisories sort last
+		}
+		if gj == 0 {
+			gj = 99
+		}
+		if gi != gj {
+			return gi < gj
+		}
+		return out[i].Severity > out[j].Severity // Error before Warning
+	})
+	return out
+}
+
+// Violates reports whether the linter finds an Error for the given goal —
+// the static counterpart of Framework.ViolatesGoal, used to classify
+// whether a repair actually fixed the reported defect.
+func Violates(p *mutdsl.Program, goal int) bool {
+	for _, d := range Lint(p) {
+		if d.Severity == Error && d.Goal == goal {
+			return true
+		}
+	}
+	return false
+}
+
+// lintStepInteractions flags step pairs whose combination is provably
+// pointless: a double swap restores the original program (and the
+// rewriter drops the second pair of overlapping edits anyway), and any
+// destructive rewrite after an earlier destructive rewrite of the same
+// node is silently discarded by the overlap check.
+func lintStepInteractions(p *mutdsl.Program) []Diagnostic {
+	var out []Diagnostic
+	destructiveSeen := -1
+	for i, s := range p.Steps {
+		if i > 0 && s.Op == mutdsl.OpSwapWithSibling &&
+			p.Steps[i-1].Op == mutdsl.OpSwapWithSibling {
+			out = append(out, Diagnostic{
+				Check: CheckSelfCancelling, Severity: Warning, Goal: 5, Step: i, Offset: -1,
+				Message: fmt.Sprintf("steps %d and %d swap the same pair twice, which restores the original program", i-1, i),
+				Fix:     "drop one of the swaps",
+			})
+		} else if destructiveSeen >= 0 && isDestructive(s, p.TargetKind) {
+			out = append(out, Diagnostic{
+				Check: CheckDeadStep, Severity: Warning, Goal: 0, Step: i, Offset: -1,
+				Message: fmt.Sprintf("step %d rewrites a range step %d already rewrote; the rewriter drops the overlapping edit, so step %d has no effect", i, destructiveSeen, i),
+				Fix:     "compose the two rewrites into one step, or make the later step an insertion",
+			})
+		}
+		if destructiveSeen < 0 && isDestructive(s, p.TargetKind) {
+			destructiveSeen = i
+		}
+	}
+	return out
+}
+
+// isDestructive reports whether the step replaces the node's own range
+// (as opposed to inserting next to it). DuplicateAfter is an insertion
+// for statements but a range replacement for everything else, mirroring
+// Executable.applyStep.
+func isDestructive(s mutdsl.Step, k cast.NodeKind) bool {
+	switch s.Op {
+	case mutdsl.OpReplaceWithText, mutdsl.OpWrapText, mutdsl.OpDeleteNode,
+		mutdsl.OpSwapWithSibling, mutdsl.OpReplaceWithCopy:
+		return true
+	case mutdsl.OpDuplicateAfter:
+		return !isStmtKind(k)
+	}
+	return false
+}
+
+func isStmtKind(k cast.NodeKind) bool {
+	return k >= cast.KindCompoundStmt && k <= cast.KindNullStmt
+}
+
+func isExprKind(k cast.NodeKind) bool {
+	return k >= cast.KindIntegerLiteral && k <= cast.KindCommaExpr
+}

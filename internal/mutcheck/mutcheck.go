@@ -1,0 +1,99 @@
+// Package mutcheck is the shift-left validation subsystem: static
+// analysis over the two artifact classes MetaMut otherwise validates
+// dynamically. The DSL linter (lint.go) inspects a mutdsl.Program
+// without executing it and reports defects that would surface as
+// goal #3/#5/#6 violations only after a compile-and-run QA round; the
+// mutant validator (mutant.go) runs parse + sema + advisory passes over
+// a candidate mutant so μCFuzz can reject compile-error mutants without
+// spending a compilersim tick. Both passes emit the same structured
+// Diagnostic, which the core refinement loop feeds back to the
+// (simulated) LLM verbatim.
+//
+// Soundness contract: an Error-severity mutant diagnostic is emitted
+// exactly when compilersim's front end (cast.Parse + cast.Check) would
+// reject the program, so static rejection never discards a mutant the
+// compiler under test accepts. The richer analyses that the front end
+// does not enforce (constant division by zero, duplicate labels/cases,
+// constant array-index overflow, unreachable code, unused locals) are
+// Warning severity: advisory diagnostics for feedback and lint reports,
+// never grounds for rejection.
+package mutcheck
+
+import "fmt"
+
+// Severity ranks a diagnostic: Error predicts a hard validation failure
+// (a goal violation or a compile-error mutant); Warning is advisory.
+type Severity int
+
+// Severities.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one static-analysis finding, from either pass.
+type Diagnostic struct {
+	// Check is the stable check identifier (e.g. "missing-empty-guard",
+	// "parse-error"); it doubles as the obs label value.
+	Check    string
+	Severity Severity
+	// Goal is the Section-3.3 validation goal this finding shifts left
+	// (0 when the finding maps to no goal).
+	Goal int
+	// Step is the offending rewrite-step index for linter findings, -1
+	// for program-level findings and all mutant findings.
+	Step int
+	// Offset is the byte offset into the analyzed source for mutant
+	// findings, -1 for linter findings.
+	Offset int
+	// Message states the defect; Fix suggests the repair. Both are
+	// written to be fed to the model as refinement feedback.
+	Message string
+	Fix     string
+}
+
+// String renders the diagnostic in a compiler-style one-line format.
+func (d Diagnostic) String() string {
+	loc := ""
+	switch {
+	case d.Step >= 0:
+		loc = fmt.Sprintf(" step %d:", d.Step)
+	case d.Offset >= 0:
+		loc = fmt.Sprintf(" offset %d:", d.Offset)
+	}
+	s := fmt.Sprintf("%s:%s %s [%s]", d.Severity, loc, d.Message, d.Check)
+	if d.Fix != "" {
+		s += " — " + d.Fix
+	}
+	return s
+}
+
+// HasErrors reports whether any diagnostic is Error severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstError returns the first Error-severity diagnostic. Linter output
+// is ordered by goal, so for lint results this is the simplest unmet
+// goal — the same staging Validate uses.
+func FirstError(diags []Diagnostic) (Diagnostic, bool) {
+	for _, d := range diags {
+		if d.Severity == Error {
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}

@@ -1,0 +1,250 @@
+package mutcheck
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+func prog(kind cast.NodeKind, steps ...mutdsl.Step) *mutdsl.Program {
+	return &mutdsl.Program{
+		Name:        "TestMutator",
+		Description: "test mutator",
+		TargetKind:  kind,
+		Steps:       steps,
+	}
+}
+
+func hasCheck(diags []Diagnostic, check string) bool {
+	for _, d := range diags {
+		if d.Check == check {
+			return true
+		}
+	}
+	return false
+}
+
+// Every probe's baseline must parse — a broken template would silently
+// disable the payload check for its kind.
+func TestProbesParse(t *testing.T) {
+	for kind, pr := range probes {
+		if _, err := cast.Parse(pr.prefix + pr.node + pr.suffix); err != nil {
+			t.Errorf("%s probe does not parse: %v", kind, err)
+		}
+		if _, err := cast.Parse(pr.prefix + pr.alt + pr.suffix); err != nil {
+			t.Errorf("%s probe with alt slot does not parse: %v", kind, err)
+		}
+	}
+}
+
+// The known-good rewrite for every kind must lint clean: the refinement
+// loop relies on SafeStepsFor being a fixed point of the linter.
+func TestSafeStepsLintClean(t *testing.T) {
+	for k := cast.KindTranslationUnit; k <= cast.KindCommaExpr; k++ {
+		p := prog(k, mutdsl.SafeStepsFor(k)...)
+		if d, bad := FirstError(Lint(p)); bad {
+			t.Errorf("SafeStepsFor(%s) lints dirty: %s", k, d)
+		}
+	}
+}
+
+func TestLintFlagShapes(t *testing.T) {
+	base := func() *mutdsl.Program {
+		return prog(cast.KindIfStmt, mutdsl.Step{Op: mutdsl.OpWrapText, Pre: "if (1) { ", Post: " }"})
+	}
+
+	p := base()
+	p.CrashBug = true
+	d, ok := FirstError(Lint(p))
+	if !ok || d.Check != CheckMissingEmptyGuard || d.Goal != 3 {
+		t.Errorf("CrashBug: got %+v, want %s goal 3", d, CheckMissingEmptyGuard)
+	}
+
+	p = base()
+	p.NoRewriteBug = true
+	d, ok = FirstError(Lint(p))
+	if !ok || d.Check != CheckNoRewrite || d.Goal != 5 {
+		t.Errorf("NoRewriteBug: got %+v, want %s goal 5", d, CheckNoRewrite)
+	}
+
+	p = base()
+	p.BadMutantBug = true
+	d, ok = FirstError(Lint(p))
+	if !ok || d.Check != CheckUncheckedRewrite || d.Goal != 6 {
+		t.Errorf("BadMutantBug: got %+v, want %s goal 6", d, CheckUncheckedRewrite)
+	}
+
+	// Goal staging: with several defects the simplest goal is reported
+	// first, matching Validate's order.
+	p = base()
+	p.CrashBug, p.BadMutantBug = true, true
+	d, _ = FirstError(Lint(p))
+	if d.Goal != 3 {
+		t.Errorf("multi-defect program should report goal 3 first, got %d", d.Goal)
+	}
+
+	// A syntactically broken mutator cannot be analyzed at all.
+	p = base()
+	p.SyntaxErr = "missing semicolon"
+	p.CrashBug = true
+	if diags := Lint(p); len(diags) != 0 {
+		t.Errorf("unparseable mutator should lint empty, got %v", diags)
+	}
+}
+
+func TestLintBadPayloads(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *mutdsl.Program
+	}{
+		{"stmt text in expr slot", prog(cast.KindIntegerLiteral,
+			mutdsl.Step{Op: mutdsl.OpReplaceWithText, Text: "return 0;"})},
+		{"expr glue after a statement", prog(cast.KindReturnStmt,
+			mutdsl.Step{Op: mutdsl.OpInsertAfter, Text: " + 0"})},
+		{"unbalanced wrap", prog(cast.KindBinaryOperator,
+			mutdsl.Step{Op: mutdsl.OpWrapText, Pre: "((", Post: ")"})},
+		{"delete declarator leaves junk", prog(cast.KindParmVarDecl,
+			mutdsl.Step{Op: mutdsl.OpDeleteNode})},
+	}
+	for _, tc := range cases {
+		d, ok := FirstError(Lint(tc.p))
+		if !ok || d.Check != CheckBadPayload {
+			t.Errorf("%s: got %+v, want %s", tc.name, d, CheckBadPayload)
+		}
+	}
+
+	good := []*mutdsl.Program{
+		prog(cast.KindIntegerLiteral, mutdsl.Step{Op: mutdsl.OpReplaceWithText, Text: "42"}),
+		prog(cast.KindIfStmt, mutdsl.Step{Op: mutdsl.OpWrapText, Pre: "if (1) { ", Post: " }"}),
+		prog(cast.KindReturnStmt, mutdsl.Step{Op: mutdsl.OpInsertBefore, Text: ";"}),
+		prog(cast.KindBinaryOperator, mutdsl.Step{Op: mutdsl.OpWrapText, Pre: "(", Post: " + 0)"}),
+		prog(cast.KindCompoundStmt, mutdsl.Step{Op: mutdsl.OpDuplicateAfter}),
+		prog(cast.KindVarDecl, mutdsl.Step{Op: mutdsl.OpInsertAfter, Text: " /* added */"}),
+	}
+	for _, p := range good {
+		if d, bad := FirstError(Lint(p)); bad {
+			t.Errorf("%s on %s should lint clean, got %s", p.Steps[0].Op, p.TargetKind, d)
+		}
+	}
+}
+
+func TestLintNeverApplies(t *testing.T) {
+	p := prog(cast.KindTranslationUnit, mutdsl.Step{Op: mutdsl.OpSwapWithSibling})
+	d, ok := FirstError(Lint(p))
+	if !ok || d.Check != CheckNeverApplies || d.Goal != 5 {
+		t.Errorf("swap on translation unit: got %+v, want %s goal 5", d, CheckNeverApplies)
+	}
+}
+
+func TestLintAdvisories(t *testing.T) {
+	// Double swap cancels itself.
+	p := prog(cast.KindExprStmt,
+		mutdsl.Step{Op: mutdsl.OpSwapWithSibling},
+		mutdsl.Step{Op: mutdsl.OpSwapWithSibling})
+	diags := Lint(p)
+	if !hasCheck(diags, CheckSelfCancelling) {
+		t.Errorf("double swap: want %s, got %v", CheckSelfCancelling, diags)
+	}
+	if HasErrors(diags) {
+		t.Errorf("double swap is advisory only, got errors in %v", diags)
+	}
+
+	// A destructive rewrite after another destructive rewrite is dropped
+	// by the rewriter's overlap check.
+	p = prog(cast.KindIfStmt,
+		mutdsl.Step{Op: mutdsl.OpWrapText, Pre: "if (1) { ", Post: " }"},
+		mutdsl.Step{Op: mutdsl.OpDeleteNode})
+	if !hasCheck(Lint(p), CheckDeadStep) {
+		t.Errorf("wrap-then-delete: want %s", CheckDeadStep)
+	}
+
+	// Side-effect filtering is meaningless on statements.
+	p = prog(cast.KindIfStmt, mutdsl.Step{Op: mutdsl.OpWrapText, Pre: "if (1) { ", Post: " }"})
+	p.RequireSideEffectFree = true
+	if !hasCheck(Lint(p), CheckIneffectiveCheck) {
+		t.Errorf("RequireSideEffectFree on IfStmt: want %s", CheckIneffectiveCheck)
+	}
+}
+
+func TestAnalyzeErrorsMirrorFrontEnd(t *testing.T) {
+	bad := []struct {
+		src   string
+		check string
+	}{
+		{"int main(void) { return 0 }", CheckParseError},
+		{"int main(void) { return x; }", "undeclared-identifier"},
+		{"struct S { int f; } s; int main(void) { int a = 1; a = s; return a; }", "type-mismatch"},
+		{"int f(int x) { return x; } int main(void) { return f(1, 2); }", "call-error"},
+	}
+	for _, tc := range bad {
+		diags := Analyze(tc.src)
+		if !HasErrors(diags) {
+			t.Errorf("%q: expected errors", tc.src)
+			continue
+		}
+		if d, _ := FirstError(diags); d.Check != tc.check {
+			t.Errorf("%q: got check %s, want %s", tc.src, d.Check, tc.check)
+		}
+		check, rejected := Reject(tc.src)
+		if !rejected || check != tc.check {
+			t.Errorf("Reject(%q) = (%s, %v), want (%s, true)", tc.src, check, rejected, tc.check)
+		}
+	}
+}
+
+func TestAdvisoryPasses(t *testing.T) {
+	cases := []struct {
+		name, src, check string
+	}{
+		{"div by zero", "int main(void) { int a = 4; a = a / 0; return a; }", CheckDivByZero},
+		{"rem by folded zero", "int main(void) { int a = 4; a = a % (2 - 2); return a; }", CheckDivByZero},
+		{"duplicate label", "int main(void) { l: ; l: ; return 0; }", CheckDuplicateLabel},
+		{"duplicate case", "int main(void) { int a = 1; switch (a) { case 2: break; case 1 + 1: break; } return a; }", CheckDuplicateCase},
+		{"const index oob", "int main(void) { int a[4]; a[0] = 1; return a[4]; }", CheckConstIndexOOB},
+		{"unreachable code", "int main(void) { int a = 1; return a; a = 2; }", CheckUnreachableCode},
+		{"unused variable", "int main(void) { int a = 1; int b = 2; return a; }", CheckUnusedVariable},
+	}
+	for _, tc := range cases {
+		diags := Analyze(tc.src)
+		if HasErrors(diags) {
+			t.Errorf("%s: advisory input must not produce errors: %v", tc.name, diags)
+		}
+		if !hasCheck(diags, tc.check) {
+			t.Errorf("%s: want %s in %v", tc.name, tc.check, diags)
+		}
+	}
+
+	clean := "int main(void) { int a[4]; int i; for (i = 0; i < 4; i = i + 1) { a[i] = i; } return a[3]; }"
+	if diags := Analyze(clean); len(diags) != 0 {
+		t.Errorf("clean program should analyze empty, got %v", diags)
+	}
+}
+
+// Acceptance: the validator reports zero false positives over the whole
+// seed corpus — every corpus program analyzes without errors, matching
+// the compiler's front end accepting all of them.
+func TestSeedCorpusAnalyzesClean(t *testing.T) {
+	corpus := seeds.Generate(120, 1)
+	for i, src := range corpus {
+		if check, rejected := Reject(src); rejected {
+			t.Errorf("seed %d falsely rejected (%s)", i, check)
+		}
+		if diags := Analyze(src); HasErrors(diags) {
+			t.Errorf("seed %d: unexpected errors %v", i, diags)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Check: CheckBadPayload, Severity: Error, Goal: 6, Step: 1,
+		Offset: -1, Message: "bad text", Fix: "use valid text"}
+	s := d.String()
+	for _, want := range []string{"error", "step 1", "bad text", CheckBadPayload, "use valid text"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

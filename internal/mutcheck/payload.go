@@ -1,0 +1,196 @@
+package mutcheck
+
+import (
+	"fmt"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+)
+
+// A probe is a minimal well-formed program with a designated slot that
+// holds one node of the target kind, with the same source extent the
+// parser assigns such a node (statements include their semicolon,
+// declarators do not, a field declarator is just its name, ...). The
+// linter textually applies each rewrite step to the slot and re-parses
+// the whole probe with the repo's own front end — the snippet-harness
+// trick of `clang -fsyntax-only` — so a payload that cannot parse in the
+// node's grammatical context is caught without ever running the mutator.
+type probe struct {
+	prefix string
+	node   string // the slot: source text of one target-kind node
+	alt    string // text of a second, non-overlapping node of the same kind
+	suffix string
+}
+
+func exprProbe(node, alt string) probe {
+	return probe{
+		prefix: "int p0;\nint pa[4];\nstruct PS { int f; } ps;\nint pf(int x) { return x; }\nint main(void) { p0 = ",
+		suffix: "; return p0; }",
+		node:   node, alt: alt,
+	}
+}
+
+const (
+	stmtPrefix = "int q0;\nint qa[4];\nint qf(int x) { return x; }\nint main(void) { q0 = qf(qa[0]); "
+	stmtSuffix = " qlbl: q0 = q0 + 1; return q0; }"
+)
+
+func stmtProbe(node, alt string) probe {
+	return probe{prefix: stmtPrefix, suffix: stmtSuffix, node: node, alt: alt}
+}
+
+// stmtProbeIn nests the slot inside an enclosing construct (a switch for
+// case labels, a loop for break/continue).
+func stmtProbeIn(open, node, alt, close string) probe {
+	return probe{prefix: stmtPrefix + open, suffix: close + stmtSuffix, node: node, alt: alt}
+}
+
+// probes covers every kind whose slot extent and context we can state
+// exactly. Kinds without a probe (brace initializers, compound
+// literals) skip the payload check rather than risk a false positive.
+var probes = map[cast.NodeKind]probe{
+	cast.KindIntegerLiteral:     exprProbe("1", "2"),
+	cast.KindFloatingLiteral:    exprProbe("1.5", "2.5"),
+	cast.KindCharLiteral:        exprProbe("'c'", "'d'"),
+	cast.KindStringLiteral:      exprProbe("\"s\"", "\"t\""),
+	cast.KindDeclRefExpr:        exprProbe("p0", "ps"),
+	cast.KindBinaryOperator:     exprProbe("p0 + 1", "p0 - 2"),
+	cast.KindUnaryOperator:      exprProbe("-p0", "!p0"),
+	cast.KindCallExpr:           exprProbe("pf(1)", "pf(2)"),
+	cast.KindArraySubscriptExpr: exprProbe("pa[1]", "pa[2]"),
+	cast.KindMemberExpr:         exprProbe("ps.f", "ps.f"),
+	cast.KindCastExpr:           exprProbe("(int)p0", "(int)1"),
+	cast.KindConditionalExpr:    exprProbe("p0 ? 1 : 2", "p0 ? 3 : 4"),
+	cast.KindParenExpr:          exprProbe("(p0)", "(1)"),
+	cast.KindSizeofExpr:         exprProbe("sizeof(int)", "sizeof(p0)"),
+	cast.KindCommaExpr: {
+		prefix: "int main(void) { int c0 = 1; ",
+		node:   "c0 = 1, c0 = 2", alt: "c0 = 2, c0 = 3",
+		suffix: "; return c0; }",
+	},
+
+	cast.KindCompoundStmt: stmtProbe("{ q0 = 1; }", "{ q0 = 2; }"),
+	cast.KindDeclStmt:     stmtProbe("int qd = 1;", "int qe = 2;"),
+	cast.KindExprStmt:     stmtProbe("q0 = 1;", "q0 = 2;"),
+	cast.KindIfStmt:       stmtProbe("if (q0) { q0 = 1; }", "if (q0) { q0 = 2; }"),
+	cast.KindWhileStmt:    stmtProbe("while (0) { q0 = 1; }", "while (0) { q0 = 2; }"),
+	cast.KindDoStmt:       stmtProbe("do { q0 = 1; } while (0);", "do { q0 = 2; } while (0);"),
+	cast.KindForStmt: stmtProbe("for (q0 = 0; q0 < 2; q0 = q0 + 1) { q0 = 3; }",
+		"for (q0 = 1; q0 < 3; q0 = q0 + 1) { q0 = 4; }"),
+	cast.KindSwitchStmt: stmtProbe("switch (q0) { case 1: q0 = 2; break; default: q0 = 3; }",
+		"switch (q0) { case 2: break; default: q0 = 4; }"),
+	cast.KindCaseStmt:     stmtProbeIn("switch (q0) { ", "case 1: q0 = 2;", "case 2: q0 = 3;", " default: break; }"),
+	cast.KindDefaultStmt:  stmtProbeIn("switch (q0) { case 1: break; ", "default: q0 = 3;", "default: q0 = 4;", " }"),
+	cast.KindBreakStmt:    stmtProbeIn("while (q0) { ", "break;", "break;", " }"),
+	cast.KindContinueStmt: stmtProbeIn("while (q0) { ", "continue;", "continue;", " }"),
+	cast.KindReturnStmt:   stmtProbe("return q0;", "return 0;"),
+	cast.KindGotoStmt:     stmtProbe("goto qlbl;", "goto qlbl;"),
+	cast.KindLabelStmt:    stmtProbe("qlbl2: q0 = 2;", "qlbl3: q0 = 3;"),
+	cast.KindNullStmt:     stmtProbe(";", ";"),
+
+	cast.KindFunctionDecl: {
+		node: "int pfn(int x) { return x; }", alt: "int pfn2(int y) { return y; }",
+		suffix: "\nint main(void) { return 0; }",
+	},
+	cast.KindVarDecl: {
+		node: "int pvar = 1", alt: "int pvar2 = 2",
+		suffix: ";\nint main(void) { return 0; }",
+	},
+	cast.KindParmVarDecl: {
+		prefix: "void pfn(", node: "int pp", alt: "int pq",
+		suffix: ") { }\nint main(void) { return 0; }",
+	},
+	cast.KindFieldDecl: {
+		// A field declarator's extent is just its name.
+		prefix: "struct PF { int ", node: "pf1", alt: "pf2",
+		suffix: "; };\nint main(void) { return 0; }",
+	},
+	cast.KindRecordDecl: {
+		node: "struct PR { int prf; }", alt: "struct PR2 { int prg; }",
+		suffix: ";\nint main(void) { return 0; }",
+	},
+	cast.KindEnumDecl: {
+		node: "enum PE { PE_A }", alt: "enum PE2 { PE_B }",
+		suffix: ";\nint main(void) { return 0; }",
+	},
+	cast.KindEnumConstantDecl: {
+		prefix: "enum PE { ", node: "PE_A", alt: "PE_B",
+		suffix: " };\nint main(void) { return 0; }",
+	},
+	cast.KindTypedefDecl: {
+		node: "typedef int PT", alt: "typedef int PU",
+		suffix: ";\nint main(void) { return 0; }",
+	},
+	cast.KindTranslationUnit: {
+		node: "int main(void) { return 0; }", alt: "int main(void) { return 0; }",
+	},
+}
+
+// slotState tracks the textual effect of the steps applied so far:
+// insertions accumulate around the slot; at most one destructive rewrite
+// lands on it (the rewriter drops later overlapping edits).
+type slotState struct {
+	before, text, after string
+	rewritten           bool
+}
+
+// applyToSlot mirrors Executable.applyStep on the probe's slot.
+func applyToSlot(st *slotState, orig string, s mutdsl.Step, pr probe, k cast.NodeKind) {
+	rewrite := func(t string) {
+		if !st.rewritten {
+			st.text, st.rewritten = t, true
+		}
+	}
+	switch s.Op {
+	case mutdsl.OpReplaceWithText:
+		rewrite(s.Text)
+	case mutdsl.OpWrapText:
+		rewrite(s.Pre + orig + s.Post)
+	case mutdsl.OpDeleteNode:
+		if isStmtKind(k) {
+			rewrite(";")
+		} else {
+			rewrite("0")
+		}
+	case mutdsl.OpInsertBefore:
+		st.before += s.Text
+	case mutdsl.OpInsertAfter:
+		st.after += s.Text
+	case mutdsl.OpDuplicateAfter:
+		if isStmtKind(k) {
+			st.after += " " + orig
+		} else {
+			rewrite("(" + orig + " + " + orig + ")")
+		}
+	case mutdsl.OpSwapWithSibling, mutdsl.OpReplaceWithCopy:
+		rewrite(pr.alt)
+	}
+}
+
+// lintPayloads checks each step's text against the target kind's
+// grammatical context and reports the first step that turns the probe
+// unparseable.
+func lintPayloads(p *mutdsl.Program) []Diagnostic {
+	pr, ok := probes[p.TargetKind]
+	if !ok {
+		return nil
+	}
+	// Guard against template drift: a probe that does not parse on its
+	// own proves nothing about the payload.
+	if _, err := cast.Parse(pr.prefix + pr.node + pr.suffix); err != nil {
+		return nil
+	}
+	st := &slotState{text: pr.node}
+	for i, s := range p.Steps {
+		applyToSlot(st, pr.node, s, pr, p.TargetKind)
+		candidate := pr.prefix + st.before + st.text + st.after + pr.suffix
+		if _, err := cast.Parse(candidate); err != nil {
+			return []Diagnostic{{
+				Check: CheckBadPayload, Severity: Error, Goal: 6, Step: i, Offset: -1,
+				Message: fmt.Sprintf("step %d (%s) emits text that cannot parse where a %s sits: %v", i, s.Op, p.TargetKind, err),
+				Fix:     fmt.Sprintf("emit text that stays grammatically valid in a %s slot", p.TargetKind),
+			}}
+		}
+	}
+	return nil
+}

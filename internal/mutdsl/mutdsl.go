@@ -132,6 +132,13 @@ func Compile(p *Program) (*Executable, error) {
 				return nil, &CompileError{
 					Msg: fmt.Sprintf("step %d: WrapText requires pre or post", i)}
 			}
+		case OpSwapWithSibling, OpReplaceWithCopy:
+			// A sibling-relative rewrite needs a second instance, and a
+			// translation unit is necessarily unique in its file.
+			if p.TargetKind == cast.KindTranslationUnit {
+				return nil, &CompileError{
+					Msg: fmt.Sprintf("step %d: %s requires a sibling, but a %s has none", i, s.Op, p.TargetKind)}
+			}
 		}
 	}
 	return &Executable{prog: p}, nil
@@ -156,6 +163,10 @@ type Outcome struct {
 	Wrote  bool
 	// Changed is true when Output differs from the input (goal #5).
 	Changed bool
+	// ParseFailed is true when the *input* program did not parse, so
+	// the mutator never ran. Callers must not score such an application
+	// against any validation goal.
+	ParseFailed bool
 }
 
 // Apply runs the mutator over src. It never actually hangs or panics —
@@ -165,8 +176,9 @@ func (e *Executable) Apply(src string, rng *rand.Rand) Outcome {
 	p := e.prog
 	mgr, err := muast.NewManager(src, rng)
 	if err != nil {
-		// The test program itself must be valid; treat as no-op.
-		return Outcome{Wrote: true, Output: src}
+		// The test program itself is invalid — the mutator never ran.
+		// Report that distinctly instead of faking a no-op "success".
+		return Outcome{ParseFailed: true}
 	}
 	nodes := cast.CollectKind(mgr.TU, p.TargetKind)
 	if p.HangBug && len(nodes) > 0 {

@@ -45,6 +45,10 @@ func TestCompileRejections(t *testing.T) {
 			Steps: []Step{{Op: OpReplaceWithText}}}, "requires text"},
 		{"emptywrap", Program{Name: "X", TargetKind: cast.KindIfStmt,
 			Steps: []Step{{Op: OpWrapText}}}, "requires pre or post"},
+		{"swap-tu", Program{Name: "X", TargetKind: cast.KindTranslationUnit,
+			Steps: []Step{{Op: OpSwapWithSibling}}}, "requires a sibling"},
+		{"copy-tu", Program{Name: "X", TargetKind: cast.KindTranslationUnit,
+			Steps: []Step{{Op: OpReplaceWithCopy}}}, "requires a sibling"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -178,6 +182,20 @@ func TestApplyOnStructureFreeInputIsNoop(t *testing.T) {
 	out := exe.Apply("int main(void) { return 0; }", rand.New(rand.NewSource(1)))
 	if !out.Wrote || out.Changed {
 		t.Errorf("no-structure apply: wrote=%v changed=%v", out.Wrote, out.Changed)
+	}
+}
+
+func TestApplyOnUnparseableInputReportsParseFailure(t *testing.T) {
+	prog := &Program{Name: "T", Description: "d",
+		TargetKind: cast.KindIfStmt,
+		Steps:      []Step{{Op: OpDeleteNode}}}
+	exe := compileOK(t, prog)
+	out := exe.Apply("int main(void) { return 0 ", rand.New(rand.NewSource(1)))
+	if !out.ParseFailed {
+		t.Fatalf("expected ParseFailed, got %+v", out)
+	}
+	if out.Wrote || out.Changed || out.Hang || out.Crash {
+		t.Errorf("a parse failure must not report any run outcome: %+v", out)
 	}
 }
 
