@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race bench clean
+.PHONY: check build vet staticcheck test race bench campaign-smoke clean
 
 # check is the one-stop gate: vet (+ staticcheck when installed), build,
 # full test suite, then the race-detector pass over the
@@ -27,14 +27,25 @@ staticcheck:
 test:
 	$(GO) test ./...
 
-# The obs registry and the fuzz stats are the two shared-mutable-state
-# hot spots; mutcheck rides along because the fuzzers call it from the
-# same paths the race pass exercises.
+# The obs registry, the fuzz stats, and the campaign engine are the
+# shared-mutable-state hot spots; mutcheck rides along because the
+# fuzzers call it from the same paths the race pass exercises.
 race:
-	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck
+	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck ./internal/engine
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# campaign-smoke proves the parallel engine end to end: a 4-worker
+# checkpointed mini-campaign, then a resume from its snapshot with a
+# doubled budget and witness reduction on the triaged bugs.
+campaign-smoke:
+	@rm -rf .smoke && mkdir .smoke
+	$(GO) run ./cmd/mucfuzz -macro -steps 2000 -workers 4 \
+		-checkpoint .smoke/campaign.json -triage-out .smoke/triage.json
+	$(GO) run ./cmd/mucfuzz -macro -resume .smoke/campaign.json \
+		-steps 4000 -workers 4 -reduce -triage-out .smoke/triage.json
+	@rm -rf .smoke
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@
 package metamut_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -16,6 +17,8 @@ import (
 
 	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/engine"
 	"github.com/icsnju/metamut-go/internal/core"
 	"github.com/icsnju/metamut-go/internal/experiments"
 	"github.com/icsnju/metamut-go/internal/fuzz"
@@ -394,6 +397,103 @@ func badMutant(b *testing.B) string {
 		b.Fatal("bad-mutant rewrite changed nothing")
 	}
 	return out.Output
+}
+
+// ---------------------------------------------------------------------
+// Shared coverage: global mutex vs. sharded stripes
+// ---------------------------------------------------------------------
+
+// lockedCoverage is the pre-engine SharedCoverage design: one mutex
+// around one map, serializing every novelty probe. Kept here as the
+// baseline the sharded implementation is measured against.
+type lockedCoverage struct {
+	mu  sync.Mutex
+	cov *cover.Map
+}
+
+func (l *lockedCoverage) MergeIfNew(m *cover.Map) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.cov.HasNew(m) {
+		return false
+	}
+	l.cov.Merge(m)
+	return true
+}
+
+// coverageWorkload compiles a batch of seed programs and keeps their
+// edge maps. The maps overlap heavily (same compiler, similar paths),
+// so after a brief warm-up almost every MergeIfNew is a pure novelty
+// probe — the read-mostly steady state of a real campaign, and exactly
+// where the global mutex hurts and the sharded stripes don't.
+func coverageWorkload(b *testing.B) []*cover.Map {
+	b.Helper()
+	comp := compilersim.New("gcc", 14)
+	var maps []*cover.Map
+	for _, src := range seeds.Generate(32, 17) {
+		if res := comp.Compile(src, compilersim.DefaultOptions()); res.Coverage != nil {
+			maps = append(maps, res.Coverage)
+		}
+	}
+	if len(maps) == 0 {
+		b.Fatal("seed batch produced no coverage")
+	}
+	return maps
+}
+
+func benchSharedCoverage(b *testing.B, sink fuzz.CoverageSink) {
+	maps := coverageWorkload(b)
+	for _, m := range maps { // absorb the first-merge novelty burst
+		sink.MergeIfNew(m)
+	}
+	b.SetParallelism(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			sink.MergeIfNew(maps[i%len(maps)])
+			i++
+		}
+	})
+}
+
+func BenchmarkSharedCoverageGlobal(b *testing.B) {
+	benchSharedCoverage(b, &lockedCoverage{cov: cover.NewMap()})
+}
+
+func BenchmarkSharedCoverageSharded(b *testing.B) {
+	benchSharedCoverage(b, fuzz.NewSharedCoverage())
+}
+
+// ---------------------------------------------------------------------
+// Engine throughput scaling
+// ---------------------------------------------------------------------
+
+// BenchmarkEngine runs the same 8-stream campaign at increasing worker
+// counts. The merged result is identical at every count (that's the
+// engine's determinism contract); steps/s is what scales.
+func BenchmarkEngine(b *testing.B) {
+	pool := seeds.Generate(60, 1)
+	comp := compilersim.New("gcc", 14)
+	const steps = 2048
+	for _, nw := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", nw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := engine.New(engine.Config{
+					Streams: 8, Workers: nw, StepsPerEpoch: 32,
+					TotalSteps: steps, Seed: 77,
+				}, func(stream int, rng *rand.Rand, cov fuzz.CoverageSink) engine.Worker {
+					return fuzz.NewMacroFuzzer(fmt.Sprintf("bench-%d", stream),
+						comp, muast.All(), pool, rng, cov, fuzz.DefaultMacroConfig())
+				})
+				if err := c.Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+		})
+	}
 }
 
 func BenchmarkMutatorApplication(b *testing.B) {

@@ -10,17 +10,29 @@
 //
 // The -steps / -invocations / -macrosteps flags scale the campaigns.
 //
+// The table6 campaign runs on the parallel engine: -workers sets the
+// goroutine count (results are identical at any value), -checkpoint DIR
+// snapshots each compiler's campaign there — rerunning with the same
+// directory resumes instead of restarting, and SIGINT checkpoints
+// before exiting — and -triage-out DIR writes the ranked per-compiler
+// triage reports as JSON (-triage-reduce also minimizes each witness).
+//
 // Observability: -metrics-out/-trace-out write a final JSON metrics
 // snapshot and a JSONL span journal (one span per experiment);
 // -debug-addr serves /debug/metrics and /debug/pprof while running.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
 
+	"github.com/icsnju/metamut-go/internal/engine"
 	"github.com/icsnju/metamut-go/internal/experiments"
 	"github.com/icsnju/metamut-go/internal/obs"
 )
@@ -35,6 +47,10 @@ func main() {
 		invocations = flag.Int("invocations", 100, "unsupervised MetaMut invocations")
 		macroSteps  = flag.Int("macrosteps", 24000, "macro-fuzzer compilations per compiler")
 		seedProgs   = flag.Int("seeds", 120, "seed corpus size")
+		workers     = flag.Int("workers", 0, "table6: goroutines executing the campaign streams (0 = GOMAXPROCS; does not change results)")
+		ckptDir     = flag.String("checkpoint", "", "table6: directory for per-compiler campaign snapshots (existing ones are resumed)")
+		triageOut   = flag.String("triage-out", "", "table6: directory for per-compiler triage reports (JSON)")
+		triageRed   = flag.Bool("triage-reduce", false, "table6: minimize each triaged witness (slower)")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -55,6 +71,9 @@ func main() {
 	cfg.Invocations = *invocations
 	cfg.MacroSteps = *macroSteps
 	cfg.SeedPrograms = *seedProgs
+	cfg.EngineWorkers = *workers
+	cfg.CheckpointDir = *ckptDir
+	cfg.TriageReduce = *triageRed
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
@@ -100,10 +119,41 @@ func main() {
 		ran = true
 	}
 	if all || want["table6"] {
+		if cfg.CheckpointDir != "" {
+			if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		cfg.Ctx = ctx
 		sp := reg.Span("table6")
 		r := experiments.RunTable6(cfg)
 		sp.End()
-		fmt.Println(experiments.Table6(r))
+		stopSignals()
+		if errors.Is(r.Err, engine.ErrInterrupted) && cfg.CheckpointDir != "" {
+			fmt.Printf("table6 interrupted; campaign snapshots in %s — rerun with the same -checkpoint to resume\n",
+				cfg.CheckpointDir)
+		} else if r.Err != nil {
+			fmt.Fprintln(os.Stderr, r.Err)
+			os.Exit(1)
+		} else {
+			fmt.Println(experiments.Table6(r))
+			if *triageOut != "" {
+				if err := os.MkdirAll(*triageOut, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				for _, rep := range r.Triage {
+					path := filepath.Join(*triageOut, "triage-"+rep.Compiler+".json")
+					if err := rep.WriteJSON(path); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					fmt.Printf("triage report written to %s\n", path)
+				}
+			}
+		}
 		ran = true
 	}
 	if !ran {

@@ -6,6 +6,17 @@
 //	mucfuzz -compiler clang -set u -steps 5000
 //	mucfuzz -macro -workers 8 -steps 40000
 //
+// Macro campaigns run on the parallel engine: -streams logical fuzzing
+// streams executed by -workers goroutines (results depend only on
+// -seed/-streams/-steps, never on -workers). -checkpoint FILE snapshots
+// the campaign periodically and on SIGINT; -resume FILE continues one,
+// optionally with a larger -steps. -triage-out FILE writes the ranked
+// crash-triage report as JSON; -reduce additionally minimizes each
+// triaged witness.
+//
+//	mucfuzz -macro -steps 40000 -checkpoint c.json          # ^C any time
+//	mucfuzz -macro -resume c.json -steps 80000 -triage-out bugs.json
+//
 // Observability: -stats-interval N prints a live status line every N
 // steps; -metrics-out/-trace-out write the final JSON snapshot and the
 // JSONL span journal; -debug-addr serves /debug/metrics and
@@ -15,15 +26,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/engine"
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
@@ -61,19 +76,26 @@ func (p *statusPrinter) line(st *fuzz.Stats) {
 
 func main() {
 	var (
-		compiler = flag.String("compiler", "gcc", "target profile: gcc or clang")
-		set      = flag.String("set", "s", "mutator set: s (supervised), u (unsupervised), all")
-		steps    = flag.Int("steps", 10000, "compilations to run")
-		seed     = flag.Int64("seed", 1, "random seed")
-		nSeeds   = flag.Int("seeds", 120, "seed corpus size")
-		macro    = flag.Bool("macro", false, "run the macro fuzzer instead of μCFuzz")
-		workers  = flag.Int("workers", 4, "macro-fuzzer parallel workers")
-		doReduce = flag.Bool("reduce", false, "minimize each crashing input before printing")
-		lint     = flag.Bool("lint", false, "statically analyze the seed corpus plus sampled mutants and exit")
-		noStatic = flag.Bool("no-static", false, "ablation: compile statically-invalid mutants instead of filtering them")
+		compiler  = flag.String("compiler", "gcc", "target profile: gcc or clang")
+		set       = flag.String("set", "s", "mutator set: s (supervised), u (unsupervised), all")
+		steps     = flag.Int("steps", 10000, "compilations to run")
+		seed      = flag.Int64("seed", 1, "random seed")
+		nSeeds    = flag.Int("seeds", 120, "seed corpus size")
+		macro     = flag.Bool("macro", false, "run the macro fuzzer instead of μCFuzz")
+		workers   = flag.Int("workers", 0, "macro campaign: goroutines executing the streams (0 = GOMAXPROCS; does not change results)")
+		streams   = flag.Int("streams", 16, "macro campaign: logical fuzzing streams (campaign identity)")
+		ckpt      = flag.String("checkpoint", "", "macro campaign: snapshot file, written every -checkpoint-every epochs and on SIGINT")
+		ckptEvery = flag.Int("checkpoint-every", 8, "macro campaign: epochs between snapshots")
+		resume    = flag.String("resume", "", "macro campaign: resume from this snapshot file")
+		triageOut = flag.String("triage-out", "", "macro campaign: write the ranked triage report as JSON here")
+		doReduce  = flag.Bool("reduce", false, "minimize each crashing input before printing")
+		lint      = flag.Bool("lint", false, "statically analyze the seed corpus plus sampled mutants and exit")
+		noStatic  = flag.Bool("no-static", false, "ablation: compile statically-invalid mutants instead of filtering them")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	reg := obs.NewRegistry()
 	shutdown, err := cli.Activate(reg, "mucfuzz")
@@ -113,33 +135,80 @@ func main() {
 
 	status := newStatusPrinter()
 	var stats []*fuzz.Stats
+	var campaign *engine.Campaign
 	sp = reg.Span("fuzz")
 	if *macro {
-		shared := fuzz.NewSharedCoverage()
-		cfg := fuzz.DefaultMacroConfig()
-		cfg.StaticFilter = !*noStatic
-		var ws []*fuzz.MacroFuzzer
-		for i := 0; i < *workers; i++ {
-			w := fuzz.NewMacroFuzzer(
-				fmt.Sprintf("macro-%d", i), comp, mutators, pool,
-				rand.New(rand.NewSource(*seed+int64(i))), shared,
-				cfg)
+		mcfg := fuzz.DefaultMacroConfig()
+		mcfg.StaticFilter = !*noStatic
+		factory := func(stream int, rng *rand.Rand, cov fuzz.CoverageSink) engine.Worker {
+			w := fuzz.NewMacroFuzzer(fmt.Sprintf("macro-%d", stream), comp,
+				mutators, pool, rng, cov, mcfg)
 			w.Stats().Instrument(reg)
-			ws = append(ws, w)
+			return w
 		}
-		fuzz.RunParallelProgress(ws, *steps, cli.StatsInterval, func(done int) {
-			if cli.StatsInterval > 0 {
-				agg := fuzz.NewStats("live")
-				for _, w := range ws {
-					agg.MergeFrom(w.Stats())
+		ecfg := engine.Config{
+			Streams:         *streams,
+			Workers:         *workers,
+			TotalSteps:      *steps,
+			Seed:            *seed,
+			CheckpointPath:  *ckpt,
+			CheckpointEvery: *ckptEvery,
+			Registry:        reg,
+		}
+		var c *engine.Campaign
+		if cli.StatsInterval > 0 {
+			next := cli.StatsInterval
+			ecfg.OnEpoch = func(done, total int) {
+				if done < next {
+					return
 				}
-				status.line(agg)
+				for next <= done {
+					next += cli.StatsInterval
+				}
+				status.line(c.MergedStats())
 			}
-		})
-		for _, w := range ws {
+		}
+		if *resume != "" {
+			// Flags left at their defaults inherit from the snapshot
+			// instead of contradicting it.
+			if !explicit["seed"] {
+				ecfg.Seed = 0
+			}
+			if !explicit["streams"] {
+				ecfg.Streams = 0
+			}
+			if !explicit["steps"] {
+				ecfg.TotalSteps = 0
+			}
+			var rerr error
+			if c, rerr = engine.Resume(*resume, ecfg, factory); rerr != nil {
+				fmt.Fprintln(os.Stderr, rerr)
+				os.Exit(1)
+			}
+			fmt.Printf("resumed from %s: %d/%d steps done, %d epochs\n",
+				*resume, c.Done(), c.Config().TotalSteps, c.Epoch())
+		} else {
+			c = engine.New(ecfg, factory)
+		}
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		runErr := c.Run(ctx)
+		stopSignals()
+		switch {
+		case errors.Is(runErr, engine.ErrInterrupted) && *ckpt != "":
+			fmt.Printf("interrupted at step %d; checkpoint written to %s (continue with -resume %s)\n",
+				c.Done(), *ckpt, *ckpt)
+		case errors.Is(runErr, engine.ErrInterrupted):
+			fmt.Printf("interrupted at step %d (no -checkpoint set; progress lost)\n", c.Done())
+		case runErr != nil:
+			fmt.Fprintln(os.Stderr, runErr)
+			os.Exit(1)
+		}
+		for _, w := range c.Workers() {
 			stats = append(stats, w.Stats())
 		}
-		fmt.Printf("shared coverage: %d edges\n", shared.Count())
+		campaign = c
+		fmt.Printf("campaign: %d streams on %d workers, %d epochs, shared coverage: %d edges\n",
+			c.Config().Streams, c.Config().Workers, c.Epoch(), c.CoverageSnapshot().Count())
 	} else {
 		f := fuzz.NewMuCFuzz("muCFuzz."+*set, comp, mutators, pool,
 			rand.New(rand.NewSource(*seed)))
@@ -172,31 +241,49 @@ func main() {
 			agg.StaticRejects, agg.StaticRejects)
 	}
 	fmt.Printf("unique crashes: %d\n", len(crashes))
-	var sigs []string
-	for sig := range crashes {
-		sigs = append(sigs, sig)
-	}
-	// Deterministic report order: discovery tick, then signature, so
-	// equal-seed runs print identical reports even when several crashes
-	// share a tick.
-	sort.Slice(sigs, func(i, j int) bool {
-		ci, cj := crashes[sigs[i]], crashes[sigs[j]]
-		if ci.FirstTick != cj.FirstTick {
-			return ci.FirstTick < cj.FirstTick
+	if campaign != nil {
+		// Macro campaigns get the full triage pipeline: signature
+		// bucketing across streams, deep-component-first ranking, and
+		// (with -reduce) automatic witness minimization.
+		rep := campaign.Triage(comp, engine.TriageConfig{
+			Reduce:   *doReduce,
+			Registry: reg,
+		})
+		fmt.Print(rep.Render())
+		if *triageOut != "" {
+			if err := rep.WriteJSON(*triageOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("triage report written to %s\n", *triageOut)
 		}
-		return sigs[i] < sigs[j]
-	})
-	for _, sig := range sigs {
-		c := crashes[sig]
-		fmt.Printf("  t=%-7d [%s/%s] %s\n     via %s\n     frames: %s | %s\n",
-			c.FirstTick, c.Report.Component, c.Report.Kind, c.Report.Message,
-			c.Via, c.Report.Frames[0], c.Report.Frames[1])
-		if *doReduce {
-			oracle := reduce.CrashOracle(comp, compilersim.DefaultOptions(), sig)
-			res := reduce.Reduce(c.Input, oracle, reduce.DefaultConfig())
-			fmt.Printf("     reduced input (%d -> %d bytes):\n", len(c.Input), len(res.Output))
-			for _, line := range strings.Split(strings.TrimSpace(res.Output), "\n") {
-				fmt.Printf("       %s\n", line)
+	} else {
+		var sigs []string
+		for sig := range crashes {
+			sigs = append(sigs, sig)
+		}
+		// Deterministic report order: discovery tick, then signature, so
+		// equal-seed runs print identical reports even when several
+		// crashes share a tick.
+		sort.Slice(sigs, func(i, j int) bool {
+			ci, cj := crashes[sigs[i]], crashes[sigs[j]]
+			if ci.FirstTick != cj.FirstTick {
+				return ci.FirstTick < cj.FirstTick
+			}
+			return sigs[i] < sigs[j]
+		})
+		for _, sig := range sigs {
+			c := crashes[sig]
+			fmt.Printf("  t=%-7d [%s/%s] %s\n     via %s\n     frames: %s | %s\n",
+				c.FirstTick, c.Report.Component, c.Report.Kind, c.Report.Message,
+				c.Via, c.Report.Frames[0], c.Report.Frames[1])
+			if *doReduce {
+				oracle := reduce.CrashOracle(comp, compilersim.DefaultOptions(), sig)
+				res := reduce.Reduce(c.Input, oracle, reduce.DefaultConfig())
+				fmt.Printf("     reduced input (%d -> %d bytes):\n", len(c.Input), len(res.Output))
+				for _, line := range strings.Split(strings.TrimSpace(res.Output), "\n") {
+					fmt.Printf("       %s\n", line)
+				}
 			}
 		}
 	}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/fuzz"
+)
+
+// SnapshotVersion guards the checkpoint format. Bump on any change to
+// the Snapshot layout; Load rejects other versions rather than guess.
+const SnapshotVersion = 1
+
+// Snapshot is the versioned on-disk form of a campaign at an epoch
+// barrier: everything needed to resume bit-identically — campaign
+// identity, progress, the global coverage map, and per-stream RNG
+// state, corpus, and accounting.
+type Snapshot struct {
+	Version       int    `json:"version"`
+	Seed          int64  `json:"seed"`
+	Streams       int    `json:"streams"`
+	StepsPerEpoch int    `json:"steps_per_epoch"`
+	TotalSteps    int    `json:"total_steps"`
+	Epoch         int    `json:"epoch"`
+	Done          int    `json:"done"`
+	// Coverage is the global map: base64 of the little-endian words.
+	Coverage     string        `json:"coverage"`
+	StreamStates []StreamState `json:"stream_states"`
+}
+
+// StreamState is one stream's checkpointed state.
+type StreamState struct {
+	// RNG is the stream's splitmix64 state (the full generator state).
+	RNG    uint64     `json:"rng"`
+	Corpus []string   `json:"corpus"`
+	Stats  StatsState `json:"stats"`
+}
+
+// StatsState serializes fuzz.Stats. The stream's private coverage map
+// is included because self-guided workers (μCFuzz) use it as their
+// pool-admission signal — resuming without it would diverge.
+type StatsState struct {
+	Total         int          `json:"total"`
+	Compilable    int          `json:"compilable"`
+	StaticRejects int          `json:"static_rejects"`
+	Ticks         int          `json:"ticks"`
+	Coverage      string       `json:"coverage"`
+	Crashes       []CrashState `json:"crashes"`
+}
+
+// CrashState is one unique crash, sorted by signature for a stable
+// serialization.
+type CrashState struct {
+	Signature string                  `json:"signature"`
+	Report    compilersim.CrashReport `json:"report"`
+	FirstTick int                     `json:"first_tick"`
+	Input     string                  `json:"input"`
+	Via       string                  `json:"via"`
+}
+
+func encodeCoverage(m *cover.Map) string {
+	words := m.Words()
+	buf := make([]byte, len(words)*8)
+	for i, w := range words {
+		binary.LittleEndian.PutUint64(buf[i*8:], w)
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+func decodeCoverage(s string) (*cover.Map, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("coverage: %w", err)
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("coverage: %d bytes is not a word array", len(buf))
+	}
+	words := make([]uint64, len(buf)/8)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	m := cover.NewMap()
+	m.SetWords(words)
+	return m, nil
+}
+
+func statsState(st *fuzz.Stats) StatsState {
+	out := StatsState{
+		Total:         st.Total,
+		Compilable:    st.Compilable,
+		StaticRejects: st.StaticRejects,
+		Ticks:         st.Ticks,
+		Coverage:      encodeCoverage(st.Coverage),
+	}
+	sigs := make([]string, 0, len(st.Crashes))
+	for sig := range st.Crashes {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		ci := st.Crashes[sig]
+		out.Crashes = append(out.Crashes, CrashState{
+			Signature: sig,
+			Report:    ci.Report,
+			FirstTick: ci.FirstTick,
+			Input:     ci.Input,
+			Via:       ci.Via,
+		})
+	}
+	return out
+}
+
+func restoreStats(st *fuzz.Stats, ss StatsState) error {
+	cov, err := decodeCoverage(ss.Coverage)
+	if err != nil {
+		return err
+	}
+	st.Total = ss.Total
+	st.Compilable = ss.Compilable
+	st.StaticRejects = ss.StaticRejects
+	st.Ticks = ss.Ticks
+	st.Coverage = cov
+	st.Crashes = make(map[string]*fuzz.CrashInfo, len(ss.Crashes))
+	for _, cs := range ss.Crashes {
+		st.Crashes[cs.Signature] = &fuzz.CrashInfo{
+			Report:    cs.Report,
+			FirstTick: cs.FirstTick,
+			Input:     cs.Input,
+			Via:       cs.Via,
+		}
+	}
+	return nil
+}
+
+// Snapshot captures the campaign's current barrier state.
+func (c *Campaign) Snapshot() (*Snapshot, error) {
+	if c.sources == nil {
+		return nil, errors.New("engine: adopted campaigns cannot checkpoint (foreign RNG state)")
+	}
+	snap := &Snapshot{
+		Version:       SnapshotVersion,
+		Seed:          c.cfg.Seed,
+		Streams:       c.cfg.Streams,
+		StepsPerEpoch: c.cfg.StepsPerEpoch,
+		TotalSteps:    c.cfg.TotalSteps,
+		Epoch:         c.epoch,
+		Done:          c.done,
+		Coverage:      encodeCoverage(c.global),
+	}
+	for i, w := range c.workers {
+		snap.StreamStates = append(snap.StreamStates, StreamState{
+			RNG:    c.sources[i].state,
+			Corpus: w.Corpus(),
+			Stats:  statsState(w.Stats()),
+		})
+	}
+	return snap, nil
+}
+
+// Checkpoint writes the current snapshot atomically (temp file + rename
+// in the target directory) to cfg.CheckpointPath. A crash mid-write
+// leaves the previous checkpoint intact.
+func (c *Campaign) Checkpoint() error {
+	if c.cfg.CheckpointPath == "" {
+		return nil
+	}
+	sp := c.reg.Span("engine_checkpoint")
+	snap, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.cfg.CheckpointPath)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.cfg.CheckpointPath); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	c.mCkpts.Inc()
+	c.mCkptBytes.Set(int64(len(data)))
+	sp.EndWith(map[string]any{"bytes": len(data), "epoch": c.epoch, "done": c.done})
+	return nil
+}
+
+// Load reads and validates a checkpoint file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if snap.Version != SnapshotVersion {
+		return nil, fmt.Errorf("checkpoint %s: version %d, want %d",
+			path, snap.Version, SnapshotVersion)
+	}
+	if snap.Streams <= 0 || len(snap.StreamStates) != snap.Streams {
+		return nil, fmt.Errorf("checkpoint %s: %d stream states for %d streams",
+			path, len(snap.StreamStates), snap.Streams)
+	}
+	return &snap, nil
+}
+
+// Resume rebuilds a campaign from a checkpoint. The snapshot defines
+// the campaign identity: explicitly-set cfg fields that contradict it
+// (Seed, Streams, StepsPerEpoch) are an error, zero values inherit from
+// the snapshot. TotalSteps may exceed the snapshot's to extend the
+// campaign; zero keeps the original budget.
+func Resume(path string, cfg Config, factory Factory) (*Campaign, error) {
+	snap, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed != 0 && cfg.Seed != snap.Seed {
+		return nil, fmt.Errorf("engine: -seed %d contradicts checkpoint seed %d", cfg.Seed, snap.Seed)
+	}
+	if cfg.Streams != 0 && cfg.Streams != snap.Streams {
+		return nil, fmt.Errorf("engine: %d streams contradicts checkpoint's %d", cfg.Streams, snap.Streams)
+	}
+	if cfg.StepsPerEpoch != 0 && cfg.StepsPerEpoch != snap.StepsPerEpoch {
+		return nil, fmt.Errorf("engine: steps-per-epoch %d contradicts checkpoint's %d",
+			cfg.StepsPerEpoch, snap.StepsPerEpoch)
+	}
+	cfg.Seed, cfg.Streams, cfg.StepsPerEpoch = snap.Seed, snap.Streams, snap.StepsPerEpoch
+	if cfg.TotalSteps == 0 {
+		cfg.TotalSteps = snap.TotalSteps
+	}
+	cfg.normalize()
+
+	global, err := decodeCoverage(snap.Coverage)
+	if err != nil {
+		return nil, err
+	}
+	c := &Campaign{cfg: cfg, global: global, epoch: snap.Epoch, done: snap.Done}
+	c.instrument()
+	for i := 0; i < cfg.Streams; i++ {
+		ss := snap.StreamStates[i]
+		src := &mix64{state: ss.RNG}
+		v := &view{merged: global.Clone(), delta: cover.NewMap()}
+		w := factory(i, rand.New(src), v)
+		w.SetCorpus(ss.Corpus)
+		if err := restoreStats(w.Stats(), ss.Stats); err != nil {
+			return nil, fmt.Errorf("stream %d: %w", i, err)
+		}
+		c.sources = append(c.sources, src)
+		c.views = append(c.views, v)
+		c.workers = append(c.workers, w)
+	}
+	return c, nil
+}

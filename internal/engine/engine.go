@@ -1,0 +1,338 @@
+// Package engine runs parallel fuzzing campaigns. It decouples the
+// campaign's *logical* shape — a fixed number of deterministic streams,
+// each with its own RNG, corpus, and coverage view — from the *physical*
+// worker fleet executing them, so a fixed seed yields the identical
+// merged crash set and stats at any worker count and any goroutine
+// interleaving, while throughput still scales with workers.
+//
+// The trick is epoch-based coverage sync: during an epoch every stream
+// fuzzes against a frozen private view of global coverage (seeded from
+// the last barrier) and records its discoveries in a private delta.
+// At the barrier the deltas merge into the global map in stream order,
+// every view is refreshed, and only then may the next epoch start.
+// Nothing a stream does mid-epoch can observe another stream's
+// concurrent activity, which is exactly what makes the schedule
+// irrelevant to the outcome.
+//
+// Barriers are also where checkpoints happen: the engine only observes
+// cancellation between epochs, so a snapshot always captures a clean
+// epoch boundary and resuming re-executes the remaining epochs
+// identically to an uninterrupted run.
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/fuzz"
+	"github.com/icsnju/metamut-go/internal/obs"
+)
+
+// Worker is one fuzzing stream's executor. Both fuzz.MuCFuzz and
+// fuzz.MacroFuzzer satisfy it.
+type Worker interface {
+	Name() string
+	Step()
+	Stats() *fuzz.Stats
+	// Corpus and SetCorpus expose the program pool for checkpointing.
+	Corpus() []string
+	SetCorpus([]string)
+}
+
+// Factory builds the worker for one stream. rng is the stream's private
+// deterministic generator (its state is checkpointed); cov is the
+// stream's epoch-local coverage view — pass it as the shared sink when
+// building coverage-sharing workers (fuzz.NewMacroFuzzer), ignore it
+// for self-guided ones (fuzz.NewMuCFuzz).
+type Factory func(stream int, rng *rand.Rand, cov fuzz.CoverageSink) Worker
+
+// Config shapes a campaign. Streams, StepsPerEpoch, and Seed are part
+// of the campaign's identity — two runs agreeing on them (and
+// TotalSteps) produce identical results at any Workers value.
+type Config struct {
+	// Streams is the number of logical fuzzing streams (default 16).
+	Streams int
+	// Workers is the number of goroutines executing streams (default
+	// GOMAXPROCS, clamped to Streams). Affects throughput only.
+	Workers int
+	// StepsPerEpoch is how many steps each stream runs between coverage
+	// barriers (default 32). Smaller epochs propagate coverage faster;
+	// larger ones synchronize less.
+	StepsPerEpoch int
+	// TotalSteps is the campaign budget, summed across streams.
+	TotalSteps int
+	// Seed derives every stream's RNG.
+	Seed int64
+	// CheckpointPath, when set, makes the engine write an atomic
+	// snapshot every CheckpointEvery epochs (default: every epoch), on
+	// cancellation, and at completion.
+	CheckpointPath string
+	// CheckpointEvery is the epoch interval between periodic snapshots.
+	CheckpointEvery int
+	// Registry receives engine telemetry (nil disables it).
+	Registry *obs.Registry
+	// OnEpoch, when set, is called after every barrier with the steps
+	// completed so far and the total budget.
+	OnEpoch func(done, total int)
+}
+
+func (cfg *Config) normalize() {
+	if cfg.Streams <= 0 {
+		cfg.Streams = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers > cfg.Streams {
+		cfg.Workers = cfg.Streams
+	}
+	if cfg.StepsPerEpoch <= 0 {
+		cfg.StepsPerEpoch = 32
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+}
+
+// view is a stream's private window onto global coverage during one
+// epoch: merged = global-at-last-barrier ∪ own discoveries (the
+// admission signal), delta = own discoveries only (what the barrier
+// publishes). No locks — only the owning stream touches it mid-epoch.
+type view struct {
+	merged *cover.Map
+	delta  *cover.Map
+}
+
+// MergeIfNew implements fuzz.CoverageSink against the frozen view.
+func (v *view) MergeIfNew(m *cover.Map) bool {
+	if !v.merged.HasNew(m) {
+		return false
+	}
+	v.merged.Merge(m)
+	v.delta.Merge(m)
+	return true
+}
+
+// Campaign is one parallel fuzzing campaign.
+type Campaign struct {
+	cfg     Config
+	workers []Worker
+	// sources are the engine-owned RNG states, nil when workers were
+	// adopted with their own generators (shim path) — such campaigns
+	// cannot checkpoint.
+	sources []*mix64
+	views   []*view
+	global  *cover.Map
+	epoch   int
+	done    int
+
+	reg        *obs.Registry
+	mEpochSec  *obs.Histogram
+	mSyncSec   *obs.Histogram
+	mQueue     *obs.Gauge
+	mStepsDone *obs.Gauge
+	mCkptBytes *obs.Gauge
+	mEpochs    *obs.Counter
+	mCkpts     *obs.Counter
+}
+
+// New builds a campaign, creating one worker per stream via factory.
+func New(cfg Config, factory Factory) *Campaign {
+	cfg.normalize()
+	c := &Campaign{cfg: cfg, global: cover.NewMap()}
+	c.instrument()
+	for i := 0; i < cfg.Streams; i++ {
+		src := &mix64{state: streamSeed(cfg.Seed, i)}
+		v := &view{merged: cover.NewMap(), delta: cover.NewMap()}
+		c.sources = append(c.sources, src)
+		c.views = append(c.views, v)
+		c.workers = append(c.workers, factory(i, rand.New(src), v))
+	}
+	return c
+}
+
+// Adopt wraps pre-built workers (one per stream) into a campaign. The
+// workers keep their own RNGs, so determinism across worker counts
+// still holds, but the campaign cannot checkpoint (the engine cannot
+// serialize foreign generator state) — CheckpointPath must be empty.
+// Coverage-sharing workers must implement SetCoverage; their sinks are
+// swapped for engine views for the duration of Run (the shim in this
+// package restores and back-fills them).
+func Adopt(cfg Config, workers []Worker) (*Campaign, error) {
+	if cfg.CheckpointPath != "" {
+		return nil, errors.New("engine: adopted campaigns cannot checkpoint (foreign RNG state)")
+	}
+	cfg.Streams = len(workers)
+	cfg.normalize()
+	c := &Campaign{cfg: cfg, global: cover.NewMap(), workers: workers}
+	c.instrument()
+	for range workers {
+		c.views = append(c.views, &view{merged: cover.NewMap(), delta: cover.NewMap()})
+	}
+	for i, w := range workers {
+		if cs, ok := w.(interface{ SetCoverage(fuzz.CoverageSink) }); ok {
+			cs.SetCoverage(c.views[i])
+		}
+	}
+	return c, nil
+}
+
+func (c *Campaign) instrument() {
+	reg := c.cfg.Registry // nil registry → every handle no-ops
+	c.reg = reg
+	c.mEpochSec = reg.Histogram("engine_epoch_seconds", nil).With()
+	c.mSyncSec = reg.Histogram("engine_sync_seconds", obs.ExpBuckets(1e-6, 4, 12)).With()
+	c.mQueue = reg.Gauge("engine_queue_depth").With()
+	c.mStepsDone = reg.Gauge("engine_steps_done").With()
+	c.mCkptBytes = reg.Gauge("engine_checkpoint_bytes").With()
+	c.mEpochs = reg.Counter("engine_epochs_total").With()
+	c.mCkpts = reg.Counter("engine_checkpoints_total").With()
+}
+
+// Done returns the steps completed so far.
+func (c *Campaign) Done() int { return c.done }
+
+// Config returns the campaign's normalized configuration (defaults
+// resolved, snapshot fields inherited on resume).
+func (c *Campaign) Config() Config { return c.cfg }
+
+// Epoch returns the number of completed epochs.
+func (c *Campaign) Epoch() int { return c.epoch }
+
+// Workers exposes the stream workers (read-only use between runs).
+func (c *Campaign) Workers() []Worker { return c.workers }
+
+// CoverageSnapshot returns a copy of the merged global coverage map.
+func (c *Campaign) CoverageSnapshot() *cover.Map { return c.global.Clone() }
+
+// ErrInterrupted reports that Run stopped at an epoch barrier because
+// its context was cancelled. If the campaign has a checkpoint path the
+// snapshot on disk resumes exactly where it left off.
+var ErrInterrupted = errors.New("engine: campaign interrupted")
+
+// Run executes epochs until the budget is spent or ctx is cancelled.
+// Cancellation is only observed at barriers: the in-flight epoch always
+// completes and is checkpointed, which is what makes interrupt+resume
+// equal an uninterrupted run.
+func (c *Campaign) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for c.done < c.cfg.TotalSteps {
+		if ctx.Err() != nil {
+			if err := c.Checkpoint(); err != nil {
+				return errors.Join(ErrInterrupted, err)
+			}
+			return ErrInterrupted
+		}
+		c.runEpoch()
+		if c.cfg.OnEpoch != nil {
+			c.cfg.OnEpoch(c.done, c.cfg.TotalSteps)
+		}
+		if c.cfg.CheckpointPath != "" && c.epoch%c.cfg.CheckpointEvery == 0 {
+			if err := c.Checkpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	if c.cfg.CheckpointPath != "" {
+		// Final snapshot: resumable later with a larger TotalSteps.
+		return c.Checkpoint()
+	}
+	return nil
+}
+
+// epochPlan returns each stream's step count for the epoch starting at
+// global step `done`. A pure function of the campaign shape and `done`,
+// so a resumed campaign re-derives the identical remaining schedule.
+func epochPlan(streams, stepsPerEpoch, totalSteps, done int) []int {
+	n := streams * stepsPerEpoch
+	if rem := totalSteps - done; n > rem {
+		n = rem
+	}
+	plan := make([]int, streams)
+	base, extra := n/streams, n%streams
+	for s := range plan {
+		plan[s] = base
+		if s < extra {
+			plan[s]++
+		}
+	}
+	return plan
+}
+
+// runEpoch executes one epoch: streams are dealt to worker goroutines
+// through a channel (any interleaving is fine — each stream only
+// touches its own state and view), then the barrier merges deltas in
+// stream order and refreshes every view from the new global map.
+func (c *Campaign) runEpoch() {
+	epochStart := time.Now()
+	plan := epochPlan(c.cfg.Streams, c.cfg.StepsPerEpoch, c.cfg.TotalSteps, c.done)
+
+	pending := 0
+	for _, n := range plan {
+		if n > 0 {
+			pending++
+		}
+	}
+	c.mQueue.Set(int64(pending))
+
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range tasks {
+				wkr := c.workers[s]
+				for i := 0; i < plan[s]; i++ {
+					wkr.Step()
+				}
+				c.mQueue.Add(-1)
+			}
+		}()
+	}
+	for s := 0; s < c.cfg.Streams; s++ {
+		if plan[s] > 0 {
+			tasks <- s
+		}
+	}
+	close(tasks)
+	wg.Wait()
+
+	syncStart := time.Now()
+	for _, v := range c.views {
+		c.global.Merge(v.delta)
+	}
+	for _, v := range c.views {
+		v.merged = c.global.Clone()
+		v.delta.Reset()
+	}
+	c.mSyncSec.Observe(time.Since(syncStart).Seconds())
+
+	for _, n := range plan {
+		c.done += n
+	}
+	c.epoch++
+	c.mEpochs.Inc()
+	c.mStepsDone.Set(int64(c.done))
+	c.mEpochSec.Observe(time.Since(epochStart).Seconds())
+}
+
+// MergedStats folds every stream's accounting into one Stats: totals
+// add, crashes union with the earliest discovery winning (ties go to
+// the lower stream — streams merge in order), coverage is the global
+// map plus any self-guided streams' private maps.
+func (c *Campaign) MergedStats() *fuzz.Stats {
+	agg := fuzz.NewStats("campaign")
+	for _, w := range c.workers {
+		agg.MergeFrom(w.Stats())
+	}
+	agg.Coverage.Merge(c.global)
+	return agg
+}

@@ -1,0 +1,41 @@
+package engine
+
+// mix64 is a splitmix64 PRNG implementing math/rand.Source64. The
+// engine uses it instead of the stdlib source because its entire state
+// is one uint64, which checkpoints can capture and restore exactly —
+// the stdlib's lagged-Fibonacci source carries a 607-word table with no
+// way to read it back. rand.Rand adds no hidden state on top of its
+// source for the methods the fuzzers use (Intn, Perm, Float64, ...);
+// only Read buffers, and nothing here calls Read.
+type mix64 struct {
+	state uint64
+}
+
+const golden = 0x9e3779b97f4a7c15
+
+// Uint64 advances the stream (splitmix64 finalizer over a Weyl
+// sequence).
+func (s *mix64) Uint64() uint64 {
+	s.state += golden
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 satisfies rand.Source.
+func (s *mix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed satisfies rand.Source.
+func (s *mix64) Seed(seed int64) { s.state = uint64(seed) }
+
+// streamSeed derives stream i's initial RNG state from the campaign
+// seed. Each stream gets an independent, well-separated stream: the
+// (i+1) multiplier keeps stream 0 distinct from the raw seed, and the
+// finalizer decorrelates adjacent streams.
+func streamSeed(seed int64, stream int) uint64 {
+	z := uint64(seed) ^ (uint64(stream)+1)*golden
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

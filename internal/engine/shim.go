@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"context"
+
+	"github.com/icsnju/metamut-go/internal/fuzz"
+)
+
+// RunParallel drives pre-built macro workers for totalSteps steps total
+// — the drop-in replacement for the old fuzz.RunParallel round-robin
+// loop, now actually parallel. Each worker becomes one stream, so
+// results are deterministic for a fixed worker set regardless of how
+// the goroutines interleave.
+func RunParallel(workers []*fuzz.MacroFuzzer, totalSteps int) {
+	RunParallelProgress(workers, totalSteps, 0, nil)
+}
+
+// RunParallelProgress is RunParallel with a progress callback, invoked
+// at epoch barriers with the cumulative step count. Unlike the old
+// sequential loop's exact `every`-step cadence, calls land on epoch
+// boundaries: they are monotone and the final call reports totalSteps.
+// `every` sizes the epoch (steps between barriers across all workers).
+func RunParallelProgress(workers []*fuzz.MacroFuzzer, totalSteps, every int,
+	progress func(done int)) {
+	if len(workers) == 0 || totalSteps <= 0 {
+		return
+	}
+	if every <= 0 {
+		every = len(workers) * 32
+	}
+	spe := every / len(workers)
+	if spe <= 0 {
+		spe = 1
+	}
+	ws := make([]Worker, len(workers))
+	origSinks := make([]fuzz.CoverageSink, len(workers))
+	for i, w := range workers {
+		ws[i] = w
+		origSinks[i] = w.Coverage()
+	}
+	cfg := Config{
+		Workers:       len(workers),
+		StepsPerEpoch: spe,
+		TotalSteps:    totalSteps,
+	}
+	if progress != nil {
+		cfg.OnEpoch = func(done, total int) { progress(done) }
+	}
+	c, err := Adopt(cfg, ws)
+	if err != nil {
+		panic(err) // unreachable: Adopt only rejects checkpoint configs
+	}
+	_ = c.Run(context.Background())
+	// Hand the workers back as the caller left them: original sinks
+	// restored and back-filled with everything the campaign found, so
+	// the caller's SharedCoverage reflects the run.
+	global := c.CoverageSnapshot()
+	for i, w := range workers {
+		if origSinks[i] != nil {
+			origSinks[i].MergeIfNew(global)
+		}
+		w.SetCoverage(origSinks[i])
+	}
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/reduce"
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+var crashy struct {
+	once sync.Once
+	comp *compilersim.Compiler
+	c    *Campaign
+	err  error
+}
+
+// crashyCampaign runs a budget big enough (deterministically) to bank
+// several unique crashes. The run is expensive, so the triage tests —
+// all read-only over the campaign — share one instance.
+func crashyCampaign(t *testing.T) (*Campaign, *compilersim.Compiler) {
+	t.Helper()
+	crashy.once.Do(func() {
+		crashy.comp = compilersim.New("gcc", 14)
+		cfg := Config{Streams: 8, Workers: 4, StepsPerEpoch: 25,
+			TotalSteps: 6000, Seed: 2024}
+		crashy.c = New(cfg, macroFactory(crashy.comp, seeds.Generate(20, 7)))
+		crashy.err = crashy.c.Run(context.Background())
+	})
+	if crashy.err != nil {
+		t.Fatal(crashy.err)
+	}
+	if crashy.c.MergedStats().UniqueCrashes() == 0 {
+		t.Skip("seed found no crashes — bump the budget")
+	}
+	return crashy.c, crashy.comp
+}
+
+func TestTriageRankingAndDedup(t *testing.T) {
+	c, comp := crashyCampaign(t)
+	rep := c.Triage(comp, TriageConfig{})
+	if len(rep.Bugs) != c.MergedStats().UniqueCrashes() {
+		t.Errorf("triage has %d bugs, merged stats %d",
+			len(rep.Bugs), c.MergedStats().UniqueCrashes())
+	}
+	if rep.Compiler != "gcc-14" || rep.Streams != 8 {
+		t.Errorf("report header off: %+v", rep)
+	}
+	seen := map[string]bool{}
+	for i, b := range rep.Bugs {
+		if b.Rank != i+1 {
+			t.Errorf("bug %d: rank %d", i, b.Rank)
+		}
+		if seen[b.Signature] {
+			t.Errorf("signature %q appears twice", b.Signature)
+		}
+		seen[b.Signature] = true
+		if b.Witness == "" || b.Via == "" || b.FirstTick <= 0 {
+			t.Errorf("bug %d incomplete: %+v", i, b)
+		}
+		if b.Hits < 1 || b.Hits > rep.Streams {
+			t.Errorf("bug %d: hits = %d", i, b.Hits)
+		}
+		if i > 0 {
+			prev := rep.Bugs[i-1]
+			if b.Report.Component > prev.Report.Component {
+				t.Errorf("rank %d (%v) outranks deeper %v", b.Rank,
+					prev.Report.Component, b.Report.Component)
+			}
+			if b.Report.Component == prev.Report.Component &&
+				b.FirstTick < prev.FirstTick {
+				t.Errorf("rank %d: later tick ranked above earlier", b.Rank)
+			}
+		}
+	}
+}
+
+func TestTriageEarliestDiscoveryWins(t *testing.T) {
+	c, comp := crashyCampaign(t)
+	rep := c.Triage(comp, TriageConfig{})
+	for _, b := range rep.Bugs {
+		// The bug's FirstTick must be the minimum across all streams
+		// holding that signature, and the witness must come from the
+		// stream credited with the discovery.
+		for s, w := range c.Workers() {
+			ci, ok := w.Stats().Crashes[b.Signature]
+			if !ok {
+				continue
+			}
+			if ci.FirstTick < b.FirstTick {
+				t.Errorf("%q: stream %d found it at %d, triage says %d",
+					b.Signature, s, ci.FirstTick, b.FirstTick)
+			}
+		}
+		ci := c.Workers()[b.Stream].Stats().Crashes[b.Signature]
+		if ci == nil || ci.Input != b.Witness {
+			t.Errorf("%q: witness not from credited stream %d", b.Signature, b.Stream)
+		}
+	}
+}
+
+func TestTriageReduction(t *testing.T) {
+	c, comp := crashyCampaign(t)
+	reg := obs.NewRegistry()
+	rep := c.Triage(comp, TriageConfig{
+		Reduce:    true,
+		ReduceCfg: reduce.Config{MaxOracleCalls: 300, MaxPasses: 4},
+		Registry:  reg,
+	})
+	reducedN := 0
+	for _, b := range rep.Bugs {
+		if b.Minimized == "" {
+			continue // crash only reproduces under sampled flags; fine
+		}
+		reducedN++
+		if len(b.Minimized) > len(b.Witness) {
+			t.Errorf("%q: minimized witness grew", b.Signature)
+		}
+		if b.ReductionSteps <= 0 {
+			t.Errorf("%q: reduction recorded no oracle calls", b.Signature)
+		}
+		// The minimized witness must still reproduce the signature at
+		// the recorded opt level.
+		res := comp.Compile(b.Minimized,
+			compilersim.Options{OptLevel: b.ReduceOptLevel})
+		if res.Crash == nil || res.Crash.Signature() != b.Signature {
+			t.Errorf("%q: minimized witness no longer crashes", b.Signature)
+		}
+	}
+	if reducedN == 0 {
+		t.Error("no bug reduced — opt-level fallback never reproduced anything")
+	}
+	if got := reg.Snapshot().Counter("triage_reduced_total"); got != int64(reducedN) {
+		t.Errorf("triage_reduced_total = %d, want %d", got, reducedN)
+	}
+}
+
+func TestTriageRenderAndJSON(t *testing.T) {
+	c, comp := crashyCampaign(t)
+	rep := c.Triage(comp, TriageConfig{})
+	text := rep.Render()
+	if !strings.Contains(text, "unique bugs") || !strings.Contains(text, "rank") {
+		t.Errorf("render missing header:\n%s", text)
+	}
+	for _, b := range rep.Bugs[:1] {
+		if !strings.Contains(text, b.Report.Component.String()) {
+			t.Errorf("render missing component of top bug:\n%s", text)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "triage.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TriageReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Bugs) != len(rep.Bugs) || back.Compiler != rep.Compiler {
+		t.Error("JSON report did not round-trip")
+	}
+}
+
+func TestTriageEmpty(t *testing.T) {
+	rep := Triage(nil, nil, TriageConfig{})
+	if len(rep.Bugs) != 0 {
+		t.Fatal("empty triage invented bugs")
+	}
+	if !strings.Contains(rep.Render(), "0 unique bugs") {
+		t.Error("empty render off")
+	}
+}

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -48,8 +49,25 @@ type Config struct {
 	// Invocations is the unsupervised MetaMut campaign size (paper: 100).
 	Invocations int
 	// MacroWorkers and MacroSteps configure the RQ2 campaign.
+	// MacroWorkers is the number of logical fuzzing streams — part of
+	// the campaign's identity (changing it changes the results);
+	// EngineWorkers below only changes how fast they run.
 	MacroWorkers int
 	MacroSteps   int
+	// EngineWorkers is the goroutine count executing the RQ2 streams
+	// (0 → GOMAXPROCS). Results are identical at any value.
+	EngineWorkers int
+	// CheckpointDir, when set, makes the RQ2 campaign write per-compiler
+	// snapshots (table6-<compiler>.json) there and resume from existing
+	// ones, so an interrupted run picks up where it left off.
+	CheckpointDir string
+	// TriageReduce minimizes each triaged RQ2 witness via
+	// internal/reduce (slower; off by default).
+	TriageReduce bool
+	// Ctx, when non-nil, interrupts the RQ2 campaign at the next epoch
+	// barrier once cancelled (the CLI wires SIGINT here); progress is
+	// checkpointed when CheckpointDir is set.
+	Ctx context.Context
 	// Obs, when non-nil, receives metrics from every campaign the
 	// experiments run (compilers, fuzzer stats, LLM clients). All
 	// instrumentation is nil-safe, so a nil Obs costs nothing.

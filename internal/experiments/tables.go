@@ -1,14 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/core"
+	"github.com/icsnju/metamut-go/internal/engine"
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
@@ -137,13 +141,26 @@ type BugReport struct {
 // Table6Result is the RQ2 campaign output.
 type Table6Result struct {
 	Reports []BugReport
+	// Triage holds the per-compiler ranked triage reports, in campaign
+	// order (clang, gcc).
+	Triage []*engine.TriageReport
+	// Err records a campaign interruption (cfg.Ctx cancelled) or a
+	// checkpoint failure; partial results above are still valid.
+	Err error
 }
 
 // RunTable6 runs the macro fuzzer (all 118 mutators, Havoc, flag
 // sampling, shared coverage) against the latest versions of both
-// compilers and triages the crashes.
+// compilers and triages the crashes. The campaign runs on the parallel
+// engine: cfg.MacroWorkers logical streams executed by
+// cfg.EngineWorkers goroutines, checkpointed per compiler when
+// cfg.CheckpointDir is set.
 func RunTable6(cfg Config) *Table6Result {
 	pool := seeds.Generate(cfg.SeedPrograms, cfg.Seed)
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Table6Result{}
 	for ci, compName := range []string{"clang", "gcc"} {
 		version := 18
@@ -152,18 +169,44 @@ func RunTable6(cfg Config) *Table6Result {
 		}
 		comp := compilersim.New(compName, version)
 		comp.Instrument(cfg.Obs)
-		shared := fuzz.NewSharedCoverage()
-		var workers []*fuzz.MacroFuzzer
-		for w := 0; w < cfg.MacroWorkers; w++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(ci*100+w)))
+		factory := func(stream int, rng *rand.Rand, cov fuzz.CoverageSink) engine.Worker {
 			mf := fuzz.NewMacroFuzzer(
-				fmt.Sprintf("macro-%s-%d", compName, w), comp, muast.All(),
-				pool, rng, shared, fuzz.DefaultMacroConfig())
+				fmt.Sprintf("macro-%s-%d", compName, stream), comp, muast.All(),
+				pool, rng, cov, fuzz.DefaultMacroConfig())
 			mf.Stats().Instrument(cfg.Obs)
-			workers = append(workers, mf)
+			return mf
 		}
-		fuzz.RunParallel(workers, cfg.MacroSteps)
-		merged := fuzz.MergedCrashes(workers)
+		ecfg := engine.Config{
+			Streams:    cfg.MacroWorkers,
+			Workers:    cfg.EngineWorkers,
+			TotalSteps: cfg.MacroSteps,
+			Seed:       cfg.Seed + int64(ci*100),
+			Registry:   cfg.Obs,
+		}
+		var c *engine.Campaign
+		if cfg.CheckpointDir != "" {
+			path := filepath.Join(cfg.CheckpointDir, "table6-"+compName+".json")
+			ecfg.CheckpointPath = path
+			if _, err := os.Stat(path); err == nil {
+				c, err = engine.Resume(path, ecfg, factory)
+				if err != nil {
+					res.Err = err
+					return res
+				}
+			}
+		}
+		if c == nil {
+			c = engine.New(ecfg, factory)
+		}
+		if err := c.Run(ctx); err != nil {
+			res.Err = err
+			return res
+		}
+		res.Triage = append(res.Triage, c.Triage(comp, engine.TriageConfig{
+			Reduce:   cfg.TriageReduce,
+			Registry: cfg.Obs,
+		}))
+		merged := c.MergedStats().Crashes
 		// Deterministic triage per crash signature: developers confirmed
 		// 129/131 reports, fixed 35, and 13 were duplicates of earlier
 		// reports by others.

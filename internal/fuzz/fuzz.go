@@ -9,7 +9,6 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
-	"sync"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
@@ -369,32 +368,42 @@ func (f *MuCFuzz) Step() {
 // Macro fuzzer
 // ---------------------------------------------------------------------
 
+// CoverageSink is where a macro worker publishes each compilation's
+// coverage and learns whether it found anything new — the pool-admission
+// signal. The campaign engine swaps in per-epoch views that satisfy
+// this interface; standalone workers use a SharedCoverage.
+type CoverageSink interface {
+	// MergeIfNew merges m and reports whether it contained unseen edges.
+	MergeIfNew(m *cover.Map) bool
+}
+
 // SharedCoverage is the cross-process (here: cross-goroutine) coverage
-// map of the macro fuzzer (enhancement #3 in Section 3.4).
+// map of the macro fuzzer (enhancement #3 in Section 3.4). It is lock-
+// striped (cover.Sharded): steady-state merges that cover nothing new
+// take only read locks, and concurrent writers contend per stripe
+// instead of on one global mutex (see the BenchmarkSharedCoverage pair).
 type SharedCoverage struct {
-	mu  sync.Mutex
-	cov *cover.Map
+	sh cover.Sharded
 }
 
 // NewSharedCoverage returns an empty shared map.
 func NewSharedCoverage() *SharedCoverage {
-	return &SharedCoverage{cov: cover.NewMap()}
+	return &SharedCoverage{}
 }
 
 // MergeIfNew merges m and reports whether it contained unseen edges.
 func (s *SharedCoverage) MergeIfNew(m *cover.Map) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	isNew := s.cov.HasNew(m)
-	s.cov.Merge(m)
-	return isNew
+	return s.sh.MergeIfNew(m)
 }
 
 // Count returns the number of covered edges.
 func (s *SharedCoverage) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cov.Count()
+	return s.sh.Count()
+}
+
+// Snapshot copies the current shared map (checkpointing, reporting).
+func (s *SharedCoverage) Snapshot() *cover.Map {
+	return s.sh.Snapshot()
 }
 
 // MacroConfig tunes the macro fuzzer's enhancements.
@@ -428,15 +437,16 @@ type MacroFuzzer struct {
 	pool     []string
 	rng      *rand.Rand
 	stats    *Stats
-	shared   *SharedCoverage
+	shared   CoverageSink
 	cfg      MacroConfig
 }
 
 // NewMacroFuzzer builds a macro fuzzer worker; workers on the same
-// compiler share coverage via shared.
+// compiler share coverage via shared (nil disables pool admission until
+// a sink is attached with SetCoverage).
 func NewMacroFuzzer(name string, comp *compilersim.Compiler,
 	mutators []*muast.Mutator, seedPool []string, rng *rand.Rand,
-	shared *SharedCoverage, cfg MacroConfig) *MacroFuzzer {
+	shared CoverageSink, cfg MacroConfig) *MacroFuzzer {
 	pool := make([]string, len(seedPool))
 	copy(pool, seedPool)
 	return &MacroFuzzer{
@@ -511,37 +521,49 @@ func (f *MacroFuzzer) Step() {
 	}
 	res := f.comp.Compile(cur, f.sampleOptions())
 	f.stats.Record(cur, via, res)
-	if res.OK && f.shared.MergeIfNew(res.Coverage) {
+	if res.OK && f.shared != nil && f.shared.MergeIfNew(res.Coverage) {
 		f.pool = append(f.pool, cur)
 	}
 }
 
-// RunParallel drives n macro workers round-robin for totalSteps total
-// iterations, sharing coverage — a deterministic stand-in for the
-// paper's 60-CPU parallel campaign.
-func RunParallel(workers []*MacroFuzzer, totalSteps int) {
-	RunParallelProgress(workers, totalSteps, 0, nil)
+// Corpus returns a copy of the worker's current program pool
+// (checkpointing).
+func (f *MacroFuzzer) Corpus() []string {
+	out := make([]string, len(f.pool))
+	copy(out, f.pool)
+	return out
 }
 
-// RunParallelProgress is RunParallel with a live-status hook: progress
-// is invoked after every `every` scheduled steps (and once at the end)
-// with the number of steps completed. every <= 0 or a nil callback
-// disables the hook.
-func RunParallelProgress(workers []*MacroFuzzer, totalSteps, every int,
-	progress func(done int)) {
-	if len(workers) == 0 {
-		return
-	}
-	for i := 0; i < totalSteps; i++ {
-		workers[i%len(workers)].Step()
-		if every > 0 && progress != nil && (i+1)%every == 0 && i+1 < totalSteps {
-			progress(i + 1)
-		}
-	}
-	if progress != nil {
-		progress(totalSteps)
-	}
+// SetCorpus replaces the program pool (checkpoint restore).
+func (f *MacroFuzzer) SetCorpus(pool []string) {
+	f.pool = make([]string, len(pool))
+	copy(f.pool, pool)
 }
+
+// Coverage returns the worker's current coverage sink.
+func (f *MacroFuzzer) Coverage() CoverageSink { return f.shared }
+
+// SetCoverage swaps the coverage sink — the campaign engine uses this
+// to substitute per-epoch deterministic views for the shared map.
+func (f *MacroFuzzer) SetCoverage(sink CoverageSink) { f.shared = sink }
+
+// Corpus returns a copy of μCFuzz's current program pool.
+func (f *MuCFuzz) Corpus() []string {
+	out := make([]string, len(f.pool))
+	copy(out, f.pool)
+	return out
+}
+
+// SetCorpus replaces μCFuzz's program pool (checkpoint restore).
+func (f *MuCFuzz) SetCorpus(pool []string) {
+	f.pool = make([]string, len(pool))
+	copy(f.pool, pool)
+}
+
+// The old RunParallel/RunParallelProgress round-robin loop — parallel in
+// name only — lived here; true goroutine parallelism with deterministic
+// epoch-based coverage sync is internal/engine's job now (the engine
+// package keeps compatibility shims under the same names).
 
 // MergedCrashes unions workers' unique crashes (earliest discovery wins).
 func MergedCrashes(workers []*MacroFuzzer) map[string]*CrashInfo {

@@ -123,7 +123,11 @@ func TestMacroFuzzerHavocAndFlags(t *testing.T) {
 			testPool(t, 10), rand.New(rand.NewSource(int64(100+i))), shared,
 			DefaultMacroConfig()))
 	}
-	RunParallel(workers, 400)
+	// Scheduling is internal/engine's job; here we exercise the worker
+	// mechanics (havoc, flag sampling, shared-coverage admission) alone.
+	for i := 0; i < 400; i++ {
+		workers[i%len(workers)].Step()
+	}
 	total := 0
 	for _, w := range workers {
 		total += w.Stats().Total

@@ -262,25 +262,50 @@ func TestInstrumentedFuzzersConcurrent(t *testing.T) {
 	}
 }
 
-func TestRunParallelProgressCallback(t *testing.T) {
+func TestCorpusRoundTrip(t *testing.T) {
 	comp := compilersim.New("gcc", 14)
-	pool := seeds.Generate(10, 1)
-	var ws []*MacroFuzzer
-	for i := 0; i < 2; i++ {
-		ws = append(ws, NewMacroFuzzer(fmt.Sprintf("m%d", i), comp, muast.All(),
-			pool, rand.New(rand.NewSource(int64(i))), NewSharedCoverage(),
-			DefaultMacroConfig()))
+	pool := seeds.Generate(5, 1)
+	f := NewMacroFuzzer("m", comp, muast.All(), pool,
+		rand.New(rand.NewSource(2)), NewSharedCoverage(), DefaultMacroConfig())
+	got := f.Corpus()
+	if !reflect.DeepEqual(got, pool) {
+		t.Fatal("Corpus does not reflect the seed pool")
 	}
-	var calls []int
-	RunParallelProgress(ws, 10, 3, func(done int) { calls = append(calls, done) })
-	want := []int{3, 6, 9, 10}
-	if !reflect.DeepEqual(calls, want) {
-		t.Errorf("progress calls = %v, want %v", calls, want)
+	got[0] = "int mutated;"
+	if f.Corpus()[0] == got[0] {
+		t.Error("Corpus aliases the internal pool")
 	}
-	// A Step is a scheduling slot, not necessarily a compile (a havoc
-	// round may find no applicable mutation), so ticks <= steps.
-	got := ws[0].Stats().Ticks + ws[1].Stats().Ticks
-	if got == 0 || got > 10 {
-		t.Errorf("ticks = %d, want in 1..10", got)
+	f.SetCorpus([]string{"int main(void) { return 0; }"})
+	if len(f.Corpus()) != 1 {
+		t.Errorf("SetCorpus pool size = %d, want 1", len(f.Corpus()))
+	}
+
+	mc := NewMuCFuzz("u", comp, muast.All(), pool, rand.New(rand.NewSource(2)))
+	if !reflect.DeepEqual(mc.Corpus(), pool) {
+		t.Fatal("MuCFuzz.Corpus does not reflect the seed pool")
+	}
+	mc.SetCorpus(pool[:2])
+	if mc.PoolSize() != 2 {
+		t.Errorf("MuCFuzz.SetCorpus pool size = %d, want 2", mc.PoolSize())
+	}
+}
+
+func TestSetCoverageSwapsSink(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	shared := NewSharedCoverage()
+	f := NewMacroFuzzer("m", comp, muast.All(), seeds.Generate(5, 1),
+		rand.New(rand.NewSource(2)), shared, DefaultMacroConfig())
+	if f.Coverage() != CoverageSink(shared) {
+		t.Fatal("Coverage does not return the constructor sink")
+	}
+	repl := NewSharedCoverage()
+	f.SetCoverage(repl)
+	if f.Coverage() != CoverageSink(repl) {
+		t.Fatal("SetCoverage did not swap the sink")
+	}
+	// A nil sink disables pool admission but must not panic.
+	f.SetCoverage(nil)
+	for i := 0; i < 30; i++ {
+		f.Step()
 	}
 }

@@ -23,6 +23,14 @@
 //	refinement_fixes_total{goal}        refinement-loop repairs (Table 1)
 //	span_seconds{span}                  stage durations from span tracing
 //
+// The parallel campaign engine (internal/engine) adds its own
+// families: engine_epoch_seconds and engine_sync_seconds (epoch and
+// barrier-merge cost histograms), engine_queue_depth and
+// engine_steps_done (live progress gauges), engine_epochs_total,
+// engine_checkpoints_total and engine_checkpoint_bytes (snapshot
+// accounting), and triage_reduced_total (witnesses minimized during
+// crash triage).
+//
 // Everything is nil-tolerant: methods on a nil *Registry (and on the
 // nil handles it returns) are no-ops, so instrumented code pays almost
 // nothing when observability is off. Handles (*Counter, *Gauge,
