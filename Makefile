@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race bench campaign-smoke clean
+.PHONY: check build vet staticcheck test race bench campaign-smoke chaos-smoke clean
 
 # check is the one-stop gate: vet (+ staticcheck when installed), build,
 # full test suite, then the race-detector pass over the
@@ -29,9 +29,12 @@ test:
 
 # The obs registry, the fuzz stats, and the campaign engine are the
 # shared-mutable-state hot spots; mutcheck rides along because the
-# fuzzers call it from the same paths the race pass exercises.
+# fuzzers call it from the same paths the race pass exercises, and the
+# resilience layer (breaker, chaos injector) because its whole job is
+# concurrent fault handling.
 race:
-	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck ./internal/engine
+	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck \
+		./internal/engine ./internal/resil ./internal/resil/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -46,6 +49,18 @@ campaign-smoke:
 	$(GO) run ./cmd/mucfuzz -macro -resume .smoke/campaign.json \
 		-steps 4000 -workers 4 -reduce -triage-out .smoke/triage.json
 	@rm -rf .smoke
+
+# chaos-smoke proves fault tolerance end to end: a checkpointed campaign
+# under the deterministic chaos harness (injected worker panics plus
+# torn/failed checkpoint writes), then a resume — through the .prev
+# fallback if the last generation was torn — with chaos still armed.
+chaos-smoke:
+	@rm -rf .chaos-smoke && mkdir .chaos-smoke
+	$(GO) run ./cmd/mucfuzz -macro -steps 2000 -workers 4 \
+		-checkpoint .chaos-smoke/campaign.json -checkpoint-every 1 -chaos 99
+	$(GO) run ./cmd/mucfuzz -macro -resume .chaos-smoke/campaign.json \
+		-steps 4000 -workers 4 -chaos 99
+	@rm -rf .chaos-smoke
 
 clean:
 	$(GO) clean ./...

@@ -13,7 +13,7 @@
 // The table6 campaign runs on the parallel engine: -workers sets the
 // goroutine count (results are identical at any value), -checkpoint DIR
 // snapshots each compiler's campaign there — rerunning with the same
-// directory resumes instead of restarting, and SIGINT checkpoints
+// directory resumes instead of restarting, and SIGINT/SIGTERM checkpoint
 // before exiting — and -triage-out DIR writes the ranked per-compiler
 // triage reports as JSON (-triage-reduce also minimizes each witness).
 //
@@ -31,6 +31,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"github.com/icsnju/metamut-go/internal/engine"
 	"github.com/icsnju/metamut-go/internal/experiments"
@@ -125,7 +126,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		cfg.Ctx = ctx
 		sp := reg.Span("table6")
 		r := experiments.RunTable6(cfg)

@@ -12,6 +12,11 @@
 // invocations; -metrics-out/-trace-out write the final JSON snapshot
 // and the JSONL span journal; -debug-addr serves /debug/metrics and
 // /debug/pprof while the campaign runs.
+//
+// Fault tolerance: the model client runs behind a circuit breaker —
+// -breaker-threshold consecutive throttles open it, calls are then
+// refused up-front (outcome "deferred") until -breaker-cooldown denials
+// admit a half-open probe. -breaker-threshold 0 disables it.
 package main
 
 import (
@@ -24,10 +29,11 @@ import (
 	"github.com/icsnju/metamut-go/internal/experiments"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
-	"github.com/icsnju/metamut-go/internal/mutcheck"
 	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/mutdsl"
 	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/resil"
 )
 
 func main() {
@@ -40,6 +46,8 @@ func main() {
 		compound   = flag.Bool("compound", false, "allow two-action (compound) inventions — the paper's future-work template extension")
 		lint       = flag.Bool("lint", false, "statically lint -n raw syntheses (no refinement) and exit")
 		noStatic   = flag.Bool("no-static", false, "ablation: disable the mutcheck linter; every defect costs a compile-and-run round")
+		breakerTh  = flag.Int("breaker-threshold", 5, "consecutive API throttles before the circuit breaker opens (0 = no breaker)")
+		breakerCd  = flag.Int("breaker-cooldown", 8, "deferred calls before the open breaker admits a half-open probe")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -71,7 +79,14 @@ func main() {
 
 	rec := llm.NewRecorder(llm.NewSimClient(*seed))
 	rec.Instrument(reg)
-	fw := core.New(rec, *seed+1)
+	var client llm.Client = rec
+	if *breakerTh > 0 {
+		client = llm.Guard(rec, resil.NewBreaker(resil.BreakerConfig{
+			FailureThreshold: *breakerTh,
+			Cooldown:         *breakerCd,
+		}, reg))
+	}
+	fw := core.New(client, *seed+1)
 	fw.Obs = reg
 	fw.NoStatic = *noStatic
 	fw.Params.AllowCompound = *compound

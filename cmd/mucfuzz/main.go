@@ -23,6 +23,13 @@
 // /debug/pprof while the campaign runs.
 //
 //	mucfuzz -steps 2000 -stats-interval 500 -metrics-out m.json -trace-out t.jsonl
+//
+// Fault injection: -chaos SEED arms the deterministic chaos harness on a
+// macro campaign — worker panics before stream steps plus torn/failed
+// checkpoint writes, all recoverable, so the results must match the
+// fault-free run at the same -seed. A fault summary is printed at exit.
+//
+//	mucfuzz -macro -steps 40000 -checkpoint c.json -chaos 99
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
@@ -42,10 +50,11 @@ import (
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
-	"github.com/icsnju/metamut-go/internal/mutcheck"
 	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/reduce"
+	"github.com/icsnju/metamut-go/internal/resil/chaos"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
 
@@ -91,6 +100,7 @@ func main() {
 		doReduce  = flag.Bool("reduce", false, "minimize each crashing input before printing")
 		lint      = flag.Bool("lint", false, "statically analyze the seed corpus plus sampled mutants and exit")
 		noStatic  = flag.Bool("no-static", false, "ablation: compile statically-invalid mutants instead of filtering them")
+		chaosSeed = flag.Int64("chaos", 0, "macro campaign: arm the deterministic chaos harness with this fault seed (0 = off)")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -155,6 +165,18 @@ func main() {
 			CheckpointEvery: *ckptEvery,
 			Registry:        reg,
 		}
+		var inj *chaos.Injector
+		if *chaosSeed != 0 {
+			inj = chaos.NewInjector(chaos.Config{
+				Seed:                *chaosSeed,
+				StreamPanicEvery:    3,
+				CheckpointTearEvery: 3,
+				CheckpointFailEvery: 5,
+			})
+			ecfg.OnStreamStart = inj.OnStreamStart
+			ecfg.CheckpointTransform = inj.CheckpointTransform
+			fmt.Printf("chaos armed (fault seed %d): recoverable worker panics and checkpoint corruption\n", *chaosSeed)
+		}
 		var c *engine.Campaign
 		if cli.StatsInterval > 0 {
 			next := cli.StatsInterval
@@ -180,6 +202,10 @@ func main() {
 			if !explicit["steps"] {
 				ecfg.TotalSteps = 0
 			}
+			if _, used, perr := engine.LoadWithFallback(*resume); perr == nil && used != *resume {
+				fmt.Printf("primary checkpoint %s failed integrity check; resuming from %s\n",
+					*resume, used)
+			}
 			var rerr error
 			if c, rerr = engine.Resume(*resume, ecfg, factory); rerr != nil {
 				fmt.Fprintln(os.Stderr, rerr)
@@ -190,7 +216,7 @@ func main() {
 		} else {
 			c = engine.New(ecfg, factory)
 		}
-		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		runErr := c.Run(ctx)
 		stopSignals()
 		switch {
@@ -209,6 +235,22 @@ func main() {
 		campaign = c
 		fmt.Printf("campaign: %d streams on %d workers, %d epochs, shared coverage: %d edges\n",
 			c.Config().Streams, c.Config().Workers, c.Epoch(), c.CoverageSnapshot().Count())
+		if inj != nil {
+			f := inj.Faults()
+			fmt.Printf("chaos summary: %d worker panics injected, %d checkpoint writes torn, %d failed — all recovered\n",
+				f.StreamPanics, f.TornWrites, f.FailedWrites)
+		}
+		if poisoned := c.Poisoned(); len(poisoned) > 0 {
+			var ss []int
+			for s := range poisoned {
+				ss = append(ss, s)
+			}
+			sort.Ints(ss)
+			for _, s := range ss {
+				fmt.Printf("stream %d poisoned at epoch %d: %s\n",
+					s, poisoned[s].Epoch, poisoned[s].Reason)
+			}
+		}
 	} else {
 		f := fuzz.NewMuCFuzz("muCFuzz."+*set, comp, mutators, pool,
 			rand.New(rand.NewSource(*seed)))

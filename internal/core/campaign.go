@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/muast"
 	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/mutdsl"
+	"github.com/icsnju/metamut-go/internal/resil"
 )
 
 // RunUnsupervised executes the fully-automatic campaign: n MetaMut
@@ -43,13 +45,32 @@ func (f *Framework) RunUnsupervisedProgress(n int, progress func(i int, res Resu
 // registry mutator) and rescues any invocation the automatic loop cannot
 // finish — debugging the implementation, adding test cases, or fixing
 // the μAST APIs.
+// Invocations the circuit breaker defers (Outcome Deferred) are re-queued
+// at the back of the campaign, up to MaxDeferrals times each, so a
+// throttle storm delays mutators instead of dropping them.
 func (f *Framework) RunSupervised(target []*muast.Mutator) []Result {
+	type job struct {
+		mu        *muast.Mutator
+		deferrals int
+	}
+	queue := make([]job, 0, len(target))
+	for _, mu := range target {
+		queue = append(queue, job{mu: mu})
+	}
 	var results []Result
 	var priorNames []string
-	for _, mu := range target {
-		res := f.generateSupervisedOne(mu, priorNames)
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		res := f.generateSupervisedOne(j.mu, priorNames)
+		if res.Outcome == Deferred && j.deferrals < f.MaxDeferrals {
+			queue = append(queue, job{mu: j.mu, deferrals: j.deferrals + 1})
+			continue
+		}
 		results = append(results, res)
-		priorNames = append(priorNames, mu.Name)
+		if res.Outcome == Valid {
+			priorNames = append(priorNames, j.mu.Name)
+		}
 	}
 	return results
 }
@@ -82,10 +103,12 @@ func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result
 	res.Invention = inv
 	res.Cost.QAInvention = 1
 
-	// The expert retries through API errors rather than abandoning the
-	// invocation.
+	// The expert retries through API errors with bounded, seeded backoff
+	// rather than looping forever; a breaker denial defers the whole
+	// invocation and an exhausted budget abandons it as APIError.
 	sp := f.stageSpan("synthesize")
 	var prog *mutdsl.Program
+	rt := f.retrier(llm.StageImplementation)
 	for {
 		p, usage, err := f.Client.Synthesize(inv, f.Params)
 		res.Cost.QAImplementation++
@@ -96,7 +119,19 @@ func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result
 			prog = p
 			break
 		}
+		if errors.Is(err, resil.ErrOpen) {
+			sp.End()
+			res.Outcome = Deferred
+			return res
+		}
 		f.recordRetry(llm.StageImplementation)
+		if wait, ok := rt.Next(); ok {
+			res.Cost.WaitTime += wait
+			continue
+		}
+		sp.End()
+		res.Outcome = APIError
+		return res
 	}
 	sp.End()
 	prog.Name = mu.Name
@@ -104,6 +139,7 @@ func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result
 
 	sp = f.stageSpan("generate-tests")
 	var tests []string
+	rt = f.retrier(llm.StageTestGen)
 	for {
 		t, usage, err := f.Client.GenerateTests(inv, f.TestsPerMutator, f.Params)
 		res.Cost.QABugFix++
@@ -114,13 +150,26 @@ func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result
 			tests = t
 			break
 		}
+		if errors.Is(err, resil.ErrOpen) {
+			sp.End()
+			res.Outcome = Deferred
+			return res
+		}
 		f.recordRetry(llm.StageTestGen)
+		if wait, ok := rt.Next(); ok {
+			res.Cost.WaitTime += wait
+			continue
+		}
+		sp.End()
+		res.Outcome = APIError
+		return res
 	}
 	sp.End()
 
 	refineSpan := f.stageSpan("refine")
 	defer refineSpan.End()
 	lastGoal := goalAllMet
+	rt = f.retrier(llm.StageBugFix)
 	for attempt := 0; ; attempt++ {
 		goal, feedback, static := f.diagnose(prog, tests, &res)
 		if goal == goalAllMet {
@@ -143,9 +192,19 @@ func (f *Framework) supervisedOne(mu *muast.Mutator, priorNames []string) Result
 		res.Cost.BugFixTime += usage.Wait
 		res.Cost.WaitTime += usage.Wait
 		if err != nil {
+			if errors.Is(err, resil.ErrOpen) {
+				res.Outcome = Deferred
+				return res
+			}
 			f.recordRetry(llm.StageBugFix)
-			continue // expert retries through throttling
+			if wait, ok := rt.Next(); ok {
+				res.Cost.WaitTime += wait
+				continue // expert retries through throttling
+			}
+			res.Outcome = APIError
+			return res
 		}
+		rt = f.retrier(llm.StageBugFix) // fresh budget per successful round
 		if static {
 			if mutcheck.Violates(prog, int(goal)) && !mutcheck.Violates(fixed, int(goal)) {
 				res.FixedByGoal[goal]++
@@ -314,9 +373,9 @@ func Analyze(results []Result) *CampaignStats {
 func (st *CampaignStats) ValidCount() int { return st.ByOutcome[Valid] }
 
 // SurvivedInvocations returns invocations that were not killed by API
-// errors (the paper's "remaining 76").
+// errors (the paper's "remaining 76") or left deferred by the breaker.
 func (st *CampaignStats) SurvivedInvocations() int {
-	return st.Invocations - st.ByOutcome[APIError]
+	return st.Invocations - st.ByOutcome[APIError] - st.ByOutcome[Deferred]
 }
 
 // TotalFixes returns the Table-1 grand total.

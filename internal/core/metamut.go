@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/mutdsl"
 	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/resil"
 )
 
 // Goal numbers the six validation goals of Section 3.3.
@@ -48,6 +50,9 @@ type Outcome int
 // Invocation outcomes. Valid mutators join the working set; the Invalid*
 // classes reproduce Section 4.1's failure taxonomy; APIError covers the
 // throttling/timeouts that killed 24 of 100 unsupervised invocations.
+// Deferred marks an invocation the circuit breaker refused to start or
+// finish during a throttle storm — unlike APIError it is retryable, and
+// the supervised campaign re-queues it.
 const (
 	Valid Outcome = iota
 	InvalidRefinementFailed
@@ -55,11 +60,12 @@ const (
 	InvalidUnthorough
 	InvalidDuplicate
 	APIError
+	Deferred
 )
 
 var outcomeNames = [...]string{
 	"valid", "refinement-failed", "mismatched-implementation",
-	"unthorough-tests", "duplicate", "api-error",
+	"unthorough-tests", "duplicate", "api-error", "deferred",
 }
 
 // String returns the outcome label.
@@ -153,7 +159,16 @@ type Framework struct {
 	// wire the same registry into the llm client via llm.Instrument to
 	// also capture per-call token telemetry.
 	Obs *obs.Registry
-	rng *rand.Rand
+	// Retry bounds the supervised campaign's retry-through-API-error
+	// loops (synthesize / generate-tests / fix). The zero value uses the
+	// resil defaults (5 attempts, 250ms..30s exponential backoff).
+	Retry resil.Policy
+	// MaxDeferrals bounds how many times the supervised campaign
+	// re-queues an invocation the circuit breaker deferred (default 3);
+	// past it the invocation ends Deferred.
+	MaxDeferrals int
+	rng          *rand.Rand
+	retrySeq     int64
 }
 
 // New returns a framework over the given model with the paper's
@@ -164,8 +179,21 @@ func New(client llm.Client, seed int64) *Framework {
 		Params:            llm.DefaultParams(),
 		MaxRepairAttempts: 27,
 		TestsPerMutator:   3,
+		MaxDeferrals:      3,
 		rng:               rand.New(rand.NewSource(seed)),
 	}
+}
+
+// retrier opens one stage's bounded attempt budget. Its jitter seed is
+// a private sequence counter — never the framework rng, whose draw
+// order calibrates the simulated campaigns.
+func (f *Framework) retrier(stage string) *resil.Retrier {
+	f.retrySeq++
+	p := f.Retry
+	if p.Registry == nil {
+		p.Registry = f.Obs
+	}
+	return p.Retrier(stage, f.retrySeq)
 }
 
 // prepareTime samples the request-preparation time (compile mutator, run
@@ -264,6 +292,14 @@ func (f *Framework) recordInputParseFailure() {
 	}
 }
 
+// recordFuelExhausted counts a validation application that was cut off
+// by the interpreter's fuel budget (mutdsl_fuel_exhausted_total).
+func (f *Framework) recordFuelExhausted() {
+	if f.Obs != nil {
+		f.Obs.Counter("mutdsl_fuel_exhausted_total").With().Inc()
+	}
+}
+
 func (f *Framework) generateOne(priorNames []string) Result {
 	res := Result{FixedByGoal: map[Goal]int{},
 		StaticCatches: map[Goal]int{}, DynamicCatches: map[Goal]int{}}
@@ -277,7 +313,7 @@ func (f *Framework) generateOne(priorNames []string) Result {
 	res.Cost.InventionTime = usage.Wait
 	res.Cost.WaitTime += usage.Wait
 	if err != nil {
-		res.Outcome = APIError
+		res.Outcome = apiOutcome(err)
 		return res
 	}
 	res.Invention = inv
@@ -291,7 +327,7 @@ func (f *Framework) generateOne(priorNames []string) Result {
 	res.Cost.ImplementationTime = usage.Wait
 	res.Cost.WaitTime += usage.Wait
 	if err != nil {
-		res.Outcome = APIError
+		res.Outcome = apiOutcome(err)
 		return res
 	}
 	res.Program = prog
@@ -306,7 +342,7 @@ func (f *Framework) generateOne(priorNames []string) Result {
 	res.Cost.BugFixTime += usage.Wait
 	res.Cost.WaitTime += usage.Wait
 	if err != nil {
-		res.Outcome = APIError
+		res.Outcome = apiOutcome(err)
 		return res
 	}
 
@@ -336,7 +372,7 @@ func (f *Framework) generateOne(priorNames []string) Result {
 		res.Cost.BugFixTime += usage.Wait
 		res.Cost.WaitTime += usage.Wait
 		if err != nil {
-			res.Outcome = APIError
+			res.Outcome = apiOutcome(err)
 			return res
 		}
 		// Classify the repair (Table 1): a fix is credited only when the
@@ -378,13 +414,24 @@ func (f *Framework) generateOne(priorNames []string) Result {
 	return res
 }
 
+// apiOutcome classifies an LLM-call error: a breaker denial is a
+// retryable deferral, anything else is the paper's terminal APIError.
+func apiOutcome(err error) Outcome {
+	if errors.Is(err, resil.ErrOpen) {
+		return Deferred
+	}
+	return APIError
+}
+
 // clientRates surfaces the fault calibration of simulated models, looking
-// through wrappers like llm.Recorder.
+// through wrappers like llm.Recorder and llm.Guarded.
 func clientRates(c llm.Client) (llm.FaultRates, bool) {
 	switch x := c.(type) {
 	case *llm.SimClient:
 		return x.Rates(), true
 	case *llm.Recorder:
+		return clientRates(x.Inner)
+	case *llm.Guarded:
 		return clientRates(x.Inner)
 	}
 	return llm.FaultRates{}, false
@@ -408,7 +455,7 @@ func (f *Framework) ViolatesGoal(prog *mutdsl.Program, tests []string, goal Goal
 		if out.ParseFailed {
 			continue // the mutator never ran; no goal is assessable
 		}
-		if out.Hang {
+		if out.FuelExhausted {
 			hang = true
 			continue
 		}
@@ -469,8 +516,11 @@ func (f *Framework) Validate(prog *mutdsl.Program, tests []string) (Goal, string
 			continue
 		}
 		switch {
-		case out.Hang:
-			return GoalTerminates, "timeout: mutator exceeded its budget on a test case\n<stack trace: " + prog.Name + "::mutate>"
+		case out.FuelExhausted:
+			f.recordFuelExhausted()
+			return GoalTerminates, fmt.Sprintf(
+				"fuel exhausted: mutator burned its %d-unit budget without terminating\n<stack trace: %s::mutate>",
+				exe.Fuel(), prog.Name)
 		case out.Crash:
 			return GoalReturns, out.CrashMsg
 		}

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"crypto/sha256"
 	"encoding/base64"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -18,23 +20,88 @@ import (
 
 // SnapshotVersion guards the checkpoint format. Bump on any change to
 // the Snapshot layout; Load rejects other versions rather than guess.
-const SnapshotVersion = 1
+// Version 2 added the sha256 integrity checksum, the rotated .prev
+// generation, and per-stream poison records.
+const SnapshotVersion = 2
+
+// PrevSuffix names the rotated previous checkpoint generation: every
+// successful write first moves the existing file to path+PrevSuffix, so
+// a corrupted latest generation always has a fallback.
+const PrevSuffix = ".prev"
+
+// ErrCorrupt reports that a checkpoint file failed its integrity check
+// (missing or mismatched checksum) — typically a torn write.
+var ErrCorrupt = errors.New("engine: checkpoint failed integrity check")
 
 // Snapshot is the versioned on-disk form of a campaign at an epoch
 // barrier: everything needed to resume bit-identically — campaign
 // identity, progress, the global coverage map, and per-stream RNG
 // state, corpus, and accounting.
 type Snapshot struct {
-	Version       int    `json:"version"`
-	Seed          int64  `json:"seed"`
-	Streams       int    `json:"streams"`
-	StepsPerEpoch int    `json:"steps_per_epoch"`
-	TotalSteps    int    `json:"total_steps"`
-	Epoch         int    `json:"epoch"`
-	Done          int    `json:"done"`
+	Version       int   `json:"version"`
+	Seed          int64 `json:"seed"`
+	Streams       int   `json:"streams"`
+	StepsPerEpoch int   `json:"steps_per_epoch"`
+	TotalSteps    int   `json:"total_steps"`
+	Epoch         int   `json:"epoch"`
+	Done          int   `json:"done"`
 	// Coverage is the global map: base64 of the little-endian words.
 	Coverage     string        `json:"coverage"`
 	StreamStates []StreamState `json:"stream_states"`
+	// Poisoned lists streams retired by the supervisor, sorted by
+	// stream, so a resumed campaign keeps them off the schedule.
+	Poisoned []PoisonState `json:"poisoned,omitempty"`
+	// Checksum is the hex sha256 of this snapshot's canonical JSON with
+	// Checksum itself empty; Load rejects mismatches with ErrCorrupt.
+	Checksum string `json:"checksum"`
+}
+
+// PoisonState is one retired stream's record in the checkpoint.
+type PoisonState struct {
+	Stream int    `json:"stream"`
+	Epoch  int    `json:"epoch"`
+	Reason string `json:"reason"`
+}
+
+// checksum computes the snapshot's integrity hash: sha256 over the
+// canonical JSON with the Checksum field blanked. json.Marshal of a
+// struct is deterministic (fields in declaration order, no maps in the
+// snapshot), so the hash round-trips through encode/decode.
+func (s *Snapshot) checksum() (string, error) {
+	cp := *s
+	cp.Checksum = ""
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Seal stamps the integrity checksum onto the snapshot.
+func (s *Snapshot) Seal() error {
+	sum, err := s.checksum()
+	if err != nil {
+		return err
+	}
+	s.Checksum = sum
+	return nil
+}
+
+// VerifyIntegrity recomputes the checksum and returns ErrCorrupt on a
+// missing or mismatched value.
+func (s *Snapshot) VerifyIntegrity() error {
+	if s.Checksum == "" {
+		return fmt.Errorf("%w: no checksum", ErrCorrupt)
+	}
+	sum, err := s.checksum()
+	if err != nil {
+		return err
+	}
+	if sum != s.Checksum {
+		return fmt.Errorf("%w: checksum %.12s… does not match contents", ErrCorrupt, s.Checksum)
+	}
+	return nil
 }
 
 // StreamState is one stream's checkpointed state.
@@ -53,6 +120,8 @@ type StatsState struct {
 	Compilable    int          `json:"compilable"`
 	StaticRejects int          `json:"static_rejects"`
 	Ticks         int          `json:"ticks"`
+	Panics        int          `json:"panics,omitempty"`
+	FuelExhausted int          `json:"fuel_exhausted,omitempty"`
 	Coverage      string       `json:"coverage"`
 	Crashes       []CrashState `json:"crashes"`
 }
@@ -99,6 +168,8 @@ func statsState(st *fuzz.Stats) StatsState {
 		Compilable:    st.Compilable,
 		StaticRejects: st.StaticRejects,
 		Ticks:         st.Ticks,
+		Panics:        st.Panics,
+		FuelExhausted: st.FuelExhausted,
 		Coverage:      encodeCoverage(st.Coverage),
 	}
 	sigs := make([]string, 0, len(st.Crashes))
@@ -128,6 +199,8 @@ func restoreStats(st *fuzz.Stats, ss StatsState) error {
 	st.Compilable = ss.Compilable
 	st.StaticRejects = ss.StaticRejects
 	st.Ticks = ss.Ticks
+	st.Panics = ss.Panics
+	st.FuelExhausted = ss.FuelExhausted
 	st.Coverage = cov
 	st.Crashes = make(map[string]*fuzz.CrashInfo, len(ss.Crashes))
 	for _, cs := range ss.Crashes {
@@ -163,14 +236,37 @@ func (c *Campaign) Snapshot() (*Snapshot, error) {
 			Stats:  statsState(w.Stats()),
 		})
 	}
+	var streams []int
+	for s := range c.poisoned {
+		streams = append(streams, s)
+	}
+	sort.Ints(streams)
+	for _, s := range streams {
+		info := c.poisoned[s]
+		snap.Poisoned = append(snap.Poisoned, PoisonState{
+			Stream: s, Epoch: info.Epoch, Reason: info.Reason,
+		})
+	}
+	if err := snap.Seal(); err != nil {
+		return nil, err
+	}
 	return snap, nil
 }
 
 // Checkpoint writes the current snapshot atomically (temp file + rename
-// in the target directory) to cfg.CheckpointPath. A crash mid-write
-// leaves the previous checkpoint intact.
+// in the target directory) to cfg.CheckpointPath, rotating any existing
+// checkpoint to the .prev generation first. A crash mid-write leaves
+// both prior generations intact. Failed write attempts are retried up
+// to cfg.CheckpointRetries times and counted in
+// engine_checkpoint_failures_total.
 func (c *Campaign) Checkpoint() error {
 	if c.cfg.CheckpointPath == "" {
+		return nil
+	}
+	if c.ckptDone == c.done {
+		// The last successful write already captured this barrier;
+		// rewriting it would only rotate a distinct generation out of
+		// .prev for an identical copy.
 		return nil
 	}
 	sp := c.reg.Span("engine_checkpoint")
@@ -182,7 +278,37 @@ func (c *Campaign) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(c.cfg.CheckpointPath)
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.CheckpointRetries; attempt++ {
+		out := data
+		if c.cfg.CheckpointTransform != nil {
+			var terr error
+			if out, terr = c.cfg.CheckpointTransform(data); terr != nil {
+				lastErr = terr
+				c.mCkptFails.Inc()
+				continue
+			}
+		}
+		if err := installCheckpoint(c.cfg.CheckpointPath, out); err != nil {
+			lastErr = err
+			c.mCkptFails.Inc()
+			continue
+		}
+		c.ckptDone = c.done
+		c.mCkpts.Inc()
+		c.mCkptBytes.Set(int64(len(out)))
+		sp.EndWith(map[string]any{"bytes": len(out), "epoch": c.epoch, "done": c.done})
+		return nil
+	}
+	sp.End()
+	return lastErr
+}
+
+// installCheckpoint atomically replaces path with data: temp file in
+// the same directory, rotation of the existing file to .prev, then
+// rename. Nothing on disk changes unless the temp write fully succeeds.
+func installCheckpoint(path string, data []byte) error {
+	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
 		return err
@@ -196,13 +322,14 @@ func (c *Campaign) Checkpoint() error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), c.cfg.CheckpointPath); err != nil {
+	if _, err := os.Stat(path); err == nil {
+		// Best-effort rotation: a failure here only costs the fallback.
+		os.Rename(path, path+PrevSuffix)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}
-	c.mCkpts.Inc()
-	c.mCkptBytes.Set(int64(len(data)))
-	sp.EndWith(map[string]any{"bytes": len(data), "epoch": c.epoch, "done": c.done})
 	return nil
 }
 
@@ -224,18 +351,43 @@ func Load(path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("checkpoint %s: %d stream states for %d streams",
 			path, len(snap.StreamStates), snap.Streams)
 	}
+	if err := snap.VerifyIntegrity(); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
 	return &snap, nil
 }
 
-// Resume rebuilds a campaign from a checkpoint. The snapshot defines
-// the campaign identity: explicitly-set cfg fields that contradict it
-// (Seed, Streams, StepsPerEpoch) are an error, zero values inherit from
-// the snapshot. TotalSteps may exceed the snapshot's to extend the
+// LoadWithFallback reads the checkpoint at path, falling back to the
+// rotated .prev generation when the primary is missing or fails
+// validation (torn write, checksum mismatch). It returns the snapshot
+// and the path it actually came from; on total failure it reports the
+// primary's error.
+func LoadWithFallback(path string) (*Snapshot, string, error) {
+	snap, err := Load(path)
+	if err == nil {
+		return snap, path, nil
+	}
+	if prev, perr := Load(path + PrevSuffix); perr == nil {
+		return prev, path + PrevSuffix, nil
+	}
+	return nil, "", err
+}
+
+// Resume rebuilds a campaign from a checkpoint. A corrupted primary
+// generation falls back to the rotated .prev (counted in
+// engine_checkpoint_fallbacks_total) — re-fuzzing one checkpoint
+// interval beats losing the campaign. The snapshot defines the campaign
+// identity: explicitly-set cfg fields that contradict it (Seed,
+// Streams, StepsPerEpoch) are an error, zero values inherit from the
+// snapshot. TotalSteps may exceed the snapshot's to extend the
 // campaign; zero keeps the original budget.
 func Resume(path string, cfg Config, factory Factory) (*Campaign, error) {
-	snap, err := Load(path)
+	snap, usedPath, err := LoadWithFallback(path)
 	if err != nil {
 		return nil, err
+	}
+	if usedPath != path {
+		cfg.Registry.Counter("engine_checkpoint_fallbacks_total").With().Inc()
 	}
 	if cfg.Seed != 0 && cfg.Seed != snap.Seed {
 		return nil, fmt.Errorf("engine: -seed %d contradicts checkpoint seed %d", cfg.Seed, snap.Seed)
@@ -257,7 +409,11 @@ func Resume(path string, cfg Config, factory Factory) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Campaign{cfg: cfg, global: global, epoch: snap.Epoch, done: snap.Done}
+	c := &Campaign{cfg: cfg, global: global, epoch: snap.Epoch, done: snap.Done,
+		poisoned: map[int]PoisonInfo{}, ckptDone: -1}
+	for _, ps := range snap.Poisoned {
+		c.poisoned[ps.Stream] = PoisonInfo{Epoch: ps.Epoch, Reason: ps.Reason}
+	}
 	c.instrument()
 	for i := 0; i < cfg.Streams; i++ {
 		ss := snap.StreamStates[i]

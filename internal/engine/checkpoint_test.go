@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -167,6 +168,86 @@ func TestResumeRejectsContradictions(t *testing.T) {
 		if _, err := Resume(ckpt, bad, fac); err == nil {
 			t.Errorf("Resume accepted contradicting config %+v", bad)
 		}
+	}
+}
+
+// TestResumeFromCorruptCheckpoint: a torn or tampered latest generation
+// must not lose the campaign — Resume falls back to the rotated .prev
+// and the finished run still equals an uninterrupted one (it merely
+// re-fuzzes the last interval deterministically).
+func TestResumeFromCorruptCheckpoint(t *testing.T) {
+	pool := seeds.Generate(12, 5)
+	cfg := Config{Streams: 4, Workers: 2, StepsPerEpoch: 10,
+		TotalSteps: 400, Seed: 17}
+
+	ref := New(cfg, macroFactory(compilersim.New("gcc", 14), pool))
+	if err := ref.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(ref)
+
+	for name, corrupt := range map[string]func(path string){
+		"torn-write": func(path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			os.WriteFile(path, data[:len(data)/3], 0o644)
+		},
+		"tampered-contents": func(path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Valid JSON, wrong contents: claim more progress than the
+			// checksum was computed over.
+			data = bytes.Replace(data, []byte(`"done":`), []byte(`"done":9`), 1)
+			os.WriteFile(path, data, 0o644)
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "campaign.json")
+			icfg := cfg
+			icfg.CheckpointPath = ckpt
+			ctx, cancel := context.WithCancel(context.Background())
+			epochs := 0
+			icfg.OnEpoch = func(done, total int) {
+				if epochs++; epochs == 4 {
+					cancel()
+				}
+			}
+			ic := New(icfg, macroFactory(compilersim.New("gcc", 14), pool))
+			if err := ic.Run(ctx); !errors.Is(err, ErrInterrupted) {
+				t.Fatalf("interrupted run returned %v", err)
+			}
+			if _, err := os.Stat(ckpt + PrevSuffix); err != nil {
+				t.Fatalf("no rotated generation: %v", err)
+			}
+			corrupt(ckpt)
+			if _, err := Load(ckpt); !errors.Is(err, ErrCorrupt) && name == "tampered-contents" {
+				t.Fatalf("Load(tampered) = %v, want ErrCorrupt", err)
+			}
+
+			reg := obs.NewRegistry()
+			rc, err := Resume(ckpt, Config{Registry: reg},
+				macroFactory(compilersim.New("gcc", 14), pool))
+			if err != nil {
+				t.Fatalf("Resume did not fall back to .prev: %v", err)
+			}
+			if rc.Done() >= ic.Done() {
+				t.Fatalf("fallback resumed at done=%d, want an earlier generation than %d",
+					rc.Done(), ic.Done())
+			}
+			if n := reg.Snapshot().Counter("engine_checkpoint_fallbacks_total"); n != 1 {
+				t.Errorf("engine_checkpoint_fallbacks_total = %d, want 1", n)
+			}
+			if err := rc.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(rc); got != want {
+				t.Errorf("corrupt-fallback run diverged:\n got %s\nwant %s", got, want)
+			}
+		})
 	}
 }
 

@@ -18,13 +18,24 @@
 // cancellation between epochs, so a snapshot always captures a clean
 // epoch boundary and resuming re-executes the remaining epochs
 // identically to an uninterrupted run.
+//
+// Stream execution is supervised: a panic in a worker is caught in the
+// executing goroutine and never takes down the fleet. A task that dies
+// before its first step of the epoch mutated nothing and is simply
+// re-dispatched (up to TaskRetries — this is how recoverable chaos
+// faults stay byte-identical to a fault-free run); a task that dies
+// mid-step has corrupted its stream's trajectory, so the stream is
+// poisoned — retired from scheduling, recorded in the checkpoint — while
+// the remaining streams keep fuzzing.
 package engine
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -79,6 +90,22 @@ type Config struct {
 	// OnEpoch, when set, is called after every barrier with the steps
 	// completed so far and the total budget.
 	OnEpoch func(done, total int)
+	// OnStreamStart, when set, is called in the executing worker
+	// goroutine right before a stream's first step of the epoch, inside
+	// the supervision scope. The chaos harness injects worker panics
+	// here; attempt counts re-dispatches of the same (epoch, stream)
+	// task so injectors can fail only the first try.
+	OnStreamStart func(epoch, stream, attempt int)
+	// CheckpointTransform, when set, intercepts the serialized snapshot
+	// just before each write attempt — the chaos harness tears or fails
+	// writes here. An error counts as a failed write attempt.
+	CheckpointTransform func(data []byte) ([]byte, error)
+	// TaskRetries bounds re-dispatches of a stream task whose worker
+	// panicked before stepping (default 2). Panics after the first step
+	// are never retried — the stream is poisoned instead.
+	TaskRetries int
+	// CheckpointRetries bounds write attempts per checkpoint (default 3).
+	CheckpointRetries int
 }
 
 func (cfg *Config) normalize() {
@@ -96,6 +123,12 @@ func (cfg *Config) normalize() {
 	}
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 1
+	}
+	if cfg.TaskRetries <= 0 {
+		cfg.TaskRetries = 2
+	}
+	if cfg.CheckpointRetries <= 0 {
+		cfg.CheckpointRetries = 3
 	}
 }
 
@@ -130,21 +163,37 @@ type Campaign struct {
 	global  *cover.Map
 	epoch   int
 	done    int
+	// poisoned maps retired streams to why they died; their planned
+	// steps still count toward the budget so the campaign terminates.
+	poisoned map[int]PoisonInfo
+	// ckptDone is the done-count of the last successful checkpoint (-1
+	// before any): writing the same barrier twice would rotate a real
+	// generation out of .prev for an identical copy.
+	ckptDone int
 
-	reg        *obs.Registry
-	mEpochSec  *obs.Histogram
-	mSyncSec   *obs.Histogram
-	mQueue     *obs.Gauge
-	mStepsDone *obs.Gauge
-	mCkptBytes *obs.Gauge
-	mEpochs    *obs.Counter
-	mCkpts     *obs.Counter
+	reg          *obs.Registry
+	mEpochSec    *obs.Histogram
+	mSyncSec     *obs.Histogram
+	mQueue       *obs.Gauge
+	mStepsDone   *obs.Gauge
+	mCkptBytes   *obs.Gauge
+	mEpochs      *obs.Counter
+	mCkpts       *obs.Counter
+	mCkptFails   *obs.Counter
+	mTaskRetries *obs.Counter
+	mPoisoned    *obs.Counter
+}
+
+// PoisonInfo records why and when a stream was retired.
+type PoisonInfo struct {
+	Epoch  int    `json:"epoch"`
+	Reason string `json:"reason"`
 }
 
 // New builds a campaign, creating one worker per stream via factory.
 func New(cfg Config, factory Factory) *Campaign {
 	cfg.normalize()
-	c := &Campaign{cfg: cfg, global: cover.NewMap()}
+	c := &Campaign{cfg: cfg, global: cover.NewMap(), poisoned: map[int]PoisonInfo{}, ckptDone: -1}
 	c.instrument()
 	for i := 0; i < cfg.Streams; i++ {
 		src := &mix64{state: streamSeed(cfg.Seed, i)}
@@ -169,7 +218,7 @@ func Adopt(cfg Config, workers []Worker) (*Campaign, error) {
 	}
 	cfg.Streams = len(workers)
 	cfg.normalize()
-	c := &Campaign{cfg: cfg, global: cover.NewMap(), workers: workers}
+	c := &Campaign{cfg: cfg, global: cover.NewMap(), workers: workers, poisoned: map[int]PoisonInfo{}, ckptDone: -1}
 	c.instrument()
 	for range workers {
 		c.views = append(c.views, &view{merged: cover.NewMap(), delta: cover.NewMap()})
@@ -192,6 +241,9 @@ func (c *Campaign) instrument() {
 	c.mCkptBytes = reg.Gauge("engine_checkpoint_bytes").With()
 	c.mEpochs = reg.Counter("engine_epochs_total").With()
 	c.mCkpts = reg.Counter("engine_checkpoints_total").With()
+	c.mCkptFails = reg.Counter("engine_checkpoint_failures_total").With()
+	c.mTaskRetries = reg.Counter("engine_task_retries_total").With()
+	c.mPoisoned = reg.Counter("engine_streams_poisoned_total").With()
 }
 
 // Done returns the steps completed so far.
@@ -209,6 +261,15 @@ func (c *Campaign) Workers() []Worker { return c.workers }
 
 // CoverageSnapshot returns a copy of the merged global coverage map.
 func (c *Campaign) CoverageSnapshot() *cover.Map { return c.global.Clone() }
+
+// Poisoned returns a copy of the retired-stream records.
+func (c *Campaign) Poisoned() map[int]PoisonInfo {
+	out := make(map[int]PoisonInfo, len(c.poisoned))
+	for s, info := range c.poisoned {
+		out[s] = info
+	}
+	return out
+}
 
 // ErrInterrupted reports that Run stopped at an epoch barrier because
 // its context was cancelled. If the campaign has a checkpoint path the
@@ -235,8 +296,11 @@ func (c *Campaign) Run(ctx context.Context) error {
 			c.cfg.OnEpoch(c.done, c.cfg.TotalSteps)
 		}
 		if c.cfg.CheckpointPath != "" && c.epoch%c.cfg.CheckpointEvery == 0 {
+			// A periodic snapshot failing is not worth killing a healthy
+			// campaign over: the failure is counted and the next interval
+			// (or the final snapshot below) tries again.
 			if err := c.Checkpoint(); err != nil {
-				return err
+				c.mCkptFails.Inc()
 			}
 		}
 	}
@@ -266,44 +330,49 @@ func epochPlan(streams, stepsPerEpoch, totalSteps, done int) []int {
 	return plan
 }
 
-// runEpoch executes one epoch: streams are dealt to worker goroutines
-// through a channel (any interleaving is fine — each stream only
-// touches its own state and view), then the barrier merges deltas in
+// streamOutcome reports how one supervised stream task ended.
+type streamOutcome struct {
+	stream   int
+	stepped  int // steps executed before completion or panic
+	panicked bool
+	panicVal any
+}
+
+// runEpoch executes one epoch: runnable (non-poisoned) streams are
+// dealt to worker goroutines through a channel (any interleaving is
+// fine — each stream only touches its own state and view), panicked
+// tasks are retried or poisoned, then the barrier merges deltas in
 // stream order and refreshes every view from the new global map.
 func (c *Campaign) runEpoch() {
 	epochStart := time.Now()
 	plan := epochPlan(c.cfg.Streams, c.cfg.StepsPerEpoch, c.cfg.TotalSteps, c.done)
 
-	pending := 0
-	for _, n := range plan {
-		if n > 0 {
-			pending++
+	var pending []int
+	for s, n := range plan {
+		if n > 0 && !c.isPoisoned(s) {
+			pending = append(pending, s)
 		}
 	}
-	c.mQueue.Set(int64(pending))
-
-	tasks := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < c.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range tasks {
-				wkr := c.workers[s]
-				for i := 0; i < plan[s]; i++ {
-					wkr.Step()
-				}
-				c.mQueue.Add(-1)
+	attempts := make(map[int]int)
+	for len(pending) > 0 {
+		var retry []int
+		for _, out := range c.dispatch(pending, plan, attempts) {
+			if !out.panicked {
+				continue
 			}
-		}()
-	}
-	for s := 0; s < c.cfg.Streams; s++ {
-		if plan[s] > 0 {
-			tasks <- s
+			if out.stepped == 0 && attempts[out.stream] < c.cfg.TaskRetries {
+				// Died before its first step: no stream state was
+				// touched, so re-dispatching replays it exactly.
+				attempts[out.stream]++
+				c.mTaskRetries.Inc()
+				retry = append(retry, out.stream)
+				continue
+			}
+			c.poison(out.stream, out.panicVal)
 		}
+		sort.Ints(retry)
+		pending = retry
 	}
-	close(tasks)
-	wg.Wait()
 
 	syncStart := time.Now()
 	for _, v := range c.views {
@@ -315,6 +384,8 @@ func (c *Campaign) runEpoch() {
 	}
 	c.mSyncSec.Observe(time.Since(syncStart).Seconds())
 
+	// Every planned step counts as spent budget — including a poisoned
+	// stream's forfeited remainder — so the campaign always terminates.
 	for _, n := range plan {
 		c.done += n
 	}
@@ -322,6 +393,75 @@ func (c *Campaign) runEpoch() {
 	c.mEpochs.Inc()
 	c.mStepsDone.Set(int64(c.done))
 	c.mEpochSec.Observe(time.Since(epochStart).Seconds())
+}
+
+// dispatch runs one round of stream tasks across the worker fleet and
+// collects every task's outcome.
+func (c *Campaign) dispatch(streams []int, plan []int, attempts map[int]int) []streamOutcome {
+	c.mQueue.Set(int64(len(streams)))
+	tasks := make(chan int)
+	results := make(chan streamOutcome, len(streams))
+	workers := c.cfg.Workers
+	if workers > len(streams) {
+		workers = len(streams)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range tasks {
+				results <- c.runStream(s, plan[s], attempts[s])
+				c.mQueue.Add(-1)
+			}
+		}()
+	}
+	for _, s := range streams {
+		tasks <- s
+	}
+	close(tasks)
+	wg.Wait()
+	close(results)
+	outs := make([]streamOutcome, 0, len(streams))
+	for out := range results {
+		outs = append(outs, out)
+	}
+	return outs
+}
+
+// runStream executes one stream's planned steps under supervision: a
+// panic (from the worker, a mutator, or the chaos hook) is captured
+// instead of unwinding the fleet.
+func (c *Campaign) runStream(s, n, attempt int) (out streamOutcome) {
+	out.stream = s
+	defer func() {
+		if r := recover(); r != nil {
+			out.panicked = true
+			out.panicVal = r
+		}
+	}()
+	if c.cfg.OnStreamStart != nil {
+		c.cfg.OnStreamStart(c.epoch, s, attempt)
+	}
+	wkr := c.workers[s]
+	for i := 0; i < n; i++ {
+		wkr.Step()
+		out.stepped++
+	}
+	return out
+}
+
+func (c *Campaign) isPoisoned(s int) bool {
+	_, ok := c.poisoned[s]
+	return ok
+}
+
+// poison retires a stream whose worker died mid-step. Its accumulated
+// stats and corpus stay merged into campaign results; it just stops
+// being scheduled.
+func (c *Campaign) poison(s int, val any) {
+	c.poisoned[s] = PoisonInfo{Epoch: c.epoch, Reason: fmt.Sprintf("%v", val)}
+	c.mPoisoned.Inc()
 }
 
 // MergedStats folds every stream's accounting into one Stats: totals

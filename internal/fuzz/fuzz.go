@@ -15,6 +15,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/muast"
 	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/resil"
 )
 
 // CrashInfo records the first discovery of a unique crash.
@@ -40,6 +41,11 @@ type Stats struct {
 	StaticRejects int
 	// Ticks consumed so far.
 	Ticks int
+	// Panics counts mutator applications the supervisor recovered from
+	// a panic; FuelExhausted counts applications the μAST fuel watchdog
+	// cut off. Both feed the quarantine and neither consumes a tick.
+	Panics        int
+	FuelExhausted int
 	// Crashes maps signature -> first-discovery info (Figures 8, 9;
 	// Table 4).
 	Crashes map[string]*CrashInfo
@@ -53,6 +59,8 @@ type Stats struct {
 	obsCrashes       *obs.Counter
 	obsEdges         *obs.Gauge
 	obsStaticRejects *obs.CounterVec
+	obsPanics        *obs.CounterVec
+	obsFuel          *obs.CounterVec
 }
 
 // NewStats returns empty accounting for a named fuzzer.
@@ -74,6 +82,8 @@ func (s *Stats) Instrument(reg *obs.Registry) {
 	s.obsCrashes = reg.Counter("crashes_unique_total", "fuzzer").With(s.Name)
 	s.obsEdges = reg.Gauge("coverage_edges", "fuzzer").With(s.Name)
 	s.obsStaticRejects = reg.Counter("static_rejects_total", "check")
+	s.obsPanics = reg.Counter("mutator_panics_total", "mutator")
+	s.obsFuel = reg.Counter("mutator_fuel_exhausted_total", "mutator")
 }
 
 // resultOutcome labels one compilation for mutants_total.
@@ -145,6 +155,23 @@ func (s *Stats) RecordStaticReject(via, check string) {
 	}
 }
 
+// RecordMutatorFault books one supervised mutator application that
+// ended in a recovered panic (or, with fuel true, a fuel-watchdog cut).
+// The offense consumes no tick — the mutant was never produced.
+func (s *Stats) RecordMutatorFault(via string, fuel bool) {
+	if fuel {
+		s.FuelExhausted++
+		if s.obsFuel != nil {
+			s.obsFuel.With(primaryMutator(via)).Inc()
+		}
+		return
+	}
+	s.Panics++
+	if s.obsPanics != nil {
+		s.obsPanics.With(primaryMutator(via)).Inc()
+	}
+}
+
 // MergeFrom folds another fuzzer's accounting into s: totals add up,
 // crashes union with the earliest discovery winning, coverage maps
 // merge. This is the one tested aggregation path the macro fuzzer's
@@ -157,6 +184,8 @@ func (s *Stats) MergeFrom(o *Stats) {
 	s.Compilable += o.Compilable
 	s.StaticRejects += o.StaticRejects
 	s.Ticks += o.Ticks
+	s.Panics += o.Panics
+	s.FuelExhausted += o.FuelExhausted
 	for sig, c := range o.Crashes {
 		if prev, ok := s.Crashes[sig]; !ok || c.FirstTick < prev.FirstTick {
 			s.Crashes[sig] = c
@@ -221,6 +250,28 @@ type Fuzzer interface {
 // the paper's refinement loop kept fixing (Table 1 row #6).
 const DefaultUncheckedRate = 0.68
 
+// DefaultQuarantine tunes the fuzzers' mutator quarantine: three
+// offenses bench a mutator for 512 steps, after which it is paroled
+// with a clean record.
+func DefaultQuarantine() resil.QuarantineConfig {
+	return resil.QuarantineConfig{StrikeLimit: 3, Parole: 512}
+}
+
+// safeApply is supervised mutator application: a panic inside the
+// mutator — including the μAST fuel watchdog cutting off a runaway
+// traversal — is recovered and reported instead of killing the fuzzing
+// stream. fuel distinguishes watchdog cuts from genuine panics.
+func safeApply(mu *muast.Mutator, src string, mgr *muast.Manager) (mutant string, ok bool, faulted, fuel bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			mutant, ok, faulted = "", false, true
+			_, fuel = r.(muast.FuelExhausted)
+		}
+	}()
+	mutant, ok = mu.Apply(src, mgr)
+	return
+}
+
 // uncheckedRewrite performs a completely unvalidated expression-over-
 // expression splice on src. ok is false when src has no two expressions
 // to splice.
@@ -279,6 +330,10 @@ type MuCFuzz struct {
 	// rejects before they consume a compiler tick. Off by default; the
 	// mucfuzz CLI enables it (and exposes -no-static to turn it off).
 	StaticFilter bool
+	// Quarantine benches mutators that keep panicking or exhausting
+	// their fuel budget (strike/parole discipline). Per-instance and
+	// tick-driven, so it never perturbs the deterministic schedule.
+	Quarantine *resil.Quarantine
 }
 
 // NewMuCFuzz builds a μCFuzz instance over the given mutator set.
@@ -296,6 +351,7 @@ func NewMuCFuzz(name string, comp *compilersim.Compiler, mutators []*muast.Mutat
 		MaxMutatorTries: 8,
 		MaxProgramSize:  1 << 16,
 		UncheckedRate:   DefaultUncheckedRate,
+		Quarantine:      resil.NewQuarantine(DefaultQuarantine(), nil),
 	}
 }
 
@@ -312,6 +368,7 @@ func (f *MuCFuzz) PoolSize() int { return len(f.pool) }
 // mutant that covers a new branch (adding it to the pool), or after
 // MaxMutatorTries mutants.
 func (f *MuCFuzz) Step() {
+	f.Quarantine.Tick()
 	if len(f.pool) == 0 {
 		return
 	}
@@ -323,11 +380,19 @@ func (f *MuCFuzz) Step() {
 			return
 		}
 		mu := f.mutators[mi]
+		if !f.Quarantine.Allowed(mu.Name) {
+			continue // benched offender; costs nothing, like inapplicable
+		}
 		mgr, err := muast.NewManager(p, f.rng)
 		if err != nil {
 			return // pool entry no longer parses (should not happen)
 		}
-		mutant, ok := mu.Apply(p, mgr)
+		mutant, ok, faulted, fuel := safeApply(mu, p, mgr)
+		if faulted {
+			f.stats.RecordMutatorFault(mu.Name, fuel)
+			f.Quarantine.Strike(mu.Name)
+			continue
+		}
 		if !ok {
 			continue // mutator not applicable; try the next (free)
 		}
@@ -439,6 +504,9 @@ type MacroFuzzer struct {
 	stats    *Stats
 	shared   CoverageSink
 	cfg      MacroConfig
+	// Quarantine benches panicking/fuel-exhausting mutators (see
+	// MuCFuzz.Quarantine).
+	Quarantine *resil.Quarantine
 }
 
 // NewMacroFuzzer builds a macro fuzzer worker; workers on the same
@@ -452,6 +520,7 @@ func NewMacroFuzzer(name string, comp *compilersim.Compiler,
 	return &MacroFuzzer{
 		comp: comp, mutators: mutators, pool: pool, rng: rng,
 		stats: NewStats(name), shared: shared, cfg: cfg,
+		Quarantine: resil.NewQuarantine(DefaultQuarantine(), nil),
 	}
 }
 
@@ -479,6 +548,7 @@ func (f *MacroFuzzer) sampleOptions() compilersim.Options {
 // Step runs one macro-fuzzer iteration: Havoc-style stacked mutations,
 // flag sampling, shared-coverage pool admission, and size limits.
 func (f *MacroFuzzer) Step() {
+	f.Quarantine.Tick()
 	if len(f.pool) == 0 {
 		return
 	}
@@ -488,11 +558,19 @@ func (f *MacroFuzzer) Step() {
 	via := ""
 	for i := 0; i < rounds; i++ {
 		mu := f.mutators[f.rng.Intn(len(f.mutators))]
+		if !f.Quarantine.Allowed(mu.Name) {
+			continue // benched offender; the round is spent, like a no-op
+		}
 		mgr, err := muast.NewManager(cur, f.rng)
 		if err != nil {
 			break // intermediate mutant went invalid; stop stacking
 		}
-		mutant, ok := mu.Apply(cur, mgr)
+		mutant, ok, faulted, fuel := safeApply(mu, cur, mgr)
+		if faulted {
+			f.stats.RecordMutatorFault(mu.Name, fuel)
+			f.Quarantine.Strike(mu.Name)
+			continue
+		}
 		if !ok {
 			continue
 		}

@@ -1,0 +1,78 @@
+package llm
+
+import (
+	"errors"
+
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/resil"
+)
+
+// Guarded wraps a Client behind a circuit breaker: once the inner model
+// throws a throttle storm (consecutive ErrThrottled failures reaching the
+// breaker's threshold), further calls are denied up-front with
+// resil.ErrOpen — no tokens are spent, no wait is booked — until the
+// breaker's cooldown admits a half-open probe. Successful calls close it
+// again. Non-throttle errors pass through without counting as breaker
+// failures.
+type Guarded struct {
+	Inner   Client
+	Breaker *resil.Breaker
+}
+
+// Guard wraps inner behind b.
+func Guard(inner Client, b *resil.Breaker) *Guarded {
+	return &Guarded{Inner: inner, Breaker: b}
+}
+
+// Instrument forwards the registry to the wrapped client.
+func (g *Guarded) Instrument(reg *obs.Registry) {
+	Instrument(g.Inner, reg)
+}
+
+// report feeds the breaker: nil is a success, a throttle is a failure,
+// anything else (e.g. a content fault) leaves the breaker untouched.
+func (g *Guarded) report(err error) {
+	switch {
+	case err == nil:
+		g.Breaker.Success()
+	case errors.Is(err, ErrThrottled):
+		g.Breaker.Failure()
+	}
+}
+
+func (g *Guarded) Invent(actions, structures, priorNames []string, p Params) (Invention, Usage, error) {
+	if !g.Breaker.Allow() {
+		return Invention{}, Usage{}, resil.ErrOpen
+	}
+	inv, usage, err := g.Inner.Invent(actions, structures, priorNames, p)
+	g.report(err)
+	return inv, usage, err
+}
+
+func (g *Guarded) Synthesize(inv Invention, p Params) (*mutdsl.Program, Usage, error) {
+	if !g.Breaker.Allow() {
+		return nil, Usage{}, resil.ErrOpen
+	}
+	prog, usage, err := g.Inner.Synthesize(inv, p)
+	g.report(err)
+	return prog, usage, err
+}
+
+func (g *Guarded) GenerateTests(inv Invention, n int, p Params) ([]string, Usage, error) {
+	if !g.Breaker.Allow() {
+		return nil, Usage{}, resil.ErrOpen
+	}
+	tests, usage, err := g.Inner.GenerateTests(inv, n, p)
+	g.report(err)
+	return tests, usage, err
+}
+
+func (g *Guarded) Fix(prog *mutdsl.Program, goal int, feedback string, p Params) (*mutdsl.Program, Usage, error) {
+	if !g.Breaker.Allow() {
+		return nil, Usage{}, resil.ErrOpen
+	}
+	fixed, usage, err := g.Inner.Fix(prog, goal, feedback, p)
+	g.report(err)
+	return fixed, usage, err
+}

@@ -1,0 +1,57 @@
+package llm
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/resil"
+)
+
+func TestGuardedBreakerOpensOnThrottleStorm(t *testing.T) {
+	inner := NewSimClientWithRates(1, FaultRates{})
+	b := resil.NewBreaker(resil.BreakerConfig{FailureThreshold: 3, Cooldown: 3}, nil)
+	g := Guard(inner, b)
+
+	// Healthy calls pass through and keep the breaker closed.
+	if _, _, err := g.Invent(Actions, Structures, nil, DefaultParams()); err != nil {
+		t.Fatalf("healthy call failed: %v", err)
+	}
+	if b.State() != resil.Closed {
+		t.Fatalf("state = %v, want Closed", b.State())
+	}
+
+	// Feed the breaker a throttle storm directly (SimClient faults are
+	// probabilistic, so drive Failure via report()).
+	for i := 0; i < 3; i++ {
+		g.report(ErrThrottled)
+	}
+	if b.State() != resil.Open {
+		t.Fatalf("state after storm = %v, want Open", b.State())
+	}
+
+	// Open breaker denies without touching the inner client.
+	if _, _, err := g.Invent(Actions, Structures, nil, DefaultParams()); !errors.Is(err, resil.ErrOpen) {
+		t.Fatalf("err = %v, want resil.ErrOpen", err)
+	}
+	if _, _, err := g.Synthesize(Invention{}, DefaultParams()); !errors.Is(err, resil.ErrOpen) {
+		t.Fatalf("Synthesize err = %v, want resil.ErrOpen", err)
+	}
+
+	// Cooldown reached: next call is the half-open probe; on success the
+	// breaker closes again.
+	if _, _, err := g.Invent(Actions, Structures, nil, DefaultParams()); err != nil {
+		t.Fatalf("probe call failed: %v", err)
+	}
+	if b.State() != resil.Closed {
+		t.Fatalf("state after probe = %v, want Closed", b.State())
+	}
+}
+
+func TestGuardedNonThrottleErrorsDontTrip(t *testing.T) {
+	b := resil.NewBreaker(resil.BreakerConfig{FailureThreshold: 1, Cooldown: 1}, nil)
+	g := Guard(NewSimClientWithRates(1, FaultRates{}), b)
+	g.report(errors.New("content fault"))
+	if b.State() != resil.Closed {
+		t.Fatalf("state = %v, want Closed after non-throttle error", b.State())
+	}
+}

@@ -15,6 +15,23 @@ import (
 	"github.com/icsnju/metamut-go/internal/cast"
 )
 
+// DefaultFuel is the μAST work budget for one mutator application:
+// every query charges the nodes it returns and every rewrite op charges
+// one unit. Well-behaved mutators use a few hundred units on realistic
+// programs; a mutator that burns the whole budget is looping.
+const DefaultFuel = 1 << 20
+
+// FuelExhausted is the panic value the Manager's fuel watchdog raises
+// when a mutator exceeds its work budget. Supervised callers (the
+// fuzzers' safeApply) recover it and convert the offense into a
+// quarantine strike; it satisfies error for that reporting.
+type FuelExhausted struct{ Budget int }
+
+// Error describes the exhausted budget.
+func (e FuelExhausted) Error() string {
+	return fmt.Sprintf("muast: mutator exhausted its fuel budget (%d units)", e.Budget)
+}
+
 // Manager is the mutation context handed to every mutator invocation: one
 // parsed, semantically-checked program, a source rewriter, and a seeded
 // random stream. It corresponds to the Mutator/Manager pair of the
@@ -27,6 +44,8 @@ type Manager struct {
 	parents cast.ParentMap
 	nameSeq int
 	idents  map[string]bool
+	fuel    int
+	budget  int
 }
 
 // NewManager parses and checks src and returns a mutation context using
@@ -47,6 +66,8 @@ func NewManagerFromTU(tu *cast.TranslationUnit, rng *rand.Rand) *Manager {
 		RW:     cast.NewRewriter(tu.Source),
 		rng:    rng,
 		idents: map[string]bool{},
+		fuel:   DefaultFuel,
+		budget: DefaultFuel,
 	}
 	identRe := regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*`)
 	for _, id := range identRe.FindAllString(tu.Source, -1) {
@@ -57,6 +78,22 @@ func NewManagerFromTU(tu *cast.TranslationUnit, rng *rand.Rand) *Manager {
 
 // Rand exposes the manager's random stream.
 func (m *Manager) Rand() *rand.Rand { return m.rng }
+
+// SetFuel replaces the remaining work budget — the chaos harness uses a
+// tiny budget to exercise the watchdog without burning DefaultFuel.
+func (m *Manager) SetFuel(n int) { m.fuel, m.budget = n, n }
+
+// Fuel returns the remaining work budget.
+func (m *Manager) Fuel() int { return m.fuel }
+
+// charge deducts n units of μAST work; crossing zero raises the
+// FuelExhausted watchdog panic, which supervised callers recover.
+func (m *Manager) charge(n int) {
+	m.fuel -= n
+	if m.fuel < 0 {
+		panic(FuelExhausted{Budget: m.budget})
+	}
+}
 
 // Apply materializes all recorded edits, returning the mutated source.
 func (m *Manager) Apply() string { return m.RW.Rewritten() }
@@ -97,7 +134,9 @@ func (m *Manager) RandBool(p float64) bool { return m.rng.Float64() < p }
 
 // Collect returns every node of the given kind, in source order.
 func (m *Manager) Collect(k cast.NodeKind) []cast.Node {
-	return cast.CollectKind(m.TU, k)
+	out := cast.CollectKind(m.TU, k)
+	m.charge(1 + len(out))
+	return out
 }
 
 // Functions returns all function definitions (not prototypes).
@@ -108,6 +147,7 @@ func (m *Manager) Functions() []*cast.FunctionDecl {
 			out = append(out, fd)
 		}
 	}
+	m.charge(1 + len(out))
 	return out
 }
 
@@ -119,6 +159,7 @@ func (m *Manager) GlobalVars() []*cast.VarDecl {
 			out = append(out, vd)
 		}
 	}
+	m.charge(1 + len(out))
 	return out
 }
 
@@ -136,6 +177,7 @@ func (m *Manager) LocalVars(fn *cast.FunctionDecl) []*cast.VarDecl {
 		}
 		return true
 	})
+	m.charge(1 + len(out))
 	return out
 }
 
@@ -152,6 +194,7 @@ func (m *Manager) Exprs(root cast.Node, pred func(cast.Expr) bool) []cast.Expr {
 		}
 		return true
 	})
+	m.charge(1 + len(out))
 	return out
 }
 
@@ -167,6 +210,7 @@ func (m *Manager) Stmts(root cast.Node, pred func(cast.Stmt) bool) []cast.Stmt {
 		}
 		return true
 	})
+	m.charge(1 + len(out))
 	return out
 }
 
@@ -187,6 +231,7 @@ func (m *Manager) ReturnsOf(fn *cast.FunctionDecl) []*cast.ReturnStmt {
 		}
 		return true
 	})
+	m.charge(1 + len(out))
 	return out
 }
 
@@ -201,6 +246,7 @@ func (m *Manager) CallsTo(fn *cast.FunctionDecl) []*cast.CallExpr {
 		}
 		return true
 	})
+	m.charge(1 + len(out))
 	return out
 }
 
@@ -213,6 +259,7 @@ func (m *Manager) UsesOf(d cast.Decl) []*cast.DeclRefExpr {
 		}
 		return true
 	})
+	m.charge(1 + len(out))
 	return out
 }
 
@@ -222,24 +269,31 @@ func (m *Manager) UsesOf(d cast.Decl) []*cast.DeclRefExpr {
 
 // ReplaceNode replaces a node's source extent with text.
 func (m *Manager) ReplaceNode(n cast.Node, text string) bool {
+	m.charge(1)
 	return m.RW.ReplaceNode(n, text)
 }
 
 // ReplaceRange replaces a source range with text.
 func (m *Manager) ReplaceRange(r cast.SourceRange, text string) bool {
+	m.charge(1)
 	return m.RW.ReplaceText(r, text)
 }
 
 // RemoveNode deletes a node's source extent.
-func (m *Manager) RemoveNode(n cast.Node) bool { return m.RW.RemoveNode(n) }
+func (m *Manager) RemoveNode(n cast.Node) bool {
+	m.charge(1)
+	return m.RW.RemoveNode(n)
+}
 
 // InsertBefore inserts text before the node.
 func (m *Manager) InsertBefore(n cast.Node, text string) bool {
+	m.charge(1)
 	return m.RW.InsertTextBefore(n.Range().Begin, text)
 }
 
 // InsertAfter inserts text after the node.
 func (m *Manager) InsertAfter(n cast.Node, text string) bool {
+	m.charge(1)
 	return m.RW.InsertTextAfter(n.Range(), text)
 }
 

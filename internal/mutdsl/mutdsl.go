@@ -144,16 +144,41 @@ func Compile(p *Program) (*Executable, error) {
 	return &Executable{prog: p}, nil
 }
 
+// DefaultFuel is the interpreter work budget per application: every
+// collected node and every rewrite step burns one unit, and an injected
+// goal-#2 runaway loop drains whatever remains. Generous enough that no
+// well-behaved mutator ever comes close.
+const DefaultFuel = 4096
+
 // Executable is a compiled DSL mutator.
 type Executable struct {
 	prog *Program
+	fuel int
+}
+
+// SetFuel overrides the work budget for subsequent Apply calls; n <= 0
+// restores DefaultFuel.
+func (e *Executable) SetFuel(n int) { e.fuel = n }
+
+// Fuel returns the configured budget (DefaultFuel when unset).
+func (e *Executable) Fuel() int {
+	if e.fuel <= 0 {
+		return DefaultFuel
+	}
+	return e.fuel
 }
 
 // Outcome describes one application of a synthesized mutator to a test
 // program, observed by the validation loop.
 type Outcome struct {
-	// Hang / Crash report goal #2 / #3 violations (detected, not real).
-	Hang  bool
+	// FuelExhausted reports a goal #2 violation: the mutator burned its
+	// whole fuel budget before finishing. Fuel is the sandbox's
+	// deterministic stand-in for a wall-clock timeout, so an injected
+	// infinite loop and a genuinely runaway traversal surface the same way.
+	FuelExhausted bool
+	// FuelUsed is the number of work units this application consumed.
+	FuelUsed int
+	// Crash reports a goal #3 violation (detected, not real).
 	Crash bool
 	// CrashMsg carries the simulated stack trace line.
 	CrashMsg string
@@ -171,9 +196,14 @@ type Outcome struct {
 
 // Apply runs the mutator over src. It never actually hangs or panics —
 // injected defects are reported through the Outcome, the way MetaMut's
-// sandboxed runner observes timeouts and crashes.
+// sandboxed runner observes timeouts and crashes. Work is metered
+// against the fuel budget (see DefaultFuel): collection charges one unit
+// per node, each rewrite step charges one, and exhaustion ends the
+// application with FuelExhausted instead of looping forever.
 func (e *Executable) Apply(src string, rng *rand.Rand) Outcome {
 	p := e.prog
+	budget := e.Fuel()
+	fuel := budget
 	mgr, err := muast.NewManager(src, rng)
 	if err != nil {
 		// The test program itself is invalid — the mutator never ran.
@@ -181,8 +211,14 @@ func (e *Executable) Apply(src string, rng *rand.Rand) Outcome {
 		return Outcome{ParseFailed: true}
 	}
 	nodes := cast.CollectKind(mgr.TU, p.TargetKind)
+	fuel -= len(nodes)
+	if fuel <= 0 {
+		return Outcome{FuelExhausted: true, FuelUsed: budget}
+	}
 	if p.HangBug && len(nodes) > 0 {
-		return Outcome{Hang: true}
+		// The injected goal-#2 defect is a visitor loop that never makes
+		// progress; the fuel meter cuts it off deterministically.
+		return Outcome{FuelExhausted: true, FuelUsed: budget}
 	}
 	if len(nodes) == 0 {
 		if p.CrashBug {
@@ -216,13 +252,18 @@ func (e *Executable) Apply(src string, rng *rand.Rand) Outcome {
 		return Outcome{Wrote: true, Output: src, Changed: false}
 	}
 	for _, s := range p.Steps {
+		fuel--
+		if fuel <= 0 {
+			return Outcome{FuelExhausted: true, FuelUsed: budget}
+		}
 		e.applyStep(mgr, node, nodes, s, rng)
 	}
 	if p.BadMutantBug {
 		corruptNear(mgr, node)
 	}
 	out := mgr.Apply()
-	return Outcome{Wrote: true, Output: out, Changed: out != src}
+	return Outcome{Wrote: true, Output: out, Changed: out != src,
+		FuelUsed: budget - fuel}
 }
 
 // corruptNear models the dominant real-world mutator defect ("creates

@@ -102,8 +102,8 @@ func TestDefectObservability(t *testing.T) {
 
 	hang := base
 	hang.HangBug = true
-	if out := mustExe(t, &hang).Apply(testSrc, rng()); !out.Hang {
-		t.Error("hang not observed")
+	if out := mustExe(t, &hang).Apply(testSrc, rng()); !out.FuelExhausted {
+		t.Error("hang not observed as fuel exhaustion")
 	}
 
 	noOut := base
@@ -194,7 +194,7 @@ func TestApplyOnUnparseableInputReportsParseFailure(t *testing.T) {
 	if !out.ParseFailed {
 		t.Fatalf("expected ParseFailed, got %+v", out)
 	}
-	if out.Wrote || out.Changed || out.Hang || out.Crash {
+	if out.Wrote || out.Changed || out.FuelExhausted || out.Crash {
 		t.Errorf("a parse failure must not report any run outcome: %+v", out)
 	}
 }
@@ -209,5 +209,39 @@ func TestRenderMentionsTemplateParts(t *testing.T) {
 		if !strings.Contains(r, want) {
 			t.Errorf("Render missing %q:\n%s", want, r)
 		}
+	}
+}
+
+func TestFuelBudget(t *testing.T) {
+	prog := &Program{Name: "T", Description: "d",
+		TargetKind: cast.KindIfStmt,
+		Steps:      []Step{{Op: OpWrapText, Pre: "if (1) { ", Post: " }"}}}
+	exe := compileOK(t, prog)
+
+	if got := exe.Fuel(); got != DefaultFuel {
+		t.Fatalf("default fuel = %d, want %d", got, DefaultFuel)
+	}
+	out := exe.Apply(testSrc, rand.New(rand.NewSource(1)))
+	if out.FuelExhausted {
+		t.Fatalf("well-behaved mutator exhausted default fuel: %+v", out)
+	}
+	if out.FuelUsed <= 0 || out.FuelUsed >= DefaultFuel {
+		t.Errorf("FuelUsed = %d, want a small positive amount", out.FuelUsed)
+	}
+
+	// A starvation budget cuts the same mutator off deterministically.
+	exe.SetFuel(1)
+	starved := exe.Apply(testSrc, rand.New(rand.NewSource(1)))
+	if !starved.FuelExhausted {
+		t.Fatalf("starved run did not exhaust fuel: %+v", starved)
+	}
+	if starved.FuelUsed != 1 {
+		t.Errorf("starved FuelUsed = %d, want the whole budget (1)", starved.FuelUsed)
+	}
+
+	// SetFuel(0) restores the default.
+	exe.SetFuel(0)
+	if got := exe.Fuel(); got != DefaultFuel {
+		t.Errorf("fuel after reset = %d, want %d", got, DefaultFuel)
 	}
 }

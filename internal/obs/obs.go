@@ -28,8 +28,20 @@
 // barrier-merge cost histograms), engine_queue_depth and
 // engine_steps_done (live progress gauges), engine_epochs_total,
 // engine_checkpoints_total and engine_checkpoint_bytes (snapshot
-// accounting), and triage_reduced_total (witnesses minimized during
+// accounting), engine_checkpoint_failures_total and
+// engine_checkpoint_fallbacks_total (write faults and .prev recoveries),
+// engine_task_retries_total and engine_streams_poisoned_total (stream
+// supervision), and triage_reduced_total (witnesses minimized during
 // crash triage).
+//
+// The resilience layer (internal/resil) adds the fault-tolerance
+// families: resil_retries_total{stage} (bounded backoff retries),
+// resil_breaker_state, resil_breaker_trips_total and
+// resil_deferred_total (circuit breaker over the LLM client),
+// resil_quarantines_total{id} and resil_paroles_total{id} (mutator
+// quarantine), plus mutator_panics_total{mutator},
+// mutator_fuel_exhausted_total{mutator} and mutdsl_fuel_exhausted_total
+// (supervised mutator execution and interpreter fuel watchdogs).
 //
 // Everything is nil-tolerant: methods on a nil *Registry (and on the
 // nil handles it returns) are no-ops, so instrumented code pays almost

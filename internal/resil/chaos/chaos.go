@@ -1,0 +1,196 @@
+// Package chaos is a deterministic fault-injection harness for the
+// campaign engine and the LLM pipeline. Every fault is a pure function
+// of (seed, site) — never of wall-clock time, goroutine interleaving, or
+// shared RNG draws — so a chaos campaign is exactly reproducible, and a
+// campaign subjected only to *recoverable* faults (pre-step worker
+// panics, torn or failed checkpoint writes, throttle storms) must
+// produce results byte-identical to a fault-free run at the same seed.
+// The test suite in this package enforces that property.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/icsnju/metamut-go/internal/llm"
+	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/mutdsl"
+	"github.com/icsnju/metamut-go/internal/resil"
+)
+
+// Config selects which faults an Injector plants and how often. A zero
+// rate disables that fault class.
+type Config struct {
+	// Seed decorrelates fault sites between chaos runs without
+	// coupling them to the campaign's own RNG streams.
+	Seed int64
+	// StreamPanicEvery makes roughly one in N (epoch, stream) tasks
+	// panic before its first step of the epoch — the recoverable kind
+	// the engine re-dispatches.
+	StreamPanicEvery int
+	// CheckpointTearEvery truncates every N-th checkpoint write to a
+	// third of its bytes: the write "succeeds" but fails integrity
+	// verification on load, exercising the .prev fallback.
+	CheckpointTearEvery int
+	// CheckpointFailEvery makes every N-th checkpoint write attempt
+	// return an error outright, exercising the engine's bounded
+	// write-retry loop.
+	CheckpointFailEvery int
+}
+
+// Faults counts what an Injector actually did.
+type Faults struct {
+	StreamPanics int
+	TornWrites   int
+	FailedWrites int
+}
+
+// Injector plugs into engine.Config's OnStreamStart and
+// CheckpointTransform hooks. Stream-panic decisions are stateless
+// (hash of seed/epoch/stream), so they are identical no matter which
+// worker goroutine runs the task or in what order; checkpoint faults
+// are counted against a write sequence, which the engine drives from a
+// single goroutine.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	writes int
+	faults Faults
+}
+
+// NewInjector builds an Injector for cfg.
+func NewInjector(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// Faults returns a copy of the fault counts so far.
+func (in *Injector) Faults() Faults {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults
+}
+
+// OnStreamStart panics — before the stream has stepped — on hash-chosen
+// (epoch, stream) sites, first attempt only, so every injected panic is
+// recoverable by construction: the engine re-dispatches the task and the
+// replay runs clean.
+func (in *Injector) OnStreamStart(epoch, stream, attempt int) {
+	if in.cfg.StreamPanicEvery <= 0 || attempt != 0 {
+		return
+	}
+	h := resil.Hash(in.cfg.Seed, int64(epoch), int64(stream))
+	if h%uint64(in.cfg.StreamPanicEvery) != 0 {
+		return
+	}
+	in.mu.Lock()
+	in.faults.StreamPanics++
+	in.mu.Unlock()
+	panic(fmt.Sprintf("chaos: injected worker panic (epoch %d, stream %d)", epoch, stream))
+}
+
+// CheckpointTransform fails or tears hash-independent counted write
+// attempts. Tear and fail periods should be coprime-ish and > 1 so two
+// consecutive generations are never both torn (which would defeat the
+// .prev fallback).
+func (in *Injector) CheckpointTransform(data []byte) ([]byte, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writes++
+	if in.cfg.CheckpointFailEvery > 0 && in.writes%in.cfg.CheckpointFailEvery == 0 {
+		in.faults.FailedWrites++
+		return nil, fmt.Errorf("chaos: injected checkpoint write failure (write %d)", in.writes)
+	}
+	if in.cfg.CheckpointTearEvery > 0 && in.writes%in.cfg.CheckpointTearEvery == 0 {
+		in.faults.TornWrites++
+		return data[:len(data)/3], nil
+	}
+	return data, nil
+}
+
+// Storm wraps an llm.Client and forces ErrThrottled — without consulting
+// the inner client — for every call whose sequence number falls in
+// [From, To). Behind an llm.Guarded it drives the breaker through a full
+// open → half-open → closed cycle deterministically.
+type Storm struct {
+	Inner    llm.Client
+	From, To int
+
+	mu    sync.Mutex
+	calls int
+}
+
+// Calls returns how many calls the storm has seen.
+func (s *Storm) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// throttled advances the call sequence and reports whether this call is
+// inside the storm window.
+func (s *Storm) throttled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.calls
+	s.calls++
+	return n >= s.From && n < s.To
+}
+
+func (s *Storm) Invent(actions, structures, priorNames []string, p llm.Params) (llm.Invention, llm.Usage, error) {
+	if s.throttled() {
+		return llm.Invention{}, llm.Usage{}, llm.ErrThrottled
+	}
+	return s.Inner.Invent(actions, structures, priorNames, p)
+}
+
+func (s *Storm) Synthesize(inv llm.Invention, p llm.Params) (*mutdsl.Program, llm.Usage, error) {
+	if s.throttled() {
+		return nil, llm.Usage{}, llm.ErrThrottled
+	}
+	return s.Inner.Synthesize(inv, p)
+}
+
+func (s *Storm) GenerateTests(inv llm.Invention, n int, p llm.Params) ([]string, llm.Usage, error) {
+	if s.throttled() {
+		return nil, llm.Usage{}, llm.ErrThrottled
+	}
+	return s.Inner.GenerateTests(inv, n, p)
+}
+
+func (s *Storm) Fix(prog *mutdsl.Program, goal int, feedback string, p llm.Params) (*mutdsl.Program, llm.Usage, error) {
+	if s.throttled() {
+		return nil, llm.Usage{}, llm.ErrThrottled
+	}
+	return s.Inner.Fix(prog, goal, feedback, p)
+}
+
+// PanickyMutator returns an UNREGISTERED mutator that panics on every
+// application — the misbehaving-operator stand-in for quarantine tests.
+// Build one instance per stream: the fuzzer's supervision is per-stream,
+// and an always-faulting mutator keeps the strike schedule a pure
+// function of that stream's step sequence.
+func PanickyMutator(name string) *muast.Mutator {
+	return &muast.Mutator{Info: muast.Info{
+		Name:        name,
+		Description: "chaos: panics on every application",
+		Fn: func(mgr *muast.Manager) bool {
+			panic("chaos: injected mutator panic in " + name)
+		},
+	}}
+}
+
+// FuelBombMutator returns an UNREGISTERED mutator that shrinks its
+// manager's fuel budget and then traverses until the watchdog cuts it
+// off — a deterministic runaway-loop stand-in. The fuzzer's supervisor
+// observes it as fuel exhaustion, not a generic panic.
+func FuelBombMutator(name string) *muast.Mutator {
+	return &muast.Mutator{Info: muast.Info{
+		Name:        name,
+		Description: "chaos: loops until its fuel budget is exhausted",
+		Fn: func(mgr *muast.Manager) bool {
+			mgr.SetFuel(64)
+			for {
+				mgr.Functions()
+			}
+		},
+	}}
+}

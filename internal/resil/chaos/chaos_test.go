@@ -1,0 +1,245 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/core"
+	"github.com/icsnju/metamut-go/internal/engine"
+	"github.com/icsnju/metamut-go/internal/fuzz"
+	"github.com/icsnju/metamut-go/internal/llm"
+	"github.com/icsnju/metamut-go/internal/muast"
+	_ "github.com/icsnju/metamut-go/internal/mutators"
+	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/resil"
+	"github.com/icsnju/metamut-go/internal/resil/chaos"
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+// fingerprint condenses everything a campaign must reproduce exactly:
+// the merged crash set (signature, tick, attribution, exact witness),
+// coverage, and totals.
+func fingerprint(c *engine.Campaign) string {
+	st := c.MergedStats()
+	lines := make([]string, 0, len(st.Crashes))
+	for sig, ci := range st.Crashes {
+		lines = append(lines, fmt.Sprintf("%s|%d|%s|%08x",
+			sig, ci.FirstTick, ci.Via, cover.HashString(ci.Input)))
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("crashes=%v cov=%d total=%d compilable=%d ticks=%d rejects=%d",
+		lines, st.Coverage.Count(), st.Total, st.Compilable, st.Ticks, st.StaticRejects)
+}
+
+func macroFactory(comp *compilersim.Compiler, pool []string) engine.Factory {
+	return func(stream int, rng *rand.Rand, cov fuzz.CoverageSink) engine.Worker {
+		return fuzz.NewMacroFuzzer(fmt.Sprintf("s%d", stream), comp, muast.All(),
+			pool, rng, cov, fuzz.DefaultMacroConfig())
+	}
+}
+
+// TestRecoverableFaultsAreInvisible is the harness's headline property:
+// a campaign bombarded with recoverable faults — pre-step worker panics,
+// torn checkpoint generations, failed checkpoint writes — produces a
+// merged crash set, coverage, and totals byte-identical to the same
+// campaign run fault-free, and its final checkpoint is still loadable
+// (through the .prev fallback if the last generation was torn).
+func TestRecoverableFaultsAreInvisible(t *testing.T) {
+	cfg := engine.Config{Streams: 4, Workers: 3, StepsPerEpoch: 10,
+		TotalSteps: 400, Seed: 17}
+	newCampaign := func(cfg engine.Config) *engine.Campaign {
+		comp := compilersim.New("gcc", 14)
+		pool := seeds.Generate(10, 1)
+		return engine.New(cfg, macroFactory(comp, pool))
+	}
+
+	ref := newCampaign(cfg)
+	if err := ref.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(ref)
+
+	inj := chaos.NewInjector(chaos.Config{
+		Seed:                99,
+		StreamPanicEvery:    3,
+		CheckpointTearEvery: 3,
+		CheckpointFailEvery: 5,
+	})
+	ccfg := cfg
+	ccfg.CheckpointPath = filepath.Join(t.TempDir(), "ckpt.json")
+	ccfg.Registry = obs.NewRegistry()
+	ccfg.OnStreamStart = inj.OnStreamStart
+	ccfg.CheckpointTransform = inj.CheckpointTransform
+	c := newCampaign(ccfg)
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	faults := inj.Faults()
+	if faults.StreamPanics == 0 || faults.TornWrites == 0 || faults.FailedWrites == 0 {
+		t.Fatalf("chaos injected nothing useful: %+v", faults)
+	}
+	if got := fingerprint(c); got != want {
+		t.Errorf("recoverable faults changed the campaign:\nfault-free: %s\nchaos:      %s", want, got)
+	}
+	if n := len(c.Poisoned()); n != 0 {
+		t.Errorf("%d streams poisoned by recoverable faults: %v", n, c.Poisoned())
+	}
+	if got := ccfg.Registry.Counter("engine_task_retries_total").With().Value(); got != int64(faults.StreamPanics) {
+		t.Errorf("task retries = %d, want one per injected panic (%d)", got, faults.StreamPanics)
+	}
+	if got := ccfg.Registry.Counter("engine_checkpoint_failures_total").With().Value(); got != int64(faults.FailedWrites) {
+		t.Errorf("checkpoint failures = %d, want %d", got, faults.FailedWrites)
+	}
+
+	// The final checkpoint (or its .prev generation) must survive. If
+	// the very last write was torn, the fallback generation is the
+	// previous epoch barrier — still a clean resume point.
+	snap, used, err := engine.LoadWithFallback(ccfg.CheckpointPath)
+	if err != nil {
+		t.Fatalf("no loadable checkpoint generation: %v", err)
+	}
+	if used == ccfg.CheckpointPath && snap.Done != cfg.TotalSteps {
+		t.Errorf("primary checkpoint done = %d, want %d", snap.Done, cfg.TotalSteps)
+	}
+	if snap.Done <= 0 || snap.Done > cfg.TotalSteps {
+		t.Errorf("loaded generation (from %s) has done = %d, outside (0, %d]",
+			used, snap.Done, cfg.TotalSteps)
+	}
+}
+
+// TestChaosRunsAreReproducible: the injector itself must be a pure
+// function of its seed — two identical chaos campaigns agree on both
+// results and fault counts.
+func TestChaosRunsAreReproducible(t *testing.T) {
+	run := func() (string, chaos.Faults) {
+		inj := chaos.NewInjector(chaos.Config{Seed: 7, StreamPanicEvery: 4})
+		comp := compilersim.New("gcc", 14)
+		pool := seeds.Generate(10, 1)
+		c := engine.New(engine.Config{Streams: 3, Workers: 2, StepsPerEpoch: 8,
+			TotalSteps: 240, Seed: 5, OnStreamStart: inj.OnStreamStart},
+			macroFactory(comp, pool))
+		if err := c.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(c), inj.Faults()
+	}
+	fpA, fA := run()
+	fpB, fB := run()
+	if fpA != fpB {
+		t.Errorf("chaos runs diverged:\n%s\n%s", fpA, fpB)
+	}
+	if fA != fB {
+		t.Errorf("fault schedules diverged: %+v vs %+v", fA, fB)
+	}
+}
+
+// TestThrottleStormDrivesBreakerCycle runs a supervised campaign through
+// an LLM throttle storm behind the circuit breaker: retries burn down,
+// the breaker opens, in-flight invocations defer and re-queue, a
+// half-open probe closes the breaker, and every mutator still comes out
+// Valid.
+func TestThrottleStormDrivesBreakerCycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	storm := &chaos.Storm{Inner: llm.NewSimClientWithRates(1, llm.FaultRates{}),
+		From: 2, To: 5}
+	b := resil.NewBreaker(resil.BreakerConfig{FailureThreshold: 3, Cooldown: 2}, reg)
+	fw := core.New(llm.Guard(storm, b), 13)
+	fw.Obs = reg
+
+	target := muast.All()[:3]
+	results := fw.RunSupervised(target)
+
+	if len(results) != len(target) {
+		t.Fatalf("got %d results, want %d", len(results), len(target))
+	}
+	for i, r := range results {
+		if r.Outcome != core.Valid {
+			t.Errorf("result %d outcome = %v, want Valid", i, r.Outcome)
+		}
+	}
+	if b.State() != resil.Closed {
+		t.Errorf("breaker state = %v after storm passed, want Closed", b.State())
+	}
+	if got := reg.Counter("resil_breaker_trips_total").With().Value(); got != 1 {
+		t.Errorf("breaker trips = %d, want 1", got)
+	}
+	if got := reg.Counter("resil_deferred_total").With().Value(); got == 0 {
+		t.Error("no calls were deferred during the storm")
+	}
+	retries := reg.Counter("resil_retries_total", "stage")
+	total := retries.With(llm.StageImplementation).Value() +
+		retries.With(llm.StageTestGen).Value() +
+		retries.With(llm.StageBugFix).Value()
+	if total == 0 {
+		t.Error("no bounded retries recorded during the storm")
+	}
+}
+
+// TestPanickyMutatorQuarantineAndParole: a mutator that panics on every
+// application is struck out after StrikeLimit faults, sits out its
+// parole period, is re-admitted, and the fuzzer keeps producing work the
+// whole time. The schedule is deterministic.
+func TestPanickyMutatorQuarantineAndParole(t *testing.T) {
+	run := func() (*fuzz.MuCFuzz, string) {
+		comp := compilersim.New("gcc", 14)
+		pool := seeds.Generate(10, 1)
+		mus := append([]*muast.Mutator{chaos.PanickyMutator("chaos.panic")},
+			muast.All()[:4]...)
+		f := fuzz.NewMuCFuzz("q", comp, mus, pool, rand.New(rand.NewSource(5)))
+		// Short parole so the test sees a full quarantine → parole →
+		// re-strike cycle within a small budget.
+		f.Quarantine = resil.NewQuarantine(resil.QuarantineConfig{StrikeLimit: 3, Parole: 50}, nil)
+		for i := 0; i < 400; i++ {
+			f.Step()
+		}
+		st := f.Stats()
+		return f, fmt.Sprintf("panics=%d total=%d crashes=%d", st.Panics, st.Total, len(st.Crashes))
+	}
+	f, fp := run()
+	st := f.Stats()
+	if st.Panics < 3 {
+		t.Fatalf("panics = %d, want >= StrikeLimit (3)", st.Panics)
+	}
+	// More panics than one strike-out means the offender was paroled and
+	// struck out again.
+	if st.Panics < 6 {
+		t.Errorf("panics = %d, want >= 6 (parole + re-strike cycle)", st.Panics)
+	}
+	if st.Total == 0 {
+		t.Fatal("fuzzer made no progress around the quarantined mutator")
+	}
+	if _, fp2 := run(); fp != fp2 {
+		t.Errorf("quarantine schedule not deterministic:\n%s\n%s", fp, fp2)
+	}
+}
+
+// TestFuelBombIsCutAndQuarantined: a runaway-traversal mutator is cut by
+// the μAST fuel watchdog, recorded as fuel exhaustion (not a generic
+// panic), and quarantined like any other offender.
+func TestFuelBombIsCutAndQuarantined(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	pool := seeds.Generate(10, 1)
+	mus := append([]*muast.Mutator{chaos.FuelBombMutator("chaos.fuelbomb")},
+		muast.All()[:4]...)
+	f := fuzz.NewMuCFuzz("fb", comp, mus, pool, rand.New(rand.NewSource(9)))
+	for i := 0; i < 200; i++ {
+		f.Step()
+	}
+	st := f.Stats()
+	if st.FuelExhausted == 0 {
+		t.Fatal("fuel bomb never recorded as fuel exhaustion")
+	}
+	if st.Panics != 0 {
+		t.Errorf("fuel exhaustion misclassified as %d generic panics", st.Panics)
+	}
+	if st.Total == 0 {
+		t.Fatal("fuzzer made no progress around the fuel bomb")
+	}
+}

@@ -1,0 +1,134 @@
+package resil
+
+import (
+	"sort"
+
+	"github.com/icsnju/metamut-go/internal/obs"
+)
+
+// QuarantineConfig tunes the strike/parole discipline. Ticks are the
+// owner's logical clock (one fuzzer Step), never wall time.
+type QuarantineConfig struct {
+	// StrikeLimit is how many strikes (panics, fuel exhaustions) an
+	// offender accumulates before quarantine (default 3).
+	StrikeLimit int
+	// Parole is how many clean ticks an offender sits out before being
+	// re-admitted with a cleared record (default 512).
+	Parole int
+}
+
+func (c QuarantineConfig) withDefaults() QuarantineConfig {
+	if c.StrikeLimit <= 0 {
+		c.StrikeLimit = 3
+	}
+	if c.Parole <= 0 {
+		c.Parole = 512
+	}
+	return c
+}
+
+// offender is one misbehaving id's record.
+type offender struct {
+	strikes int
+	until   int  // logical tick at which quarantine ends
+	locked  bool // currently quarantined (until > clock)
+}
+
+// Quarantine tracks strikes per offender id and benches repeat
+// offenders for a parole period. It is deliberately NOT concurrency-
+// safe: each fuzzer stream owns a private instance, which keeps the
+// strike/parole schedule deterministic under the epoch-barrier engine.
+// All methods are safe on a nil receiver (everything allowed, nothing
+// recorded), mirroring the obs convention.
+type Quarantine struct {
+	cfg     QuarantineConfig
+	clock   int
+	entries map[string]*offender
+
+	mQuar   *obs.CounterVec
+	mParole *obs.CounterVec
+}
+
+// NewQuarantine returns an empty quarantine. reg may be nil.
+func NewQuarantine(cfg QuarantineConfig, reg *obs.Registry) *Quarantine {
+	q := &Quarantine{cfg: cfg.withDefaults(), entries: map[string]*offender{}}
+	if reg != nil {
+		q.mQuar = reg.Counter("resil_quarantines_total", "id")
+		q.mParole = reg.Counter("resil_paroles_total", "id")
+	}
+	return q
+}
+
+// Tick advances the logical clock by one; the owner calls it once per
+// fuzzing step.
+func (q *Quarantine) Tick() {
+	if q != nil {
+		q.clock++
+	}
+}
+
+// Allowed reports whether id may run. An offender whose parole period
+// has elapsed is re-admitted here with a cleared strike record.
+func (q *Quarantine) Allowed(id string) bool {
+	if q == nil {
+		return true
+	}
+	e := q.entries[id]
+	if e == nil || !e.locked {
+		return true
+	}
+	if q.clock < e.until {
+		return false
+	}
+	e.locked = false
+	e.strikes = 0
+	q.mParole.With(id).Inc()
+	return true
+}
+
+// Strike records one offense for id and reports whether this strike
+// pushed it into quarantine.
+func (q *Quarantine) Strike(id string) bool {
+	if q == nil {
+		return false
+	}
+	e := q.entries[id]
+	if e == nil {
+		e = &offender{}
+		q.entries[id] = e
+	}
+	e.strikes++
+	if e.strikes < q.cfg.StrikeLimit {
+		return false
+	}
+	e.locked = true
+	e.until = q.clock + q.cfg.Parole
+	q.mQuar.With(id).Inc()
+	return true
+}
+
+// Strikes returns the current strike count for id.
+func (q *Quarantine) Strikes(id string) int {
+	if q == nil {
+		return 0
+	}
+	if e := q.entries[id]; e != nil {
+		return e.strikes
+	}
+	return 0
+}
+
+// Quarantined returns the ids currently benched, sorted.
+func (q *Quarantine) Quarantined() []string {
+	if q == nil {
+		return nil
+	}
+	var ids []string
+	for id, e := range q.entries {
+		if e.locked && q.clock < e.until {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
