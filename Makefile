@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race bench campaign-smoke chaos-smoke clean
+.PHONY: check build vet staticcheck test race bench bench-json bench-smoke campaign-smoke chaos-smoke clean
 
 # check is the one-stop gate: vet (+ staticcheck when installed), build,
-# full test suite, then the race-detector pass over the
-# concurrency-bearing packages.
-check: vet staticcheck build test race
+# full test suite, the race-detector pass over the concurrency-bearing
+# packages, then a one-epoch scheduling-ablation smoke.
+check: vet staticcheck build test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -34,10 +34,25 @@ test:
 # concurrent fault handling.
 race:
 	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck \
-		./internal/engine ./internal/resil ./internal/resil/chaos
+		./internal/engine ./internal/resil ./internal/resil/chaos \
+		./internal/sched
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json regenerates the committed scheduling/cache ablation
+# (BENCH_sched.json): uniform vs adaptive scheduling, mutant cache off
+# vs on, at the default seed and budget. README's Performance section
+# quotes this file.
+bench-json:
+	$(GO) run ./cmd/experiments -run schedbench -out BENCH_sched.json
+
+# bench-smoke is the check-gate variant: a tiny budget, throwaway
+# output — proves the ablation path end to end without the full cost.
+bench-smoke:
+	$(GO) run ./cmd/experiments -run schedbench -schedbench-steps 400 \
+		-out .bench-smoke.json
+	@rm -f .bench-smoke.json
 
 # campaign-smoke proves the parallel engine end to end: a 4-worker
 # checkpointed mini-campaign, then a resume from its snapshot with a

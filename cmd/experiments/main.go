@@ -7,8 +7,13 @@
 //	experiments -run table5
 //	experiments -run table6
 //	experiments -run mutators       # section 4.1 registry stats
+//	experiments -run schedbench     # scheduling/cache ablation -> BENCH_sched.json
 //
 // The -steps / -invocations / -macrosteps flags scale the campaigns.
+// -sched switches the μCFuzz/macro campaigns between the legacy
+// uniform shuffle (default) and the adaptive UCB bandit; schedbench
+// runs both, with the mutant cache off and on, and writes the result
+// to -out (default BENCH_sched.json).
 //
 // The table6 campaign runs on the parallel engine: -workers sets the
 // goroutine count (results are identical at any value), -checkpoint DIR
@@ -40,7 +45,7 @@ import (
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,rq1,table5,table6,mutators,all")
+		run         = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,rq1,table5,table6,mutators,schedbench,all")
 		seed        = flag.Int64("seed", 20240427, "random seed")
 		steps       = flag.Int("steps", 4000, "RQ1 compilations per fuzzer per compiler")
 		table5Steps = flag.Int("table5steps", 800, "compilations per Table 5 repetition")
@@ -52,9 +57,18 @@ func main() {
 		ckptDir     = flag.String("checkpoint", "", "table6: directory for per-compiler campaign snapshots (existing ones are resumed)")
 		triageOut   = flag.String("triage-out", "", "table6: directory for per-compiler triage reports (JSON)")
 		triageRed   = flag.Bool("triage-reduce", false, "table6: minimize each triaged witness (slower)")
+		schedKind   = flag.String("sched", "", "mutator scheduling for rq1/table5/table6: uniform (default) or adaptive")
+		benchSteps  = flag.Int("schedbench-steps", 6000, "schedbench: compilations per ablation variant")
+		benchOut    = flag.String("out", "BENCH_sched.json", "schedbench: where to write the JSON result")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
+	switch *schedKind {
+	case "", "uniform", "adaptive":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -sched policy %q (want uniform or adaptive)\n", *schedKind)
+		os.Exit(2)
+	}
 
 	reg := obs.NewRegistry()
 	shutdown, err := cli.Activate(reg, "experiments")
@@ -75,6 +89,8 @@ func main() {
 	cfg.EngineWorkers = *workers
 	cfg.CheckpointDir = *ckptDir
 	cfg.TriageReduce = *triageRed
+	cfg.Sched = *schedKind
+	cfg.SchedBenchSteps = *benchSteps
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
@@ -154,6 +170,22 @@ func main() {
 					fmt.Printf("triage report written to %s\n", path)
 				}
 			}
+		}
+		ran = true
+	}
+	if want["schedbench"] {
+		// Deliberately not part of -run all: it is a performance ablation,
+		// not a paper table, and BENCH_sched.json is its committed record.
+		sp := reg.Span("schedbench")
+		r := experiments.RunSchedBench(cfg)
+		sp.End()
+		fmt.Println(r.Render())
+		if *benchOut != "" {
+			if err := r.WriteJSON(*benchOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("ablation written to %s\n", *benchOut)
 		}
 		ran = true
 	}

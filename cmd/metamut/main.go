@@ -71,6 +71,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Pre-register the event-gated pipeline families so -metrics-out
+	// snapshots carry the full schema even on quiet runs.
+	core.RegisterMetrics(reg)
+	llm.RegisterMetrics(reg)
+	resil.RegisterMetrics(reg)
 
 	if *lint {
 		runLint(llm.NewSimClient(*seed), *n, *compound)

@@ -24,6 +24,15 @@
 //
 //	mucfuzz -steps 2000 -stats-interval 500 -metrics-out m.json -trace-out t.jsonl
 //
+// Scheduling and caching: -sched picks the mutator scheduling policy —
+// "adaptive" (the default) runs a per-stream UCB bandit over mutator
+// reward, "uniform" restores the legacy unbiased shuffle; a resumed
+// campaign inherits the checkpoint's policy unless -sched is given
+// explicitly. -mutant-cache N bounds the dedup cache in front of the
+// compiler (0 disables); identical mutants compile once.
+//
+//	mucfuzz -macro -steps 40000 -sched uniform -mutant-cache 0   # ablation
+//
 // Fault injection: -chaos SEED arms the deterministic chaos harness on a
 // macro campaign — worker panics before stream steps plus torn/failed
 // checkpoint writes, all recoverable, so the results must match the
@@ -55,6 +64,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/reduce"
 	"github.com/icsnju/metamut-go/internal/resil/chaos"
+	"github.com/icsnju/metamut-go/internal/sched"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
 
@@ -101,6 +111,8 @@ func main() {
 		lint      = flag.Bool("lint", false, "statically analyze the seed corpus plus sampled mutants and exit")
 		noStatic  = flag.Bool("no-static", false, "ablation: compile statically-invalid mutants instead of filtering them")
 		chaosSeed = flag.Int64("chaos", 0, "macro campaign: arm the deterministic chaos harness with this fault seed (0 = off)")
+		schedKind = flag.String("sched", "adaptive", "mutator scheduling policy: uniform or adaptive (UCB bandit)")
+		cacheCap  = flag.Int("mutant-cache", 4096, "dedup cache over compile results: max entries (0 = off)")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -120,6 +132,7 @@ func main() {
 	}
 	comp := compilersim.New(*compiler, version)
 	comp.Instrument(reg)
+	comp.EnableMutantCache(*cacheCap)
 
 	sp := reg.Span("seed-gen")
 	pool := seeds.Generate(*nSeeds, *seed)
@@ -133,6 +146,10 @@ func main() {
 		mutators = muast.BySet(muast.Unsupervised)
 	default:
 		mutators = muast.All()
+	}
+	if _, err := sched.New(*schedKind, len(mutators)); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	// The arsenal was LLM-generated offline; surface the token spend it
 	// embodies so campaign dashboards can relate throughput to cost.
@@ -153,7 +170,14 @@ func main() {
 		factory := func(stream int, rng *rand.Rand, cov fuzz.CoverageSink) engine.Worker {
 			w := fuzz.NewMacroFuzzer(fmt.Sprintf("macro-%d", stream), comp,
 				mutators, pool, rng, cov, mcfg)
+			s, serr := sched.New(*schedKind, len(mutators))
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, serr)
+				os.Exit(1)
+			}
+			w.Sched = s
 			w.Stats().Instrument(reg)
+			w.InstrumentSched(reg)
 			return w
 		}
 		ecfg := engine.Config{
@@ -202,9 +226,18 @@ func main() {
 			if !explicit["steps"] {
 				ecfg.TotalSteps = 0
 			}
-			if _, used, perr := engine.LoadWithFallback(*resume); perr == nil && used != *resume {
-				fmt.Printf("primary checkpoint %s failed integrity check; resuming from %s\n",
-					*resume, used)
+			if snap, used, perr := engine.LoadWithFallback(*resume); perr == nil {
+				if used != *resume {
+					fmt.Printf("primary checkpoint %s failed integrity check; resuming from %s\n",
+						*resume, used)
+				}
+				// Like -seed/-streams/-steps, an unset -sched inherits the
+				// snapshot's policy rather than contradicting it (Resume
+				// rejects a posterior the worker cannot restore).
+				if !explicit["sched"] && len(snap.StreamStates) > 0 &&
+					snap.StreamStates[0].Sched != nil {
+					*schedKind = snap.StreamStates[0].Sched.Kind
+				}
 			}
 			var rerr error
 			if c, rerr = engine.Resume(*resume, ecfg, factory); rerr != nil {
@@ -255,7 +288,11 @@ func main() {
 		f := fuzz.NewMuCFuzz("muCFuzz."+*set, comp, mutators, pool,
 			rand.New(rand.NewSource(*seed)))
 		f.StaticFilter = !*noStatic
+		if s, serr := sched.New(*schedKind, len(mutators)); serr == nil {
+			f.Sched = s
+		}
 		f.Stats().Instrument(reg)
+		f.InstrumentSched(reg)
 		next := cli.StatsInterval
 		for f.Stats().Ticks < *steps {
 			f.Step()

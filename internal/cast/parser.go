@@ -37,8 +37,16 @@ type Parser struct {
 
 // Parse lexes and parses src, returning the AST. Parsing is
 // best-effort-strict: any syntax error aborts with a non-nil error.
+// The token buffer is pooled: nothing retains it past the parse (AST
+// nodes copy the strings they need), so the per-mutant lex allocation
+// on the fuzzing hot path recycles instead.
 func Parse(src string) (*TranslationUnit, error) {
-	toks, err := Lex(src)
+	bufp := tokenPool.Get().(*[]Token)
+	toks, err := lexInto(src, (*bufp)[:0])
+	defer func() {
+		*bufp = toks[:0]
+		tokenPool.Put(bufp)
+	}()
 	if err != nil {
 		return nil, err
 	}

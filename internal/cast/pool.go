@@ -1,0 +1,39 @@
+package cast
+
+import "sync"
+
+// tokenPool recycles the token slices Parse lexes into. Every compile
+// of every mutant lexes a fresh token stream (compilersim parses each
+// mutant, the fuzzers parse each pool program), and nothing retains the
+// slice after parsing — AST nodes copy the strings they need — so the
+// buffers recycle cleanly across parses and goroutines.
+var tokenPool = sync.Pool{
+	New: func() any {
+		s := make([]Token, 0, 512)
+		return &s
+	},
+}
+
+// lexInto lexes src appending into buf (reusing its capacity).
+func lexInto(src string, buf []Token) ([]Token, error) {
+	lx := NewLexer(src)
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return buf, err
+		}
+		buf = append(buf, t)
+		if t.Kind == TokEOF {
+			return buf, nil
+		}
+	}
+}
+
+// editPool recycles the Rewriter's sorted-edit scratch used by
+// Rewritten (one per mutant render on the fuzzing hot path).
+var editPool = sync.Pool{
+	New: func() any {
+		s := make([]edit, 0, 32)
+		return &s
+	},
+}

@@ -102,8 +102,12 @@ func (rw *Rewriter) Rewritten() string {
 	if len(rw.edits) == 0 {
 		return rw.src
 	}
-	edits := make([]edit, len(rw.edits))
-	copy(edits, rw.edits)
+	bufp := editPool.Get().(*[]edit)
+	edits := append((*bufp)[:0], rw.edits...)
+	defer func() {
+		*bufp = edits[:0]
+		editPool.Put(bufp)
+	}()
 	sort.SliceStable(edits, func(i, j int) bool {
 		if edits[i].begin != edits[j].begin {
 			return edits[i].begin < edits[j].begin

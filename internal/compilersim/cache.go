@@ -1,0 +1,97 @@
+package compilersim
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+)
+
+// mutantCache memoizes Compile results keyed by (flags, source). The
+// fuzzers re-derive identical mutants constantly — the same mutator at
+// the same site on the same pool program is a common draw — and compile
+// is a pure function of its inputs, so a cached Result is
+// indistinguishable from a fresh one. Results are shared by pointer:
+// every consumer (fuzzers, engine merge, triage) treats Coverage,
+// Diagnostics and Object as read-only, which the engine's race gate
+// exercises.
+//
+// Eviction is LRU over a bounded list; the zero Compiler has no cache
+// and behaves exactly as before.
+type mutantCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[[32]byte]*list.Element
+	lru *list.List // front = most recently used
+
+	hits, misses atomic.Int64
+}
+
+type mutantEntry struct {
+	key [32]byte
+	res Result
+}
+
+func newMutantCache(capacity int) *mutantCache {
+	return &mutantCache{
+		cap: capacity,
+		m:   make(map[[32]byte]*list.Element, capacity),
+		lru: list.New(),
+	}
+}
+
+func mutantKey(src string, opts Options) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(opts.FlagString()))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	var k [32]byte
+	h.Sum(k[:0])
+	return k
+}
+
+func (mc *mutantCache) get(k [32]byte) (Result, bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	el, ok := mc.m[k]
+	if !ok {
+		mc.misses.Add(1)
+		return Result{}, false
+	}
+	mc.lru.MoveToFront(el)
+	mc.hits.Add(1)
+	return el.Value.(*mutantEntry).res, true
+}
+
+func (mc *mutantCache) put(k [32]byte, res Result) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if _, dup := mc.m[k]; dup {
+		return
+	}
+	mc.m[k] = mc.lru.PushFront(&mutantEntry{key: k, res: res})
+	if mc.lru.Len() > mc.cap {
+		oldest := mc.lru.Back()
+		mc.lru.Remove(oldest)
+		delete(mc.m, oldest.Value.(*mutantEntry).key)
+	}
+}
+
+// EnableMutantCache attaches a bounded LRU of Compile results to the
+// compiler. capacity <= 0 disables caching (the default state).
+func (c *Compiler) EnableMutantCache(capacity int) {
+	if capacity <= 0 {
+		c.cache = nil
+		return
+	}
+	c.cache = newMutantCache(capacity)
+}
+
+// CacheStats returns cumulative mutant-cache hit and miss counts
+// (zeroes when the cache is disabled).
+func (c *Compiler) CacheStats() (hits, misses int64) {
+	if c.cache == nil {
+		return 0, 0
+	}
+	return c.cache.hits.Load(), c.cache.misses.Load()
+}

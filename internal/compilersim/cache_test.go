@@ -1,0 +1,101 @@
+package compilersim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/obs"
+)
+
+const cacheProg = `int main() { int x = 3; int y = x * 2; return y; }`
+
+// TestMutantCachePurity pins the cache's core contract: a cached Result
+// is indistinguishable from a fresh compile of the same input.
+func TestMutantCachePurity(t *testing.T) {
+	fresh := New("gcc", 14).Compile(cacheProg, DefaultOptions())
+
+	c := New("gcc", 14)
+	c.EnableMutantCache(8)
+	first := c.Compile(cacheProg, DefaultOptions())
+	second := c.Compile(cacheProg, DefaultOptions())
+
+	if !reflect.DeepEqual(fresh, first) {
+		t.Error("cache-miss compile differs from uncached compile")
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cache-hit result differs from the original compile")
+	}
+	if hits, misses := c.CacheStats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+// TestMutantCacheKeysOnFlags ensures distinct options do not collide:
+// -O0 and -O2 results differ and each caches under its own key.
+func TestMutantCacheKeysOnFlags(t *testing.T) {
+	c := New("gcc", 14)
+	c.EnableMutantCache(8)
+	o0 := c.Compile(cacheProg, Options{OptLevel: 0})
+	o2 := c.Compile(cacheProg, Options{OptLevel: 2})
+	if reflect.DeepEqual(o0.Coverage, o2.Coverage) {
+		t.Fatal("test premise broken: -O0 and -O2 produced identical coverage")
+	}
+	if got := c.Compile(cacheProg, Options{OptLevel: 0}); !reflect.DeepEqual(got, o0) {
+		t.Error("-O0 hit returned a different result")
+	}
+	if hits, misses := c.CacheStats(); hits != 1 || misses != 2 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	}
+}
+
+// TestMutantCacheEvictsLRU bounds the cache: capacity 2 with three
+// distinct programs evicts the least recently used entry.
+func TestMutantCacheEvictsLRU(t *testing.T) {
+	c := New("gcc", 14)
+	c.EnableMutantCache(2)
+	prog := func(i int) string {
+		return fmt.Sprintf("int main() { return %d; }", i)
+	}
+	c.Compile(prog(0), DefaultOptions()) // miss: {0}
+	c.Compile(prog(1), DefaultOptions()) // miss: {0,1}
+	c.Compile(prog(0), DefaultOptions()) // hit, 0 becomes MRU: {1,0}
+	c.Compile(prog(2), DefaultOptions()) // miss, evicts 1: {0,2}
+	c.Compile(prog(1), DefaultOptions()) // miss again (was evicted)
+	c.Compile(prog(0), DefaultOptions()) // still resident? no — 0 evicted by 1
+	hits, misses := c.CacheStats()
+	if hits != 1 || misses != 5 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 5)", hits, misses)
+	}
+}
+
+// TestMutantCacheTelemetry verifies cache hits still feed the outcome
+// counters and increment mutant_cache_hits_total.
+func TestMutantCacheTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New("gcc", 14)
+	c.Instrument(reg)
+	c.EnableMutantCache(4)
+	c.Compile(cacheProg, DefaultOptions())
+	c.Compile(cacheProg, DefaultOptions())
+	snap := reg.Snapshot()
+	if got := snap.Counter("compile_results_total", "gcc", "ok"); got != 2 {
+		t.Errorf("compile_results_total{gcc,ok} = %d, want 2 (hits count too)", got)
+	}
+	if got := snap.Counter("mutant_cache_hits_total"); got != 1 {
+		t.Errorf("mutant_cache_hits_total = %d, want 1", got)
+	}
+}
+
+// TestDisabledCacheIsInert re-enables then disables the cache and
+// checks compile still works with zero stats.
+func TestDisabledCacheIsInert(t *testing.T) {
+	c := New("gcc", 14)
+	c.EnableMutantCache(4)
+	c.EnableMutantCache(0)
+	c.Compile(cacheProg, DefaultOptions())
+	c.Compile(cacheProg, DefaultOptions())
+	if hits, misses := c.CacheStats(); hits != 0 || misses != 0 {
+		t.Errorf("disabled cache reported (%d hits, %d misses)", hits, misses)
+	}
+}

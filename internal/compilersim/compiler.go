@@ -60,6 +60,7 @@ type Compiler struct {
 	bugs    []Bug
 	passes  []Pass
 	tele    *compilerTelemetry
+	cache   *mutantCache
 }
 
 // compilerTelemetry holds pre-resolved handles so the per-compilation
@@ -67,6 +68,7 @@ type Compiler struct {
 type compilerTelemetry struct {
 	ok, reject, crash, hang *obs.Counter
 	byComponent             *obs.CounterVec
+	cacheHits               *obs.Counter
 }
 
 // New returns a compiler for the given profile name ("gcc"/"clang").
@@ -119,25 +121,47 @@ func (c *Compiler) Instrument(reg *obs.Registry) {
 		crash:       results.With(c.Name, "crash"),
 		hang:        results.With(c.Name, "hang"),
 		byComponent: reg.Counter("compiler_crashes_total", "compiler", "component"),
+		cacheHits:   reg.Counter("mutant_cache_hits_total").With(),
 	}
 }
 
-// Compile runs the full pipeline on src.
+// record updates the outcome counters for one (possibly cached)
+// compilation; cache hits count like fresh ones so rates stay honest.
+func (t *compilerTelemetry) record(c *Compiler, res Result) {
+	switch {
+	case res.OK:
+		t.ok.Inc()
+	case res.Hang:
+		t.hang.Inc()
+		t.byComponent.With(c.Name, res.Crash.Component.String()).Inc()
+	case res.Crash != nil:
+		t.crash.Inc()
+		t.byComponent.With(c.Name, res.Crash.Component.String()).Inc()
+	default:
+		t.reject.Inc()
+	}
+}
+
+// Compile runs the full pipeline on src, consulting the mutant cache
+// first when one is enabled.
 func (c *Compiler) Compile(src string, opts Options) Result {
-	res := c.compile(src, opts)
-	if t := c.tele; t != nil {
-		switch {
-		case res.OK:
-			t.ok.Inc()
-		case res.Hang:
-			t.hang.Inc()
-			t.byComponent.With(c.Name, res.Crash.Component.String()).Inc()
-		case res.Crash != nil:
-			t.crash.Inc()
-			t.byComponent.With(c.Name, res.Crash.Component.String()).Inc()
-		default:
-			t.reject.Inc()
+	var key [32]byte
+	if c.cache != nil {
+		key = mutantKey(src, opts)
+		if res, ok := c.cache.get(key); ok {
+			if t := c.tele; t != nil {
+				t.cacheHits.Inc()
+				t.record(c, res)
+			}
+			return res
 		}
+	}
+	res := c.compile(src, opts)
+	if c.cache != nil {
+		c.cache.put(key, res)
+	}
+	if t := c.tele; t != nil {
+		t.record(c, res)
 	}
 	return res
 }

@@ -1,0 +1,24 @@
+package core
+
+import "github.com/icsnju/metamut-go/internal/obs"
+
+// RegisterMetrics pre-registers every metric family the generation
+// pipeline emits, so snapshots (and docs/METRICS.md's live-registry
+// test) see the full schema even before the first invocation fires.
+// Families here must match the inline registration sites in
+// metamut.go and campaign.go exactly — obs fixes a family's labels at
+// first registration, so a drift fails loudly.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("invocations_total", "outcome")
+	reg.Counter("refinement_fixes_total", "goal")
+	reg.Histogram("invocation_qa_rounds", obs.LinearBuckets(1, 4, 10))
+	reg.Histogram("prepare_seconds", nil)
+	reg.Counter("static_catches_total", "goal")
+	reg.Counter("mutator_input_parse_failures_total")
+	reg.Counter("mutdsl_fuel_exhausted_total")
+	reg.Counter("expert_interventions_total")
+	reg.Counter("llm_retries_total", "stage")
+}

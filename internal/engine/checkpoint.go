@@ -16,13 +16,15 @@ import (
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/fuzz"
+	"github.com/icsnju/metamut-go/internal/sched"
 )
 
 // SnapshotVersion guards the checkpoint format. Bump on any change to
 // the Snapshot layout; Load rejects other versions rather than guess.
 // Version 2 added the sha256 integrity checksum, the rotated .prev
-// generation, and per-stream poison records.
-const SnapshotVersion = 2
+// generation, and per-stream poison records. Version 3 added per-stream
+// scheduler posteriors.
+const SnapshotVersion = 3
 
 // PrevSuffix names the rotated previous checkpoint generation: every
 // successful write first moves the existing file to path+PrevSuffix, so
@@ -110,6 +112,18 @@ type StreamState struct {
 	RNG    uint64     `json:"rng"`
 	Corpus []string   `json:"corpus"`
 	Stats  StatsState `json:"stats"`
+	// Sched is the stream's mutator-scheduler posterior, present when
+	// the worker implements SchedWorker. Resuming an adaptive campaign
+	// without it would diverge from the uninterrupted run.
+	Sched *sched.State `json:"sched,omitempty"`
+}
+
+// SchedWorker is the optional Worker extension for mutator schedulers
+// whose posteriors must ride the checkpoint (both fuzz.MuCFuzz and
+// fuzz.MacroFuzzer implement it).
+type SchedWorker interface {
+	SchedState() *sched.State
+	SetSchedState(*sched.State) error
 }
 
 // StatsState serializes fuzz.Stats. The stream's private coverage map
@@ -230,11 +244,15 @@ func (c *Campaign) Snapshot() (*Snapshot, error) {
 		Coverage:      encodeCoverage(c.global),
 	}
 	for i, w := range c.workers {
-		snap.StreamStates = append(snap.StreamStates, StreamState{
+		ss := StreamState{
 			RNG:    c.sources[i].state,
 			Corpus: w.Corpus(),
 			Stats:  statsState(w.Stats()),
-		})
+		}
+		if sw, ok := w.(SchedWorker); ok {
+			ss.Sched = sw.SchedState()
+		}
+		snap.StreamStates = append(snap.StreamStates, ss)
 	}
 	var streams []int
 	for s := range c.poisoned {
@@ -423,6 +441,15 @@ func Resume(path string, cfg Config, factory Factory) (*Campaign, error) {
 		w.SetCorpus(ss.Corpus)
 		if err := restoreStats(w.Stats(), ss.Stats); err != nil {
 			return nil, fmt.Errorf("stream %d: %w", i, err)
+		}
+		if ss.Sched != nil {
+			sw, ok := w.(SchedWorker)
+			if !ok {
+				return nil, fmt.Errorf("stream %d: checkpoint carries scheduler state but the worker has no scheduler", i)
+			}
+			if err := sw.SetSchedState(ss.Sched); err != nil {
+				return nil, fmt.Errorf("stream %d: %w", i, err)
+			}
 		}
 		c.sources = append(c.sources, src)
 		c.views = append(c.views, v)

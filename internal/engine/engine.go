@@ -244,6 +244,11 @@ func (c *Campaign) instrument() {
 	c.mCkptFails = reg.Counter("engine_checkpoint_failures_total").With()
 	c.mTaskRetries = reg.Counter("engine_task_retries_total").With()
 	c.mPoisoned = reg.Counter("engine_streams_poisoned_total").With()
+	// Event-gated families (resume fallback, triage reduction) are
+	// registered up front too, so metric snapshots and the METRICS.md
+	// reference see the full engine surface from the first epoch.
+	reg.Counter("engine_checkpoint_fallbacks_total")
+	reg.Counter("triage_reduced_total")
 }
 
 // Done returns the steps completed so far.

@@ -28,6 +28,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/muast"
 	_ "github.com/icsnju/metamut-go/internal/mutators" // register the 118
 	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/sched"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
 
@@ -64,6 +65,14 @@ type Config struct {
 	// TriageReduce minimizes each triaged RQ2 witness via
 	// internal/reduce (slower; off by default).
 	TriageReduce bool
+	// Sched selects the mutator scheduling policy for the μCFuzz and
+	// macro campaigns: "" or "uniform" keeps the legacy unbiased
+	// shuffle (baseline results stay bit-identical), "adaptive" runs
+	// the per-stream UCB bandit from internal/sched.
+	Sched string
+	// SchedBenchSteps is the per-variant budget of the scheduling/cache
+	// ablation (RunSchedBench).
+	SchedBenchSteps int
 	// Ctx, when non-nil, interrupts the RQ2 campaign at the next epoch
 	// barrier once cancelled (the CLI wires SIGINT here); progress is
 	// checkpointed when CheckpointDir is set.
@@ -86,6 +95,7 @@ func DefaultConfig() Config {
 		Invocations:     100,
 		MacroWorkers:    6,
 		MacroSteps:      24000,
+		SchedBenchSteps: 6000,
 	}
 }
 
@@ -94,20 +104,36 @@ var FuzzerNames = []string{
 	"muCFuzz.s", "muCFuzz.u", "AFL++", "GrayC", "Csmith", "YARPGen",
 }
 
-// newFuzzer builds the named technique over the given compiler.
-func newFuzzer(name string, comp *compilersim.Compiler, pool []string,
-	rng *rand.Rand) fuzz.Fuzzer {
+// newFuzzer builds the named technique over the given compiler. The
+// μCFuzz variants honor cfg.Sched; baselines have no mutator arms to
+// schedule.
+func newFuzzer(cfg Config, name string, comp *compilersim.Compiler,
+	pool []string, rng *rand.Rand) fuzz.Fuzzer {
+	applySched := func(f *fuzz.MuCFuzz, arms int) {
+		if cfg.Sched == "" {
+			return
+		}
+		s, err := sched.New(cfg.Sched, arms)
+		if err != nil {
+			panic(err) // Config.Sched is CLI-validated; a bad literal is a bug
+		}
+		f.Sched = s
+	}
 	switch name {
 	case "muCFuzz.s":
-		f := fuzz.NewMuCFuzz(name, comp, muast.BySet(muast.Supervised), pool, rng)
+		set := muast.BySet(muast.Supervised)
+		f := fuzz.NewMuCFuzz(name, comp, set, pool, rng)
 		// Supervised mutators were manually corrected by the authors:
 		// fewer unchecked rewrites slip through (Table 5: 74.46% vs
 		// 72.00% compilable).
 		f.UncheckedRate = fuzz.DefaultUncheckedRate - 0.07
+		applySched(f, len(set))
 		return f
 	case "muCFuzz.u":
-		f := fuzz.NewMuCFuzz(name, comp, muast.BySet(muast.Unsupervised), pool, rng)
+		set := muast.BySet(muast.Unsupervised)
+		f := fuzz.NewMuCFuzz(name, comp, set, pool, rng)
 		f.UncheckedRate = fuzz.DefaultUncheckedRate + 0.05
+		applySched(f, len(set))
 		return f
 	case "AFL++":
 		return baselines.NewAFL(name, comp, pool, rng)
@@ -151,7 +177,7 @@ func RunRQ1(cfg Config) *RQ1Result {
 		comp.Instrument(cfg.Obs)
 		for fi, fname := range FuzzerNames {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(fi)*977))
-			f := newFuzzer(fname, comp, pool, rng)
+			f := newFuzzer(cfg, fname, comp, pool, rng)
 			f.Stats().Instrument(cfg.Obs)
 			run := RQ1Run{Fuzzer: fname, Compiler: compName}
 			interval := cfg.StepsPerFuzzer / cfg.CoverageSamples
@@ -394,7 +420,7 @@ func RunTable5(cfg Config) []Table5Row {
 		row := Table5Row{Tool: fname}
 		for rep := 0; rep < cfg.Table5Reps; rep++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(fi*1000+rep)))
-			f := newFuzzer(fname, comp, pool, rng)
+			f := newFuzzer(cfg, fname, comp, pool, rng)
 			f.Stats().Instrument(cfg.Obs)
 			for f.Stats().Ticks < cfg.Table5Steps {
 				f.Step()

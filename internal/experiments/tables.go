@@ -16,6 +16,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/sched"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
 
@@ -173,7 +174,15 @@ func RunTable6(cfg Config) *Table6Result {
 			mf := fuzz.NewMacroFuzzer(
 				fmt.Sprintf("macro-%s-%d", compName, stream), comp, muast.All(),
 				pool, rng, cov, fuzz.DefaultMacroConfig())
+			if cfg.Sched != "" {
+				s, err := sched.New(cfg.Sched, len(muast.All()))
+				if err != nil {
+					panic(err) // Config.Sched is CLI-validated; a bad literal is a bug
+				}
+				mf.Sched = s
+			}
 			mf.Stats().Instrument(cfg.Obs)
+			mf.InstrumentSched(cfg.Obs)
 			return mf
 		}
 		ecfg := engine.Config{

@@ -16,6 +16,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/resil"
+	"github.com/icsnju/metamut-go/internal/sched"
 )
 
 // CrashInfo records the first discovery of a unique crash.
@@ -334,6 +335,13 @@ type MuCFuzz struct {
 	// their fuel budget (strike/parole discipline). Per-instance and
 	// tick-driven, so it never perturbs the deterministic schedule.
 	Quarantine *resil.Quarantine
+	// Sched ranks the mutators each tick. The default Uniform policy
+	// reproduces Algorithm 1's shuffle bit-for-bit (same stream-RNG
+	// draws); swap in sched.NewAdaptive for bandit-weighted selection.
+	// Arms index into the mutator slice in constructor order.
+	Sched sched.Scheduler
+
+	allowedFn func(int) bool
 }
 
 // NewMuCFuzz builds a μCFuzz instance over the given mutator set.
@@ -341,7 +349,7 @@ func NewMuCFuzz(name string, comp *compilersim.Compiler, mutators []*muast.Mutat
 	seedPool []string, rng *rand.Rand) *MuCFuzz {
 	pool := make([]string, len(seedPool))
 	copy(pool, seedPool)
-	return &MuCFuzz{
+	f := &MuCFuzz{
 		comp:            comp,
 		opts:            compilersim.DefaultOptions(),
 		mutators:        mutators,
@@ -352,7 +360,32 @@ func NewMuCFuzz(name string, comp *compilersim.Compiler, mutators []*muast.Mutat
 		MaxProgramSize:  1 << 16,
 		UncheckedRate:   DefaultUncheckedRate,
 		Quarantine:      resil.NewQuarantine(DefaultQuarantine(), nil),
+		Sched:           sched.NewUniform(len(mutators)),
 	}
+	f.allowedFn = f.armAllowed
+	return f
+}
+
+// armAllowed reports whether the arm's mutator is off the quarantine
+// bench — the filter handed to the scheduler each tick.
+func (f *MuCFuzz) armAllowed(i int) bool {
+	return f.Quarantine.Allowed(f.mutators[i].Name)
+}
+
+// SchedState serializes the scheduler posterior (checkpointing).
+func (f *MuCFuzz) SchedState() *sched.State { return f.Sched.State() }
+
+// SetSchedState restores the scheduler posterior (checkpoint resume).
+func (f *MuCFuzz) SetSchedState(st *sched.State) error { return f.Sched.Restore(st) }
+
+// InstrumentSched attaches per-mutator scheduler telemetry
+// (sched_picks_total, sched_weight).
+func (f *MuCFuzz) InstrumentSched(reg *obs.Registry) {
+	names := make([]string, len(f.mutators))
+	for i, mu := range f.mutators {
+		names[i] = mu.Name
+	}
+	f.Sched.Instrument(reg, names)
 }
 
 // Name returns the fuzzer's display name.
@@ -373,7 +406,12 @@ func (f *MuCFuzz) Step() {
 		return
 	}
 	p := f.pool[f.rng.Intn(len(f.pool))]
-	order := f.rng.Perm(len(f.mutators))
+	// The try-order comes from the scheduler, driven only by the stream
+	// RNG: Uniform is Algorithm 1's shuffle (one Perm, identical draws),
+	// Adaptive ranks arms by posterior reward. Either way the schedule
+	// is a pure function of stream state — reproducible under the
+	// engine at any worker count.
+	order := f.Sched.Order(f.rng, f.allowedFn)
 	tries := 0
 	for _, mi := range order {
 		if tries >= f.MaxMutatorTries {
@@ -391,10 +429,15 @@ func (f *MuCFuzz) Step() {
 		if faulted {
 			f.stats.RecordMutatorFault(mu.Name, fuel)
 			f.Quarantine.Strike(mu.Name)
+			f.Sched.Observe(mi, sched.Reward{Fault: true})
 			continue
 		}
 		if !ok {
-			continue // mutator not applicable; try the next (free)
+			// Not applicable to this program: zero reward, but the try
+			// still counts — otherwise a never-applying arm keeps its
+			// untried (+Inf) UCB score and the bandit re-picks it forever.
+			f.Sched.Observe(mi, sched.Reward{})
+			continue // try the next (free)
 		}
 		if f.rng.Float64() < f.UncheckedRate {
 			if spliced, sok := uncheckedRewrite(mutant, f.rng); sok {
@@ -408,12 +451,18 @@ func (f *MuCFuzz) Step() {
 			if check, rejected := mutcheck.Reject(mutant); rejected {
 				tries++
 				f.stats.RecordStaticReject(mu.Name, check)
+				f.Sched.Observe(mi, sched.Reward{CompileError: true})
 				continue
 			}
 		}
 		tries++
 		res := f.comp.Compile(mutant, f.opts)
 		isNew := f.stats.Record(mutant, mu.Name, res)
+		f.Sched.Observe(mi, sched.Reward{
+			NewCoverage:  isNew,
+			Crash:        res.Crash != nil,
+			CompileError: !res.OK && res.Crash == nil,
+		})
 		if f.Blind {
 			// Ablation: no coverage feedback; admit a fixed fraction.
 			if res.OK && f.rng.Float64() < 0.05 {
@@ -507,6 +556,12 @@ type MacroFuzzer struct {
 	// Quarantine benches panicking/fuel-exhausting mutators (see
 	// MuCFuzz.Quarantine).
 	Quarantine *resil.Quarantine
+	// Sched picks the mutator for each havoc round (see MuCFuzz.Sched);
+	// the default Uniform policy reproduces the legacy rng.Intn draw.
+	Sched sched.Scheduler
+
+	allowedFn func(int) bool
+	armBuf    []int // applied-arm scratch, reused across steps
 }
 
 // NewMacroFuzzer builds a macro fuzzer worker; workers on the same
@@ -517,11 +572,35 @@ func NewMacroFuzzer(name string, comp *compilersim.Compiler,
 	shared CoverageSink, cfg MacroConfig) *MacroFuzzer {
 	pool := make([]string, len(seedPool))
 	copy(pool, seedPool)
-	return &MacroFuzzer{
+	f := &MacroFuzzer{
 		comp: comp, mutators: mutators, pool: pool, rng: rng,
 		stats: NewStats(name), shared: shared, cfg: cfg,
 		Quarantine: resil.NewQuarantine(DefaultQuarantine(), nil),
+		Sched:      sched.NewUniform(len(mutators)),
 	}
+	f.allowedFn = f.armAllowed
+	return f
+}
+
+// armAllowed reports whether the arm's mutator is off the quarantine
+// bench.
+func (f *MacroFuzzer) armAllowed(i int) bool {
+	return f.Quarantine.Allowed(f.mutators[i].Name)
+}
+
+// SchedState serializes the scheduler posterior (checkpointing).
+func (f *MacroFuzzer) SchedState() *sched.State { return f.Sched.State() }
+
+// SetSchedState restores the scheduler posterior (checkpoint resume).
+func (f *MacroFuzzer) SetSchedState(st *sched.State) error { return f.Sched.Restore(st) }
+
+// InstrumentSched attaches per-mutator scheduler telemetry.
+func (f *MacroFuzzer) InstrumentSched(reg *obs.Registry) {
+	names := make([]string, len(f.mutators))
+	for i, mu := range f.mutators {
+		names[i] = mu.Name
+	}
+	f.Sched.Instrument(reg, names)
 }
 
 // Name returns the worker's name.
@@ -556,8 +635,16 @@ func (f *MacroFuzzer) Step() {
 	rounds := 1 + f.rng.Intn(f.cfg.HavocMax)
 	cur := p
 	via := ""
+	applied := f.armBuf[:0]
 	for i := 0; i < rounds; i++ {
-		mu := f.mutators[f.rng.Intn(len(f.mutators))]
+		// The scheduler picks each round's mutator from the stream RNG:
+		// Uniform is the legacy rng.Intn draw, Adaptive is
+		// epsilon-greedy over posterior reward.
+		mi := f.Sched.Pick(f.rng, f.allowedFn)
+		if mi < 0 {
+			continue // every arm benched; the round is spent
+		}
+		mu := f.mutators[mi]
 		if !f.Quarantine.Allowed(mu.Name) {
 			continue // benched offender; the round is spent, like a no-op
 		}
@@ -569,20 +656,26 @@ func (f *MacroFuzzer) Step() {
 		if faulted {
 			f.stats.RecordMutatorFault(mu.Name, fuel)
 			f.Quarantine.Strike(mu.Name)
+			f.Sched.Observe(mi, sched.Reward{Fault: true})
 			continue
 		}
 		if !ok {
+			// Zero reward so the arm's untried (+Inf) UCB score decays;
+			// see the μCFuzz counterpart.
+			f.Sched.Observe(mi, sched.Reward{})
 			continue
 		}
 		if len(mutant) > f.cfg.MaxProgramSize {
 			break // resource limit: drop oversized offspring
 		}
 		cur = mutant
+		applied = append(applied, mi)
 		if via != "" {
 			via += "+"
 		}
 		via += mu.Name
 	}
+	f.armBuf = applied
 	if cur == p {
 		return
 	}
@@ -594,13 +687,27 @@ func (f *MacroFuzzer) Step() {
 	if f.cfg.StaticFilter {
 		if check, rejected := mutcheck.Reject(cur); rejected {
 			f.stats.RecordStaticReject(via, check)
+			for _, mi := range applied {
+				f.Sched.Observe(mi, sched.Reward{CompileError: true})
+			}
 			return
 		}
 	}
 	res := f.comp.Compile(cur, f.sampleOptions())
 	f.stats.Record(cur, via, res)
-	if res.OK && f.shared != nil && f.shared.MergeIfNew(res.Coverage) {
+	admitted := res.OK && f.shared != nil && f.shared.MergeIfNew(res.Coverage)
+	if admitted {
 		f.pool = append(f.pool, cur)
+	}
+	// The single end-of-step compile outcome is attributed to every
+	// mutator in the havoc chain.
+	rw := sched.Reward{
+		NewCoverage:  admitted,
+		Crash:        res.Crash != nil,
+		CompileError: !res.OK && res.Crash == nil,
+	}
+	for _, mi := range applied {
+		f.Sched.Observe(mi, rw)
 	}
 }
 

@@ -1,0 +1,17 @@
+package llm
+
+import "github.com/icsnju/metamut-go/internal/obs"
+
+// RegisterMetrics pre-registers the LLM-client families so snapshots
+// (and the METRICS.md schema test) see them before the first call.
+// Must stay in sync with the inline sites in llm.go.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("llm_calls_total", "method", "result")
+	reg.Counter("llm_tokens", "stage")
+	reg.Counter("llm_tokens_saved", "goal")
+	reg.Counter("llm_faults_total", "class")
+	reg.Histogram("llm_wait_seconds", nil, "stage")
+}

@@ -50,30 +50,48 @@ type Manager struct {
 
 // NewManager parses and checks src and returns a mutation context using
 // the given random stream. It fails if src is not a valid program —
-// mutators are only ever applied to compilable inputs.
+// mutators are only ever applied to compilable inputs. Parses are
+// memoized (cast.ParseAndCheckCached): μCFuzz re-parses the same pool
+// program up to MaxMutatorTries times per tick, so the managers of one
+// tick share a single immutable translation unit.
 func NewManager(src string, rng *rand.Rand) (*Manager, error) {
-	tu, err := cast.ParseAndCheck(src)
+	tu, err := cast.ParseAndCheckCached(src)
 	if err != nil {
 		return nil, err
 	}
 	return NewManagerFromTU(tu, rng), nil
 }
 
-// NewManagerFromTU wraps an already-parsed translation unit.
+// identRe matches C identifiers; compiled once — NewManagerFromTU is
+// called for every mutator try, which made per-call compilation a
+// measurable hot spot.
+var identRe = regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*`)
+
+// NewManagerFromTU wraps an already-parsed translation unit. The
+// manager only reads the TU (all rewriting is text-level through RW),
+// so sharing one TU across managers — and across streams, via the parse
+// cache — is safe.
 func NewManagerFromTU(tu *cast.TranslationUnit, rng *rand.Rand) *Manager {
-	m := &Manager{
+	return &Manager{
 		TU:     tu,
 		RW:     cast.NewRewriter(tu.Source),
 		rng:    rng,
-		idents: map[string]bool{},
 		fuel:   DefaultFuel,
 		budget: DefaultFuel,
 	}
-	identRe := regexp.MustCompile(`[A-Za-z_][A-Za-z0-9_]*`)
-	for _, id := range identRe.FindAllString(tu.Source, -1) {
-		m.idents[id] = true
+}
+
+// identsMap lazily scans the source for identifiers. Most mutators
+// never call GenerateUniqueName, so the scan (regexp over the whole
+// program plus a map fill) is deferred until first use.
+func (m *Manager) identsMap() map[string]bool {
+	if m.idents == nil {
+		m.idents = map[string]bool{}
+		for _, id := range identRe.FindAllString(m.TU.Source, -1) {
+			m.idents[id] = true
+		}
 	}
-	return m
+	return m.idents
 }
 
 // Rand exposes the manager's random stream.
@@ -429,11 +447,12 @@ func (m *Manager) IsSideEffectFree(e cast.Expr) bool {
 // not collide with any identifier in the program or a previously
 // generated name.
 func (m *Manager) GenerateUniqueName(baseName string) string {
+	idents := m.identsMap()
 	for {
 		m.nameSeq++
 		cand := fmt.Sprintf("%s_%d", baseName, m.nameSeq)
-		if !m.idents[cand] {
-			m.idents[cand] = true
+		if !idents[cand] {
+			idents[cand] = true
 			return cand
 		}
 	}

@@ -158,6 +158,39 @@ func (s *Snapshot) CounterSum(name string) int64 {
 	return total
 }
 
+// FamilyInfo describes one registered metric family independent of its
+// current values — the shape docs/METRICS.md documents and the
+// metrics-doc test diffs against.
+type FamilyInfo struct {
+	Name   string   // family name, e.g. "mutants_total"
+	Kind   string   // "counter", "gauge", or "histogram"
+	Labels []string // label names in registration order (nil if unlabeled)
+}
+
+// Families enumerates every registered family sorted by name. Families
+// exist from registration (the first Counter/Gauge/Histogram call), so
+// pre-registering event-gated metrics makes them visible here even
+// before any event fires.
+func (r *Registry) Families() []FamilyInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]FamilyInfo, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for _, f := range r.counters {
+		out = append(out, FamilyInfo{Name: f.name, Kind: "counter", Labels: f.labels})
+	}
+	for _, f := range r.gauges {
+		out = append(out, FamilyInfo{Name: f.name, Kind: "gauge", Labels: f.labels})
+	}
+	for _, f := range r.hists {
+		out = append(out, FamilyInfo{Name: f.name, Kind: "histogram", Labels: f.labels})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 func equalValues(a, b []string) bool {
 	if len(a) != len(b) {
 		return false

@@ -43,6 +43,16 @@
 // mutator_fuel_exhausted_total{mutator} and mutdsl_fuel_exhausted_total
 // (supervised mutator execution and interpreter fuel watchdogs).
 //
+// The adaptive scheduler (internal/sched) adds
+// sched_picks_total{mutator} (arm selections) and
+// sched_weight{mutator} (posterior mean reward in milli-units), and
+// the compiler simulator's mutant dedup cache adds
+// mutant_cache_hits_total (compilations answered from cache).
+//
+// The complete catalogue, with units and emitting packages, lives in
+// docs/METRICS.md; a test diffs that file against a fully-exercised
+// live registry so it cannot drift.
+//
 // Everything is nil-tolerant: methods on a nil *Registry (and on the
 // nil handles it returns) are no-ops, so instrumented code pays almost
 // nothing when observability is off. Handles (*Counter, *Gauge,

@@ -1,0 +1,19 @@
+package resil
+
+import "github.com/icsnju/metamut-go/internal/obs"
+
+// RegisterMetrics pre-registers the resilience families so they appear
+// in snapshots (and the METRICS.md schema test) before the first trip,
+// retry, or quarantine. Must stay in sync with the inline sites in
+// breaker.go, resil.go and quarantine.go.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("resil_breaker_state")
+	reg.Counter("resil_breaker_trips_total")
+	reg.Counter("resil_deferred_total")
+	reg.Counter("resil_retries_total", "stage")
+	reg.Counter("resil_quarantines_total", "id")
+	reg.Counter("resil_paroles_total", "id")
+}
