@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race bench bench-json bench-smoke campaign-smoke chaos-smoke clean
+.PHONY: check build vet staticcheck test race bench bench-json bench-smoke campaign-smoke chaos-smoke flight-smoke clean
 
 # check is the one-stop gate: vet (+ staticcheck when installed), build,
 # full test suite, the race-detector pass over the concurrency-bearing
@@ -35,7 +35,7 @@ test:
 race:
 	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck \
 		./internal/engine ./internal/resil ./internal/resil/chaos \
-		./internal/sched
+		./internal/sched ./internal/flight
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -76,6 +76,34 @@ chaos-smoke:
 	$(GO) run ./cmd/mucfuzz -macro -resume .chaos-smoke/campaign.json \
 		-steps 4000 -workers 4 -chaos 99
 	@rm -rf .chaos-smoke
+
+# flight-smoke proves the flight recorder end to end: a chaos campaign
+# with the live console up, polled over HTTP (JSON snapshot + a taste of
+# the SSE feed) while it runs, then the journal replayed through the
+# post-campaign reporter — and the chaos retries must have tripped at
+# least one watchdog anomaly into the journal.
+flight-smoke:
+	@rm -rf .flight-smoke && mkdir .flight-smoke
+	$(GO) run ./cmd/mucfuzz -macro -streams 16 -steps 12000 -workers 4 \
+		-chaos 99 -flight .flight-smoke/flight.jsonl \
+		-debug-addr 127.0.0.1:6161 & \
+	pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+		if curl -sf http://127.0.0.1:6161/debug/campaign \
+			-o .flight-smoke/console.json; then up=1; break; fi; \
+		sleep 0.2; done; \
+	if [ "$$up" = 1 ]; then \
+		curl -sf -m 2 http://127.0.0.1:6161/debug/campaign/stream \
+			| head -c 4096 > .flight-smoke/sse.txt || true; \
+	fi; \
+	wait $$pid || { echo "flight-smoke: campaign failed"; exit 1; }; \
+	[ "$$up" = 1 ] || { echo "flight-smoke: console never came up"; exit 1; }
+	grep -q '"campaign"' .flight-smoke/console.json
+	$(GO) run ./cmd/experiments -run flightreport \
+		-flight-journal .flight-smoke/flight.jsonl
+	grep -q '"kind":"anomaly"' .flight-smoke/flight.jsonl || \
+		{ echo "flight-smoke: chaos raised no watchdog anomaly"; exit 1; }
+	@rm -rf .flight-smoke
 
 clean:
 	$(GO) clean ./...

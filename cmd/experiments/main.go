@@ -8,6 +8,7 @@
 //	experiments -run table6
 //	experiments -run mutators       # section 4.1 registry stats
 //	experiments -run schedbench     # scheduling/cache ablation -> BENCH_sched.json
+//	experiments -run flightreport -flight-journal flight.jsonl
 //
 // The -steps / -invocations / -macrosteps flags scale the campaigns.
 // -sched switches the μCFuzz/macro campaigns between the legacy
@@ -25,10 +26,17 @@
 // Observability: -metrics-out/-trace-out write a final JSON metrics
 // snapshot and a JSONL span journal (one span per experiment);
 // -debug-addr serves /debug/metrics and /debug/pprof while running.
+//
+// flightreport is the post-campaign reporter: it replays a flight
+// journal written by `mucfuzz -flight` into a human-readable report
+// (timeline, top mutators by reward, crash log, anomaly log);
+// -flight-metrics additionally joins a metrics snapshot's stage-latency
+// table into the report.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,12 +48,13 @@ import (
 
 	"github.com/icsnju/metamut-go/internal/engine"
 	"github.com/icsnju/metamut-go/internal/experiments"
+	"github.com/icsnju/metamut-go/internal/flight"
 	"github.com/icsnju/metamut-go/internal/obs"
 )
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,rq1,table5,table6,mutators,schedbench,all")
+		run         = flag.String("run", "all", "comma-separated experiments: table1,table2,table3,rq1,table5,table6,mutators,schedbench,flightreport,all")
 		seed        = flag.Int64("seed", 20240427, "random seed")
 		steps       = flag.Int("steps", 4000, "RQ1 compilations per fuzzer per compiler")
 		table5Steps = flag.Int("table5steps", 800, "compilations per Table 5 repetition")
@@ -60,6 +69,8 @@ func main() {
 		schedKind   = flag.String("sched", "", "mutator scheduling for rq1/table5/table6: uniform (default) or adaptive")
 		benchSteps  = flag.Int("schedbench-steps", 6000, "schedbench: compilations per ablation variant")
 		benchOut    = flag.String("out", "BENCH_sched.json", "schedbench: where to write the JSON result")
+		flightIn    = flag.String("flight-journal", "", "flightreport: flight journal (JSONL) to replay")
+		flightMet   = flag.String("flight-metrics", "", "flightreport: metrics snapshot JSON to join stage latency from")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -186,6 +197,40 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("ablation written to %s\n", *benchOut)
+		}
+		ran = true
+	}
+	if want["flightreport"] {
+		// Not part of -run all: it replays an existing journal rather
+		// than running a campaign.
+		if *flightIn == "" {
+			fmt.Fprintln(os.Stderr, "flightreport needs -flight-journal FILE")
+			os.Exit(2)
+		}
+		jf, ferr := os.Open(*flightIn)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		events, rerr := flight.ReadJournal(jf)
+		jf.Close()
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, rerr)
+			os.Exit(1)
+		}
+		fmt.Print(flight.BuildReport(events).Render())
+		if *flightMet != "" {
+			data, merr := os.ReadFile(*flightMet)
+			if merr != nil {
+				fmt.Fprintln(os.Stderr, merr)
+				os.Exit(1)
+			}
+			var snap obs.Snapshot
+			if jerr := json.Unmarshal(data, &snap); jerr != nil {
+				fmt.Fprintf(os.Stderr, "parse metrics snapshot %s: %v\n", *flightMet, jerr)
+				os.Exit(1)
+			}
+			fmt.Print(flight.RenderLatency(&snap))
 		}
 		ran = true
 	}

@@ -86,10 +86,18 @@ func main() {
 	rec.Instrument(reg)
 	var client llm.Client = rec
 	if *breakerTh > 0 {
-		client = llm.Guard(rec, resil.NewBreaker(resil.BreakerConfig{
+		br := resil.NewBreaker(resil.BreakerConfig{
 			FailureThreshold: *breakerTh,
 			Cooldown:         *breakerCd,
-		}, reg))
+		}, reg)
+		// Journal breaker transitions alongside the span trace so a
+		// post-mortem can see exactly when the model client degraded.
+		br.SetTransitionHook(func(from, to resil.State) {
+			reg.Journal().Event("breaker", map[string]any{
+				"from": from.String(), "to": to.String(),
+			})
+		})
+		client = llm.Guard(rec, br)
 	}
 	fw := core.New(client, *seed+1)
 	fw.Obs = reg

@@ -18,11 +18,24 @@
 //	mucfuzz -macro -resume c.json -steps 80000 -triage-out bugs.json
 //
 // Observability: -stats-interval N prints a live status line every N
-// steps; -metrics-out/-trace-out write the final JSON snapshot and the
-// JSONL span journal; -debug-addr serves /debug/metrics and
-// /debug/pprof while the campaign runs.
+// steps (throughput EMAs, ETA from the remaining budget, stall flag);
+// -metrics-out/-trace-out write the final JSON snapshot and the JSONL
+// span journal; -debug-addr serves /debug/metrics, /debug/pprof, and —
+// when the flight recorder is on — /debug/campaign (live JSON console)
+// plus /debug/campaign/stream (SSE journal feed).
 //
 //	mucfuzz -steps 2000 -stats-interval 500 -metrics-out m.json -trace-out t.jsonl
+//
+// Flight recorder: -flight FILE journals every significant campaign
+// event (barriers, checkpoints, mutator rewards, quarantine churn,
+// crashes, watchdog anomalies) as JSONL keyed by logical time only —
+// the journal is byte-identical at any -workers value for a fixed
+// -seed. -flight-max-bytes caps the file (rotation keeps one .1
+// generation); -flight-report prints the replayed campaign report at
+// exit; -flight-baseline BENCH_sched.json arms the throughput-
+// regression watchdog against the committed baseline.
+//
+//	mucfuzz -macro -steps 40000 -flight flight.jsonl -flight-report
 //
 // Scheduling and caching: -sched picks the mutator scheduling policy —
 // "adaptive" (the default) runs a per-stream UCB bandit over mutator
@@ -52,10 +65,10 @@ import (
 	"sort"
 	"strings"
 	"syscall"
-	"time"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/engine"
+	"github.com/icsnju/metamut-go/internal/flight"
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
@@ -63,35 +76,11 @@ import (
 	"github.com/icsnju/metamut-go/internal/mutcheck"
 	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/reduce"
+	"github.com/icsnju/metamut-go/internal/resil"
 	"github.com/icsnju/metamut-go/internal/resil/chaos"
 	"github.com/icsnju/metamut-go/internal/sched"
 	"github.com/icsnju/metamut-go/internal/seeds"
 )
-
-// statusPrinter emits the one-line live campaign status.
-type statusPrinter struct {
-	lastTime  time.Time
-	lastTicks int
-}
-
-func newStatusPrinter() *statusPrinter {
-	return &statusPrinter{lastTime: time.Now()}
-}
-
-// line prints the live status for the aggregated stats so far.
-func (p *statusPrinter) line(st *fuzz.Stats) {
-	now := time.Now()
-	dt := now.Sub(p.lastTime).Seconds()
-	rate := 0.0
-	if dt > 0 {
-		rate = float64(st.Ticks-p.lastTicks) / dt
-	}
-	fmt.Printf("[stats] ticks=%-8d ticks/s=%-8.0f edges=%-6d crashes=%-4d compilable=%.1f%%\n",
-		st.Ticks, rate, st.Coverage.Count(), st.UniqueCrashes(),
-		st.CompilableRatio())
-	p.lastTime = now
-	p.lastTicks = st.Ticks
-}
 
 func main() {
 	var (
@@ -113,6 +102,10 @@ func main() {
 		chaosSeed = flag.Int64("chaos", 0, "macro campaign: arm the deterministic chaos harness with this fault seed (0 = off)")
 		schedKind = flag.String("sched", "adaptive", "mutator scheduling policy: uniform or adaptive (UCB bandit)")
 		cacheCap  = flag.Int("mutant-cache", 4096, "dedup cache over compile results: max entries (0 = off)")
+		flightOut = flag.String("flight", "", "write the flight journal (JSONL, logical time only) to this file")
+		flightMax = flag.Int64("flight-max-bytes", 64<<20, "rotate the flight journal after this many bytes (0 = unbounded)")
+		flightRep = flag.Bool("flight-report", false, "print the replayed flight report at exit")
+		flightBas = flag.String("flight-baseline", "", "BENCH_sched.json file arming the throughput-regression watchdog")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -120,11 +113,14 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	reg := obs.NewRegistry()
-	shutdown, err := cli.Activate(reg, "mucfuzz")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	// Pre-register the full campaign metric schema so snapshots and
+	// /debug/metrics show every family from the first tick, not just
+	// those that happened to fire already.
+	fuzz.RegisterMetrics(reg)
+	engine.RegisterMetrics(reg)
+	sched.RegisterMetrics(reg)
+	resil.RegisterMetrics(reg)
+	flight.RegisterMetrics(reg)
 
 	version := 14
 	if *compiler == "clang" {
@@ -133,10 +129,6 @@ func main() {
 	comp := compilersim.New(*compiler, version)
 	comp.Instrument(reg)
 	comp.EnableMutantCache(*cacheCap)
-
-	sp := reg.Span("seed-gen")
-	pool := seeds.Generate(*nSeeds, *seed)
-	sp.End()
 
 	var mutators []*muast.Mutator
 	switch *set {
@@ -151,6 +143,90 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// A resume must be inspected before the recorder and scheduler are
+	// built: the snapshot fixes the campaign identity (seed, streams,
+	// budget, scheduler policy) and its Done count tells the recorder to
+	// continue the journal rather than re-emit the campaign header.
+	var preSnap *engine.Snapshot
+	if *macro && *resume != "" {
+		if snap, used, perr := engine.LoadWithFallback(*resume); perr == nil {
+			preSnap = snap
+			if used != *resume {
+				fmt.Printf("primary checkpoint %s failed integrity check; resuming from %s\n",
+					*resume, used)
+			}
+			// Like -seed/-streams/-steps, an unset -sched inherits the
+			// snapshot's policy rather than contradicting it (Resume
+			// rejects a posterior the worker cannot restore).
+			if !explicit["sched"] && len(snap.StreamStates) > 0 &&
+				snap.StreamStates[0].Sched != nil {
+				*schedKind = snap.StreamStates[0].Sched.Kind
+			}
+		}
+	}
+
+	// Flight recorder: journal to -flight, or ring-only when just the
+	// report or the live console is wanted.
+	var rec *flight.Recorder
+	var flightW *obs.RotatingWriter
+	if *flightOut != "" || *flightRep || cli.DebugAddr != "" {
+		if *flightOut != "" {
+			w, werr := obs.OpenRotating(*flightOut, *flightMax)
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				os.Exit(1)
+			}
+			flightW = w
+		}
+		var wd flight.WatchdogConfig
+		if *flightBas != "" {
+			base, berr := flight.BenchBaseline(*flightBas, *schedKind)
+			if berr != nil {
+				fmt.Fprintln(os.Stderr, berr)
+				os.Exit(1)
+			}
+			wd.BaselineEdgesPer1k = base
+		}
+		armNames := make([]string, len(mutators))
+		for i, mu := range mutators {
+			armNames[i] = mu.Name
+		}
+		fcfg := flight.Config{
+			Streams:    *streams,
+			TotalSteps: *steps,
+			Seed:       *seed,
+			Registry:   reg,
+			ArmNames:   armNames,
+			Watchdogs:  wd,
+		}
+		if flightW != nil {
+			fcfg.Journal = flightW
+		}
+		if !*macro {
+			fcfg.Streams = 1
+		}
+		if preSnap != nil {
+			fcfg.Done = preSnap.Done
+			fcfg.Seed = preSnap.Seed
+			fcfg.Streams = preSnap.Streams
+			if !explicit["steps"] {
+				fcfg.TotalSteps = preSnap.TotalSteps
+			}
+		}
+		rec = flight.NewRecorder(fcfg)
+	}
+
+	shutdown, err := cli.Activate(reg, "mucfuzz", flight.Routes(rec)...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sp := reg.Span("seed-gen")
+	pool := seeds.Generate(*nSeeds, *seed)
+	sp.End()
+
 	// The arsenal was LLM-generated offline; surface the token spend it
 	// embodies so campaign dashboards can relate throughput to cost.
 	llm.RecordArsenalCost(reg, len(mutators))
@@ -160,7 +236,7 @@ func main() {
 		return
 	}
 
-	status := newStatusPrinter()
+	status := flight.NewStatus()
 	var stats []*fuzz.Stats
 	var campaign *engine.Campaign
 	sp = reg.Span("fuzz")
@@ -178,6 +254,9 @@ func main() {
 			w.Sched = s
 			w.Stats().Instrument(reg)
 			w.InstrumentSched(reg)
+			if rec != nil {
+				w.AttachFlight(rec.Stream(stream))
+			}
 			return w
 		}
 		ecfg := engine.Config{
@@ -188,6 +267,7 @@ func main() {
 			CheckpointPath:  *ckpt,
 			CheckpointEvery: *ckptEvery,
 			Registry:        reg,
+			Flight:          rec,
 		}
 		var inj *chaos.Injector
 		if *chaosSeed != 0 {
@@ -211,7 +291,9 @@ func main() {
 				for next <= done {
 					next += cli.StatsInterval
 				}
-				status.line(c.MergedStats())
+				agg := c.MergedStats()
+				fmt.Println("[stats] " + status.Line(done, total,
+					agg.Coverage.Count(), len(agg.Crashes), agg.CompilableRatio()))
 			}
 		}
 		if *resume != "" {
@@ -225,19 +307,6 @@ func main() {
 			}
 			if !explicit["steps"] {
 				ecfg.TotalSteps = 0
-			}
-			if snap, used, perr := engine.LoadWithFallback(*resume); perr == nil {
-				if used != *resume {
-					fmt.Printf("primary checkpoint %s failed integrity check; resuming from %s\n",
-						*resume, used)
-				}
-				// Like -seed/-streams/-steps, an unset -sched inherits the
-				// snapshot's policy rather than contradicting it (Resume
-				// rejects a posterior the worker cannot restore).
-				if !explicit["sched"] && len(snap.StreamStates) > 0 &&
-					snap.StreamStates[0].Sched != nil {
-					*schedKind = snap.StreamStates[0].Sched.Kind
-				}
 			}
 			var rerr error
 			if c, rerr = engine.Resume(*resume, ecfg, factory); rerr != nil {
@@ -293,13 +362,37 @@ func main() {
 		}
 		f.Stats().Instrument(reg)
 		f.InstrumentSched(reg)
+		if rec != nil {
+			f.AttachFlight(rec.Stream(0))
+		}
+		// The single-stream fuzzer has no engine barriers; give the
+		// recorder pseudo-epochs every microEpochTicks compilations so
+		// the console and watchdogs still see periodic summaries.
+		const microEpochTicks = 256
+		nextEpoch := microEpochTicks
+		epoch := 0
 		next := cli.StatsInterval
 		for f.Stats().Ticks < *steps {
 			f.Step()
+			if rec != nil && f.Stats().Ticks >= nextEpoch {
+				epoch++
+				rec.EndEpoch(microEpoch(epoch, f, *steps))
+				for nextEpoch <= f.Stats().Ticks {
+					nextEpoch += microEpochTicks
+				}
+			}
 			if cli.StatsInterval > 0 && f.Stats().Ticks >= next {
-				status.line(f.Stats())
+				st := f.Stats()
+				fmt.Println("[stats] " + status.Line(st.Ticks, *steps,
+					st.Coverage.Count(), st.UniqueCrashes(), st.CompilableRatio()))
 				next += cli.StatsInterval
 			}
+		}
+		if rec != nil {
+			epoch++
+			rec.EndEpoch(microEpoch(epoch, f, *steps))
+			st := f.Stats()
+			rec.End(st.Ticks, st.Coverage.Count(), st.UniqueCrashes())
 		}
 		stats = append(stats, f.Stats())
 		fmt.Printf("pool grew to %d programs\n", f.PoolSize())
@@ -368,9 +461,43 @@ func main() {
 	}
 	sp.End()
 
+	if rec != nil {
+		if n := len(rec.Anomalies()); n > 0 {
+			fmt.Printf("flight watchdogs raised %d anomalies (see journal or -flight-report)\n", n)
+		}
+		if jerr := rec.JournalErr(); jerr != nil {
+			fmt.Fprintf(os.Stderr, "flight journal error: %v\n", jerr)
+		}
+		if *flightRep {
+			frep := flight.BuildReport(rec.Events())
+			fmt.Print(frep.Render())
+			fmt.Print(flight.RenderLatency(reg.Snapshot()))
+		}
+		if flightW != nil {
+			if cerr := flightW.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, cerr)
+			}
+			fmt.Printf("flight journal written to %s\n", *flightOut)
+		}
+	}
+
 	if err := shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// microEpoch summarizes the single-stream fuzzer's progress as one
+// pseudo-barrier for the flight recorder.
+func microEpoch(epoch int, f *fuzz.MuCFuzz, total int) flight.EpochInfo {
+	st := f.Stats()
+	return flight.EpochInfo{
+		Epoch: epoch, Done: st.Ticks, Total: total, Edges: st.Coverage.Count(),
+		Streams: []flight.StreamInfo{{
+			Stream: 0, Ticks: st.Ticks, Total: st.Total,
+			Crashes: len(st.Crashes), Edges: st.Coverage.Count(),
+			Pool: f.PoolSize(), Sched: f.SchedState(),
+		}},
 	}
 }
 

@@ -315,6 +315,9 @@ func (c *Campaign) Checkpoint() error {
 		c.ckptDone = c.done
 		c.mCkpts.Inc()
 		c.mCkptBytes.Set(int64(len(out)))
+		if c.cfg.Flight != nil {
+			c.cfg.Flight.Checkpoint(c.epoch, c.done, len(out))
+		}
 		sp.EndWith(map[string]any{"bytes": len(out), "epoch": c.epoch, "done": c.done})
 		return nil
 	}

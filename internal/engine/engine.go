@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/flight"
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/obs"
 )
@@ -87,6 +88,14 @@ type Config struct {
 	CheckpointEvery int
 	// Registry receives engine telemetry (nil disables it).
 	Registry *obs.Registry
+	// Flight, when set, receives the campaign's structured event journal:
+	// the engine emits one barrier summary per epoch (stream progress,
+	// scheduler posteriors, retries, poisonings), a checkpoint event per
+	// successful snapshot write, and an end event at completion. Stream
+	// workers are attached separately (fuzzer AttachFlight in the
+	// factory). Everything emitted is keyed by logical time only, so the
+	// journal is byte-identical at any worker count.
+	Flight *flight.Recorder
 	// OnEpoch, when set, is called after every barrier with the steps
 	// completed so far and the total budget.
 	OnEpoch func(done, total int)
@@ -231,9 +240,32 @@ func Adopt(cfg Config, workers []Worker) (*Campaign, error) {
 	return c, nil
 }
 
+// RegisterMetrics pre-registers every engine metric family (including
+// event-gated ones like resume fallbacks and triage reductions), so
+// metric snapshots and the METRICS.md reference see the full engine
+// surface from campaign start. Idempotent; nil registry is a no-op.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Histogram("engine_epoch_seconds", nil)
+	reg.Histogram("engine_sync_seconds", obs.ExpBuckets(1e-6, 4, 12))
+	reg.Gauge("engine_queue_depth")
+	reg.Gauge("engine_steps_done")
+	reg.Gauge("engine_checkpoint_bytes")
+	reg.Counter("engine_epochs_total")
+	reg.Counter("engine_checkpoints_total")
+	reg.Counter("engine_checkpoint_failures_total")
+	reg.Counter("engine_task_retries_total")
+	reg.Counter("engine_streams_poisoned_total")
+	reg.Counter("engine_checkpoint_fallbacks_total")
+	reg.Counter("triage_reduced_total")
+}
+
 func (c *Campaign) instrument() {
 	reg := c.cfg.Registry // nil registry → every handle no-ops
 	c.reg = reg
+	RegisterMetrics(reg)
 	c.mEpochSec = reg.Histogram("engine_epoch_seconds", nil).With()
 	c.mSyncSec = reg.Histogram("engine_sync_seconds", obs.ExpBuckets(1e-6, 4, 12)).With()
 	c.mQueue = reg.Gauge("engine_queue_depth").With()
@@ -244,11 +276,6 @@ func (c *Campaign) instrument() {
 	c.mCkptFails = reg.Counter("engine_checkpoint_failures_total").With()
 	c.mTaskRetries = reg.Counter("engine_task_retries_total").With()
 	c.mPoisoned = reg.Counter("engine_streams_poisoned_total").With()
-	// Event-gated families (resume fallback, triage reduction) are
-	// registered up front too, so metric snapshots and the METRICS.md
-	// reference see the full engine surface from the first epoch.
-	reg.Counter("engine_checkpoint_fallbacks_total")
-	reg.Counter("triage_reduced_total")
 }
 
 // Done returns the steps completed so far.
@@ -311,7 +338,13 @@ func (c *Campaign) Run(ctx context.Context) error {
 	}
 	if c.cfg.CheckpointPath != "" {
 		// Final snapshot: resumable later with a larger TotalSteps.
-		return c.Checkpoint()
+		if err := c.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	if rec := c.cfg.Flight; rec != nil {
+		agg := c.MergedStats()
+		rec.End(c.done, agg.Coverage.Count(), len(agg.Crashes))
 	}
 	return nil
 }
@@ -359,6 +392,7 @@ func (c *Campaign) runEpoch() {
 		}
 	}
 	attempts := make(map[int]int)
+	retries := 0
 	for len(pending) > 0 {
 		var retry []int
 		for _, out := range c.dispatch(pending, plan, attempts) {
@@ -370,6 +404,7 @@ func (c *Campaign) runEpoch() {
 				// touched, so re-dispatching replays it exactly.
 				attempts[out.stream]++
 				c.mTaskRetries.Inc()
+				retries++
 				retry = append(retry, out.stream)
 				continue
 			}
@@ -398,6 +433,48 @@ func (c *Campaign) runEpoch() {
 	c.mEpochs.Inc()
 	c.mStepsDone.Set(int64(c.done))
 	c.mEpochSec.Observe(time.Since(epochStart).Seconds())
+	c.emitBarrier(retries)
+}
+
+// emitBarrier publishes the completed epoch to the flight recorder:
+// per-stream progress (with scheduler posteriors and pool sizes where
+// the worker exposes them), merged coverage, retries, and the
+// cumulative poisoned set. Runs single-threaded between epochs, so
+// everything it reads is quiescent.
+func (c *Campaign) emitBarrier(retries int) {
+	rec := c.cfg.Flight
+	if rec == nil {
+		return
+	}
+	info := flight.EpochInfo{
+		Epoch: c.epoch, Done: c.done, Total: c.cfg.TotalSteps, Retries: retries,
+	}
+	// Merged edges must include self-guided streams' private maps
+	// (μCFuzz never publishes into the global map).
+	agg := cover.NewMap()
+	agg.Merge(c.global)
+	for s, w := range c.workers {
+		st := w.Stats()
+		si := flight.StreamInfo{
+			Stream: s, Ticks: st.Ticks, Total: st.Total,
+			Crashes: len(st.Crashes), Edges: st.Coverage.Count(),
+			Poisoned: c.isPoisoned(s),
+		}
+		if pw, ok := w.(interface{ PoolSize() int }); ok {
+			si.Pool = pw.PoolSize()
+		}
+		if sw, ok := w.(SchedWorker); ok {
+			si.Sched = sw.SchedState()
+		}
+		agg.Merge(st.Coverage)
+		info.Streams = append(info.Streams, si)
+	}
+	info.Edges = agg.Count()
+	for s := range c.poisoned {
+		info.Poisoned = append(info.Poisoned, s)
+	}
+	sort.Ints(info.Poisoned)
+	rec.EndEpoch(info)
 }
 
 // dispatch runs one round of stream tasks across the worker fleet and

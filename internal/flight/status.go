@@ -1,0 +1,71 @@
+package flight
+
+import (
+	"fmt"
+	"time"
+)
+
+// Status renders the interactive fuzzer status line: progress, an
+// exponentially smoothed throughput (steps/s and edges/s), an ETA
+// derived from the remaining budget, and a stall flag when coverage
+// stops moving. It is presentation-only — it never feeds the journal,
+// so its wall-clock readings cannot perturb determinism.
+type Status struct {
+	// Now is the clock, overridable in tests (defaults to time.Now).
+	Now func() time.Time
+
+	alpha     float64
+	primed    bool
+	lastAt    time.Time
+	lastDone  int
+	lastEdges int
+	stepRate  float64 // steps/s EMA
+	edgeRate  float64 // edges/s EMA
+	flatFor   int     // consecutive updates with no new edges
+}
+
+// NewStatus returns a status line tracker with smoothing factor 0.4.
+func NewStatus() *Status {
+	return &Status{Now: time.Now, alpha: 0.4}
+}
+
+// Line folds one observation into the EMAs and renders the status
+// line. The first call only records the baseline and reports rates as
+// warming up.
+func (s *Status) Line(done, total, edges, crashes int, compilablePct float64) string {
+	now := s.Now()
+	head := fmt.Sprintf("steps %d/%d  edges %d  crashes %d  compilable %.1f%%",
+		done, total, edges, crashes, compilablePct)
+	if !s.primed {
+		s.primed = true
+		s.lastAt, s.lastDone, s.lastEdges = now, done, edges
+		return head + "  (warming up)"
+	}
+	dt := now.Sub(s.lastAt).Seconds()
+	if dt > 0 {
+		stepInst := float64(done-s.lastDone) / dt
+		edgeInst := float64(edges-s.lastEdges) / dt
+		if s.stepRate == 0 && s.edgeRate == 0 {
+			s.stepRate, s.edgeRate = stepInst, edgeInst
+		} else {
+			s.stepRate += s.alpha * (stepInst - s.stepRate)
+			s.edgeRate += s.alpha * (edgeInst - s.edgeRate)
+		}
+	}
+	if edges > s.lastEdges {
+		s.flatFor = 0
+	} else {
+		s.flatFor++
+	}
+	s.lastAt, s.lastDone, s.lastEdges = now, done, edges
+
+	line := fmt.Sprintf("%s  %.1f steps/s  %.1f edges/s", head, s.stepRate, s.edgeRate)
+	if remaining := total - done; remaining > 0 && s.stepRate > 0 {
+		eta := time.Duration(float64(remaining)/s.stepRate) * time.Second
+		line += "  eta " + eta.Truncate(time.Second).String()
+	}
+	if s.flatFor >= 3 {
+		line += "  [STALL]"
+	}
+	return line
+}

@@ -342,6 +342,9 @@ type MuCFuzz struct {
 	Sched sched.Scheduler
 
 	allowedFn func(int) bool
+	// flight, when attached, journals crashes, pool admissions,
+	// rewards, and quarantine churn (see AttachFlight).
+	flight FlightEmitter
 }
 
 // NewMuCFuzz builds a μCFuzz instance over the given mutator set.
@@ -456,8 +459,12 @@ func (f *MuCFuzz) Step() {
 			}
 		}
 		tries++
+		nCrash := len(f.stats.Crashes)
 		res := f.comp.Compile(mutant, f.opts)
 		isNew := f.stats.Record(mutant, mu.Name, res)
+		if f.flight != nil && len(f.stats.Crashes) > nCrash {
+			emitCrash(f.flight, f.stats, res.Crash, mu.Name)
+		}
 		f.Sched.Observe(mi, sched.Reward{
 			NewCoverage:  isNew,
 			Crash:        res.Crash != nil,
@@ -473,6 +480,9 @@ func (f *MuCFuzz) Step() {
 		}
 		if isNew && res.OK {
 			f.pool = append(f.pool, mutant)
+			if f.flight != nil {
+				emitAdmission(f.flight, f.stats, mu.Name, len(f.pool))
+			}
 			return
 		}
 	}
@@ -562,6 +572,9 @@ type MacroFuzzer struct {
 
 	allowedFn func(int) bool
 	armBuf    []int // applied-arm scratch, reused across steps
+	// flight, when attached, journals crashes, pool admissions,
+	// rewards, and quarantine churn (see AttachFlight).
+	flight FlightEmitter
 }
 
 // NewMacroFuzzer builds a macro fuzzer worker; workers on the same
@@ -693,11 +706,18 @@ func (f *MacroFuzzer) Step() {
 			return
 		}
 	}
+	nCrash := len(f.stats.Crashes)
 	res := f.comp.Compile(cur, f.sampleOptions())
 	f.stats.Record(cur, via, res)
+	if f.flight != nil && len(f.stats.Crashes) > nCrash {
+		emitCrash(f.flight, f.stats, res.Crash, via)
+	}
 	admitted := res.OK && f.shared != nil && f.shared.MergeIfNew(res.Coverage)
 	if admitted {
 		f.pool = append(f.pool, cur)
+		if f.flight != nil {
+			emitAdmission(f.flight, f.stats, via, len(f.pool))
+		}
 	}
 	// The single end-of-step compile outcome is attributed to every
 	// mutator in the havoc chain.
@@ -724,6 +744,9 @@ func (f *MacroFuzzer) SetCorpus(pool []string) {
 	f.pool = make([]string, len(pool))
 	copy(f.pool, pool)
 }
+
+// PoolSize returns the current program-pool size.
+func (f *MacroFuzzer) PoolSize() int { return len(f.pool) }
 
 // Coverage returns the worker's current coverage sink.
 func (f *MacroFuzzer) Coverage() CoverageSink { return f.shared }

@@ -37,11 +37,12 @@ func BindCLIFlags() *CLIOptions {
 }
 
 // Activate wires the options into the registry: opens the trace
-// journal, starts the debug server, and publishes the registry under
-// the given expvar name. The returned shutdown function writes the
-// final metrics snapshot and closes the journal; call it exactly once
-// (e.g. via defer) after the campaign finishes.
-func (o *CLIOptions) Activate(reg *Registry, expvarName string) (func() error, error) {
+// journal, starts the debug server (mounting any extra routes, e.g.
+// the flight recorder's console endpoints), and publishes the registry
+// under the given expvar name. The returned shutdown function writes
+// the final metrics snapshot and closes the journal; call it exactly
+// once (e.g. via defer) after the campaign finishes.
+func (o *CLIOptions) Activate(reg *Registry, expvarName string, extra ...Route) (func() error, error) {
 	var journal *Journal
 	var srv *http.Server
 	if o.TraceOut != "" {
@@ -53,7 +54,7 @@ func (o *CLIOptions) Activate(reg *Registry, expvarName string) (func() error, e
 		reg.SetJournal(j)
 	}
 	if o.DebugAddr != "" {
-		s, addr, err := reg.ServeDebug(o.DebugAddr)
+		s, addr, err := reg.ServeDebug(o.DebugAddr, extra...)
 		if err != nil {
 			journal.Close()
 			return nil, fmt.Errorf("obs: debug server: %w", err)

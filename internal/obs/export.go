@@ -229,16 +229,29 @@ func (r *Registry) PublishExpvar(name string) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
+// Route is one extra handler mounted on the debug server — how
+// subsystems (e.g. the flight recorder's /debug/campaign) extend the
+// standard endpoint set without owning the server.
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts an HTTP debug server on addr (e.g. ":6060")
 // serving the live snapshot at /debug/metrics, expvar at /debug/vars,
-// and the pprof suite under /debug/pprof/. It returns the server and
-// its actual listen address (useful with ":0"); the caller owns
-// shutdown via srv.Close.
-func (r *Registry) ServeDebug(addr string) (*http.Server, string, error) {
+// the pprof suite under /debug/pprof/, and any extra routes. It
+// returns the server and its actual listen address (useful with ":0");
+// the caller owns shutdown via srv.Close.
+func (r *Registry) ServeDebug(addr string, extra ...Route) (*http.Server, string, error) {
 	if r == nil {
 		return nil, "", nil
 	}
 	mux := http.NewServeMux()
+	for _, rt := range extra {
+		if rt.Pattern != "" && rt.Handler != nil {
+			mux.Handle(rt.Pattern, rt.Handler)
+		}
+	}
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -41,6 +41,12 @@ type offender struct {
 // All methods are safe on a nil receiver (everything allowed, nothing
 // recorded), mirroring the obs convention.
 type Quarantine struct {
+	// OnEvent, when set, is called with ("quarantine", id) on each
+	// admission and ("parole", id) on each re-admission — the flight
+	// recorder's transition tap. It runs on the owner's goroutine at a
+	// deterministic point in the tick sequence.
+	OnEvent func(kind, id string)
+
 	cfg     QuarantineConfig
 	clock   int
 	entries map[string]*offender
@@ -83,6 +89,9 @@ func (q *Quarantine) Allowed(id string) bool {
 	e.locked = false
 	e.strikes = 0
 	q.mParole.With(id).Inc()
+	if q.OnEvent != nil {
+		q.OnEvent("parole", id)
+	}
 	return true
 }
 
@@ -104,6 +113,9 @@ func (q *Quarantine) Strike(id string) bool {
 	e.locked = true
 	e.until = q.clock + q.cfg.Parole
 	q.mQuar.With(id).Inc()
+	if q.OnEvent != nil {
+		q.OnEvent("quarantine", id)
+	}
 	return true
 }
 

@@ -92,6 +92,12 @@ func (c Config) value(r Reward) float64 {
 	return v
 }
 
+// Observer receives every Observe call after it lands in the
+// posterior — the flight recorder's reward tap. Observers must be
+// deterministic side channels: they may not touch the RNG or feed
+// anything back into scheduling.
+type Observer func(arm int, r Reward)
+
 // Scheduler ranks mutator arms for one fuzzing stream. Implementations
 // are deterministic functions of their own state and the RNG handed in;
 // they are not safe for concurrent use (one instance per stream, like
@@ -121,6 +127,9 @@ type Scheduler interface {
 	// and sched_weight{mutator} (mean reward in milli-units). names must
 	// have one entry per arm.
 	Instrument(reg *obs.Registry, names []string)
+	// SetObserver attaches a reward tap called on every Observe (nil
+	// detaches). The observer never influences scheduling.
+	SetObserver(fn Observer)
 }
 
 // State is the JSON-serializable posterior of a scheduler. float64
@@ -158,6 +167,7 @@ func New(kind string, n int) (Scheduler, error) {
 type Uniform struct {
 	n      int
 	mPicks []*obs.Counter
+	obsFn  Observer
 }
 
 // NewUniform returns the uniform policy over n arms.
@@ -187,10 +197,19 @@ func (u *Uniform) Pick(rng *rand.Rand, allowed func(int) bool) int {
 
 // Observe only feeds telemetry: the uniform policy has no posterior.
 func (u *Uniform) Observe(arm int, r Reward) {
-	if u.mPicks != nil && arm >= 0 && arm < u.n {
+	if arm < 0 || arm >= u.n {
+		return
+	}
+	if u.mPicks != nil {
 		u.mPicks[arm].Inc()
 	}
+	if u.obsFn != nil {
+		u.obsFn(arm, r)
+	}
 }
+
+// SetObserver attaches the reward tap.
+func (u *Uniform) SetObserver(fn Observer) { u.obsFn = fn }
 
 // State serializes the (empty) posterior.
 func (u *Uniform) State() *State { return &State{Kind: "uniform", Arms: u.n} }
@@ -232,6 +251,7 @@ type Adaptive struct {
 
 	mPicks  []*obs.Counter
 	mWeight []*obs.Gauge
+	obsFn   Observer
 }
 
 // NewAdaptive returns the bandit policy over n arms.
@@ -332,7 +352,13 @@ func (a *Adaptive) Observe(arm int, r Reward) {
 	if a.mWeight != nil {
 		a.mWeight[arm].Set(int64(1000 * a.rewards[arm] / float64(a.picks[arm])))
 	}
+	if a.obsFn != nil {
+		a.obsFn(arm, r)
+	}
 }
+
+// SetObserver attaches the reward tap.
+func (a *Adaptive) SetObserver(fn Observer) { a.obsFn = fn }
 
 // State serializes the full posterior.
 func (a *Adaptive) State() *State {

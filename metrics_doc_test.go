@@ -13,6 +13,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/core"
 	"github.com/icsnju/metamut-go/internal/engine"
+	"github.com/icsnju/metamut-go/internal/flight"
 	"github.com/icsnju/metamut-go/internal/fuzz"
 	"github.com/icsnju/metamut-go/internal/llm"
 	"github.com/icsnju/metamut-go/internal/muast"
@@ -57,6 +58,7 @@ func liveFamilies(t *testing.T) map[string]bool {
 	llm.RegisterMetrics(reg)
 	resil.RegisterMetrics(reg)
 	sched.RegisterMetrics(reg)
+	flight.RegisterMetrics(reg)
 
 	comp := compilersim.New("gcc", 14)
 	comp.Instrument(reg)
@@ -86,6 +88,43 @@ func liveFamilies(t *testing.T) map[string]bool {
 		out[fmt.Sprintf("%s %s {%s}", f.Name, f.Kind, strings.Join(f.Labels, ","))] = true
 	}
 	return out
+}
+
+// TestCampaignSchemaPreRegistered enforces satellite #1 of the flight
+// recorder work: every campaign-side family (engine_*, sched_*,
+// resil_*, fuzz's virtual clock, flight_*) must appear in a registry
+// snapshot after only the RegisterMetrics calls a CLI makes at startup
+// — before any campaign event has fired. A dashboard attached to a
+// quiet campaign sees the full schema, not a trickle of families
+// appearing as events happen to occur.
+func TestCampaignSchemaPreRegistered(t *testing.T) {
+	reg := obs.NewRegistry()
+	fuzz.RegisterMetrics(reg)
+	engine.RegisterMetrics(reg)
+	sched.RegisterMetrics(reg)
+	resil.RegisterMetrics(reg)
+	flight.RegisterMetrics(reg)
+
+	have := map[string]bool{}
+	for _, f := range reg.Families() {
+		have[f.Name] = true
+	}
+	for name := range docFamilies(t) {
+		fam := strings.SplitN(name, " ", 2)[0]
+		switch {
+		case strings.HasPrefix(fam, "engine_"),
+			strings.HasPrefix(fam, "sched_"),
+			strings.HasPrefix(fam, "resil_"),
+			strings.HasPrefix(fam, "flight_"),
+			fam == "triage_reduced_total":
+			if !have[fam] {
+				t.Errorf("campaign family %s not pre-registered at startup", fam)
+			}
+		}
+	}
+	if !have["compile_ticks"] || !have["crashes_unique_total"] {
+		t.Error("fuzz.RegisterMetrics missing core fuzzer families")
+	}
 }
 
 // TestMetricsDocMatchesRegistry enforces docs/METRICS.md: the catalogue
