@@ -2,12 +2,17 @@
 
 GO ?= go
 
-.PHONY: check build vet staticcheck test race bench bench-json bench-smoke campaign-smoke chaos-smoke flight-smoke clean
+.PHONY: check lint build vet staticcheck detlint test race bench bench-json bench-smoke campaign-smoke chaos-smoke flight-smoke clean
 
-# check is the one-stop gate: vet (+ staticcheck when installed), build,
-# full test suite, the race-detector pass over the concurrency-bearing
-# packages, then a one-epoch scheduling-ablation smoke.
-check: vet staticcheck build test race bench-smoke
+# check is the one-stop gate: lint (vet + detlint, + staticcheck when
+# installed), build, full test suite, the race-detector pass over the
+# concurrency-bearing packages, then a one-epoch scheduling-ablation
+# smoke.
+check: lint build test race bench-smoke
+
+# lint bundles every static gate: go vet, the repo's own invariant
+# linter (docs/STATIC_ANALYSIS.md), and staticcheck when present.
+lint: vet detlint staticcheck
 
 build:
 	$(GO) build ./...
@@ -24,6 +29,14 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
+# detlint enforces the repo's determinism and supervision invariants
+# (unsorted map iteration into serialization sinks, wall-clock reads in
+# deterministic packages, unseeded global randomness, unsupervised
+# goroutines, undocumented metric names). Exit 1 on any finding — a
+# hazard needs a reasoned //detlint:allow to land.
+detlint:
+	$(GO) run ./cmd/detlint ./...
+
 test:
 	$(GO) test ./...
 
@@ -31,11 +44,12 @@ test:
 # shared-mutable-state hot spots; mutcheck rides along because the
 # fuzzers call it from the same paths the race pass exercises, and the
 # resilience layer (breaker, chaos injector) because its whole job is
-# concurrent fault handling.
+# concurrent fault handling. detlint rides along so the invariant gate
+# (including its repo-wide self-check test) is itself race-vetted.
 race:
 	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck \
 		./internal/engine ./internal/resil ./internal/resil/chaos \
-		./internal/sched ./internal/flight
+		./internal/sched ./internal/flight ./internal/detlint
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -1,0 +1,111 @@
+// Command detlint runs the repo's invariant-lint suite (package
+// internal/detlint): five analyzers proving determinism and
+// supervision discipline — sorted map iteration at serialization
+// sinks, no wall-clock reads in deterministic packages, stream-RNG-
+// only randomness, supervised campaign goroutines, documented
+// constant metric names — over the packages matching the given
+// patterns (default ./...).
+//
+// Exit status: 0 when clean, 1 when any diagnostic survives
+// suppression, 2 on usage or load errors. Suppress a finding with
+// `//detlint:allow <analyzer> <reason>`; the reason is mandatory.
+//
+// Usage:
+//
+//	detlint [-run maporder,wallclock,...] [-list] [-json]
+//	        [-metrics-doc path] [packages...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/icsnju/metamut-go/internal/detlint"
+)
+
+func main() {
+	var (
+		runNames   = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list       = flag.Bool("list", false, "list analyzers and exit")
+		asJSON     = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		metricsDoc = flag.String("metrics-doc", "", "metrics catalogue path (default: <module>/docs/METRICS.md)")
+	)
+	flag.Parse()
+
+	all := detlint.Suite(nil)
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := detlint.ModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	docPath := *metricsDoc
+	if docPath == "" {
+		docPath = filepath.Join(root, "docs", "METRICS.md")
+	}
+	documented, err := detlint.ParseMetricsDoc(docPath)
+	if err != nil {
+		fatal(err)
+	}
+	analyzers := detlint.Suite(documented)
+	if *runNames != "" {
+		analyzers, err = detlint.Select(analyzers, strings.Split(*runNames, ","))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := detlint.Load(cwd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := detlint.Run(pkgs, analyzers)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// relPath shortens filename relative to the working directory when
+// that makes it shorter; diagnostics stay clickable either way.
+func relPath(cwd, filename string) string {
+	if rel, err := filepath.Rel(cwd, filename); err == nil && len(rel) < len(filename) {
+		return rel
+	}
+	return filename
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,174 @@
+// Package analysistest runs a detlint analyzer over fixture packages
+// and checks its diagnostics against `// want` expectations embedded
+// in the fixture source, mirroring the x/tools package of the same
+// name on the standard library alone.
+//
+// Fixtures live under the calling test's testdata/src/<dir>. A want
+// comment trails the line it expects a diagnostic on and carries one
+// double-quoted regular expression per expected diagnostic:
+//
+//	for k, v := range m { // want "map iteration reaches"
+//
+// Suppressed findings simply carry their //detlint:allow directive
+// and no want; the harness fails on any unexpected diagnostic, so a
+// suppression that stops working turns into a test failure.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/detlint"
+)
+
+// wantRe matches the expectation tail of a fixture line.
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+// expectation is one // want entry: a position plus a message regexp.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads each testdata/src/<dir> fixture package (resolved relative
+// to the calling test's working directory), runs the analyzers over
+// all of them, and diffs diagnostics against the fixtures' // want
+// comments both ways.
+func Run(t *testing.T, analyzers []*detlint.Analyzer, dirs ...string) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var patterns []string
+	for _, dir := range dirs {
+		root := filepath.Join(cwd, "testdata", "src", dir)
+		// Name every package directory explicitly: the go tool skips
+		// testdata during wildcard expansion, but lists exact paths.
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			hasGo, _ := filepath.Glob(filepath.Join(path, "*.go"))
+			if len(hasGo) > 0 {
+				rel, err := filepath.Rel(cwd, path)
+				if err != nil {
+					return err
+				}
+				patterns = append(patterns, "./"+filepath.ToSlash(rel))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("analysistest: walking fixtures: %v", err)
+		}
+	}
+	if len(patterns) == 0 {
+		t.Fatalf("analysistest: no fixture packages under %v", dirs)
+	}
+
+	pkgs, err := detlint.Load(cwd, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range detlint.Run(pkgs, analyzers) {
+		if !match(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants scans the fixture sources for // want comments.
+func collectWants(pkgs []*detlint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.GoFiles {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				return nil, err
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				pats, err := splitQuoted(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want: %v", file, i+1, err)
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", file, i+1, err)
+					}
+					wants = append(wants, &expectation{file: file, line: i + 1, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of double- or back-quoted Go strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return nil, fmt.Errorf("unterminated quote in %q", s)
+		}
+		lit, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lit)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}
+
+// match consumes the first unused expectation matching d.
+func match(wants []*expectation, d detlint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.used && w.file == d.Pos.Filename && w.line == d.Pos.Line &&
+			w.re.MatchString(d.Message) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/detlint"
+	"github.com/icsnju/metamut-go/internal/detlint/analysistest"
+)
+
+// Each analyzer has a fixture package with at least one true positive
+// (a // want expectation) and one suppressed finding (a
+// //detlint:allow directive with a reason and no want); analysistest
+// fails on unexpected diagnostics, so it proves both directions.
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, []*detlint.Analyzer{detlint.Maporder}, "maporder")
+}
+
+func TestWallclock(t *testing.T) {
+	// The fixture tree holds an in-scope package (engine) and an
+	// out-of-scope one (other) with identical clock reads.
+	analysistest.Run(t, []*detlint.Analyzer{detlint.Wallclock}, "wallclock")
+}
+
+func TestGlobalrand(t *testing.T) {
+	analysistest.Run(t, []*detlint.Analyzer{detlint.Globalrand}, "globalrand")
+}
+
+func TestSupervisedgo(t *testing.T) {
+	analysistest.Run(t, []*detlint.Analyzer{detlint.Supervisedgo}, "supervisedgo")
+}
+
+func TestMetricname(t *testing.T) {
+	documented := map[string]bool{
+		"documented_total": true,
+		"documented_gauge": true,
+	}
+	analysistest.Run(t,
+		[]*detlint.Analyzer{detlint.NewMetricname(documented)}, "metricname")
+}
+
+// TestDirectiveDiagnostics lints the escape hatch itself: a reasonless
+// allow, an unknown analyzer, and a nameless directive each produce a
+// (non-suppressible) diagnostic.
+func TestDirectiveDiagnostics(t *testing.T) {
+	analysistest.Run(t, detlint.Suite(nil), "directive")
+}

@@ -1,0 +1,127 @@
+// Package detlint is the repo's invariant linter: a go/vet-style
+// multichecker whose analyzers prove, at compile time, the properties
+// the campaign's determinism and supervision tests can only spot one
+// seed at a time — map iteration never reaches a serialization sink
+// unsorted, deterministic packages never read the wall clock, the
+// per-stream splitmix64 RNG is the sole randomness source, campaign
+// goroutines run supervised, and every metric family name is a
+// documented constant.
+//
+// Findings are suppressed site-by-site with a directive comment:
+//
+//	//detlint:allow <analyzer> <reason>
+//
+// The reason is mandatory — an allow without one is itself a
+// diagnostic — so every exception to an invariant is written down
+// next to the code that needs it. The analyzer suite, its fixtures,
+// and the suppression contract are documented in
+// docs/STATIC_ANALYSIS.md.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Reportf, analysistest-style fixtures) but is built on the
+// standard library alone, honoring the module's no-dependency policy:
+// packages are loaded with `go list -export` and type-checked against
+// compiler export data (load.go).
+package detlint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer is one invariant check, run independently over each
+// loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //detlint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run reports the analyzer's findings for one package through
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run executes the analyzers over the packages, applies the
+// //detlint:allow suppressions, and returns the surviving diagnostics
+// sorted by position. Malformed directives (missing analyzer, unknown
+// analyzer, empty reason) are reported as diagnostics of the pseudo-
+// analyzer "detlint" and cannot themselves be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := knownNames(analyzers)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, bad := collectDirectives(pkg, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report: func(d Diagnostic) {
+					if !dirs.suppresses(d) {
+						out = append(out, d)
+					}
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// knownNames is the directive-validation namespace: the analyzers in
+// this run plus every analyzer the suite ships, so a file linted with
+// a single analyzer (fixtures, -run) can still carry allows for the
+// others without tripping the unknown-name check.
+func knownNames(active []*Analyzer) map[string]bool {
+	known := map[string]bool{}
+	for _, n := range Names() {
+		known[n] = true
+	}
+	for _, a := range active {
+		known[a.Name] = true
+	}
+	return known
+}

@@ -1,0 +1,118 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOnly builds the minimal Package directive handling needs: no
+// type information, just syntax and positions.
+func parseOnly(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "fixture", Name: f.Name.Name, Fset: fset,
+		Files: []*ast.File{f}}
+}
+
+func knownAll() map[string]bool {
+	m := map[string]bool{}
+	for _, n := range Names() {
+		m[n] = true
+	}
+	return m
+}
+
+// TestEmptyAllowReasonRejected pins the suppression contract: an
+// allow without a reason is itself a diagnostic and never suppresses.
+func TestEmptyAllowReasonRejected(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+func f() int {
+	//detlint:allow wallclock
+	return 1
+}
+`)
+	dirs, bad := collectDirectives(pkg, knownAll())
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "has no reason") {
+		t.Fatalf("want one no-reason diagnostic, got %v", bad)
+	}
+	if bad[0].Analyzer != "detlint" {
+		t.Fatalf("directive diagnostics belong to pseudo-analyzer detlint, got %q", bad[0].Analyzer)
+	}
+	// The reasonless directive must not suppress a finding on the line
+	// it would otherwise cover (line 5, the return).
+	d := Diagnostic{Analyzer: "wallclock", Message: "time.Now"}
+	d.Pos.Filename = "fixture.go"
+	d.Pos.Line = 5
+	if dirs.suppresses(d) {
+		t.Fatal("reasonless allow suppressed a finding")
+	}
+}
+
+// TestAllowSuppressesWithReason is the matching positive case, for
+// both trailing and standalone directive placement.
+func TestAllowSuppressesWithReason(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+func f() int {
+	//detlint:allow wallclock latency telemetry only
+	a := 1
+	b := 2 //detlint:allow globalrand simulated jitter
+	return a + b
+}
+`)
+	dirs, bad := collectDirectives(pkg, knownAll())
+	if len(bad) != 0 {
+		t.Fatalf("unexpected directive diagnostics: %v", bad)
+	}
+	for _, tc := range []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"wallclock", 5, true},   // standalone directive covers next code line
+		{"globalrand", 6, true},  // trailing directive covers its own line
+		{"wallclock", 6, false},  // wrong analyzer
+		{"globalrand", 5, false}, // wrong line
+	} {
+		d := Diagnostic{Analyzer: tc.analyzer}
+		d.Pos.Filename = "fixture.go"
+		d.Pos.Line = tc.line
+		if got := dirs.suppresses(d); got != tc.want {
+			t.Errorf("suppresses(%s@%d) = %v, want %v", tc.analyzer, tc.line, got, tc.want)
+		}
+	}
+}
+
+// TestUnknownAnalyzerDirective pins the namespace check.
+func TestUnknownAnalyzerDirective(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+var x = 1 //detlint:allow nosuch reason text
+`)
+	_, bad := collectDirectives(pkg, knownAll())
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "unknown analyzer nosuch") {
+		t.Fatalf("want unknown-analyzer diagnostic, got %v", bad)
+	}
+}
+
+// TestReasonStopsAtEmbeddedComment: trailing commentary after "//" is
+// not part of the reason, so a directive whose only "reason" is a
+// comment is reasonless.
+func TestReasonStopsAtEmbeddedComment(t *testing.T) {
+	pkg := parseOnly(t, `package p
+
+var x = 1 //detlint:allow wallclock // not actually a reason
+`)
+	_, bad := collectDirectives(pkg, knownAll())
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "has no reason") {
+		t.Fatalf("want no-reason diagnostic, got %v", bad)
+	}
+}

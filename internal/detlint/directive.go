@@ -1,0 +1,130 @@
+package detlint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// allowPrefix is the suppression directive. Grammar:
+//
+//	//detlint:allow <analyzer> <reason...>
+//
+// A trailing directive suppresses matching findings on its own line; a
+// directive on a line of its own suppresses findings on the next code
+// line (stacked directives share that line). The reason is mandatory.
+const allowPrefix = "//detlint:allow"
+
+// directive is one parsed //detlint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	line     int // the source line the directive applies to
+}
+
+// directiveSet indexes directives by (file, line).
+type directiveSet map[string]map[int][]directive
+
+func (s directiveSet) suppresses(d Diagnostic) bool {
+	for _, dir := range s[d.Pos.Filename][d.Pos.Line] {
+		if dir.analyzer == d.Analyzer && dir.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every //detlint:allow comment in the
+// package. Malformed directives — no analyzer name, a name no shipped
+// analyzer answers to, or a missing reason — come back as diagnostics
+// of the pseudo-analyzer "detlint"; they are the linter linting its
+// own escape hatch, and they never suppress anything.
+func collectDirectives(pkg *Package, known map[string]bool) (directiveSet, []Diagnostic) {
+	set := directiveSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		filename := pkg.Fset.Position(f.Pos()).Filename
+		lines := set[filename]
+		if lines == nil {
+			lines = map[int][]directive{}
+			set[filename] = lines
+		}
+		// endOfLine[line] is true when a comment group's line also
+		// holds code, i.e. the directive is trailing.
+		codeLines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return false
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return false
+			}
+			codeLines[pkg.Fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //detlint:allowed — not ours
+				}
+				// The reason ends at an embedded "//": trailing
+				// commentary (fixture // want expectations, editor
+				// annotations) is not part of the audit trail.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{
+						Analyzer: "detlint", Pos: pos,
+						Message: "allow directive names no analyzer",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad = append(bad, Diagnostic{
+						Analyzer: "detlint", Pos: pos,
+						Message: "allow directive names unknown analyzer " + name,
+					})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(
+					strings.TrimSpace(rest), name))
+				if reason == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "detlint", Pos: pos,
+						Message: "allow directive for " + name +
+							" has no reason; the reason is mandatory",
+					})
+					continue
+				}
+				line := pos.Line
+				if !codeLines[line] {
+					// Standalone directive: applies to the next code
+					// line below (skipping further comment-only lines).
+					for l := line + 1; ; l++ {
+						if codeLines[l] {
+							line = l
+							break
+						}
+						if l > line+64 { // orphan directive at EOF etc.
+							break
+						}
+					}
+				}
+				lines[line] = append(lines[line], directive{
+					analyzer: name, reason: reason, line: line,
+				})
+			}
+		}
+	}
+	return set, bad
+}

@@ -1,0 +1,83 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Globalrand flags randomness that does not flow from the seeded
+// per-stream splitmix64 RNG. The engine's reproducibility contract —
+// one uint64 of checkpointable RNG state per stream, byte-identical
+// results at any worker count — only holds because every random draw
+// goes through a *rand.Rand the campaign seeded itself.
+// TestStreamRNGIsSoleRandomnessSource proves that dynamically for one
+// campaign shape; this analyzer proves it for every line of code:
+//
+//   - math/rand (and math/rand/v2) package-level draws use the
+//     process-global source, whose state is shared, unseeded by us,
+//     and invisible to checkpoints — flagged everywhere.
+//   - crypto/rand is nondeterministic by design — flagged everywhere.
+//   - rand.New(rand.NewSource(seed)) and *rand.Rand methods are the
+//     sanctioned shape and are never flagged.
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc: "flags global math/rand draws and any crypto/rand use; " +
+		"randomness must come from the seeded per-stream RNG",
+	Run: runGlobalrand,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by
+// the shared global source. Constructors (New, NewSource, NewZipf) and
+// the Rand/Source types are fine: they carry an explicit seed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "N": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true,
+}
+
+func runGlobalrand(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				name, ok := isPkgLevelUse(obj, obj.Pkg().Path())
+				if !ok || !globalRandFuncs[name] {
+					return true
+				}
+				// Package-level *functions* draw from the global
+				// source; same-named methods on *rand.Rand do not.
+				if _, isFunc := obj.(*types.Func); !isFunc {
+					return true
+				}
+				if methodRecvNamed(obj) != nil {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"global %s.%s bypasses the seeded per-stream RNG; "+
+						"draw from the campaign's *rand.Rand instead",
+					obj.Pkg().Path(), name)
+			case "crypto/rand":
+				pass.Reportf(sel.Pos(),
+					"crypto/rand.%s is nondeterministic; campaign "+
+						"randomness must come from the seeded per-stream RNG",
+					obj.Name())
+			}
+			return true
+		})
+	}
+}

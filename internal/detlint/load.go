@@ -1,0 +1,210 @@
+package detlint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked target package: the unit an Analyzer
+// runs over. Dependencies (stdlib and in-module alike) are imported
+// from compiler export data, so only the target's own files carry
+// syntax trees.
+type Package struct {
+	Path    string   // import path
+	Name    string   // package name
+	Dir     string   // directory holding the sources
+	GoFiles []string // absolute paths of the parsed files
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matching patterns,
+// resolving the module from dir (any directory inside it). It shells
+// out to `go list -export` so dependency packages are imported from
+// the build cache's export data instead of being re-parsed — the same
+// strategy the go vet driver uses, built here on the standard library
+// alone because the module is dependency-free by policy.
+//
+// Only non-test Go files are loaded: detlint's invariants (stream-RNG
+// randomness, logical-time determinism, supervised goroutines) bind
+// the shipping campaign code, while tests legitimately sleep, read
+// wall clocks, and perturb the global RNG to prove independence.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export data and vendor remappings for every package in the
+	// dependency closure.
+	exports := make(map[string]string, len(listed))
+	remap := map[string]string{}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		for from, to := range lp.ImportMap {
+			remap[from] = to
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if to, ok := remap[path]; ok {
+			path = to
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("detlint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("detlint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := checkPackage(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// goList runs `go list -e -export -deps -json` over the patterns and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,ImportMap,Export,DepOnly,Standard,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("detlint: go list: %v\n%s", err, stderr.String())
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("detlint: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// checkPackage parses and type-checks one target package.
+func checkPackage(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	paths := make([]string, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("detlint: %v", err)
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("detlint: type-checking %s:\n  %s",
+			lp.ImportPath, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("detlint: type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:    lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		GoFiles: paths,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// ModuleRoot walks upward from dir to the directory holding go.mod.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("detlint: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

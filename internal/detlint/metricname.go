@@ -1,0 +1,105 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"os"
+	"regexp"
+	"strings"
+)
+
+// NewMetricname builds the metricname analyzer: every family name
+// passed to the obs registry's Counter / Gauge / Histogram must be a
+// compile-time string constant that appears in the metrics catalogue
+// (docs/METRICS.md). TestMetricsDocMatchesRegistry already diffs the
+// catalogue against a fully-exercised live registry, but only at test
+// time and only for the campaign shapes the test exercises; this
+// analyzer closes the gap before anything runs, and makes dynamically
+// assembled family names — which would dodge the catalogue forever —
+// impossible to write.
+//
+// documented is the set of known family names; nil skips the
+// catalogue check and enforces only constancy (the CLI and the tests
+// always pass the parsed catalogue). The obs package itself is exempt:
+// its helpers (snapshot, export, spans) manipulate families
+// generically.
+func NewMetricname(documented map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: "metricname",
+		Doc: "flags non-constant or undocumented metric family names " +
+			"passed to the obs registry",
+	}
+	a.Run = func(pass *Pass) { runMetricname(pass, documented) }
+	return a
+}
+
+// registryMethods are the obs.Registry entry points whose first
+// argument is a family name.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+func runMetricname(pass *Pass, documented map[string]bool) {
+	if pass.Pkg.Path == obsPkgPath {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			obj := calleeObject(info, call)
+			if obj == nil || !registryMethods[obj.Name()] {
+				return true
+			}
+			if !namedIs(methodRecvNamed(obj), obsPkgPath, "Registry") {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"non-constant metric family name passed to obs "+
+						"Registry.%s; family names must be string constants "+
+						"so the catalogue check can see them", obj.Name())
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if documented != nil && !documented[name] {
+				pass.Reportf(arg.Pos(),
+					"metric family %q is not documented in the metrics "+
+						"catalogue (docs/METRICS.md); add a row or fix the name",
+					name)
+			}
+			return true
+		})
+	}
+}
+
+// metricsDocRow matches the first two columns of a catalogue row,
+// the same shape TestMetricsDocMatchesRegistry parses:
+// | `name{label,label}` | kind | ...
+var metricsDocRow = regexp.MustCompile(
+	"^\\| `([a-z_]+)(?:\\{([a-z_,]+)\\})?` \\| (counter|gauge|histogram) \\|")
+
+// ParseMetricsDoc reads the metrics catalogue and returns the set of
+// documented family names.
+func ParseMetricsDoc(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("detlint: metrics catalogue: %w", err)
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := metricsDocRow.FindStringSubmatch(line); m != nil {
+			out[m[1]] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("detlint: metrics catalogue %s has no family rows", path)
+	}
+	return out, nil
+}

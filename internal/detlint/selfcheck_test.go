@@ -1,0 +1,83 @@
+package detlint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/detlint"
+)
+
+// loadSuite loads the given patterns from the module root with the
+// real metrics catalogue, the way cmd/detlint does.
+func loadSuite(t *testing.T, patterns ...string) ([]*detlint.Package, []*detlint.Analyzer) {
+	t.Helper()
+	root, err := detlint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented, err := detlint.ParseMetricsDoc(filepath.Join(root, "docs", "METRICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := detlint.Load(root, patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs, detlint.Suite(documented)
+}
+
+// TestSelfCheck: the multichecker runs clean over its own packages —
+// the linter holds itself to the invariants it enforces. (The dirty
+// fixtures under testdata are invisible to the wildcard, exactly as
+// they are to every build command.)
+func TestSelfCheck(t *testing.T) {
+	pkgs, suite := loadSuite(t, "./internal/detlint/...", "./cmd/detlint")
+	if diags := detlint.Run(pkgs, suite); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("detlint is not self-clean: %s", d)
+		}
+	}
+}
+
+// TestRepoInvariantsClean is the regression gate: the whole module
+// must lint clean, so `go test ./...` — and therefore `make check` —
+// fails the moment a determinism or supervision hazard lands without
+// a reasoned //detlint:allow. TestGateCatchesDeterminismHazard proves
+// the gate actually bites.
+func TestRepoInvariantsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint skipped in -short")
+	}
+	pkgs, suite := loadSuite(t, "./...")
+	if diags := detlint.Run(pkgs, suite); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("invariant violation: %s", d)
+		}
+	}
+}
+
+// TestGateCatchesDeterminismHazard demonstrates the gate on a known-
+// dirty package: the wallclock fixture is exactly the regression —
+// wall-clock reads in a deterministic package — and the suite must
+// flag it.
+func TestGateCatchesDeterminismHazard(t *testing.T) {
+	root, err := detlint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := detlint.Load(root,
+		"./internal/detlint/testdata/src/wallclock/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := detlint.Run(pkgs, detlint.Suite(nil))
+	found := 0
+	for _, d := range diags {
+		if d.Analyzer == "wallclock" {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("gate failed to flag wall-clock reads in a deterministic package")
+	}
+}

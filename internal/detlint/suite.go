@@ -1,0 +1,40 @@
+package detlint
+
+import "fmt"
+
+// Names returns the names of every analyzer the suite ships, in the
+// order the multichecker runs them. This is also the namespace
+// //detlint:allow directives are validated against.
+func Names() []string {
+	return []string{"maporder", "wallclock", "globalrand", "supervisedgo", "metricname"}
+}
+
+// Suite returns the full analyzer set. documented is the metrics
+// catalogue for metricname (see NewMetricname); nil skips the
+// catalogue membership check.
+func Suite(documented map[string]bool) []*Analyzer {
+	return []*Analyzer{
+		Maporder,
+		Wallclock,
+		Globalrand,
+		Supervisedgo,
+		NewMetricname(documented),
+	}
+}
+
+// Select filters the suite down to the named analyzers.
+func Select(all []*Analyzer, names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("detlint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Supervisedgo flags `go` statements in campaign packages whose
+// spawned work can panic without a supervisor. PR 4's discipline is
+// that a mutator or worker panic is captured and booked (strike,
+// quarantine, stream poisoning) — never allowed to unwind the fleet —
+// and that only holds if every goroutine either defers a recover()
+// itself or immediately delegates to a function that does (the
+// engine's runStream shape). A bare `go doWork()` in engine, fuzz,
+// flight, resil, or core is one panic away from killing a campaign
+// that fault tolerance promised to finish.
+var Supervisedgo = &Analyzer{
+	Name: "supervisedgo",
+	Doc: "flags go statements in campaign packages whose body neither " +
+		"defers recover() nor calls a recover-guarded function",
+	Run: runSupervisedgo,
+}
+
+// campaignPkgs are the packages running under the supervision
+// discipline.
+var campaignPkgs = map[string]bool{
+	"engine": true, "fuzz": true, "flight": true,
+	"resil": true, "core": true,
+}
+
+func runSupervisedgo(pass *Pass) {
+	if !pathHasSegment(pass.Pkg.Path, campaignPkgs) {
+		return
+	}
+	info := pass.Pkg.Info
+	decls := packageFuncDecls(info, pass.Pkg.Files)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtSupervised(info, decls, gs) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"unsupervised goroutine in campaign package %s: the body "+
+					"neither defers recover() nor calls a recover-guarded "+
+					"function, so a panic unwinds the fleet",
+				pkgSegment(pass.Pkg.Path))
+			return true
+		})
+	}
+}
+
+// packageFuncDecls maps each function/method object defined in the
+// package to its declaration, so supervision can be resolved through
+// one level of delegation.
+func packageFuncDecls(info *types.Info, files []*ast.File) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goStmtSupervised reports whether the goroutine's work is guarded:
+// the spawned function (literal or resolved declaration) defers a
+// recover, or its body hands the fallible work to a same-package
+// function that does.
+func goStmtSupervised(info *types.Info, decls map[types.Object]*ast.FuncDecl, gs *ast.GoStmt) bool {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodySupervised(info, decls, fun.Body)
+	default:
+		if obj := calleeObject(info, gs.Call); obj != nil {
+			if fd, ok := decls[obj]; ok && fd.Body != nil {
+				return bodySupervised(info, decls, fd.Body)
+			}
+		}
+	}
+	return false
+}
+
+// bodySupervised reports whether body defers a recover() or calls a
+// same-package function whose own body defers one.
+func bodySupervised(info *types.Info, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt) bool {
+	if hasDeferredRecover(info, body) {
+		return true
+	}
+	supervised := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if supervised {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObject(info, call)
+		if obj == nil {
+			return true
+		}
+		if fd, ok := decls[obj]; ok && fd.Body != nil &&
+			hasDeferredRecover(info, fd.Body) {
+			supervised = true
+		}
+		return true
+	})
+	return supervised
+}
+
+// hasDeferredRecover reports whether body contains a defer whose
+// function (a literal, or a call to recover itself) reaches recover().
+func hasDeferredRecover(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isRecoverCall(info, ds.Call) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isRecoverCall(info, call) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isRecoverCall reports whether call invokes the recover builtin.
+func isRecoverCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "recover"
+}

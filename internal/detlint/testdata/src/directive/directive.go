@@ -1,0 +1,18 @@
+// Package directive is a detlint fixture for the //detlint:allow
+// grammar itself: the escape hatch is linted too.
+package directive
+
+func missingReason() int {
+	//detlint:allow wallclock // want "allow directive for wallclock has no reason"
+	return 1
+}
+
+func unknownAnalyzer() int {
+	//detlint:allow nosuchanalyzer because reasons // want "allow directive names unknown analyzer nosuchanalyzer"
+	return 2
+}
+
+func missingAnalyzer() int {
+	//detlint:allow // want "allow directive names no analyzer"
+	return 3
+}

@@ -1,0 +1,39 @@
+// Package globalrand is a detlint fixture: global-source draws and
+// crypto/rand next to the sanctioned seeded-RNG shape.
+package globalrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+func pick(n int) int {
+	return rand.Intn(n) // want "global math/rand.Intn bypasses the seeded per-stream RNG"
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "global math/rand.Shuffle"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func token() []byte {
+	b := make([]byte, 16)
+	crand.Read(b) // want "crypto/rand.Read is nondeterministic"
+	return b
+}
+
+// seeded is the sanctioned shape: an explicit seed, drawn through a
+// *rand.Rand whose state the campaign owns.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// methods on a passed-in *rand.Rand are equally fine.
+func draw(rng *rand.Rand) float64 { return rng.Float64() }
+
+// jitter shows a documented exception.
+func jitter() int {
+	return rand.Intn(3) //detlint:allow globalrand fixture stand-in for simulated external-service jitter
+}

@@ -1,0 +1,71 @@
+// Package maporder is a detlint fixture: map iterations that reach
+// serialization sinks, next to the sorted-keys idiom that is the fix.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func emitUnsorted(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration reaches serialization sink fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func marshalUnsorted(m map[string]int) [][]byte {
+	var out [][]byte
+	for _, v := range m { // want "serialization sink json.Marshal"
+		b, _ := json.Marshal(v)
+		out = append(out, b)
+	}
+	return out
+}
+
+func encodeUnsorted(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k := range m { // want "serialization sink .*Encoder.*Encode"
+		enc.Encode(k)
+	}
+}
+
+func buildUnsorted(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "serialization sink Builder.WriteString"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// emitSorted is the blessed idiom: collect the keys, sort, range the
+// slice. The sink sits inside a slice range, never a map range.
+func emitSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// sumValues aggregates commutatively inside the loop; no sink, no
+// finding.
+func sumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// emitAudited shows a deliberate, documented exception.
+func emitAudited(w io.Writer, m map[string]struct{}) {
+	for k := range m { //detlint:allow maporder debug-only dump whose consumer sorts lines itself
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,23 @@
+// Package metricname is a detlint fixture: family names handed to the
+// obs registry, constant and documented or flagged.
+package metricname
+
+import "github.com/icsnju/metamut-go/internal/obs"
+
+const family = "documented_total"
+
+func register(reg *obs.Registry, dynamic string) {
+	reg.Counter(family, "label")
+	reg.Gauge("documented_gauge")
+	reg.Counter(dynamic)                       // want "non-constant metric family name"
+	reg.Counter("undocumented_total")          // want `family "undocumented_total" is not documented`
+	reg.Histogram("undocumented_seconds", nil) // want `family "undocumented_seconds" is not documented`
+	reg.Counter("fixture_private_total")       //detlint:allow metricname fixture-local family outside the catalogue
+}
+
+// snapshot lookalikes with a Counter method are not the registry.
+type snapshot struct{}
+
+func (snapshot) Counter(name string, labels ...string) int { return 0 }
+
+func read(s snapshot, dyn string) int { return s.Counter(dyn) }

@@ -1,0 +1,54 @@
+// Package engine is a detlint fixture: its directory name puts it in
+// supervisedgo's campaign-package scope, like the real
+// internal/engine.
+package engine
+
+import "sync"
+
+func work() {}
+
+// supervised is the runStream shape: the recover lives one call deep.
+func supervised() {
+	defer func() { _ = recover() }()
+	work()
+}
+
+func bareNamed() {
+	go work() // want "unsupervised goroutine in campaign package engine"
+}
+
+func bareLiteral() {
+	go func() { // want "unsupervised goroutine in campaign package engine"
+		work()
+	}()
+}
+
+func guardedLiteral() {
+	go func() {
+		defer func() { _ = recover() }()
+		work()
+	}()
+}
+
+// delegated mirrors the engine's dispatch loop: the goroutine body
+// only hands work to a recover-guarded function.
+func delegated() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		supervised()
+	}()
+	wg.Wait()
+}
+
+func guardedNamed() {
+	go supervised()
+}
+
+type server interface{ Serve() error }
+
+// audited shows a documented exception for an unresolvable callee.
+func audited(srv server) {
+	go srv.Serve() //detlint:allow supervisedgo fixture debug server; a panic here should crash loudly
+}

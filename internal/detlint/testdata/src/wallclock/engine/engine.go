@@ -1,0 +1,34 @@
+// Package engine is a detlint fixture: its directory name puts it in
+// wallclock's deterministic-package scope, like the real
+// internal/engine.
+package engine
+
+import "time"
+
+func tick() time.Time {
+	return time.Now() // want "time.Now in deterministic package engine"
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in deterministic package engine"
+}
+
+// A stored clock reference escapes just like a call.
+var clock = time.Now // want "time.Now in deterministic package engine"
+
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker in deterministic package engine"
+}
+
+// latency shows the telemetry allowlist: each wall-clock read carries
+// a directive naming the histogram it feeds.
+func latency() time.Duration {
+	//detlint:allow wallclock latency telemetry for the obs histogram only
+	start := time.Now()
+	return time.Since(start) //detlint:allow wallclock latency telemetry for the obs histogram only
+}
+
+// Durations and types are not clock reads.
+const timeout = 5 * time.Second
+
+func format(t time.Time) string { return t.Format(time.RFC3339) }

@@ -1,0 +1,13 @@
+// Package other is a detlint fixture outside wallclock's
+// deterministic-package scope: the same clock reads draw no findings.
+package other
+
+import "time"
+
+func tick() time.Time {
+	return time.Now()
+}
+
+func nap() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,81 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// obsPkgPath is the metrics registry package metricname watches for.
+const obsPkgPath = "github.com/icsnju/metamut-go/internal/obs"
+
+// pkgSegment returns the last import-path segment, the name detlint's
+// package scoping matches on. Fixture packages live under
+// testdata/src/<analyzer>/<segment>, so a fixture directory named
+// "engine" is scoped exactly like the real internal/engine.
+func pkgSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeObject resolves a call expression to the types.Object of its
+// callee (function, method, or builtin), or nil.
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgLevelUse reports whether obj is a package-level object declared
+// in the package with the given import path, returning its name.
+func isPkgLevelUse(obj types.Object, pkgPath string) (string, bool) {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// methodRecvNamed returns the defining named type of a method object,
+// unwrapping a pointer receiver, or nil for non-methods.
+func methodRecvNamed(obj types.Object) *types.Named {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// namedIs reports whether named is the type pkgPath.name.
+func namedIs(named *types.Named, pkgPath, name string) bool {
+	return named != nil && named.Obj() != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+// pathHasSegment reports whether any of the names appears as a
+// complete segment of the import path.
+func pathHasSegment(path string, names map[string]bool) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if names[seg] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package detlint
+
+import (
+	"go/ast"
+)
+
+// Wallclock flags wall-clock reads inside the deterministic packages.
+// The campaign's clock is logical — compile ticks, epochs, stream
+// order — and a time.Now or time.Sleep smuggled into engine, flight,
+// sched, fuzz, reduce, or mutators makes results depend on host speed
+// and scheduling, which the byte-identical determinism suites cannot
+// tolerate. Telemetry that genuinely measures wall time (epoch latency
+// histograms, the status line's EMA clock) carries a
+// //detlint:allow wallclock directive naming why, so the allowlist
+// lives next to the code it excuses.
+//
+// Both calls and stored references (e.g. a Now func field defaulting
+// to time.Now) are flagged: a captured clock escapes into
+// deterministic code just as surely as a direct call.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "flags wall-clock use (time.Now/Since/Sleep/After/Tick/timers) " +
+		"in deterministic packages",
+	Run: runWallclock,
+}
+
+// deterministicPkgs are the packages whose outputs must be pure
+// functions of seed and budget.
+var deterministicPkgs = map[string]bool{
+	"engine": true, "flight": true, "sched": true,
+	"fuzz": true, "reduce": true, "mutators": true,
+}
+
+// wallclockFuncs are the time package entry points that read or wait
+// on the wall clock.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func runWallclock(pass *Pass) {
+	if !pathHasSegment(pass.Pkg.Path, deterministicPkgs) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			name, ok := isPkgLevelUse(obj, "time")
+			if !ok || !wallclockFuncs[name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in deterministic package %s; use the logical "+
+					"clock (ticks/epochs) or add a //detlint:allow wallclock "+
+					"directive naming the telemetry it feeds",
+				name, pkgSegment(pass.Pkg.Path))
+			return true
+		})
+	}
+}

@@ -26,6 +26,7 @@ type Status struct {
 
 // NewStatus returns a status line tracker with smoothing factor 0.4.
 func NewStatus() *Status {
+	//detlint:allow wallclock status-line EMA clock; presentation-only and overridable in tests
 	return &Status{Now: time.Now, alpha: 0.4}
 }
 

@@ -3,6 +3,7 @@ package mutcheck
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/mutdsl"
@@ -18,6 +19,7 @@ const (
 	CheckSelfCancelling    = "self-cancelling"     // advisory
 	CheckDeadStep          = "dead-step"           // advisory
 	CheckIneffectiveCheck  = "ineffective-check"   // advisory
+	CheckConstantMatch     = "constant-match"      // advisory
 )
 
 // Lint statically analyzes a mutator implementation and returns its
@@ -81,6 +83,7 @@ func Lint(p *mutdsl.Program) []Diagnostic {
 
 	// Advisory findings.
 	out = append(out, lintStepInteractions(p)...)
+	out = append(out, lintMatchPredicates(p)...)
 	if p.RequireSideEffectFree && !isExprKind(p.TargetKind) {
 		out = append(out, Diagnostic{
 			Check: CheckIneffectiveCheck, Severity: Warning, Goal: 0, Step: -1, Offset: -1,
@@ -115,6 +118,38 @@ func Violates(p *mutdsl.Program, goal int) bool {
 		}
 	}
 	return false
+}
+
+// lintMatchPredicates flags per-step match predicates that are
+// constant: a guard with no active clause passes every node (the
+// condition is decoration), and a guard whose NotContains clause is a
+// substring of its Contains clause can never hold — any text
+// containing the one necessarily contains the other — so the step is
+// dead on every input.
+func lintMatchPredicates(p *mutdsl.Program) []Diagnostic {
+	var out []Diagnostic
+	for i, s := range p.Steps {
+		w := s.When
+		if w == nil {
+			continue
+		}
+		switch {
+		case w.Contains == "" && w.NotContains == "":
+			out = append(out, Diagnostic{
+				Check: CheckConstantMatch, Severity: Warning, Goal: 0, Step: i, Offset: -1,
+				Message: fmt.Sprintf("step %d's match predicate has no active clause; it matches every instance (constant-true)", i),
+				Fix:     "drop the guard or give it a Contains/NotContains clause",
+			})
+		case w.Contains != "" && w.NotContains != "" &&
+			strings.Contains(w.Contains, w.NotContains):
+			out = append(out, Diagnostic{
+				Check: CheckConstantMatch, Severity: Warning, Goal: 5, Step: i, Offset: -1,
+				Message: fmt.Sprintf("step %d's match predicate requires %q but forbids its substring %q; it can never hold (constant-false), so the step never applies", i, w.Contains, w.NotContains),
+				Fix:     "make the clauses independent, or delete the dead step",
+			})
+		}
+	}
+	return out
 }
 
 // lintStepInteractions flags step pairs whose combination is provably

@@ -248,3 +248,41 @@ func TestDiagnosticString(t *testing.T) {
 		}
 	}
 }
+
+// TestLintConstantMatchPredicates: a step guard with no active clause
+// always applies (constant-true), and one whose forbidden substring is
+// contained in its required substring can never apply (constant-false).
+// Both are advisory — they never block a mutator.
+func TestLintConstantMatchPredicates(t *testing.T) {
+	// Constant-true: the guard is decoration.
+	p := prog(cast.KindIntegerLiteral,
+		mutdsl.Step{Op: mutdsl.OpReplaceWithText, Text: "7", When: &mutdsl.Pred{}})
+	diags := Lint(p)
+	if !hasCheck(diags, CheckConstantMatch) {
+		t.Errorf("vacuous guard: want %s, got %v", CheckConstantMatch, diags)
+	}
+	if HasErrors(diags) {
+		t.Errorf("constant-match is advisory only, got errors in %v", diags)
+	}
+
+	// Constant-false: requires "x + y" but forbids "+".
+	p = prog(cast.KindBinaryOperator,
+		mutdsl.Step{Op: mutdsl.OpWrapText, Pre: "(", Post: " + 0)",
+			When: &mutdsl.Pred{Contains: "x + y", NotContains: "+"}})
+	diags = Lint(p)
+	if !hasCheck(diags, CheckConstantMatch) {
+		t.Errorf("contradictory guard: want %s, got %v", CheckConstantMatch, diags)
+	}
+	if HasErrors(diags) {
+		t.Errorf("constant-match is advisory only, got errors in %v", diags)
+	}
+
+	// A meaningful guard draws no finding; nor does an unguarded step.
+	p = prog(cast.KindBinaryOperator,
+		mutdsl.Step{Op: mutdsl.OpWrapText, Pre: "(", Post: " + 0)",
+			When: &mutdsl.Pred{Contains: "+", NotContains: "/"}},
+		mutdsl.Step{Op: mutdsl.OpInsertAfter, Text: " + 0"})
+	if diags := Lint(p); hasCheck(diags, CheckConstantMatch) {
+		t.Errorf("meaningful guard flagged: %v", diags)
+	}
+}

@@ -54,6 +54,36 @@ type Step struct {
 	// Pre/Post wrap the node's own text for OpWrapText; Text is the
 	// literal payload for replace/insert ops.
 	Pre, Post, Text string
+	// When, if non-nil, guards the step: it runs only when the
+	// selected node's source text satisfies the predicate. This is the
+	// DSL analogue of the ad-hoc `if (text.find(...) ...)` conditions
+	// real synthesized mutators wrap around individual rewrites.
+	When *Pred
+}
+
+// Pred is a step's match predicate over the selected node's source
+// text. An empty field deactivates that clause, so the zero value
+// matches everything — a degenerate guard the mutcheck linter flags
+// as constant-true.
+type Pred struct {
+	// Contains requires the node text to contain this substring.
+	Contains string
+	// NotContains requires the node text not to contain this one.
+	NotContains string
+}
+
+// Matches evaluates the predicate (nil matches everything).
+func (p *Pred) Matches(text string) bool {
+	if p == nil {
+		return true
+	}
+	if p.Contains != "" && !strings.Contains(text, p.Contains) {
+		return false
+	}
+	if p.NotContains != "" && strings.Contains(text, p.NotContains) {
+		return false
+	}
+	return true
 }
 
 // Program is a synthesized mutator implementation: collect all nodes of
@@ -97,6 +127,12 @@ type Program struct {
 func (p *Program) Clone() *Program {
 	cp := *p
 	cp.Steps = append([]Step(nil), p.Steps...)
+	for i := range cp.Steps {
+		if w := cp.Steps[i].When; w != nil {
+			ww := *w
+			cp.Steps[i].When = &ww
+		}
+	}
 	return &cp
 }
 
@@ -255,6 +291,11 @@ func (e *Executable) Apply(src string, rng *rand.Rand) Outcome {
 		fuel--
 		if fuel <= 0 {
 			return Outcome{FuelExhausted: true, FuelUsed: budget}
+		}
+		// A guarded step that does not match the selected node is
+		// skipped, not fatal — like the applicability checks above.
+		if !s.When.Matches(mgr.GetSourceText(node)) {
+			continue
 		}
 		e.applyStep(mgr, node, nodes, s, rng)
 	}

@@ -245,3 +245,49 @@ func TestFuelBudget(t *testing.T) {
 		t.Errorf("fuel after reset = %d, want %d", got, DefaultFuel)
 	}
 }
+
+// TestStepGuards pins the When predicate semantics: a matching guard
+// lets the step run, a failing guard skips just that step, and a nil
+// guard is always true.
+func TestStepGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := "int main(void) { return 42; }"
+
+	// Only one IntegerLiteral instance, so selection is forced; its
+	// text is "42".
+	match := compileOK(t, &Program{Name: "G", TargetKind: cast.KindIntegerLiteral,
+		Steps: []Step{{Op: OpReplaceWithText, Text: "7",
+			When: &Pred{Contains: "4", NotContains: "9"}}}})
+	out := match.Apply(src, rng)
+	if !out.Wrote || !out.Changed || !strings.Contains(out.Output, "7") {
+		t.Errorf("matching guard should rewrite, got %+v", out)
+	}
+
+	skip := compileOK(t, &Program{Name: "G", TargetKind: cast.KindIntegerLiteral,
+		Steps: []Step{{Op: OpReplaceWithText, Text: "7",
+			When: &Pred{Contains: "9"}}}})
+	out = skip.Apply(src, rng)
+	if !out.Wrote || out.Changed {
+		t.Errorf("failing guard should skip the step (no-op output), got %+v", out)
+	}
+
+	var nilPred *Pred
+	if !nilPred.Matches("anything") {
+		t.Error("nil predicate must match everything")
+	}
+	if (&Pred{NotContains: "x"}).Matches("axb") {
+		t.Error("NotContains clause ignored")
+	}
+}
+
+// TestCloneCopiesGuards: mutating a clone's predicate must not leak
+// into the original.
+func TestCloneCopiesGuards(t *testing.T) {
+	p := &Program{Name: "G", TargetKind: cast.KindIntegerLiteral,
+		Steps: []Step{{Op: OpReplaceWithText, Text: "7", When: &Pred{Contains: "4"}}}}
+	cp := p.Clone()
+	cp.Steps[0].When.Contains = "mutated"
+	if p.Steps[0].When.Contains != "4" {
+		t.Error("Clone shares Pred pointers with the original")
+	}
+}
