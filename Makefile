@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check lint build vet staticcheck detlint test race bench bench-json bench-smoke campaign-smoke chaos-smoke flight-smoke clean
+.PHONY: check lint build vet staticcheck detlint test race bench bench-json bench-smoke campaign-smoke chaos-smoke flight-smoke serve-smoke clean
 
 # check is the one-stop gate: lint (vet + detlint, + staticcheck when
 # installed), build, full test suite, the race-detector pass over the
@@ -49,7 +49,8 @@ test:
 race:
 	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck \
 		./internal/engine ./internal/resil ./internal/resil/chaos \
-		./internal/sched ./internal/flight ./internal/detlint
+		./internal/sched ./internal/flight ./internal/detlint \
+		./internal/serve
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -118,6 +119,44 @@ flight-smoke:
 	grep -q '"kind":"anomaly"' .flight-smoke/flight.jsonl || \
 		{ echo "flight-smoke: chaos raised no watchdog anomaly"; exit 1; }
 	@rm -rf .flight-smoke
+
+# serve-smoke proves fuzzing-as-a-service end to end: start the daemon,
+# submit two tenants' jobs through the client CLI, poll status, SIGKILL
+# the daemon mid-campaign, restart it over the same state dir, and
+# require both jobs to finish with a triage report. Job ids are
+# deterministic (j0001, j0002) because the ledger assigns sequential
+# seqs.
+serve-smoke:
+	@rm -rf .serve-smoke && mkdir .serve-smoke
+	$(GO) build -o .serve-smoke/mucfuzzd ./cmd/mucfuzzd
+	$(GO) build -o .serve-smoke/mucfuzzctl ./cmd/mucfuzzctl
+	@set -e; \
+	ctl=".serve-smoke/mucfuzzctl -addr 127.0.0.1:8377"; \
+	.serve-smoke/mucfuzzd -state .serve-smoke/state -addr 127.0.0.1:8377 \
+		>.serve-smoke/d1.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+		if $$ctl health >/dev/null 2>&1; then up=1; break; fi; sleep 0.2; done; \
+	[ "$$up" = 1 ] || { echo "serve-smoke: daemon never came up"; cat .serve-smoke/d1.log; exit 1; }; \
+	$$ctl submit -tenant alpha -steps 6000 -streams 8; \
+	$$ctl submit -tenant beta -steps 6000 -streams 8 -compiler clang; \
+	started=0; for i in $$(seq 1 100); do \
+		if $$ctl status j0001 | grep -q '"done": [1-9]'; then started=1; break; fi; \
+		sleep 0.2; done; \
+	[ "$$started" = 1 ] || { echo "serve-smoke: j0001 never progressed"; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	echo "serve-smoke: daemon SIGKILLed mid-campaign; restarting"; \
+	.serve-smoke/mucfuzzd -state .serve-smoke/state -addr 127.0.0.1:8377 \
+		>.serve-smoke/d2.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+		if $$ctl health >/dev/null 2>&1; then up=1; break; fi; sleep 0.2; done; \
+	[ "$$up" = 1 ] || { echo "serve-smoke: daemon never came back"; cat .serve-smoke/d2.log; exit 1; }; \
+	$$ctl watch j0001; \
+	$$ctl watch j0002; \
+	$$ctl results j0001 | grep -q '"' || { echo "serve-smoke: j0001 has no triage report"; exit 1; }; \
+	$$ctl results j0002 | grep -q '"' || { echo "serve-smoke: j0002 has no triage report"; exit 1; }; \
+	$$ctl list; \
+	kill $$pid; wait $$pid 2>/dev/null || true
+	@rm -rf .serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -65,6 +65,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/engine"
@@ -80,6 +81,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/resil/chaos"
 	"github.com/icsnju/metamut-go/internal/sched"
 	"github.com/icsnju/metamut-go/internal/seeds"
+	"github.com/icsnju/metamut-go/internal/serve"
 )
 
 func main() {
@@ -106,11 +108,33 @@ func main() {
 		flightMax = flag.Int64("flight-max-bytes", 64<<20, "rotate the flight journal after this many bytes (0 = unbounded)")
 		flightRep = flag.Bool("flight-report", false, "print the replayed flight report at exit")
 		flightBas = flag.String("flight-baseline", "", "BENCH_sched.json file arming the throughput-regression watchdog")
+		submitTo  = flag.String("submit", "", "delegate the campaign to a mucfuzzd daemon at this address instead of running locally")
+		tenant    = flag.String("tenant", "cli", "tenant id for -submit")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	if *submitTo != "" {
+		// Service delegation: the same flags become a serve.JobSpec — one
+		// canonical job schema for the single-shot CLI and the daemon —
+		// and the daemon runs the identical campaign (same seed, streams,
+		// budget → same results as running locally).
+		spec := serve.JobSpec{
+			SpecVersion: serve.JobSpecVersion,
+			Tenant:      *tenant,
+			Compiler:    *compiler, MutatorSet: *set,
+			Seed: *seed, SeedCount: *nSeeds, Steps: *steps,
+			Streams: *streams, Sched: *schedKind,
+			NoStatic: *noStatic, Reduce: *doReduce,
+		}
+		if err := submitJob(*submitTo, spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	reg := obs.NewRegistry()
 	// Pre-register the full campaign metric schema so snapshots and
@@ -485,6 +509,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// submitJob delegates a campaign to a running daemon: submit, watch
+// until terminal, print the triage report.
+func submitJob(addr string, spec serve.JobSpec) error {
+	c := &serve.Client{Addr: addr}
+	id, err := c.Submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted to %s as %s (tenant %s)\n", addr, id, spec.Tenant)
+	lastDone := -1
+	rec, err := c.Wait(id, 500*time.Millisecond, 0, func(r serve.JobRecord) {
+		if r.Done == lastDone {
+			return
+		}
+		lastDone = r.Done
+		fmt.Printf("job %s [%s] %d/%d steps   %d edges   %d crashes\n",
+			r.ID, r.State, r.Done, r.Spec.Steps, r.Edges, r.Crashes)
+	})
+	if err != nil {
+		return err
+	}
+	if rec.State == serve.Failed {
+		return fmt.Errorf("job %s failed: %s", id, rec.Error)
+	}
+	data, err := c.Results(id)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	return nil
 }
 
 // microEpoch summarizes the single-stream fuzzer's progress as one

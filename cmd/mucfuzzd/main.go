@@ -1,0 +1,119 @@
+// Command mucfuzzd is the fuzzing-as-a-service daemon: a multi-tenant
+// campaign coordinator exposing the internal/serve HTTP API.
+//
+//	mucfuzzd -state /var/lib/mucfuzz -addr :8377
+//
+// Jobs (seed corpus parameters, compiler profile, mutator arsenal,
+// step budget, tenant) are submitted over HTTP/JSON — see mucfuzzctl
+// or `mucfuzz -submit`. Concurrent campaigns multiplex over one shared
+// worker fleet (-fleet) with per-tenant deficit-round-robin fairness
+// and quota enforcement (-max-active-jobs, -max-tenant-steps). All
+// state persists under -state: kill the daemon at any instant —
+// SIGKILL included — and on restart every running job resumes from its
+// last checkpoint with byte-identical eventual results.
+//
+//	mucfuzzd -state ./svc -fleet 8 -max-active-jobs 4 -debug-addr :6060
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/resil"
+	"github.com/icsnju/metamut-go/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8377", "HTTP API listen address")
+		state    = flag.String("state", "", "state directory: ledger + per-job checkpoints/journals (required)")
+		fleet    = flag.Int("fleet", 0, "shared worker goroutines per slice (0 = GOMAXPROCS; never changes results)")
+		sliceEp  = flag.Int("slice-epochs", 1, "epochs a job runs before the fleet may switch jobs")
+		quantum  = flag.Int("quantum", 0, "fair-scheduler step credit per tenant visit (0 = default)")
+		maxJobs  = flag.Int("max-active-jobs", 0, "per-tenant concurrent (non-terminal) job quota (0 = unlimited)")
+		maxSteps = flag.Int("max-tenant-steps", 0, "per-tenant lifetime submitted-step quota (0 = unlimited)")
+	)
+	cli := obs.BindCLIFlags()
+	flag.Parse()
+	if *state == "" {
+		fmt.Fprintln(os.Stderr, "mucfuzzd: -state is required")
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	serve.RegisterMetrics(reg)
+	resil.RegisterMetrics(reg)
+
+	d, err := serve.New(serve.Config{
+		StateDir:    *state,
+		Fleet:       *fleet,
+		SliceEpochs: *sliceEp,
+		Quantum:     *quantum,
+		Quotas:      serve.Quotas{MaxActiveJobs: *maxJobs, MaxTotalSteps: *maxSteps},
+		Registry:    reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	shutdown, err := cli.Activate(reg, "mucfuzzd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Fprintf(os.Stderr, "mucfuzzd: http server panicked: %v\n", r)
+			}
+		}()
+		if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, serr)
+		}
+	}()
+	fmt.Printf("mucfuzzd: serving on %s, state in %s\n", ln.Addr(), *state)
+
+	// The coordinator runs on the main goroutine until a signal asks for
+	// a graceful stop: the in-flight slice checkpoints at its barrier,
+	// the ledger is saved, and every job resumes on the next boot.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Fprintf(os.Stderr, "mucfuzzd: signal watcher panicked: %v\n", r)
+			}
+		}()
+		<-ctx.Done()
+		fmt.Println("mucfuzzd: signal received; stopping at the next barrier")
+		d.Stop()
+	}()
+	d.Run()
+	stopSignals()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(sctx)
+	if err := shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	fmt.Println("mucfuzzd: stopped; all jobs parked at their barriers")
+}

@@ -25,7 +25,7 @@ var Supervisedgo = &Analyzer{
 // discipline.
 var campaignPkgs = map[string]bool{
 	"engine": true, "fuzz": true, "flight": true,
-	"resil": true, "core": true,
+	"resil": true, "core": true, "serve": true,
 }
 
 func runSupervisedgo(pass *Pass) {

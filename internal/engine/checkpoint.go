@@ -402,7 +402,23 @@ func LoadWithFallback(path string) (*Snapshot, string, error) {
 // Streams, StepsPerEpoch) are an error, zero values inherit from the
 // snapshot. TotalSteps may exceed the snapshot's to extend the
 // campaign; zero keeps the original budget.
+//
+// Resume takes the checkpoint's single-writer lock before reading, so
+// two daemons (or a daemon plus a CLI run) racing for the same campaign
+// state fail fast with ErrLocked instead of corrupting it. The lock is
+// released when the campaign completes or fails, or via Unlock.
 func Resume(path string, cfg Config, factory Factory) (*Campaign, error) {
+	guard := &Campaign{}
+	guard.acquireLocks(path, cfg.CheckpointPath)
+	if guard.lockErr != nil {
+		return nil, fmt.Errorf("engine: cannot resume %s: %w", path, guard.lockErr)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			guard.Unlock()
+		}
+	}()
 	snap, usedPath, err := LoadWithFallback(path)
 	if err != nil {
 		return nil, err
@@ -458,5 +474,7 @@ func Resume(path string, cfg Config, factory Factory) (*Campaign, error) {
 		c.views = append(c.views, v)
 		c.workers = append(c.workers, w)
 	}
+	c.locks = guard.locks
+	ok = true
 	return c, nil
 }

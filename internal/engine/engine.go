@@ -179,6 +179,14 @@ type Campaign struct {
 	// before any): writing the same barrier twice would rotate a real
 	// generation out of .prev for an identical copy.
 	ckptDone int
+	// ended latches the flight end event so repeated RunSlice calls on
+	// a completed campaign never journal a second one.
+	ended bool
+	// locks are the single-writer guards on the campaign's checkpoint
+	// state (see AcquireLock); lockErr defers a New-time acquisition
+	// failure to the first RunSlice, which has an error to return.
+	locks   []*Lock
+	lockErr error
 
 	reg          *obs.Registry
 	mEpochSec    *obs.Histogram
@@ -200,9 +208,14 @@ type PoisonInfo struct {
 }
 
 // New builds a campaign, creating one worker per stream via factory.
+// A campaign with a CheckpointPath takes the path's single-writer lock
+// (see AcquireLock) so two processes cannot corrupt the same state; an
+// acquisition failure surfaces as ErrLocked from the first Run or
+// RunSlice call (New itself has no error to return).
 func New(cfg Config, factory Factory) *Campaign {
 	cfg.normalize()
 	c := &Campaign{cfg: cfg, global: cover.NewMap(), poisoned: map[int]PoisonInfo{}, ckptDone: -1}
+	c.acquireLocks(cfg.CheckpointPath)
 	c.instrument()
 	for i := 0; i < cfg.Streams; i++ {
 		src := &mix64{state: streamSeed(cfg.Seed, i)}
@@ -313,17 +326,45 @@ var ErrInterrupted = errors.New("engine: campaign interrupted")
 // completes and is checkpointed, which is what makes interrupt+resume
 // equal an uninterrupted run.
 func (c *Campaign) Run(ctx context.Context) error {
+	_, err := c.RunSlice(ctx, 0)
+	return err
+}
+
+// Finished reports whether the campaign's budget is spent.
+func (c *Campaign) Finished() bool { return c.done >= c.cfg.TotalSteps }
+
+// RunSlice executes up to maxEpochs epochs (0 or negative: until the
+// budget is spent) and pauses at the next barrier. It returns
+// finished=true once the budget is spent, after writing the final
+// checkpoint and the flight end event. A paused campaign is exactly a
+// quiescent one — every stream sits at the barrier, the periodic
+// checkpoint cadence has run — so a caller may interleave slices of
+// many campaigns over one goroutine fleet (pause-at-barrier
+// preemption) without perturbing any campaign's results: per-campaign
+// outcomes depend only on seed, streams, and budget, never on when its
+// epochs are scheduled.
+func (c *Campaign) RunSlice(ctx context.Context, maxEpochs int) (finished bool, err error) {
+	if c.lockErr != nil {
+		return false, c.lockErr
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ran := 0
 	for c.done < c.cfg.TotalSteps {
 		if ctx.Err() != nil {
 			if err := c.Checkpoint(); err != nil {
-				return errors.Join(ErrInterrupted, err)
+				c.Unlock()
+				return false, errors.Join(ErrInterrupted, err)
 			}
-			return ErrInterrupted
+			c.Unlock()
+			return false, ErrInterrupted
+		}
+		if maxEpochs > 0 && ran >= maxEpochs {
+			return false, nil
 		}
 		c.runEpoch()
+		ran++
 		if c.cfg.OnEpoch != nil {
 			c.cfg.OnEpoch(c.done, c.cfg.TotalSteps)
 		}
@@ -339,14 +380,50 @@ func (c *Campaign) Run(ctx context.Context) error {
 	if c.cfg.CheckpointPath != "" {
 		// Final snapshot: resumable later with a larger TotalSteps.
 		if err := c.Checkpoint(); err != nil {
-			return err
+			c.Unlock()
+			return false, err
 		}
 	}
-	if rec := c.cfg.Flight; rec != nil {
+	if rec := c.cfg.Flight; rec != nil && !c.ended {
 		agg := c.MergedStats()
 		rec.End(c.done, agg.Coverage.Count(), len(agg.Crashes))
 	}
-	return nil
+	c.ended = true
+	c.Unlock()
+	return true, nil
+}
+
+// acquireLocks takes the single-writer lock on every distinct non-empty
+// path, recording the first failure for RunSlice to surface.
+func (c *Campaign) acquireLocks(paths ...string) {
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		lk, err := AcquireLock(p)
+		if err != nil {
+			c.lockErr = err
+			return
+		}
+		c.locks = append(c.locks, lk)
+	}
+}
+
+// LockErr reports a deferred lock-acquisition failure from New (Resume
+// surfaces the same condition as its own error). Callers that must know
+// before the first RunSlice — a daemon admitting a job — check this.
+func (c *Campaign) LockErr() error { return c.lockErr }
+
+// Unlock releases the campaign's checkpoint locks. RunSlice calls it on
+// every completing or failing return; a coordinator abandoning a paused
+// campaign (cancellation, shutdown) calls it directly. Idempotent.
+func (c *Campaign) Unlock() {
+	for _, lk := range c.locks {
+		lk.Release()
+	}
+	c.locks = nil
 }
 
 // epochPlan returns each stream's step count for the epoch starting at

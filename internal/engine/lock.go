@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// ErrLocked reports that another live process holds a campaign state
+// lock. Checkpoint files are single-writer by design: two processes
+// (two daemons, or a daemon plus a CLI run) checkpointing the same
+// campaign would interleave generations and corrupt both the primary
+// and the .prev fallback.
+var ErrLocked = errors.New("engine: campaign state locked")
+
+// LockSuffix names the lock file guarding a campaign state path.
+const LockSuffix = ".lock"
+
+// Lock is a held single-writer guard over a campaign state path
+// (checkpoint file or daemon state directory). Release it when the
+// owning campaign is done with the state.
+type Lock struct {
+	path string // the lock file itself
+}
+
+// AcquireLock takes the single-writer lock for statePath by creating
+// statePath+LockSuffix exclusively, recording the owning pid. A lock
+// held by a live process is an error (ErrLocked, naming the pid and
+// the lock file); a lock left behind by a dead process — a SIGKILLed
+// daemon, say — is stale and is silently replaced. Callers that
+// checkpoint or resume campaign state (engine.Resume callers included)
+// should hold the lock for the life of the campaign.
+func AcquireLock(statePath string) (*Lock, error) {
+	lockPath := statePath + LockSuffix
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := fmt.Fprintf(f, "%d\n", os.Getpid())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(lockPath)
+				return nil, werr
+			}
+			return &Lock{path: lockPath}, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, err
+		}
+		data, rerr := os.ReadFile(lockPath)
+		if rerr != nil {
+			if errors.Is(rerr, os.ErrNotExist) {
+				continue // raced with a release; try again
+			}
+			return nil, rerr
+		}
+		pid, perr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if perr == nil && pidAlive(pid) {
+			return nil, fmt.Errorf("%w: %s is held by running process %d "+
+				"(a second writer would corrupt the campaign state; stop it "+
+				"or point this one at a different -checkpoint/-state path)",
+				ErrLocked, lockPath, pid)
+		}
+		// Unreadable pid or dead owner: the lock is stale debris from a
+		// killed process. Remove it and race for the replacement.
+		os.Remove(lockPath)
+	}
+	return nil, fmt.Errorf("%w: %s kept reappearing (livelocked with another starter?)",
+		ErrLocked, lockPath)
+}
+
+// Release drops the lock. Safe to call once per acquired lock; a nil
+// lock is a no-op.
+func (l *Lock) Release() error {
+	if l == nil {
+		return nil
+	}
+	return os.Remove(l.path)
+}
+
+// Path returns the lock file's path (diagnostics, tests).
+func (l *Lock) Path() string {
+	if l == nil {
+		return ""
+	}
+	return l.path
+}
+
+// pidAlive reports whether a process with the given pid exists (signal
+// 0 probes existence without delivering anything).
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	proc, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = proc.Signal(syscall.Signal(0))
+	if err == nil {
+		return true
+	}
+	// EPERM means the process exists but belongs to someone else.
+	return errors.Is(err, syscall.EPERM)
+}

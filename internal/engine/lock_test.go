@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLockExcludesSecondWriter: while a live process holds the lock, a
+// second acquisition fails with ErrLocked and a message naming the
+// holder.
+func TestLockExcludesSecondWriter(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "campaign.json")
+	l, err := AcquireLock(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+
+	if _, err := AcquireLock(state); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second acquire returned %v, want ErrLocked", err)
+	} else if !strings.Contains(err.Error(), fmt.Sprint(os.Getpid())) {
+		t.Errorf("error %q does not name the holding pid", err)
+	}
+}
+
+// TestLockReleaseAllowsReacquire: releasing hands the state to the next
+// writer.
+func TestLockReleaseAllowsReacquire(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "campaign.json")
+	l, err := AcquireLock(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := AcquireLock(state)
+	if err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	l2.Release()
+}
+
+// TestLockStealsStaleLock: a lock file left by a dead process (the
+// SIGKILLed-daemon case) must not wedge the campaign forever.
+func TestLockStealsStaleLock(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "campaign.json")
+	// A pid far above any real pid_max stands in for a dead owner.
+	if err := os.WriteFile(state+LockSuffix, []byte("1073741824\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireLock(state)
+	if err != nil {
+		t.Fatalf("stale lock not stolen: %v", err)
+	}
+	defer l.Release()
+
+	data, err := os.ReadFile(state + LockSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != fmt.Sprint(os.Getpid()) {
+		t.Errorf("stolen lock records pid %s, want ours (%d)", got, os.Getpid())
+	}
+}
+
+// TestLockGarbageContentIsStale: an unreadable lock file (torn write)
+// counts as stale, not held.
+func TestLockGarbageContentIsStale(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "campaign.json")
+	if err := os.WriteFile(state+LockSuffix, []byte("not-a-pid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := AcquireLock(state)
+	if err != nil {
+		t.Fatalf("garbage lock not replaced: %v", err)
+	}
+	l.Release()
+}
+
+// TestLockNilSafe: nil locks release and report paths without panics
+// (callers hold a nil lock when no checkpoint path is configured).
+func TestLockNilSafe(t *testing.T) {
+	var l *Lock
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Path() != "" {
+		t.Fatal("nil lock has a path")
+	}
+}

@@ -626,3 +626,56 @@ func TestReadJournalRejectsMalformedLines(t *testing.T) {
 		t.Errorf("empty journal = %v, %v", events, err)
 	}
 }
+
+// TestRestoreWatchdogsContinuesCounters: a recorder rebuilt over a
+// journal prefix (checkpoint resume) must fire the same anomalies at
+// the same epochs as one that lived through the whole campaign —
+// counters continue, fired latches survive, and journal bytes match.
+func TestRestoreWatchdogsContinuesCounters(t *testing.T) {
+	live := func(ticks0, ticks1 int) []StreamInfo {
+		return []StreamInfo{{Stream: 0, Ticks: ticks0}, {Stream: 1, Ticks: ticks1}}
+	}
+	drive := func(r *Recorder, from, to int) {
+		// Stream 0 freezes at 100 after epoch 1; stream 1 advances, and
+		// coverage grows so only the stall detector is in play.
+		for e := from; e <= to; e++ {
+			r.EndEpoch(barrier(e, 10*e, 5+e, live(100, 100*e)...))
+		}
+	}
+	var whole bytes.Buffer
+	ref := NewRecorder(Config{Streams: 2, Journal: &whole})
+	drive(ref, 1, 8)
+
+	// Interrupted at epoch 3 — two frozen epochs banked, stall not yet
+	// fired — and resumed by a fresh recorder.
+	var prefix bytes.Buffer
+	first := NewRecorder(Config{Streams: 2, Journal: &prefix})
+	drive(first, 1, 3)
+	var tail bytes.Buffer
+	resumed := NewRecorder(Config{Streams: 2, Done: 30, Journal: &tail})
+	resumed.RestoreWatchdogs(prefix.Bytes())
+	drive(resumed, 4, 8)
+
+	wantTail := strings.TrimPrefix(whole.String(), prefix.String())
+	if wantTail == whole.String() {
+		t.Fatal("prefix journal is not a prefix of the uninterrupted journal")
+	}
+	if tail.String() != wantTail {
+		t.Errorf("resumed journal tail diverged:\ngot  %q\nwant %q", tail.String(), wantTail)
+	}
+	if got := anomalyKinds(resumed); len(got) != 1 || got[0] != "stalled_stream" {
+		t.Fatalf("resumed anomalies = %v, want [stalled_stream]", got)
+	}
+	if ev := resumed.Anomalies()[0]; ev.Epoch != 5 {
+		t.Errorf("resumed stall fired at epoch %d, want 5 (absolute)", ev.Epoch)
+	}
+
+	// A restart after the stall fired must not re-fire it.
+	var tail2 bytes.Buffer
+	again := NewRecorder(Config{Streams: 2, Done: 60, Journal: &tail2})
+	again.RestoreWatchdogs(append(prefix.Bytes(), tail.Bytes()...))
+	drive(again, 9, 10)
+	if got := anomalyKinds(again); len(got) != 0 {
+		t.Errorf("latched stall re-fired after restore: %v", got)
+	}
+}

@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -197,6 +198,78 @@ func (r *Recorder) watchdogsLocked(info EpochInfo, quarantines int) {
 				"baseline_per_1k": int(math.Round(cfg.BaselineEdgesPer1k)),
 				"floor_milli":     int(math.Round(1000 * cfg.RegressionFraction)),
 			})
+		}
+	}
+}
+
+// RestoreWatchdogs rebuilds the detectors' inter-barrier memory by
+// replaying a journal prefix — the repaired journal a resumed campaign
+// continues appending to. A fresh Recorder starts its
+// consecutive-epoch counters and fired-once latches at zero, so
+// without this a restart would shift every later anomaly to a
+// restart-relative journal position (or re-fire latched ones) and the
+// continued journal would diverge from an uninterrupted run's. The
+// replay mirrors watchdogsLocked's bookkeeping exactly but emits
+// nothing: every detection inside the prefix is already journaled.
+//
+// Safe on a nil recorder. Torn or foreign lines are skipped — the
+// caller has already repaired the journal to a valid prefix.
+func (r *Recorder) RestoreWatchdogs(journal []byte) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cfg := r.cfg.Watchdogs
+	wd := &r.wd
+	for _, line := range bytes.Split(journal, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue
+		}
+		switch ev.Kind {
+		case "stream":
+			s := ev.Stream
+			if ev.Data["poisoned"] == true {
+				delete(wd.stallFor, s)
+				continue
+			}
+			if last, seen := wd.lastTicks[s]; seen && ev.Tick == last {
+				wd.stallFor[s]++
+			} else {
+				wd.stallFor[s] = 0
+				wd.stalled[s] = false
+			}
+			wd.lastTicks[s] = ev.Tick
+			if wd.stallFor[s] >= cfg.StallEpochs {
+				wd.stalled[s] = true
+			}
+		case "epoch":
+			edges := 0
+			if v, ok := ev.Data["edges"].(float64); ok {
+				edges = int(v)
+			}
+			if wd.sawEdges && edges == wd.lastEdges {
+				wd.plateauFor++
+			} else {
+				wd.plateauFor = 0
+				wd.plateauFired = false
+			}
+			wd.sawEdges = true
+			wd.lastEdges = edges
+			if wd.plateauFor >= cfg.PlateauEpochs {
+				wd.plateauFired = true
+			}
+		case "anomaly":
+			switch ev.Data["watchdog"] {
+			case "sched_starvation":
+				wd.starved[ev.Stream] = true
+			case "throughput_regression":
+				wd.regressionFired = true
+			}
 		}
 	}
 }

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the thin HTTP client the CLIs use to speak to a daemon.
+// It speaks exactly the JobSpec/JobRecord schema the daemon persists —
+// there is no separate wire format to drift.
+type Client struct {
+	// Addr is the daemon address, with or without the http:// scheme.
+	Addr string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) url(path string) string {
+	addr := c.Addr
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/") + path
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do runs one request and decodes the JSON response into out (nil out
+// returns the raw body instead). Structured API errors come back as
+// *Error with their code and status intact.
+func (c *Client) do(method, path string, body, out any) ([]byte, error) {
+	var reqBody io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		reqBody = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.url(path), reqBody)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		var wrapped struct {
+			Error *Error `json:"error"`
+		}
+		if json.Unmarshal(data, &wrapped) == nil && wrapped.Error != nil {
+			wrapped.Error.Status = resp.StatusCode
+			return nil, wrapped.Error
+		}
+		return nil, fmt.Errorf("serve: %s %s: %s: %s", method, path,
+			resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return data, nil
+	}
+	return data, json.Unmarshal(data, out)
+}
+
+// Submit posts a job spec and returns the assigned id.
+func (c *Client) Submit(spec JobSpec) (string, error) {
+	var resp SubmitResponse
+	_, err := c.do("POST", "/jobs", spec, &resp)
+	return resp.ID, err
+}
+
+// Job fetches one job record.
+func (c *Client) Job(id string) (JobRecord, error) {
+	var rec JobRecord
+	_, err := c.do("GET", "/jobs/"+id, nil, &rec)
+	return rec, err
+}
+
+// Jobs lists job records, optionally for one tenant.
+func (c *Client) Jobs(tenant string) ([]JobRecord, error) {
+	path := "/jobs"
+	if tenant != "" {
+		path += "?tenant=" + tenant
+	}
+	var recs []JobRecord
+	_, err := c.do("GET", path, nil, &recs)
+	return recs, err
+}
+
+// Status fetches the record plus the live flight console.
+func (c *Client) Status(id string) (StatusResponse, error) {
+	var st StatusResponse
+	_, err := c.do("GET", "/jobs/"+id+"/status", nil, &st)
+	return st, err
+}
+
+// Cancel asks the daemon to stop the job at its next barrier.
+func (c *Client) Cancel(id string) error {
+	_, err := c.do("POST", "/jobs/"+id+"/cancel", nil, nil)
+	return err
+}
+
+// Results fetches a terminal job's triage report (raw JSON).
+func (c *Client) Results(id string) ([]byte, error) {
+	return c.do("GET", "/jobs/"+id+"/results", nil, nil)
+}
+
+// Health fetches daemon health.
+func (c *Client) Health() (Health, error) {
+	var h Health
+	_, err := c.do("GET", "/healthz", nil, &h)
+	return h, err
+}
+
+// Wait polls until the job reaches a terminal state (or timeout ≤ 0 for
+// no limit), invoking tick — if non-nil — with each observed record.
+func (c *Client) Wait(id string, interval, timeout time.Duration, tick func(JobRecord)) (JobRecord, error) {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		rec, err := c.Job(id)
+		if err != nil {
+			return rec, err
+		}
+		if tick != nil {
+			tick(rec)
+		}
+		if rec.State.Terminal() {
+			return rec, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return rec, fmt.Errorf("serve: job %s still %s after %s", id, rec.State, timeout)
+		}
+		time.Sleep(interval)
+	}
+}

@@ -1,0 +1,730 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/engine"
+	"github.com/icsnju/metamut-go/internal/flight"
+	"github.com/icsnju/metamut-go/internal/fuzz"
+	"github.com/icsnju/metamut-go/internal/muast"
+	_ "github.com/icsnju/metamut-go/internal/mutators" // populate the mutator registry
+	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/resil"
+	"github.com/icsnju/metamut-go/internal/sched"
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+// Quotas bounds one tenant's service share. Zero values mean
+// unlimited.
+type Quotas struct {
+	// MaxActiveJobs caps a tenant's non-terminal jobs.
+	MaxActiveJobs int
+	// MaxTotalSteps caps a tenant's lifetime submitted step budget.
+	MaxTotalSteps int
+}
+
+// Config shapes a Daemon.
+type Config struct {
+	// StateDir holds the ledger and every job's state (required).
+	StateDir string
+	// Fleet is the shared worker-goroutine count each slice runs on
+	// (default GOMAXPROCS via the engine). Throughput only — never
+	// results.
+	Fleet int
+	// SliceEpochs is the preemption granularity: epochs a job runs
+	// before the fleet may switch to another (default 1).
+	SliceEpochs int
+	// Quantum is the deficit-round-robin credit per tenant visit, in
+	// steps (default 512).
+	Quantum int
+	// Quotas applies to every tenant.
+	Quotas Quotas
+	// Registry receives the serve_* families (nil disables telemetry).
+	Registry *obs.Registry
+	// Breaker tunes the admission circuit breaker: consecutive job
+	// failures open it and submissions are deferred until a probe job
+	// succeeds. Zero values take resil defaults.
+	Breaker resil.BreakerConfig
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// job is one admitted job's live runtime. The coordinator goroutine
+// owns camp/comp exclusively; rec and the flags are guarded by
+// Daemon.mu (HTTP handlers read rec and the flight recorder only —
+// never the campaign, which is mid-epoch most of the time).
+type job struct {
+	rec     *JobRecord
+	dir     string
+	camp    *engine.Campaign
+	comp    *compilersim.Compiler
+	frec    *flight.Recorder
+	journal *os.File
+	reg     *obs.Registry
+	cancel  bool // cancellation requested; honored at the next barrier
+}
+
+// Daemon is the multi-tenant campaign coordinator.
+type Daemon struct {
+	cfg  Config
+	m    metrics
+	lock *engine.Lock // state-dir single-writer guard
+
+	mu     sync.Mutex
+	ledger *Ledger
+	jobs   map[string]*job // live runtimes for non-terminal jobs
+	drr    *drr
+
+	breaker *resil.Breaker
+
+	running atomic.Bool // Run entered; Stop/Kill tear down directly if not
+	wake    chan struct{}
+	stop    chan struct{}
+	kill    chan struct{}
+	done    chan struct{}
+}
+
+// New opens (or creates) the state directory, takes its single-writer
+// lock, loads the ledger, and resumes every non-terminal job from its
+// last checkpoint. Call Run to start serving slices.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("serve: Config.StateDir is required")
+	}
+	if cfg.SliceEpochs <= 0 {
+		cfg.SliceEpochs = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := engine.AcquireLock(filepath.Join(cfg.StateDir, "daemon"))
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := LoadLedger(cfg.StateDir)
+	if err != nil {
+		lock.Release()
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		m:       newMetrics(cfg.Registry),
+		lock:    lock,
+		ledger:  ledger,
+		jobs:    map[string]*job{},
+		drr:     newDRR(cfg.Quantum),
+		breaker: resil.NewBreaker(cfg.Breaker, nil),
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		kill:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if err := d.recover(); err != nil {
+		lock.Release()
+		return nil, err
+	}
+	d.refreshGauges()
+	return d, nil
+}
+
+// recover rebuilds runtimes for every non-terminal ledger job: resumed
+// from checkpoint when one exists, restarted from scratch when the
+// daemon died before the first barrier, finalized directly when it
+// died after the final barrier but before the bookkeeping.
+func (d *Daemon) recover() error {
+	recs := append([]*JobRecord(nil), d.ledger.Jobs...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	resumed := 0
+	for _, rec := range recs {
+		if rec.State.Terminal() {
+			continue
+		}
+		j, err := d.buildRuntime(rec)
+		if err != nil {
+			rec.State = Failed
+			rec.Error = err.Error()
+			d.m.finished.With(string(Failed)).Inc()
+			d.cfg.Logf("serve: job %s failed to recover: %v", rec.ID, err)
+			continue
+		}
+		if j.camp.Finished() {
+			// Killed between the final checkpoint and the terminal
+			// bookkeeping: finish the paperwork now.
+			d.finalizeComplete(j)
+			resumed++
+			continue
+		}
+		d.jobs[rec.ID] = j
+		d.drr.Enqueue(rec.Tenant, rec.ID)
+		if rec.Done > 0 || rec.State == Running {
+			resumed++
+		}
+	}
+	if resumed > 0 {
+		d.m.resumed.Add(int64(resumed))
+		d.cfg.Logf("serve: resumed %d jobs from %s", resumed, d.cfg.StateDir)
+	}
+	return d.ledger.Save(d.cfg.StateDir)
+}
+
+// buildRuntime constructs a job's isolated campaign — compiler, seed
+// pool, mutator arsenal, flight recorder, engine — resuming from its
+// checkpoint when one exists. The job's results depend only on its
+// spec: the daemon contributes no randomness and no ordering.
+func (d *Daemon) buildRuntime(rec *JobRecord) (*job, error) {
+	spec := rec.Spec
+	spec.Normalize()
+	dir := JobDir(d.cfg.StateDir, rec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ckptPath := filepath.Join(dir, CheckpointFile)
+	ok := false
+
+	version := 14
+	if spec.Compiler == "clang" {
+		version = 18
+	}
+	reg := obs.NewRegistry()
+	fuzz.RegisterMetrics(reg)
+	engine.RegisterMetrics(reg)
+	sched.RegisterMetrics(reg)
+	resil.RegisterMetrics(reg)
+	flight.RegisterMetrics(reg)
+	comp := compilersim.New(spec.Compiler, version)
+	comp.Instrument(reg)
+	comp.EnableMutantCache(4096)
+
+	var mutators []*muast.Mutator
+	switch spec.MutatorSet {
+	case "s":
+		mutators = muast.BySet(muast.Supervised)
+	case "u":
+		mutators = muast.BySet(muast.Unsupervised)
+	default:
+		mutators = muast.All()
+	}
+	pool := seeds.Generate(spec.SeedCount, spec.Seed)
+
+	// A checkpoint on disk decides resume vs fresh start; either way
+	// the journal is first repaired to exactly the barrier the
+	// campaign will continue from.
+	snap, usedPath, loadErr := engine.LoadWithFallback(ckptPath)
+	journalPath := filepath.Join(dir, JournalFile)
+	snapDone := 0
+	var journalPrefix []byte
+	if loadErr == nil {
+		snapDone = snap.Done
+		ckptData, err := os.ReadFile(usedPath)
+		if err != nil {
+			return nil, err
+		}
+		journalPrefix, err = repairJournal(journalPath, snap, len(ckptData))
+		if err != nil {
+			return nil, fmt.Errorf("serve: job %s journal repair: %w", rec.ID, err)
+		}
+	} else if !os.IsNotExist(loadErr) {
+		d.cfg.Logf("serve: job %s checkpoint unreadable (%v); restarting from scratch", rec.ID, loadErr)
+	}
+	if loadErr != nil {
+		// No usable checkpoint: the job restarts from step zero and the
+		// journal with it.
+		if err := atomicWrite(journalPath, nil); err != nil {
+			return nil, err
+		}
+	}
+	journalF, err := os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if !ok {
+			journalF.Close()
+		}
+	}()
+
+	armNames := make([]string, len(mutators))
+	for i, mu := range mutators {
+		armNames[i] = mu.Name
+	}
+	frec := flight.NewRecorder(flight.Config{
+		Streams:    spec.Streams,
+		TotalSteps: spec.Steps,
+		Seed:       spec.Seed,
+		Done:       snapDone,
+		Registry:   reg,
+		Journal:    journalF,
+		ArmNames:   armNames,
+	})
+	// The resumed recorder replays the repaired prefix so its anomaly
+	// detectors' epoch counters and latches continue where the killed
+	// run's left off — anomalies land at absolute journal positions.
+	frec.RestoreWatchdogs(journalPrefix)
+
+	mcfg := fuzz.DefaultMacroConfig()
+	mcfg.StaticFilter = !spec.NoStatic
+	var factoryErr error
+	factory := func(stream int, rng *rand.Rand, cov fuzz.CoverageSink) engine.Worker {
+		w := fuzz.NewMacroFuzzer(fmt.Sprintf("%s-%d", rec.ID, stream), comp,
+			mutators, pool, rng, cov, mcfg)
+		s, serr := sched.New(spec.Sched, len(mutators))
+		if serr != nil {
+			factoryErr = serr
+		} else {
+			w.Sched = s
+		}
+		w.Stats().Instrument(reg)
+		w.InstrumentSched(reg)
+		w.AttachFlight(frec.Stream(stream))
+		return w
+	}
+	ecfg := engine.Config{
+		Streams:         spec.Streams,
+		Workers:         d.cfg.Fleet,
+		StepsPerEpoch:   spec.StepsPerEpoch,
+		TotalSteps:      spec.Steps,
+		Seed:            spec.Seed,
+		CheckpointPath:  ckptPath,
+		CheckpointEvery: 1,
+		Registry:        reg,
+		Flight:          frec,
+	}
+	var camp *engine.Campaign
+	if loadErr == nil {
+		// The snapshot owns the identity fields.
+		rcfg := ecfg
+		rcfg.Seed, rcfg.Streams, rcfg.StepsPerEpoch = 0, 0, 0
+		camp, err = engine.Resume(ckptPath, rcfg, factory)
+	} else {
+		camp = engine.New(ecfg, factory)
+	}
+	if err == nil {
+		err = factoryErr
+	}
+	if err == nil {
+		// New defers a lock failure to the first RunSlice; a daemon must
+		// reject the job at admission instead.
+		err = camp.LockErr()
+	}
+	if err != nil {
+		if camp != nil {
+			camp.Unlock()
+		}
+		return nil, err
+	}
+	ok = true
+	return &job{
+		rec: rec, dir: dir, camp: camp, comp: comp,
+		frec: frec, journal: journalF, reg: reg,
+	}, nil
+}
+
+// Submit admits a job: quota and breaker checks, ledger entry, runtime
+// construction, scheduler enqueue. Returns the assigned job id.
+func (d *Daemon) Submit(spec JobSpec) (string, error) {
+	spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return "", &Error{Code: CodeBadSpec, Message: err.Error(), Status: 400}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.breaker.Allow() {
+		d.m.quota.With("admission").Inc()
+		return "", &Error{Code: CodeAdmission, Status: 503, Message: fmt.Sprintf(
+			"serve: admission breaker is %s after consecutive job failures; retry later",
+			d.breaker.State())}
+	}
+	q := d.cfg.Quotas
+	if q.MaxActiveJobs > 0 && d.ledger.Active(spec.Tenant) >= q.MaxActiveJobs {
+		d.m.quota.With("concurrency").Inc()
+		return "", &Error{Code: CodeQuotaConcurrency, Status: 429, Message: fmt.Sprintf(
+			"serve: tenant %q already has %d active jobs (quota %d)",
+			spec.Tenant, d.ledger.Active(spec.Tenant), q.MaxActiveJobs)}
+	}
+	if q.MaxTotalSteps > 0 && d.ledger.Committed(spec.Tenant)+spec.Steps > q.MaxTotalSteps {
+		d.m.quota.With("steps").Inc()
+		return "", &Error{Code: CodeQuotaSteps, Status: 429, Message: fmt.Sprintf(
+			"serve: tenant %q has committed %d of %d lifetime steps; a %d-step job does not fit",
+			spec.Tenant, d.ledger.Committed(spec.Tenant), q.MaxTotalSteps, spec.Steps)}
+	}
+
+	id := fmt.Sprintf("j%04d", d.ledger.NextSeq)
+	rec := &JobRecord{
+		ID: id, Seq: d.ledger.NextSeq, Tenant: spec.Tenant,
+		State: Pending, Spec: spec,
+	}
+	d.ledger.NextSeq++
+	j, err := d.buildRuntime(rec)
+	if err != nil {
+		return "", &Error{Code: CodeInternal, Status: 500, Message: err.Error()}
+	}
+	if data, merr := specJSON(spec); merr == nil {
+		atomicWrite(filepath.Join(j.dir, SpecFile), data)
+	}
+	d.ledger.Jobs = append(d.ledger.Jobs, rec)
+	d.ledger.Commit(spec.Tenant, spec.Steps)
+	d.jobs[id] = j
+	d.drr.Enqueue(spec.Tenant, id)
+	if err := d.ledger.Save(d.cfg.StateDir); err != nil {
+		d.cfg.Logf("serve: ledger save: %v", err)
+	}
+	d.m.submitted.Inc()
+	d.refreshGauges()
+	d.pingLocked()
+	d.cfg.Logf("serve: job %s admitted (tenant %s, %d steps)", id, spec.Tenant, spec.Steps)
+	return id, nil
+}
+
+// Cancel requests a job stop at its next barrier. Terminal jobs are a
+// conflict; queued jobs cancel immediately.
+func (d *Daemon) Cancel(id string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec := d.ledger.Job(id)
+	if rec == nil {
+		return &Error{Code: CodeNotFound, Status: 404, Message: fmt.Sprintf("serve: no job %s", id)}
+	}
+	if rec.State.Terminal() {
+		return &Error{Code: CodeConflict, Status: 409, Message: fmt.Sprintf(
+			"serve: job %s is already %s", id, rec.State)}
+	}
+	j := d.jobs[id]
+	if j == nil {
+		return &Error{Code: CodeInternal, Status: 500, Message: fmt.Sprintf(
+			"serve: job %s has no runtime", id)}
+	}
+	j.cancel = true
+	d.pingLocked()
+	return nil
+}
+
+// Job returns a copy of the job's ledger record.
+func (d *Daemon) Job(id string) (JobRecord, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	rec := d.ledger.Job(id)
+	if rec == nil {
+		return JobRecord{}, false
+	}
+	return *rec, true
+}
+
+// Jobs returns record copies, optionally filtered by tenant, in
+// submission order.
+func (d *Daemon) Jobs(tenant string) []JobRecord {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []JobRecord
+	for _, rec := range d.ledger.Jobs {
+		if tenant == "" || rec.Tenant == tenant {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Console returns the job's live flight console (nil for jobs with no
+// runtime — terminal or unknown).
+func (d *Daemon) Console(id string) *flight.ConsoleState {
+	d.mu.Lock()
+	j := d.jobs[id]
+	d.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	return j.frec.Console()
+}
+
+// Run executes the coordinator loop until Stop (graceful) or Kill
+// (abandon). It is the only goroutine that touches campaigns.
+func (d *Daemon) Run() {
+	d.running.Store(true)
+	defer close(d.done)
+	defer func() {
+		if r := recover(); r != nil {
+			d.cfg.Logf("serve: coordinator panicked: %v (state is durable; restart the daemon)", r)
+		}
+	}()
+	for {
+		select {
+		case <-d.kill:
+			return
+		case <-d.stop:
+			d.shutdown()
+			return
+		default:
+		}
+		d.mu.Lock()
+		id := d.drr.Next(d.sliceCostLocked)
+		if id == "" {
+			d.mu.Unlock()
+			select {
+			case <-d.wake:
+			case <-d.stop:
+				continue
+			case <-d.kill:
+				continue
+			}
+			continue
+		}
+		j := d.jobs[id]
+		if j == nil {
+			// Finalized while queued (shouldn't happen — finalize
+			// removes from the scheduler — but never crash the loop).
+			d.mu.Unlock()
+			continue
+		}
+		if j.cancel {
+			d.finalizeLocked(j, Cancelled, nil)
+			d.mu.Unlock()
+			continue
+		}
+		if j.rec.State == Pending {
+			j.rec.State = Running
+			if err := d.ledger.Save(d.cfg.StateDir); err != nil {
+				d.cfg.Logf("serve: ledger save: %v", err)
+			}
+		}
+		d.mu.Unlock()
+
+		// The slice runs outside the daemon lock: status reads stay
+		// responsive while the fleet fuzzes. Only this goroutine
+		// touches the campaign.
+		fin, err := d.runSlice(j)
+
+		d.mu.Lock()
+		d.m.slices.Inc()
+		prev := j.rec.Done
+		d.refreshRecordLocked(j)
+		d.m.steps.Add(int64(j.rec.Done - prev))
+		switch {
+		case err != nil:
+			d.finalizeLocked(j, Failed, err)
+			d.breaker.Failure()
+		case j.cancel:
+			d.finalizeLocked(j, Cancelled, nil)
+		case fin:
+			d.finalizeLocked(j, Done, nil)
+			d.breaker.Success()
+		default:
+			if err := d.ledger.Save(d.cfg.StateDir); err != nil {
+				d.cfg.Logf("serve: ledger save: %v", err)
+			}
+		}
+		d.mu.Unlock()
+	}
+}
+
+// runSlice executes one preemption slice under supervision: a panic
+// that escapes the engine's own guards fails the job, never the
+// daemon.
+func (d *Daemon) runSlice(j *job) (fin bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job slice panicked: %v", r)
+		}
+	}()
+	return j.camp.RunSlice(context.Background(), d.cfg.SliceEpochs)
+}
+
+// sliceCostLocked prices a job's next slice for the fair scheduler:
+// its per-epoch step plan times the slice length, clamped to the
+// remaining budget. Callers hold d.mu.
+func (d *Daemon) sliceCostLocked(id string) int {
+	j := d.jobs[id]
+	if j == nil {
+		return 1
+	}
+	spec := j.rec.Spec
+	per := spec.Streams * spec.StepsPerEpoch * d.cfg.SliceEpochs
+	if rem := spec.Steps - j.rec.Done; per > rem {
+		per = rem
+	}
+	return per
+}
+
+// refreshRecordLocked mirrors the campaign's barrier state into the
+// durable record. Callers hold d.mu; the campaign must be quiescent
+// (between slices).
+func (d *Daemon) refreshRecordLocked(j *job) {
+	j.rec.Done = j.camp.Done()
+	j.rec.Epochs = j.camp.Epoch()
+	agg := j.camp.MergedStats()
+	j.rec.Edges = agg.Coverage.Count()
+	j.rec.Crashes = len(agg.Crashes)
+}
+
+// finalizeLocked retires a job: terminal flight event (unless the
+// engine already journaled completion), triage report, journal close,
+// lock release, scheduler removal, ledger update. Callers hold d.mu
+// and must be the coordinator goroutine (the campaign is touched).
+func (d *Daemon) finalizeLocked(j *job, state JobState, cause error) {
+	d.refreshRecordLocked(j)
+	if state != Done {
+		// An interrupted job's journal gets its end event here — the
+		// engine only journals completion for spent budgets.
+		j.frec.End(j.rec.Done, j.rec.Edges, j.rec.Crashes)
+	}
+	d.writeTriage(j)
+	j.journal.Close()
+	j.camp.Unlock()
+	d.drr.Remove(j.rec.Tenant, j.rec.ID)
+	delete(d.jobs, j.rec.ID)
+	j.rec.State = state
+	if cause != nil {
+		j.rec.Error = cause.Error()
+	}
+	d.m.finished.With(string(state)).Inc()
+	d.refreshGauges()
+	if err := d.ledger.Save(d.cfg.StateDir); err != nil {
+		d.cfg.Logf("serve: ledger save: %v", err)
+	}
+	d.cfg.Logf("serve: job %s %s (%d/%d steps, %d edges, %d crashes)",
+		j.rec.ID, state, j.rec.Done, j.rec.Spec.Steps, j.rec.Edges, j.rec.Crashes)
+}
+
+// finalizeComplete finishes the paperwork for a job whose campaign
+// completed before a kill wiped the bookkeeping: reconstruct the
+// journal's end event, re-run triage, mark DONE. Called from recover
+// (coordinator not yet running).
+func (d *Daemon) finalizeComplete(j *job) {
+	d.refreshRecordLocked(j)
+	j.journal.Close()
+	if err := appendEndEvent(filepath.Join(j.dir, JournalFile),
+		j.camp.Epoch(), j.rec.Done, j.rec.Edges, j.rec.Crashes); err != nil {
+		d.cfg.Logf("serve: job %s end-event repair: %v", j.rec.ID, err)
+	}
+	d.writeTriage(j)
+	j.camp.Unlock()
+	j.rec.State = Done
+	d.m.finished.With(string(Done)).Inc()
+	d.cfg.Logf("serve: job %s completed before restart; bookkeeping finished", j.rec.ID)
+}
+
+// writeTriage renders and persists the job's triage report. Guarded:
+// a triage panic after a failed slice must not take the daemon down.
+func (d *Daemon) writeTriage(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			d.cfg.Logf("serve: job %s triage panicked: %v", j.rec.ID, r)
+		}
+	}()
+	rep := j.camp.Triage(j.comp, engine.TriageConfig{
+		Reduce:   j.rec.Spec.Reduce,
+		Registry: j.reg,
+	})
+	if err := rep.WriteJSON(filepath.Join(j.dir, TriageFile)); err != nil {
+		d.cfg.Logf("serve: job %s triage write: %v", j.rec.ID, err)
+	}
+}
+
+// refreshGauges recomputes the active-job and tenant gauges from the
+// ledger. Callers hold d.mu (or run before the loop starts).
+func (d *Daemon) refreshGauges() {
+	active := 0
+	tenants := map[string]bool{}
+	for _, rec := range d.ledger.Jobs {
+		if !rec.State.Terminal() {
+			active++
+			tenants[rec.Tenant] = true
+		}
+	}
+	d.m.active.Set(int64(active))
+	d.m.tenants.Set(int64(len(tenants)))
+}
+
+// pingLocked wakes the coordinator if it is parked. Callers hold d.mu.
+func (d *Daemon) pingLocked() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stop shuts the coordinator down gracefully: the in-flight slice
+// finishes (checkpointing at its barrier), every live job's journal is
+// flushed closed, locks release, and the ledger is saved. A daemon
+// whose Run never started (e.g. its listener failed to bind) tears
+// down directly; Stop must not race Run's first instruction. The
+// daemon cannot be restarted in-process; build a new one over the
+// state dir.
+func (d *Daemon) Stop() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	if !d.running.Load() {
+		d.shutdown()
+		return
+	}
+	<-d.done
+}
+
+// shutdown is Stop's loop-side half: persist and release everything.
+func (d *Daemon) shutdown() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]string, 0, len(d.jobs))
+	for id := range d.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := d.jobs[id]
+		j.journal.Close()
+		j.camp.Unlock()
+	}
+	if err := d.ledger.Save(d.cfg.StateDir); err != nil {
+		d.cfg.Logf("serve: ledger save: %v", err)
+	}
+	d.lock.Release()
+	d.cfg.Logf("serve: daemon stopped (%d jobs parked at their barriers)", len(ids))
+}
+
+// Kill abandons the coordinator without any graceful bookkeeping — the
+// test double for SIGKILL. The in-flight slice (if any) completes
+// first (the loop only observes the kill between slices), then
+// everything is dropped on the floor: no ledger save, no journal
+// close, no triage. Lock files are removed — the one cleanup a real
+// process death performs implicitly, since a dead pid's locks are
+// stale-stealable while this still-live test process's are not.
+func (d *Daemon) Kill() {
+	select {
+	case <-d.kill:
+	default:
+		close(d.kill)
+	}
+	d.pingLockedUnguarded()
+	if d.running.Load() {
+		<-d.done
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, j := range d.jobs {
+		j.camp.Unlock()
+	}
+	d.lock.Release()
+}
+
+// pingLockedUnguarded wakes a parked loop without holding d.mu (Kill
+// and Stop race the park legitimately; the channel is buffered).
+func (d *Daemon) pingLockedUnguarded() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import "sort"
+
+// drr is the per-tenant fair scheduler: deficit round-robin over engine
+// epochs. Tenants sit in a fixed sorted ring; each visit credits the
+// tenant one quantum of steps, and while its deficit covers the next
+// epoch slice of its head job, that slice runs and the actual steps
+// executed are charged back. Tenants with more jobs therefore split the
+// same share a single-job tenant gets — the fleet's throughput divides
+// by *tenant*, not by job — and an idle tenant's deficit resets so it
+// cannot hoard credit and starve the ring later.
+//
+// The scheduler is deterministic (sorted ring, FIFO jobs within a
+// tenant) so daemon logs and fairness tests are reproducible; note
+// per-job *results* never depend on this ordering at all — jobs are
+// isolated campaigns and only wall-clock completion order is at stake.
+type drr struct {
+	quantum  int
+	cursor   int
+	tenants  []string       // sorted ring
+	deficits map[string]int // tenant → accumulated step credit
+	queues   map[string][]string
+}
+
+// newDRR builds an empty scheduler. quantum is the step credit per
+// ring visit (≤0 defaults to 512, a default epoch's worth).
+func newDRR(quantum int) *drr {
+	if quantum <= 0 {
+		quantum = 512
+	}
+	return &drr{
+		quantum:  quantum,
+		deficits: map[string]int{},
+		queues:   map[string][]string{},
+	}
+}
+
+// Enqueue appends a job to its tenant's FIFO, adding the tenant to the
+// ring on first sight.
+func (d *drr) Enqueue(tenant, jobID string) {
+	if _, ok := d.queues[tenant]; !ok {
+		d.tenants = append(d.tenants, tenant)
+		sort.Strings(d.tenants)
+		// Re-find the cursor'd tenant? The ring only ever grows by
+		// insertion; keeping the numeric cursor is fine — fairness is
+		// long-run, not per-insertion.
+	}
+	d.queues[tenant] = append(d.queues[tenant], jobID)
+}
+
+// Remove deletes a job from its tenant's queue (cancellation).
+func (d *drr) Remove(tenant, jobID string) {
+	q := d.queues[tenant]
+	for i, id := range q {
+		if id == jobID {
+			d.queues[tenant] = append(q[:i:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// Next picks the job owning the next epoch slice and charges cost
+// steps against its tenant's deficit. cost reports the slice's step
+// price for a job (streams × steps-per-epoch clamped to the remaining
+// budget — exactly the engine's epochPlan, so the charge is precise).
+// Returns "" when no tenant has runnable jobs.
+//
+// The picked job rotates to its tenant's queue tail, so a tenant's own
+// jobs round-robin among themselves within the tenant's share.
+func (d *drr) Next(cost func(jobID string) int) string {
+	if len(d.tenants) == 0 {
+		return ""
+	}
+	// Two full ring passes always suffice when slice costs stay near the
+	// quantum: the first credits every non-empty tenant, so by the
+	// second any of them can usually afford its head slice. The cursor
+	// advances past a served tenant, so consecutive picks rotate the
+	// ring instead of re-serving whoever was served last.
+	n := len(d.tenants)
+	for i := 0; i < 2*n; i++ {
+		t := d.tenants[d.cursor%n]
+		q := d.queues[t]
+		if len(q) == 0 {
+			// Standard DRR: an idle queue forfeits its credit.
+			d.deficits[t] = 0
+			d.cursor++
+			continue
+		}
+		if d.deficits[t] < d.quantum*n {
+			// Cap accumulation so a long-blocked tenant cannot burst
+			// unboundedly once it wakes.
+			d.deficits[t] += d.quantum
+		}
+		job := q[0]
+		c := cost(job)
+		if c < 1 {
+			c = 1
+		}
+		if d.deficits[t] >= c {
+			d.deficits[t] -= c
+			d.queues[t] = append(q[1:], job)
+			d.cursor++
+			return job
+		}
+		d.cursor++
+	}
+	// Every runnable tenant is still saving up (cost ≫ quantum). Serve
+	// the most-credited one anyway rather than stall the fleet — ties
+	// go to ring order from the cursor, and the served tenant's credit
+	// resets, so oversized slices still rotate across tenants.
+	best, bestDef := -1, -1
+	for i := 0; i < n; i++ {
+		idx := (d.cursor + i) % n
+		t := d.tenants[idx]
+		if len(d.queues[t]) > 0 && d.deficits[t] > bestDef {
+			best, bestDef = idx, d.deficits[t]
+		}
+	}
+	if best < 0 {
+		return ""
+	}
+	t := d.tenants[best]
+	q := d.queues[t]
+	job := q[0]
+	d.deficits[t] = 0
+	d.queues[t] = append(q[1:], job)
+	d.cursor = best + 1
+	return job
+}
+
+// Pending reports whether any tenant has runnable jobs.
+func (d *drr) Pending() bool {
+	for _, q := range d.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}

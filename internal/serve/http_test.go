@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// contract spins up a daemon with its coordinator loop and an httptest
+// server over its Handler, plus a Client pointed at it.
+func contract(t *testing.T, quotas Quotas) (*Daemon, *Client) {
+	t.Helper()
+	d, err := New(Config{StateDir: t.TempDir(), Fleet: 1, Quotas: quotas, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		d.Kill()
+		srv.Close()
+	})
+	go d.Run()
+	return d, &Client{Addr: srv.URL}
+}
+
+func wantAPIError(t *testing.T, err error, code string, status int) {
+	t.Helper()
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v (%T), want *serve.Error %s/%d", err, err, code, status)
+	}
+	if se.Code != code || se.Status != status {
+		t.Fatalf("err = %s/%d (%s), want %s/%d", se.Code, se.Status, se.Message, code, status)
+	}
+}
+
+// TestHTTPContract drives every endpoint through the thin client: the
+// full submit → status → stream → results lifecycle plus each error
+// shape a tenant can trigger.
+func TestHTTPContract(t *testing.T) {
+	_, c := contract(t, Quotas{MaxActiveJobs: 2, MaxTotalSteps: 100000})
+
+	// Unknown job: 404 not_found everywhere.
+	_, err := c.Job("j9999")
+	wantAPIError(t, err, CodeNotFound, 404)
+	_, err = c.Status("j9999")
+	wantAPIError(t, err, CodeNotFound, 404)
+	err = c.Cancel("j9999")
+	wantAPIError(t, err, CodeNotFound, 404)
+	_, err = c.Results("j9999")
+	wantAPIError(t, err, CodeNotFound, 404)
+
+	// Invalid spec: 400 bad_spec.
+	bad := testSpec("alpha", 1, 64)
+	bad.Sched = "psychic"
+	_, err = c.Submit(bad)
+	wantAPIError(t, err, CodeBadSpec, 400)
+
+	// Happy path: submit, observe, wait, fetch results.
+	id, err := c.Submit(testSpec("alpha", 5, 160))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "j0001" {
+		t.Errorf("first job id = %q, want j0001", id)
+	}
+	rec, err := c.Job(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Tenant != "alpha" || rec.Spec.Steps != 160 {
+		t.Errorf("record = %+v, want tenant alpha, 160 steps", rec)
+	}
+	// Results before terminal: 409 conflict.
+	if _, err := c.Results(id); err != nil {
+		wantAPIError(t, err, CodeConflict, 409)
+	} else if r, _ := c.Job(id); !r.State.Terminal() {
+		t.Error("results served for a non-terminal job")
+	}
+
+	final, err := c.Wait(id, time.Millisecond, time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != Done || final.Done != 160 {
+		t.Fatalf("final record = %+v, want DONE with 160 steps", final)
+	}
+	st, err := c.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Job.State != Done {
+		t.Errorf("status job state = %s, want DONE", st.Job.State)
+	}
+	raw, err := c.Results(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Streams int `json:"streams"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("results are not JSON: %v", err)
+	}
+	if res.Streams != rec.Spec.Streams {
+		t.Errorf("triage streams = %d, want %d", res.Streams, rec.Spec.Streams)
+	}
+
+	// Terminal job: stream 409, cancel 409.
+	err = c.Cancel(id)
+	wantAPIError(t, err, CodeConflict, 409)
+
+	// List with and without tenant filter.
+	if _, err := c.Submit(testSpec("beta", 6, 64)); err != nil {
+		t.Fatal(err)
+	}
+	all, err := c.Jobs("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Errorf("list = %d jobs, want 2", len(all))
+	}
+	beta, err := c.Jobs("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beta) != 1 || beta[0].Tenant != "beta" {
+		t.Errorf("tenant filter returned %+v, want beta's one job", beta)
+	}
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Breaker != "closed" {
+		t.Errorf("health breaker = %q, want closed", h.Breaker)
+	}
+}
+
+// TestHTTPQuotaRejection: quota errors surface over the wire with
+// their structured code and 429.
+func TestHTTPQuotaRejection(t *testing.T) {
+	_, c := contract(t, Quotas{MaxTotalSteps: 100})
+	_, err := c.Submit(testSpec("alpha", 1, 101))
+	wantAPIError(t, err, CodeQuotaSteps, 429)
+}
+
+// TestHTTPCancelDuringEpoch cancels over the wire while the fleet is
+// mid-campaign and polls the public API to the CANCELLED state.
+func TestHTTPCancelDuringEpoch(t *testing.T) {
+	_, c := contract(t, Quotas{})
+	id, err := c.Submit(testSpec("alpha", 9, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		rec, err := c.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Done > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never progressed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := c.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(id, time.Millisecond, time.Minute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != Cancelled {
+		t.Fatalf("state after cancel = %s, want CANCELLED", final.State)
+	}
+	if _, err := c.Results(id); err != nil {
+		t.Errorf("cancelled job has no results: %v", err)
+	}
+}
+
+// TestHTTPStreamSSE taps a live job's journal feed and checks the SSE
+// framing: a comment header, then one journal line per data frame.
+func TestHTTPStreamSSE(t *testing.T) {
+	d, c := contract(t, Quotas{})
+	id, err := c.Submit(testSpec("alpha", 3, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", c.url("/jobs/"+id+"/stream"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Fatalf("stream response = %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() || !strings.HasPrefix(sc.Text(), ":") {
+		t.Fatalf("first SSE line = %q, want comment header", sc.Text())
+	}
+	var ev struct {
+		Kind string `json:"kind"`
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("SSE data frame is not a journal line: %q (%v)", line, err)
+		}
+		break
+	}
+	if ev.Kind == "" {
+		t.Fatalf("no data frame before stream end: %v", sc.Err())
+	}
+	cancel() // client hangs up; the handler must unwind
+
+	if err := d.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(id, time.Millisecond, time.Minute, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Terminal job: the live feed is gone, 409 points at /results.
+	resp2, err := http.Get(c.url("/jobs/" + id + "/stream"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 409 {
+		t.Fatalf("stream of terminal job = %d, want 409", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/icsnju/metamut-go/internal/engine"
+)
+
+// repairJournal rewinds a job's flight journal to the barrier its
+// resumed checkpoint captured, so the journal a killed-and-restarted
+// job finally produces is byte-identical to an uninterrupted run's.
+//
+// The engine journals an epoch's events *before* installing that
+// epoch's checkpoint and journals the checkpoint confirmation *after*,
+// so a SIGKILL can leave the journal either ahead of the checkpoint
+// (epochs the resumed campaign will re-execute and re-journal) or
+// exactly one confirmation line behind it. Repair therefore:
+//
+//  1. drops any torn trailing line (no terminating newline),
+//  2. drops every event from epochs after the checkpoint's,
+//  3. drops a stale end event (the resumed run re-emits it),
+//  4. re-appends the checkpoint confirmation for the resumed barrier
+//     when the kill landed between the file install and the journal
+//     write — reconstructed bit-for-bit from the snapshot on disk.
+//
+// ckptBytes is the resumed checkpoint file's size (the confirmation
+// line's payload). Returns the repaired journal bytes — the prefix the
+// resumed recorder must replay to restore its watchdog memory.
+func repairJournal(path string, snap *engine.Snapshot, ckptBytes int) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		data = nil
+	} else if err != nil {
+		return nil, err
+	}
+
+	var out bytes.Buffer
+	sawCkpt := false
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev struct {
+			Epoch int    `json:"epoch"`
+			Kind  string `json:"kind"`
+			Data  struct {
+				Done int `json:"done"`
+			} `json:"data"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// A torn trailing write; everything after it is gone too
+			// (the journal is append-only, so nothing valid follows a
+			// torn line).
+			break
+		}
+		if ev.Epoch > snap.Epoch {
+			break
+		}
+		if ev.Kind == "end" {
+			// The job will re-run its tail and re-emit completion.
+			continue
+		}
+		if ev.Kind == "checkpoint" && ev.Epoch == snap.Epoch && ev.Data.Done == snap.Done {
+			sawCkpt = true
+		}
+		out.Write(line)
+		out.WriteByte('\n')
+	}
+	if !sawCkpt && snap.Done > 0 {
+		// Killed between checkpoint install and its journal line: the
+		// confirmation the uninterrupted run would carry. Field order
+		// matches flight's encoder (struct order, then sorted map keys).
+		fmt.Fprintf(&out, `{"epoch":%d,"stream":-1,"kind":"checkpoint","data":{"bytes":%d,"done":%d}}`,
+			snap.Epoch, ckptBytes, snap.Done)
+		out.WriteByte('\n')
+	}
+	return out.Bytes(), atomicWrite(path, out.Bytes())
+}
+
+// appendEndEvent writes the terminal end line for a job that was
+// killed after its final checkpoint but before (or during) journaling
+// completion — the one event repair cannot re-derive from epochs,
+// reconstructed from the finished campaign's merged stats.
+func appendEndEvent(path string, epoch, done, edges, crashes int) error {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	line := fmt.Sprintf(`{"epoch":%d,"stream":-1,"kind":"end","data":{"crashes":%d,"done":%d,"edges":%d}}`,
+		epoch, crashes, done, edges) + "\n"
+	return atomicWrite(path, append(data, line...))
+}
+
+// atomicWrite replaces path with data via temp file + rename in the
+// same directory.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// LedgerVersion guards the on-disk ledger format.
+const LedgerVersion = 1
+
+// JobState is a job's lifecycle state. The machine is
+//
+//	PENDING → RUNNING → DONE
+//	                  → FAILED
+//	PENDING/RUNNING   → CANCELLED
+//
+// Terminal states (DONE, FAILED, CANCELLED) deliver a triage report of
+// whatever the campaign found; only DONE means the full budget ran.
+type JobState string
+
+// Job lifecycle states.
+const (
+	Pending   JobState = "PENDING"
+	Running   JobState = "RUNNING"
+	Done      JobState = "DONE"
+	Failed    JobState = "FAILED"
+	Cancelled JobState = "CANCELLED"
+)
+
+// Terminal reports whether the state accepts no further work.
+func (s JobState) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// JobRecord is one job's ledger entry: the spec plus the coordinator's
+// accounting. Everything here is durable — the record is what restart
+// recovery trusts.
+type JobRecord struct {
+	ID     string   `json:"id"`
+	Seq    int      `json:"seq"` // submission order (FIFO within a tenant)
+	Tenant string   `json:"tenant"`
+	State  JobState `json:"state"`
+	Spec   JobSpec  `json:"spec"`
+	// Done/Epochs/Edges/Crashes mirror the campaign's last barrier.
+	Done    int `json:"done"`
+	Epochs  int `json:"epochs"`
+	Edges   int `json:"edges"`
+	Crashes int `json:"crashes"`
+	// Error carries the failure cause for FAILED jobs.
+	Error string `json:"error,omitempty"`
+}
+
+// Ledger is the daemon's durable job table. It is a plain value —
+// the Daemon serializes access — persisted atomically as one JSON file
+// so a kill at any instant leaves either the old or the new ledger,
+// never a torn one.
+type Ledger struct {
+	Version int          `json:"version"`
+	NextSeq int          `json:"next_seq"`
+	Jobs    []*JobRecord `json:"jobs"`
+	// StepsCommitted tracks each tenant's lifetime submitted step
+	// budget (the quota denominator), serialized as sorted pairs so the
+	// encoding is deterministic.
+	StepsCommitted []TenantSteps `json:"steps_committed,omitempty"`
+}
+
+// TenantSteps is one tenant's lifetime committed step budget.
+type TenantSteps struct {
+	Tenant string `json:"tenant"`
+	Steps  int    `json:"steps"`
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{Version: LedgerVersion, NextSeq: 1}
+}
+
+// Job returns the record with the given id, or nil.
+func (l *Ledger) Job(id string) *JobRecord {
+	for _, j := range l.Jobs {
+		if j.ID == id {
+			return j
+		}
+	}
+	return nil
+}
+
+// Committed returns the tenant's lifetime committed steps.
+func (l *Ledger) Committed(tenant string) int {
+	for _, ts := range l.StepsCommitted {
+		if ts.Tenant == tenant {
+			return ts.Steps
+		}
+	}
+	return 0
+}
+
+// Commit books a tenant's submitted step budget against its lifetime
+// quota, keeping the pairs sorted by tenant.
+func (l *Ledger) Commit(tenant string, steps int) {
+	for i := range l.StepsCommitted {
+		if l.StepsCommitted[i].Tenant == tenant {
+			l.StepsCommitted[i].Steps += steps
+			return
+		}
+	}
+	l.StepsCommitted = append(l.StepsCommitted, TenantSteps{Tenant: tenant, Steps: steps})
+	sort.Slice(l.StepsCommitted, func(i, j int) bool {
+		return l.StepsCommitted[i].Tenant < l.StepsCommitted[j].Tenant
+	})
+}
+
+// Active counts a tenant's non-terminal jobs (the concurrency quota).
+func (l *Ledger) Active(tenant string) int {
+	n := 0
+	for _, j := range l.Jobs {
+		if j.Tenant == tenant && !j.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// ledgerPath names the ledger file inside a state directory.
+func ledgerPath(stateDir string) string {
+	return filepath.Join(stateDir, "ledger.json")
+}
+
+// JobDir names one job's state directory (checkpoint, flight journal,
+// spec, triage report).
+func JobDir(stateDir, id string) string {
+	return filepath.Join(stateDir, "jobs", id)
+}
+
+// Per-job file names inside JobDir.
+const (
+	CheckpointFile = "checkpoint.json"
+	JournalFile    = "flight.jsonl"
+	TriageFile     = "triage.json"
+	SpecFile       = "spec.json"
+)
+
+// LoadLedger reads the ledger from a state directory; a missing file
+// is an empty ledger (first boot).
+func LoadLedger(stateDir string) (*Ledger, error) {
+	data, err := os.ReadFile(ledgerPath(stateDir))
+	if os.IsNotExist(err) {
+		return NewLedger(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("serve: ledger %s: %w", ledgerPath(stateDir), err)
+	}
+	if l.Version != LedgerVersion {
+		return nil, fmt.Errorf("serve: ledger %s: version %d, want %d",
+			ledgerPath(stateDir), l.Version, LedgerVersion)
+	}
+	return &l, nil
+}
+
+// Save writes the ledger atomically (temp file + rename in the state
+// directory).
+func (l *Ledger) Save(stateDir string) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(stateDir, ".ledger-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), ledgerPath(stateDir)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/resil"
 	"github.com/icsnju/metamut-go/internal/sched"
 	"github.com/icsnju/metamut-go/internal/seeds"
+	"github.com/icsnju/metamut-go/internal/serve"
 )
 
 // metricsDocRow matches the first two columns of a catalogue row:
@@ -59,6 +60,7 @@ func liveFamilies(t *testing.T) map[string]bool {
 	resil.RegisterMetrics(reg)
 	sched.RegisterMetrics(reg)
 	flight.RegisterMetrics(reg)
+	serve.RegisterMetrics(reg)
 
 	comp := compilersim.New("gcc", 14)
 	comp.Instrument(reg)
@@ -104,6 +106,7 @@ func TestCampaignSchemaPreRegistered(t *testing.T) {
 	sched.RegisterMetrics(reg)
 	resil.RegisterMetrics(reg)
 	flight.RegisterMetrics(reg)
+	serve.RegisterMetrics(reg)
 
 	have := map[string]bool{}
 	for _, f := range reg.Families() {
@@ -116,6 +119,7 @@ func TestCampaignSchemaPreRegistered(t *testing.T) {
 			strings.HasPrefix(fam, "sched_"),
 			strings.HasPrefix(fam, "resil_"),
 			strings.HasPrefix(fam, "flight_"),
+			strings.HasPrefix(fam, "serve_"),
 			fam == "triage_reduced_total":
 			if !have[fam] {
 				t.Errorf("campaign family %s not pre-registered at startup", fam)
