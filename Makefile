@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check lint build vet staticcheck detlint test race bench bench-json bench-smoke campaign-smoke chaos-smoke flight-smoke serve-smoke clean
+.PHONY: check lint build vet staticcheck detlint test race bench bench-json bench-smoke campaign-smoke chaos-smoke flight-smoke serve-smoke chaos-serve-smoke clean
 
 # check is the one-stop gate: lint (vet + detlint, + staticcheck when
 # installed), build, full test suite, the race-detector pass over the
@@ -50,7 +50,7 @@ race:
 	$(GO) test -race ./internal/obs ./internal/fuzz ./internal/mutcheck \
 		./internal/engine ./internal/resil ./internal/resil/chaos \
 		./internal/sched ./internal/flight ./internal/detlint \
-		./internal/serve
+		./internal/serve ./internal/serve/heal
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -157,6 +157,69 @@ serve-smoke:
 	$$ctl list; \
 	kill $$pid; wait $$pid 2>/dev/null || true
 	@rm -rf .serve-smoke
+
+# chaos-serve-smoke proves the self-healing service end to end: a
+# baseline daemon completes two jobs clean; a second daemon runs the
+# same two jobs plus a designated poison job with chaos armed (poison
+# slice panics, checkpoint ENOSPC, torn ledger saves), is SIGKILLed
+# mid-campaign, and restarted with chaos still armed. The poison job
+# must land QUARANTINED while the survivors' flight journals and triage
+# reports come out byte-identical to the baseline's.
+chaos-serve-smoke:
+	@rm -rf .chaos-serve-smoke && mkdir .chaos-serve-smoke
+	$(GO) build -o .chaos-serve-smoke/mucfuzzd ./cmd/mucfuzzd
+	$(GO) build -o .chaos-serve-smoke/mucfuzzctl ./cmd/mucfuzzctl
+	@set -e; \
+	ctl=".chaos-serve-smoke/mucfuzzctl -addr 127.0.0.1:8378"; \
+	echo "chaos-serve-smoke: baseline daemon"; \
+	.chaos-serve-smoke/mucfuzzd -state .chaos-serve-smoke/base -addr 127.0.0.1:8378 \
+		>.chaos-serve-smoke/base.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+		if $$ctl health >/dev/null 2>&1; then up=1; break; fi; sleep 0.2; done; \
+	[ "$$up" = 1 ] || { echo "chaos-serve-smoke: baseline never came up"; cat .chaos-serve-smoke/base.log; exit 1; }; \
+	$$ctl submit -tenant alpha -steps 4000 -streams 8; \
+	$$ctl submit -tenant beta -steps 4000 -streams 8 -compiler clang; \
+	$$ctl watch j0001; \
+	$$ctl watch j0002; \
+	kill $$pid; wait $$pid 2>/dev/null || true; \
+	echo "chaos-serve-smoke: chaos daemon (poison job + ENOSPC + torn ledger)"; \
+	chaosd=".chaos-serve-smoke/mucfuzzd -state .chaos-serve-smoke/chaos -addr 127.0.0.1:8378 \
+		-chaos-poison-seq 3 -chaos-ckpt-enospc 5 -chaos-ledger-tear 3"; \
+	$$chaosd >.chaos-serve-smoke/c1.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+		if $$ctl health >/dev/null 2>&1; then up=1; break; fi; sleep 0.2; done; \
+	[ "$$up" = 1 ] || { echo "chaos-serve-smoke: chaos daemon never came up"; cat .chaos-serve-smoke/c1.log; exit 1; }; \
+	$$ctl submit -tenant alpha -steps 4000 -streams 8; \
+	$$ctl submit -tenant beta -steps 4000 -streams 8 -compiler clang; \
+	$$ctl submit -tenant alpha -steps 2000 -streams 8; \
+	started=0; for i in $$(seq 1 100); do \
+		if $$ctl status j0001 | grep -q '"done": [1-9]'; then started=1; break; fi; \
+		sleep 0.2; done; \
+	[ "$$started" = 1 ] || { echo "chaos-serve-smoke: j0001 never progressed"; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	echo "chaos-serve-smoke: daemon SIGKILLed mid-campaign; restarting with chaos still armed"; \
+	$$chaosd >.chaos-serve-smoke/c2.log 2>&1 & pid=$$!; \
+	up=0; for i in $$(seq 1 100); do \
+		if $$ctl health >/dev/null 2>&1; then up=1; break; fi; sleep 0.2; done; \
+	[ "$$up" = 1 ] || { echo "chaos-serve-smoke: daemon never came back"; cat .chaos-serve-smoke/c2.log; exit 1; }; \
+	$$ctl watch j0001; \
+	$$ctl watch j0002; \
+	quar=0; for i in $$(seq 1 100); do \
+		if $$ctl status j0003 | grep -q '"state": "QUARANTINED"'; then quar=1; break; fi; \
+		sleep 0.2; done; \
+	[ "$$quar" = 1 ] || { echo "chaos-serve-smoke: poison job never quarantined"; $$ctl status j0003; exit 1; }; \
+	$$ctl list | grep -q QUARANTINED || { echo "chaos-serve-smoke: QUARANTINED missing from list"; exit 1; }; \
+	[ -s .chaos-serve-smoke/chaos/jobs/j0003/flight.jsonl ] || { echo "chaos-serve-smoke: poison job journal missing"; exit 1; }; \
+	[ -s .chaos-serve-smoke/chaos/jobs/j0003/triage.json ] || { echo "chaos-serve-smoke: poison job triage missing"; exit 1; }; \
+	for j in j0001 j0002; do \
+		cmp .chaos-serve-smoke/base/jobs/$$j/flight.jsonl .chaos-serve-smoke/chaos/jobs/$$j/flight.jsonl \
+			|| { echo "chaos-serve-smoke: $$j journal diverged from baseline"; exit 1; }; \
+		cmp .chaos-serve-smoke/base/jobs/$$j/triage.json .chaos-serve-smoke/chaos/jobs/$$j/triage.json \
+			|| { echo "chaos-serve-smoke: $$j triage diverged from baseline"; exit 1; }; \
+	done; \
+	echo "chaos-serve-smoke: survivors byte-identical, poison quarantined"; \
+	kill $$pid; wait $$pid 2>/dev/null || true
+	@rm -rf .chaos-serve-smoke
 
 clean:
 	$(GO) clean ./...

@@ -514,7 +514,9 @@ func main() {
 // submitJob delegates a campaign to a running daemon: submit, watch
 // until terminal, print the triage report.
 func submitJob(addr string, spec serve.JobSpec) error {
-	c := &serve.Client{Addr: addr}
+	// Reads retry transient connection errors (bounded seeded backoff)
+	// so a daemon restart mid-watch does not abort the delegation.
+	c := &serve.Client{Addr: addr, Retry: &resil.Policy{MaxAttempts: 8}}
 	id, err := c.Submit(spec)
 	if err != nil {
 		return err
@@ -532,8 +534,11 @@ func submitJob(addr string, spec serve.JobSpec) error {
 	if err != nil {
 		return err
 	}
-	if rec.State == serve.Failed {
+	switch rec.State {
+	case serve.Failed:
 		return fmt.Errorf("job %s failed: %s", id, rec.Error)
+	case serve.Quarantined:
+		return fmt.Errorf("job %s quarantined: %s", id, rec.Error)
 	}
 	data, err := c.Results(id)
 	if err != nil {

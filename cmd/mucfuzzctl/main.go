@@ -17,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/icsnju/metamut-go/internal/resil"
 	"github.com/icsnju/metamut-go/internal/serve"
 )
 
@@ -30,12 +32,19 @@ func usage() {
 
 func main() {
 	addr := flag.String("addr", "localhost:8377", "mucfuzzd address")
+	retries := flag.Int("retries", 8,
+		"transient connection-error retries for reads (watch/status/list; 0 disables)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() == 0 {
 		usage()
 	}
 	c := &serve.Client{Addr: *addr}
+	if *retries > 0 {
+		// Reads survive a daemon restart mid-watch: refused connections
+		// retry under a bounded seeded backoff instead of exiting.
+		c.Retry = &resil.Policy{MaxAttempts: *retries}
+	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	var err error
 	switch cmd {
@@ -69,8 +78,11 @@ func main() {
 		if herr != nil {
 			err = herr
 		} else {
-			fmt.Printf("active jobs: %d   tenants: %d   admission breaker: %s\n",
-				h.ActiveJobs, h.Tenants, h.Breaker)
+			fmt.Printf("active jobs: %d   tenants: %d   admission breaker: %s   disk level: %s\n",
+				h.ActiveJobs, h.Tenants, h.Breaker, h.DiskLevel)
+			if len(h.PausedTenants) > 0 {
+				fmt.Printf("paused tenants: %s\n", strings.Join(h.PausedTenants, ", "))
+			}
 		}
 	default:
 		usage()
@@ -165,8 +177,11 @@ func watch(c *serve.Client, id string) error {
 	if err != nil {
 		return err
 	}
-	if rec.State == serve.Failed {
+	switch rec.State {
+	case serve.Failed:
 		return fmt.Errorf("job %s failed: %s", id, rec.Error)
+	case serve.Quarantined:
+		return fmt.Errorf("job %s quarantined: %s", id, rec.Error)
 	}
 	return nil
 }
@@ -179,10 +194,10 @@ func runList(c *serve.Client, args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %-12s %-10s %10s %8s %8s  %s\n",
+	fmt.Printf("%-8s %-12s %-12s %10s %8s %8s  %s\n",
 		"ID", "TENANT", "STATE", "STEPS", "EDGES", "CRASHES", "NAME")
 	for _, r := range recs {
-		fmt.Printf("%-8s %-12s %-10s %4d/%-5d %8d %8d  %s\n",
+		fmt.Printf("%-8s %-12s %-12s %4d/%-5d %8d %8d  %s\n",
 			r.ID, r.Tenant, r.State, r.Done, r.Spec.Steps, r.Edges, r.Crashes, r.Spec.Name)
 	}
 	return nil

@@ -23,12 +23,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/icsnju/metamut-go/internal/obs"
 	"github.com/icsnju/metamut-go/internal/resil"
+	"github.com/icsnju/metamut-go/internal/resil/chaos"
 	"github.com/icsnju/metamut-go/internal/serve"
+	"github.com/icsnju/metamut-go/internal/serve/heal"
 )
 
 func main() {
@@ -40,6 +43,18 @@ func main() {
 		quantum  = flag.Int("quantum", 0, "fair-scheduler step credit per tenant visit (0 = default)")
 		maxJobs  = flag.Int("max-active-jobs", 0, "per-tenant concurrent (non-terminal) job quota (0 = unlimited)")
 		maxSteps = flag.Int("max-tenant-steps", 0, "per-tenant lifetime submitted-step quota (0 = unlimited)")
+
+		strikeLimit = flag.Int("strike-limit", 0, "faulty slices before a job is quarantined (0 = default 3)")
+		highWater   = flag.Int("high-water-jobs", 0, "live-job count that sheds new admissions and pauses low-deficit tenants (0 = off)")
+		tenantFloor = flag.Int("tenant-floor", 0, "tenants kept runnable under overload pausing (0 = default 1)")
+		retryAfter  = flag.Int("retry-after", 0, "Retry-After hint in seconds on shed admissions (0 = default 30)")
+		anomStrikes = flag.String("anomaly-strikes", "", "comma-separated flight watchdog kinds that strike the job they fire in")
+
+		chaosSeed       = flag.Int64("chaos-seed", 0, "chaos fault-site seed")
+		chaosSlicePanic = flag.Int("chaos-slice-panic", 0, "inject a panic into ~1/N slice attempts (0 = off)")
+		chaosPoisonSeq  = flag.Int("chaos-poison-seq", 0, "designate job seq N as poison: every slice after its first panics (0 = off)")
+		chaosENOSPC     = flag.Int("chaos-ckpt-enospc", 0, "fail every Nth checkpoint write attempt with ENOSPC (0 = off)")
+		chaosLedgerTear = flag.Int("chaos-ledger-tear", 0, "tear every Nth ledger save (0 = off; keep >= 2)")
 	)
 	cli := obs.BindCLIFlags()
 	flag.Parse()
@@ -52,6 +67,36 @@ func main() {
 	serve.RegisterMetrics(reg)
 	resil.RegisterMetrics(reg)
 
+	hcfg := heal.Config{
+		StrikeLimit:       *strikeLimit,
+		HighWaterJobs:     *highWater,
+		TenantFloor:       *tenantFloor,
+		RetryAfterSeconds: *retryAfter,
+	}
+	if *anomStrikes != "" {
+		for _, kind := range strings.Split(*anomStrikes, ",") {
+			if kind = strings.TrimSpace(kind); kind != "" {
+				hcfg.AnomalyStrikes = append(hcfg.AnomalyStrikes, kind)
+			}
+		}
+	}
+	var hooks *serve.ChaosHooks
+	if *chaosSlicePanic > 0 || *chaosPoisonSeq > 0 || *chaosENOSPC > 0 || *chaosLedgerTear > 0 {
+		inj := chaos.NewServeInjector(chaos.ServeConfig{
+			Seed:                  *chaosSeed,
+			SlicePanicEvery:       *chaosSlicePanic,
+			PoisonJobSeq:          *chaosPoisonSeq,
+			CheckpointENOSPCEvery: *chaosENOSPC,
+			LedgerTearEvery:       *chaosLedgerTear,
+		})
+		hooks = &serve.ChaosHooks{
+			SliceStart:          inj.SliceStart,
+			CheckpointTransform: inj.CheckpointTransform,
+			LedgerTransform:     inj.LedgerTransform,
+		}
+		fmt.Fprintln(os.Stderr, "mucfuzzd: CHAOS HOOKS ARMED — fault injection active")
+	}
+
 	d, err := serve.New(serve.Config{
 		StateDir:    *state,
 		Fleet:       *fleet,
@@ -59,6 +104,8 @@ func main() {
 		Quantum:     *quantum,
 		Quotas:      serve.Quotas{MaxActiveJobs: *maxJobs, MaxTotalSteps: *maxSteps},
 		Registry:    reg,
+		Heal:        hcfg,
+		Chaos:       hooks,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

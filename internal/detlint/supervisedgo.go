@@ -25,7 +25,7 @@ var Supervisedgo = &Analyzer{
 // discipline.
 var campaignPkgs = map[string]bool{
 	"engine": true, "fuzz": true, "flight": true,
-	"resil": true, "core": true, "serve": true,
+	"resil": true, "core": true, "serve": true, "heal": true,
 }
 
 func runSupervisedgo(pass *Pass) {

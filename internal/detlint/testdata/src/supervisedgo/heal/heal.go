@@ -1,0 +1,34 @@
+// Package heal is a detlint fixture: its directory name puts it in
+// supervisedgo's campaign-package scope, like the real
+// internal/serve/heal — the daemon's supervision layer must itself be
+// supervised.
+package heal
+
+func probe() {}
+
+// guard is the supervision shape the daemon's governors delegate to.
+func guard() {
+	defer func() { _ = recover() }()
+	probe()
+}
+
+func bareGovernor() {
+	go probe() // want "unsupervised goroutine in campaign package heal"
+}
+
+func bareLadder() {
+	go func() { // want "unsupervised goroutine in campaign package heal"
+		probe()
+	}()
+}
+
+func guardedGovernor() {
+	go func() {
+		defer func() { _ = recover() }()
+		probe()
+	}()
+}
+
+func delegatedGovernor() {
+	go guard()
+}

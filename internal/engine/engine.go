@@ -182,6 +182,9 @@ type Campaign struct {
 	// ended latches the flight end event so repeated RunSlice calls on
 	// a completed campaign never journal a second one.
 	ended bool
+	// slice is the supervision report for the RunSlice call in progress
+	// (or the last completed one); see SliceReport.
+	slice SliceReport
 	// locks are the single-writer guards on the campaign's checkpoint
 	// state (see AcquireLock); lockErr defers a New-time acquisition
 	// failure to the first RunSlice, which has an error to return.
@@ -333,6 +336,35 @@ func (c *Campaign) Run(ctx context.Context) error {
 // Finished reports whether the campaign's budget is spent.
 func (c *Campaign) Finished() bool { return c.done >= c.cfg.TotalSteps }
 
+// SliceReport summarizes the supervision-relevant outcomes of the most
+// recent RunSlice call: epochs completed, streams newly poisoned, task
+// retries granted, and checkpoint write failures (with the last write
+// error). A daemon's supervision layer reads it between slices to
+// decide strikes and disk-pressure transitions without parsing logs.
+type SliceReport struct {
+	Epochs             int
+	Poisoned           int
+	Retries            int
+	CheckpointFailures int
+	CheckpointErr      error
+}
+
+// LastSlice returns the report for the most recent RunSlice call. Only
+// the goroutine driving the campaign may call it, and only while the
+// campaign is quiescent (between slices).
+func (c *Campaign) LastSlice() SliceReport { return c.slice }
+
+// SetCheckpointEvery retunes the periodic snapshot cadence (n < 1
+// means every epoch). Only the goroutine driving the campaign may call
+// it, between slices — the daemon's disk-pressure governor widens the
+// interval here when checkpoint writes start failing.
+func (c *Campaign) SetCheckpointEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.cfg.CheckpointEvery = n
+}
+
 // RunSlice executes up to maxEpochs epochs (0 or negative: until the
 // budget is spent) and pauses at the next barrier. It returns
 // finished=true once the budget is spent, after writing the final
@@ -344,6 +376,7 @@ func (c *Campaign) Finished() bool { return c.done >= c.cfg.TotalSteps }
 // outcomes depend only on seed, streams, and budget, never on when its
 // epochs are scheduled.
 func (c *Campaign) RunSlice(ctx context.Context, maxEpochs int) (finished bool, err error) {
+	c.slice = SliceReport{}
 	if c.lockErr != nil {
 		return false, c.lockErr
 	}
@@ -354,6 +387,8 @@ func (c *Campaign) RunSlice(ctx context.Context, maxEpochs int) (finished bool, 
 	for c.done < c.cfg.TotalSteps {
 		if ctx.Err() != nil {
 			if err := c.Checkpoint(); err != nil {
+				c.slice.CheckpointFailures++
+				c.slice.CheckpointErr = err
 				c.Unlock()
 				return false, errors.Join(ErrInterrupted, err)
 			}
@@ -365,6 +400,7 @@ func (c *Campaign) RunSlice(ctx context.Context, maxEpochs int) (finished bool, 
 		}
 		c.runEpoch()
 		ran++
+		c.slice.Epochs++
 		if c.cfg.OnEpoch != nil {
 			c.cfg.OnEpoch(c.done, c.cfg.TotalSteps)
 		}
@@ -374,12 +410,16 @@ func (c *Campaign) RunSlice(ctx context.Context, maxEpochs int) (finished bool, 
 			// (or the final snapshot below) tries again.
 			if err := c.Checkpoint(); err != nil {
 				c.mCkptFails.Inc()
+				c.slice.CheckpointFailures++
+				c.slice.CheckpointErr = err
 			}
 		}
 	}
 	if c.cfg.CheckpointPath != "" {
 		// Final snapshot: resumable later with a larger TotalSteps.
 		if err := c.Checkpoint(); err != nil {
+			c.slice.CheckpointFailures++
+			c.slice.CheckpointErr = err
 			c.Unlock()
 			return false, err
 		}
@@ -483,6 +523,7 @@ func (c *Campaign) runEpoch() {
 				attempts[out.stream]++
 				c.mTaskRetries.Inc()
 				retries++
+				c.slice.Retries++
 				retry = append(retry, out.stream)
 				continue
 			}
@@ -623,6 +664,7 @@ func (c *Campaign) isPoisoned(s int) bool {
 func (c *Campaign) poison(s int, val any) {
 	c.poisoned[s] = PoisonInfo{Epoch: c.epoch, Reason: fmt.Sprintf("%v", val)}
 	c.mPoisoned.Inc()
+	c.slice.Poisoned++
 }
 
 // MergedStats folds every stream's accounting into one Stats: totals

@@ -77,6 +77,13 @@ type Config struct {
 	ArmNames []string
 	// Watchdogs tunes the anomaly detectors.
 	Watchdogs WatchdogConfig
+	// OnAnomaly, when set, receives each watchdog detection as it is
+	// journaled — the hook that lets a supervisor turn observe-only
+	// watchdogs into corrective action. It runs on the barrier goroutine
+	// with the recorder's lock held: it must be fast and must not call
+	// back into the Recorder. RestoreWatchdogs replays do not re-fire it
+	// (their detections were already journaled by the interrupted run).
+	OnAnomaly func(Event)
 }
 
 // Stream buffers one logical stream's mid-epoch events. Only the
@@ -117,7 +124,8 @@ type Recorder struct {
 	crashSigs []string // insertion order of crash buckets
 	yields    map[string]*MutatorYield
 
-	subs map[chan []byte]bool
+	subs    map[chan []byte]bool
+	dropped int64 // events dropped on slow subscribers
 
 	wd watchdogState
 
@@ -412,9 +420,41 @@ func (r *Recorder) appendLocked(ev Event) {
 		select {
 		case ch <- line:
 		default:
+			r.dropped++
 			r.mDropped.Inc()
 		}
 	}
+}
+
+// Dropped returns how many events have been dropped on slow
+// subscribers so far — the counter behind flight_sse_dropped_total,
+// exposed so a daemon can surface per-job tap lossiness.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// DropSubscribers detaches and closes every live journal subscriber —
+// the first rung of a disk-pressure shedding ladder: the per-subscriber
+// buffers are the cheapest thing to give back. New subscriptions remain
+// possible; gate them at the caller. Returns how many were dropped.
+func (r *Recorder) DropSubscribers() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.subs)
+	for ch := range r.subs {
+		delete(r.subs, ch)
+		close(ch)
+	}
+	r.mClients.Set(0)
+	return n
 }
 
 // noteLocked updates the console aggregates from one drained stream

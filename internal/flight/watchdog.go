@@ -282,6 +282,9 @@ func (r *Recorder) anomalyLocked(epoch, stream int, kind string, data map[string
 	r.anomalies = append(r.anomalies, ev)
 	r.appendLocked(ev)
 	r.mAnoms.With(kind).Inc()
+	if r.cfg.OnAnomaly != nil {
+		r.cfg.OnAnomaly(ev)
+	}
 }
 
 // BenchBaseline extracts the committed throughput baseline

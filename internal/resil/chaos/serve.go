@@ -1,0 +1,145 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"syscall"
+
+	"github.com/icsnju/metamut-go/internal/resil"
+)
+
+// ServeConfig selects the service-layer faults a ServeInjector plants:
+// slice-level panics (including a designated poison job that faults
+// every slice), checkpoint ENOSPC, and torn ledger saves. A zero rate
+// disables that fault class.
+type ServeConfig struct {
+	// Seed decorrelates fault sites between chaos runs.
+	Seed int64
+	// SlicePanicEvery makes roughly one in N (job, slice-attempt)
+	// sites panic at the top of the slice, before the campaign has been
+	// touched — the recoverable kind the daemon's supervision retries.
+	// The hash covers the per-job attempt counter, so a retried slice
+	// lands on a fresh site and replays clean.
+	SlicePanicEvery int
+	// PoisonJobSeq designates one job (by ledger sequence number) as
+	// poison: every slice attempt from PoisonAfter on panics, so the
+	// job exhausts its strike budget and must be quarantined (0 = no
+	// poison job; sequence numbers start at 1).
+	PoisonJobSeq int
+	// PoisonAfter is the first slice attempt (0-based) at which the
+	// poison job starts panicking (default 1, letting slice 0 run clean
+	// so the quarantined job has partial artifacts to preserve).
+	PoisonAfter int
+	// CheckpointENOSPCEvery makes every N-th checkpoint write attempt —
+	// counted across all jobs, single coordinator — fail with a wrapped
+	// syscall.ENOSPC, exercising the engine's bounded write-retry loop
+	// and the daemon's disk-pressure ladder. With N >= 2 at most one
+	// attempt per checkpoint fails, so the engine's in-call retry
+	// succeeds and journals stay byte-identical; N == 1 simulates a
+	// sustained full disk.
+	CheckpointENOSPCEvery int
+	// LedgerTearEvery truncates every N-th ledger save to a third of
+	// its bytes, exercising the .prev fallback on restart. Keep N >= 2:
+	// two consecutive torn generations would defeat the fallback.
+	LedgerTearEvery int
+}
+
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.PoisonAfter <= 0 {
+		c.PoisonAfter = 1
+	}
+	return c
+}
+
+// ServeFaults counts what a ServeInjector actually did.
+type ServeFaults struct {
+	SlicePanics  int
+	PoisonPanics int
+	ENOSPCWrites int
+	TornLedgers  int
+}
+
+// ServeInjector plugs into serve.Config's chaos hooks. Slice-panic
+// decisions are stateless hashes of (seed, job sequence, attempt), so
+// they are identical at any fleet size; checkpoint and ledger faults
+// are counted against write sequences the daemon drives from its
+// single coordinator goroutine.
+type ServeInjector struct {
+	cfg ServeConfig
+
+	mu          sync.Mutex
+	ckptWrites  int
+	ledgerSaves int
+	faults      ServeFaults
+}
+
+// NewServeInjector builds a ServeInjector for cfg.
+func NewServeInjector(cfg ServeConfig) *ServeInjector {
+	return &ServeInjector{cfg: cfg.withDefaults()}
+}
+
+// Faults returns a copy of the fault counts so far.
+func (in *ServeInjector) Faults() ServeFaults {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults
+}
+
+// SliceStart panics — before the slice has touched its campaign — on
+// hash-chosen (job, attempt) sites, and on every attempt >= PoisonAfter
+// of the designated poison job.
+func (in *ServeInjector) SliceStart(jobSeq, attempt int) {
+	if in.cfg.PoisonJobSeq > 0 && jobSeq == in.cfg.PoisonJobSeq {
+		if attempt >= in.cfg.PoisonAfter {
+			in.mu.Lock()
+			in.faults.PoisonPanics++
+			in.mu.Unlock()
+			panic(fmt.Sprintf("chaos: injected poison-job panic (job seq %d, slice %d)", jobSeq, attempt))
+		}
+		return
+	}
+	if in.cfg.SlicePanicEvery <= 0 {
+		return
+	}
+	h := resil.Hash(in.cfg.Seed, int64(jobSeq), int64(attempt))
+	if h%uint64(in.cfg.SlicePanicEvery) != 0 {
+		return
+	}
+	in.mu.Lock()
+	in.faults.SlicePanics++
+	in.mu.Unlock()
+	panic(fmt.Sprintf("chaos: injected slice panic (job seq %d, slice %d)", jobSeq, attempt))
+}
+
+// CheckpointTransform fails counted checkpoint write attempts with a
+// wrapped syscall.ENOSPC; successful attempts pass the bytes through
+// untouched.
+func (in *ServeInjector) CheckpointTransform(data []byte) ([]byte, error) {
+	if in.cfg.CheckpointENOSPCEvery <= 0 {
+		return data, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ckptWrites++
+	if in.ckptWrites%in.cfg.CheckpointENOSPCEvery == 0 {
+		in.faults.ENOSPCWrites++
+		return nil, fmt.Errorf("chaos: injected checkpoint ENOSPC (write %d): %w",
+			in.ckptWrites, syscall.ENOSPC)
+	}
+	return data, nil
+}
+
+// LedgerTransform tears counted ledger saves to a third of their bytes.
+func (in *ServeInjector) LedgerTransform(data []byte) ([]byte, error) {
+	if in.cfg.LedgerTearEvery <= 0 {
+		return data, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.ledgerSaves++
+	if in.ledgerSaves%in.cfg.LedgerTearEvery == 0 {
+		in.faults.TornLedgers++
+		return data[:len(data)/3], nil
+	}
+	return data, nil
+}

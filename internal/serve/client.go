@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"github.com/icsnju/metamut-go/internal/resil"
 )
 
 // Client is the thin HTTP client the CLIs use to speak to a daemon.
@@ -18,6 +20,14 @@ type Client struct {
 	Addr string
 	// HTTP overrides the transport (nil = http.DefaultClient).
 	HTTP *http.Client
+	// Retry, when set, retries idempotent (GET) requests that fail at
+	// the transport layer — refused connections while a daemon restarts
+	// mid-watch, not HTTP error responses — with the policy's bounded
+	// seeded backoff. POSTs are never retried: a submit or cancel whose
+	// response was lost may still have been applied.
+	Retry *resil.Policy
+	// RetrySeed seeds the backoff jitter (0 is a valid seed).
+	RetrySeed int64
 }
 
 func (c *Client) url(path string) string {
@@ -37,26 +47,47 @@ func (c *Client) http() *http.Client {
 
 // do runs one request and decodes the JSON response into out (nil out
 // returns the raw body instead). Structured API errors come back as
-// *Error with their code and status intact.
+// *Error with their code and status intact. With Retry set, transport
+// failures on GETs are retried under the policy's backoff; the last
+// error surfaces when attempts run out.
 func (c *Client) do(method, path string, body, out any) ([]byte, error) {
-	var reqBody io.Reader
+	var payload []byte
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
 			return nil, err
 		}
-		reqBody = bytes.NewReader(data)
+		payload = data
 	}
-	req, err := http.NewRequest(method, c.url(path), reqBody)
-	if err != nil {
-		return nil, err
+	var retrier *resil.Retrier
+	if c.Retry != nil && method == http.MethodGet {
+		retrier = c.Retry.Retrier("serve_client", c.RetrySeed)
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return nil, err
+	var resp *http.Response
+	for {
+		var reqBody io.Reader
+		if payload != nil {
+			reqBody = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, c.url(path), reqBody)
+		if err != nil {
+			return nil, err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err = c.http().Do(req)
+		if err == nil {
+			break
+		}
+		if retrier == nil {
+			return nil, err
+		}
+		delay, ok := retrier.Next()
+		if !ok {
+			return nil, err
+		}
+		time.Sleep(delay)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))

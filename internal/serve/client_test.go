@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/icsnju/metamut-go/internal/resil"
+)
+
+// flakyTransport refuses the first fail requests outright — the
+// connection-refused shape of a daemon mid-restart — then delegates.
+type flakyTransport struct {
+	fail  int
+	seen  int
+	inner http.RoundTripper
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.seen++
+	if f.seen <= f.fail {
+		return nil, errors.New("dial tcp: connection refused")
+	}
+	return f.inner.RoundTrip(req)
+}
+
+func retryClient(srv *httptest.Server, fail int) (*Client, *flakyTransport) {
+	ft := &flakyTransport{fail: fail, inner: http.DefaultTransport}
+	return &Client{
+		Addr: srv.URL,
+		HTTP: &http.Client{Transport: ft},
+		Retry: &resil.Policy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    2 * time.Millisecond,
+		},
+	}, ft
+}
+
+func TestClientRetriesTransientGetErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, 200, Health{Breaker: "closed", DiskLevel: "nominal"})
+	}))
+	defer srv.Close()
+
+	c, ft := retryClient(srv, 2)
+	h, err := c.Health()
+	if err != nil {
+		t.Fatalf("Health after transient failures: %v", err)
+	}
+	if h.Breaker != "closed" {
+		t.Fatalf("health = %+v", h)
+	}
+	if ft.seen != 3 {
+		t.Fatalf("transport saw %d attempts, want 3", ft.seen)
+	}
+}
+
+func TestClientRetriesAreBounded(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+
+	c, ft := retryClient(srv, 100)
+	if _, err := c.Health(); err == nil {
+		t.Fatal("persistently refused GET succeeded")
+	}
+	// MaxAttempts bounds total tries: the first call plus the retries
+	// the policy grants.
+	if ft.seen > 5 {
+		t.Fatalf("transport saw %d attempts, want <= 5", ft.seen)
+	}
+}
+
+func TestClientNeverRetriesPosts(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+
+	c, ft := retryClient(srv, 100)
+	if _, err := c.Submit(JobSpec{}); err == nil {
+		t.Fatal("refused POST succeeded")
+	}
+	if ft.seen != 1 {
+		t.Fatalf("POST saw %d attempts, want 1 (a lost submit may have been applied)", ft.seen)
+	}
+}
+
+func TestClientNoPolicyFailsFast(t *testing.T) {
+	ft := &flakyTransport{fail: 100, inner: http.DefaultTransport}
+	c := &Client{Addr: "localhost:1", HTTP: &http.Client{Transport: ft}}
+	if _, err := c.Health(); err == nil {
+		t.Fatal("refused GET succeeded without a retry policy")
+	}
+	if ft.seen != 1 {
+		t.Fatalf("no-policy GET saw %d attempts, want 1", ft.seen)
+	}
+}

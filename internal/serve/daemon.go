@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -21,6 +22,7 @@ import (
 	"github.com/icsnju/metamut-go/internal/resil"
 	"github.com/icsnju/metamut-go/internal/sched"
 	"github.com/icsnju/metamut-go/internal/seeds"
+	"github.com/icsnju/metamut-go/internal/serve/heal"
 )
 
 // Quotas bounds one tenant's service share. Zero values mean
@@ -54,8 +56,30 @@ type Config struct {
 	// failures open it and submissions are deferred until a probe job
 	// succeeds. Zero values take resil defaults.
 	Breaker resil.BreakerConfig
+	// Heal tunes the supervision layer: poison-job quarantine, overload
+	// shedding, and disk-pressure degradation. Zero values take heal
+	// defaults (overload shedding stays off until HighWaterJobs is set).
+	Heal heal.Config
+	// Chaos, when set, injects service-layer faults for the chaos
+	// harness (see internal/resil/chaos.ServeInjector). Nil in
+	// production.
+	Chaos *ChaosHooks
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
+}
+
+// ChaosHooks are the daemon's fault-injection points. Each hook may be
+// nil; all are driven from the coordinator goroutine.
+type ChaosHooks struct {
+	// SliceStart runs at the top of every slice, before the campaign is
+	// touched — a panic here is recoverable by construction and
+	// exercises the slice supervision path.
+	SliceStart func(jobSeq, attempt int)
+	// CheckpointTransform is handed to every job's engine config
+	// (rewrites or rejects checkpoint bytes per write attempt).
+	CheckpointTransform func([]byte) ([]byte, error)
+	// LedgerTransform rewrites or rejects ledger bytes per save.
+	LedgerTransform func([]byte) ([]byte, error)
 }
 
 // job is one admitted job's live runtime. The coordinator goroutine
@@ -69,8 +93,46 @@ type job struct {
 	comp    *compilersim.Compiler
 	frec    *flight.Recorder
 	journal *os.File
+	gate    *gateWriter // journal tap the disk governor can cap
 	reg     *obs.Registry
 	cancel  bool // cancellation requested; honored at the next barrier
+
+	// slices counts slice attempts this daemon generation (the chaos
+	// harness's per-job site counter; restart-relative by design).
+	slices int
+	// anoms tallies watchdog detections by kind since the last slice
+	// verdict. Written by the flight OnAnomaly hook and read post-slice
+	// — both on the coordinator goroutine, so no extra locking.
+	anoms map[string]int
+	// jerrNoted latches the job's first journal write error so the disk
+	// governor books it as one fault, not one per slice forever.
+	jerrNoted bool
+}
+
+// gateWriter wraps a job's journal file so disk-pressure degradation
+// can flip it to discard mode (journal capped). The cap is one-way for
+// a job's lifetime: resuming appends after a gap would corrupt the
+// restart repair that trusts the journal to be a valid prefix.
+type gateWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	discard bool
+}
+
+func (g *gateWriter) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.discard {
+		return len(p), nil
+	}
+	return g.w.Write(p)
+}
+
+// SetDiscard caps the journal: writes report success and go nowhere.
+func (g *gateWriter) SetDiscard(v bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.discard = v
 }
 
 // Daemon is the multi-tenant campaign coordinator.
@@ -83,6 +145,7 @@ type Daemon struct {
 	ledger *Ledger
 	jobs   map[string]*job // live runtimes for non-terminal jobs
 	drr    *drr
+	heal   *heal.Supervisor
 
 	breaker *resil.Breaker
 
@@ -125,6 +188,7 @@ func New(cfg Config) (*Daemon, error) {
 		ledger:  ledger,
 		jobs:    map[string]*job{},
 		drr:     newDRR(cfg.Quantum),
+		heal:    heal.New(cfg.Heal, cfg.Registry),
 		breaker: resil.NewBreaker(cfg.Breaker, nil),
 		wake:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
@@ -259,19 +323,38 @@ func (d *Daemon) buildRuntime(rec *JobRecord) (*job, error) {
 	for i, mu := range mutators {
 		armNames[i] = mu.Name
 	}
+	gate := &gateWriter{w: journalF}
+	if d.heal.CapJournals() {
+		// Admitted mid-degradation: the journal starts (and stays)
+		// capped so it never carries a gap.
+		gate.SetDiscard(true)
+		rec.JournalCapped = true
+	}
+	// anoms feeds the supervisor: the hook runs on the barrier goroutine
+	// (the coordinator, mid-slice) and the post-slice verdict reads the
+	// tally on the same goroutine.
+	anoms := map[string]int{}
 	frec := flight.NewRecorder(flight.Config{
 		Streams:    spec.Streams,
 		TotalSteps: spec.Steps,
 		Seed:       spec.Seed,
 		Done:       snapDone,
 		Registry:   reg,
-		Journal:    journalF,
+		Journal:    gate,
 		ArmNames:   armNames,
+		OnAnomaly: func(ev flight.Event) {
+			if kind, _ := ev.Data["watchdog"].(string); kind != "" {
+				anoms[kind]++
+			}
+		},
 	})
 	// The resumed recorder replays the repaired prefix so its anomaly
 	// detectors' epoch counters and latches continue where the killed
 	// run's left off — anomalies land at absolute journal positions.
 	frec.RestoreWatchdogs(journalPrefix)
+	for k := range anoms {
+		delete(anoms, k)
+	}
 
 	mcfg := fuzz.DefaultMacroConfig()
 	mcfg.StaticFilter = !spec.NoStatic
@@ -301,6 +384,9 @@ func (d *Daemon) buildRuntime(rec *JobRecord) (*job, error) {
 		Registry:        reg,
 		Flight:          frec,
 	}
+	if d.cfg.Chaos != nil {
+		ecfg.CheckpointTransform = d.cfg.Chaos.CheckpointTransform
+	}
 	var camp *engine.Campaign
 	if loadErr == nil {
 		// The snapshot owns the identity fields.
@@ -327,7 +413,8 @@ func (d *Daemon) buildRuntime(rec *JobRecord) (*job, error) {
 	ok = true
 	return &job{
 		rec: rec, dir: dir, camp: camp, comp: comp,
-		frec: frec, journal: journalF, reg: reg,
+		frec: frec, journal: journalF, gate: gate, reg: reg,
+		anoms: anoms,
 	}, nil
 }
 
@@ -340,6 +427,11 @@ func (d *Daemon) Submit(spec JobSpec) (string, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if reason, retry, shed := d.heal.ShedAdmission(d.liveLocked()); shed {
+		return "", &Error{Code: CodeOverloaded, Status: 503, RetryAfter: retry,
+			Message: fmt.Sprintf(
+				"serve: admission shed (%s); retry in %ds", reason, retry)}
+	}
 	if !d.breaker.Allow() {
 		d.m.quota.With("admission").Inc()
 		return "", &Error{Code: CodeAdmission, Status: 503, Message: fmt.Sprintf(
@@ -366,6 +458,17 @@ func (d *Daemon) Submit(spec JobSpec) (string, error) {
 		State: Pending, Spec: spec,
 	}
 	d.ledger.NextSeq++
+	// A torn ledger save can roll admissions back to the .prev
+	// generation, re-issuing a sequence number whose job directory
+	// already has artifacts. Wipe them: a fresh job must never resume a
+	// forgotten job's checkpoint.
+	dir := JobDir(d.cfg.StateDir, id)
+	for _, f := range []string{
+		CheckpointFile, CheckpointFile + engine.PrevSuffix,
+		JournalFile, TriageFile, SpecFile,
+	} {
+		os.Remove(filepath.Join(dir, f))
+	}
 	j, err := d.buildRuntime(rec)
 	if err != nil {
 		return "", &Error{Code: CodeInternal, Status: 500, Message: err.Error()}
@@ -377,9 +480,7 @@ func (d *Daemon) Submit(spec JobSpec) (string, error) {
 	d.ledger.Commit(spec.Tenant, spec.Steps)
 	d.jobs[id] = j
 	d.drr.Enqueue(spec.Tenant, id)
-	if err := d.ledger.Save(d.cfg.StateDir); err != nil {
-		d.cfg.Logf("serve: ledger save: %v", err)
-	}
+	d.saveLedgerLocked()
 	d.m.submitted.Inc()
 	d.refreshGauges()
 	d.pingLocked()
@@ -468,6 +569,7 @@ func (d *Daemon) Run() {
 		default:
 		}
 		d.mu.Lock()
+		d.governLocked()
 		id := d.drr.Next(d.sliceCostLocked)
 		if id == "" {
 			d.mu.Unlock()
@@ -494,10 +596,11 @@ func (d *Daemon) Run() {
 		}
 		if j.rec.State == Pending {
 			j.rec.State = Running
-			if err := d.ledger.Save(d.cfg.StateDir); err != nil {
-				d.cfg.Logf("serve: ledger save: %v", err)
-			}
+			d.saveLedgerLocked()
 		}
+		// The disk governor's checkpoint cadence applies between
+		// slices, from this goroutine only — the campaign is quiescent.
+		j.camp.SetCheckpointEvery(d.heal.CheckpointEvery())
 		d.mu.Unlock()
 
 		// The slice runs outside the daemon lock: status reads stay
@@ -507,36 +610,208 @@ func (d *Daemon) Run() {
 
 		d.mu.Lock()
 		d.m.slices.Inc()
+		d.heal.TickSlice()
 		prev := j.rec.Done
 		d.refreshRecordLocked(j)
 		d.m.steps.Add(int64(j.rec.Done - prev))
+		d.noteSliceHealthLocked(j, err)
+		quar, cause := d.strikeLocked(j, err, fin)
 		switch {
-		case err != nil:
-			d.finalizeLocked(j, Failed, err)
+		case quar:
+			d.finalizeLocked(j, Quarantined, cause)
 			d.breaker.Failure()
+		case err != nil:
+			// Faulted but under the strike limit: the job stays
+			// scheduled and its next slice replays from the last
+			// barrier.
+			d.cfg.Logf("serve: job %s slice fault (strike %d/%d): %v",
+				j.rec.ID, d.heal.Strikes(j.rec.ID), d.heal.Config().StrikeLimit, err)
+			d.saveLedgerLocked()
 		case j.cancel:
 			d.finalizeLocked(j, Cancelled, nil)
 		case fin:
 			d.finalizeLocked(j, Done, nil)
 			d.breaker.Success()
 		default:
-			if err := d.ledger.Save(d.cfg.StateDir); err != nil {
-				d.cfg.Logf("serve: ledger save: %v", err)
-			}
+			d.saveLedgerLocked()
 		}
 		d.mu.Unlock()
 	}
 }
 
+// liveLocked counts non-terminal ledger jobs. Callers hold d.mu.
+func (d *Daemon) liveLocked() int {
+	n := 0
+	for _, rec := range d.ledger.Jobs {
+		if !rec.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// governLocked re-evaluates the overload pause plan before every
+// scheduling decision. The plan always leaves at least the tenant
+// floor runnable, so pending work is never stranded behind a pause.
+// Callers hold d.mu.
+func (d *Daemon) governLocked() {
+	before := d.drr.Paused()
+	plan := d.heal.PausePlan(d.liveLocked(), d.drr.Loads())
+	d.drr.SetPaused(plan)
+	if len(plan) != len(before) {
+		d.cfg.Logf("serve: overload pause plan now %v", plan)
+	}
+}
+
+// saveLedgerLocked persists the ledger through the chaos hook (when
+// armed) and books a save failure as disk pressure. Callers hold d.mu.
+func (d *Daemon) saveLedgerLocked() {
+	var transform func([]byte) ([]byte, error)
+	if d.cfg.Chaos != nil {
+		transform = d.cfg.Chaos.LedgerTransform
+	}
+	if err := d.ledger.SaveWith(d.cfg.StateDir, transform); err != nil {
+		d.cfg.Logf("serve: ledger save: %v", err)
+		d.diskFaultLocked("ledger")
+	}
+}
+
+// noteSliceHealthLocked feeds the disk governor one slice's verdict:
+// checkpoint write failures and the job's first journal write error
+// are faults; a slice with neither is clean. Callers hold d.mu; the
+// campaign is quiescent.
+func (d *Daemon) noteSliceHealthLocked(j *job, err error) {
+	if errors.Is(err, errSlicePanicked) {
+		// The campaign was never entered (or died before its barrier):
+		// LastSlice is the previous slice's report, and a panic says
+		// nothing about the disk either way.
+		return
+	}
+	sr := j.camp.LastSlice()
+	faulted := false
+	if sr.CheckpointFailures > 0 {
+		faulted = true
+		d.cfg.Logf("serve: job %s: %d checkpoint write failures (last: %v)",
+			j.rec.ID, sr.CheckpointFailures, sr.CheckpointErr)
+		d.diskFaultLocked("checkpoint")
+	}
+	if !j.jerrNoted {
+		if jerr := j.frec.JournalErr(); jerr != nil {
+			j.jerrNoted = true
+			faulted = true
+			d.cfg.Logf("serve: job %s: journal write error: %v", j.rec.ID, jerr)
+			d.diskFaultLocked("journal")
+		}
+	}
+	if !faulted {
+		if lvl, down := d.heal.CleanSlice(); down {
+			d.applyDiskLevelLocked(lvl)
+		}
+	}
+}
+
+// diskFaultLocked books one disk fault and applies any resulting
+// escalation. Callers hold d.mu.
+func (d *Daemon) diskFaultLocked(kind string) {
+	if lvl, up := d.heal.DiskFault(kind); up {
+		d.applyDiskLevelLocked(lvl)
+	}
+}
+
+// applyDiskLevelLocked enacts a degradation-level change on every live
+// job: at shed_sse and above, live journal taps are dropped (and
+// subscribe refuses new ones); at cap_journals and above, journals go
+// discard-only — one-way per job. Checkpoint stretching and admission
+// quarantine are enforced at their use sites. Callers hold d.mu.
+func (d *Daemon) applyDiskLevelLocked(lvl heal.Level) {
+	d.cfg.Logf("serve: disk-pressure level now %s", lvl)
+	ids := make([]string, 0, len(d.jobs))
+	for id := range d.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		j := d.jobs[id]
+		if lvl >= heal.LevelShedSSE {
+			if n := j.frec.DropSubscribers(); n > 0 {
+				d.cfg.Logf("serve: job %s: dropped %d live journal taps", id, n)
+			}
+		}
+		if lvl >= heal.LevelCapJournals && !j.rec.JournalCapped {
+			j.gate.SetDiscard(true)
+			j.rec.JournalCapped = true
+			d.cfg.Logf("serve: job %s: flight journal capped", id)
+		}
+	}
+}
+
+// strikeLocked turns one slice's outcome into supervision strikes and
+// reports whether the job crossed the quarantine threshold (with the
+// terminal cause). Cause order is fixed — slice verdict, stream
+// poisons, then strike-listed anomalies sorted by kind — so the strike
+// schedule is a pure function of the slice sequence. Callers hold d.mu.
+func (d *Daemon) strikeLocked(j *job, err error, fin bool) (bool, error) {
+	sr := j.camp.LastSlice()
+	var causes []string
+	switch {
+	case errors.Is(err, errSlicePanicked):
+		causes = append(causes, "slice_panic")
+	case err != nil && sr.CheckpointErr != nil:
+		causes = append(causes, "checkpoint_error")
+	case err != nil:
+		causes = append(causes, "slice_error")
+	}
+	if err == nil && !fin && sr.Poisoned > 0 {
+		causes = append(causes, "stream_poison")
+	}
+	kinds := make([]string, 0, len(j.anoms))
+	for k := range j.anoms {
+		if d.heal.AnomalyStrikes(k) {
+			kinds = append(kinds, k)
+		}
+		delete(j.anoms, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		causes = append(causes, "anomaly_"+k)
+	}
+	for _, cause := range causes {
+		if d.heal.StrikeJob(j.rec.ID, cause) {
+			j.rec.Strikes = d.heal.Strikes(j.rec.ID)
+			if err != nil {
+				return true, fmt.Errorf("quarantined after %d strikes (%s): %w",
+					j.rec.Strikes, cause, err)
+			}
+			return true, fmt.Errorf("quarantined after %d strikes (%s)",
+				j.rec.Strikes, cause)
+		}
+	}
+	if len(causes) > 0 {
+		j.rec.Strikes = d.heal.Strikes(j.rec.ID)
+	}
+	return false, nil
+}
+
+// errSlicePanicked marks a slice ended by a recovered panic, so the
+// supervisor can book the strike under its own cause.
+var errSlicePanicked = errors.New("job slice panicked")
+
 // runSlice executes one preemption slice under supervision: a panic
-// that escapes the engine's own guards fails the job, never the
-// daemon.
+// that escapes the engine's own guards strikes the job, never the
+// daemon. The chaos hook fires before the campaign is touched, so an
+// injected panic is recoverable by construction — the retried slice
+// replays from the same barrier.
 func (d *Daemon) runSlice(j *job) (fin bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("job slice panicked: %v", r)
+			err = fmt.Errorf("%w: %v", errSlicePanicked, r)
 		}
 	}()
+	attempt := j.slices
+	j.slices++
+	if d.cfg.Chaos != nil && d.cfg.Chaos.SliceStart != nil {
+		d.cfg.Chaos.SliceStart(j.rec.Seq, attempt)
+	}
 	return j.camp.RunSlice(context.Background(), d.cfg.SliceEpochs)
 }
 
@@ -565,6 +840,10 @@ func (d *Daemon) refreshRecordLocked(j *job) {
 	agg := j.camp.MergedStats()
 	j.rec.Edges = agg.Coverage.Count()
 	j.rec.Crashes = len(agg.Crashes)
+	if n := j.frec.Dropped(); n > j.rec.SSEDropped {
+		d.m.sseDropped.Add(n - j.rec.SSEDropped)
+		j.rec.SSEDropped = n
+	}
 }
 
 // finalizeLocked retires a job: terminal flight event (unless the
@@ -589,9 +868,7 @@ func (d *Daemon) finalizeLocked(j *job, state JobState, cause error) {
 	}
 	d.m.finished.With(string(state)).Inc()
 	d.refreshGauges()
-	if err := d.ledger.Save(d.cfg.StateDir); err != nil {
-		d.cfg.Logf("serve: ledger save: %v", err)
-	}
+	d.saveLedgerLocked()
 	d.cfg.Logf("serve: job %s %s (%d/%d steps, %d edges, %d crashes)",
 		j.rec.ID, state, j.rec.Done, j.rec.Spec.Steps, j.rec.Edges, j.rec.Crashes)
 }

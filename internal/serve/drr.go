@@ -1,6 +1,10 @@
 package serve
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/icsnju/metamut-go/internal/serve/heal"
+)
 
 // drr is the per-tenant fair scheduler: deficit round-robin over engine
 // epochs. Tenants sit in a fixed sorted ring; each visit credits the
@@ -21,6 +25,7 @@ type drr struct {
 	tenants  []string       // sorted ring
 	deficits map[string]int // tenant → accumulated step credit
 	queues   map[string][]string
+	paused   map[string]bool // tenants the overload governor benched
 }
 
 // newDRR builds an empty scheduler. quantum is the step credit per
@@ -33,6 +38,7 @@ func newDRR(quantum int) *drr {
 		quantum:  quantum,
 		deficits: map[string]int{},
 		queues:   map[string][]string{},
+		paused:   map[string]bool{},
 	}
 }
 
@@ -80,6 +86,13 @@ func (d *drr) Next(cost func(jobID string) int) string {
 	n := len(d.tenants)
 	for i := 0; i < 2*n; i++ {
 		t := d.tenants[d.cursor%n]
+		if d.paused[t] {
+			// An overload-paused tenant is benched, not idle: it keeps
+			// its deficit, so un-pausing restores it to exactly the
+			// scheduling position it held.
+			d.cursor++
+			continue
+		}
 		q := d.queues[t]
 		if len(q) == 0 {
 			// Standard DRR: an idle queue forfeits its credit.
@@ -113,7 +126,7 @@ func (d *drr) Next(cost func(jobID string) int) string {
 	for i := 0; i < n; i++ {
 		idx := (d.cursor + i) % n
 		t := d.tenants[idx]
-		if len(d.queues[t]) > 0 && d.deficits[t] > bestDef {
+		if !d.paused[t] && len(d.queues[t]) > 0 && d.deficits[t] > bestDef {
 			best, bestDef = idx, d.deficits[t]
 		}
 	}
@@ -129,7 +142,9 @@ func (d *drr) Next(cost func(jobID string) int) string {
 	return job
 }
 
-// Pending reports whether any tenant has runnable jobs.
+// Pending reports whether any tenant has runnable jobs. Paused tenants
+// count: the overload governor guarantees at least one queued tenant
+// stays unpaused, so pending work is never stranded behind a pause.
 func (d *drr) Pending() bool {
 	for _, q := range d.queues {
 		if len(q) > 0 {
@@ -137,4 +152,37 @@ func (d *drr) Pending() bool {
 		}
 	}
 	return false
+}
+
+// SetPaused replaces the benched-tenant set with the governor's latest
+// pause plan.
+func (d *drr) SetPaused(tenants []string) {
+	d.paused = make(map[string]bool, len(tenants))
+	for _, t := range tenants {
+		d.paused[t] = true
+	}
+}
+
+// Paused returns the benched tenants, sorted.
+func (d *drr) Paused() []string {
+	out := make([]string, 0, len(d.paused))
+	for t := range d.paused {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Loads snapshots every ring tenant's scheduler load in ring (sorted)
+// order, for the overload governor's pause planning.
+func (d *drr) Loads() []heal.TenantLoad {
+	out := make([]heal.TenantLoad, 0, len(d.tenants))
+	for _, t := range d.tenants {
+		out = append(out, heal.TenantLoad{
+			Tenant:  t,
+			Deficit: d.deficits[t],
+			Queued:  len(d.queues[t]),
+		})
+	}
+	return out
 }

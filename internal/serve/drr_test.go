@@ -3,6 +3,8 @@ package serve
 import (
 	"reflect"
 	"testing"
+
+	"github.com/icsnju/metamut-go/internal/serve/heal"
 )
 
 func constCost(n int) func(string) int {
@@ -124,5 +126,60 @@ func TestDRRDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("schedule not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+// A paused tenant is benched — never served, deficit preserved — and
+// un-pausing restores it to its exact scheduling position. Loads
+// snapshots the ring in sorted order for the overload governor.
+func TestDRRPausedTenants(t *testing.T) {
+	d := newDRR(10)
+	d.Enqueue("alpha", "a1")
+	d.Enqueue("beta", "b1")
+	d.SetPaused([]string{"alpha"})
+	if got := d.Paused(); !reflect.DeepEqual(got, []string{"alpha"}) {
+		t.Fatalf("Paused = %v, want [alpha]", got)
+	}
+	for i := 0; i < 10; i++ {
+		if id := d.Next(constCost(10)); id != "b1" {
+			t.Fatalf("pick %d served %q with alpha paused", i, id)
+		}
+	}
+	if !d.Pending() {
+		t.Fatal("paused work no longer pending")
+	}
+	// Benched, alpha banked nothing but also forfeited nothing: after
+	// un-pausing the split returns to fair.
+	d.SetPaused(nil)
+	perTenant := map[string]int{}
+	for i := 0; i < 20; i++ {
+		id := d.Next(constCost(10))
+		if id == "" {
+			t.Fatalf("pick %d stalled after unpause", i)
+		}
+		perTenant[id]++
+	}
+	if perTenant["a1"] != 10 || perTenant["b1"] != 10 {
+		t.Errorf("post-unpause split = %v, want 10/10", perTenant)
+	}
+
+	loads := d.Loads()
+	want := []heal.TenantLoad{
+		{Tenant: "alpha", Deficit: d.deficits["alpha"], Queued: 1},
+		{Tenant: "beta", Deficit: d.deficits["beta"], Queued: 1},
+	}
+	if !reflect.DeepEqual(loads, want) {
+		t.Errorf("Loads = %v, want %v", loads, want)
+	}
+}
+
+// All-paused is the governor's job to prevent; the scheduler itself
+// must simply serve nothing rather than misbehave.
+func TestDRRAllPausedServesNothing(t *testing.T) {
+	d := newDRR(10)
+	d.Enqueue("alpha", "a1")
+	d.SetPaused([]string{"alpha"})
+	if id := d.Next(constCost(1)); id != "" {
+		t.Fatalf("all-paused scheduler served %q", id)
 	}
 }

@@ -1,0 +1,367 @@
+// Package heal is the daemon's deterministic self-healing layer: the
+// supervision tree that turns the flight recorder's observe-only
+// watchdogs and the engine's per-slice supervision reports into
+// bounded corrective action. It owns three governors:
+//
+//   - Poison-job quarantine. A job whose slices repeatedly fault —
+//     escaped panics, poisoned streams, strike-listed anomalies — gets
+//     the same strike/parole treatment mutators get (resil.Quarantine),
+//     and lands in the QUARANTINED terminal state with its ledger
+//     entry, partial triage, and flight journal preserved, instead of
+//     poisoning the shared fleet forever.
+//
+//   - Overload shedding. Above a configured live-job high-water mark,
+//     new admissions are shed with a structured `overloaded` error and
+//     a Retry-After hint, and low-deficit tenants are paused so the
+//     fleet drains instead of thrashing. Re-admission happens in a
+//     fixed order (sorted tenants) the moment load drops.
+//
+//   - Disk-pressure degradation. ENOSPC and short writes against the
+//     ledger, checkpoints, or flight journals walk a declared shedding
+//     ladder — drop SSE buffers → cap journals → widen the checkpoint
+//     interval → quarantine new admissions — with hysteresis in both
+//     directions, so a full disk degrades service instead of
+//     crash-looping the daemon.
+//
+// Everything here is a pure function of the event sequence the daemon
+// feeds it — logical slice ticks, fault kinds, queue depths — never of
+// wall-clock time or goroutine interleaving. The supervisor is owned
+// by the daemon's coordinator (under its lock) and is deliberately not
+// concurrency-safe on its own, mirroring resil.Quarantine.
+package heal
+
+import (
+	"sort"
+
+	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/resil"
+)
+
+// Level is the disk-pressure degradation rung. Escalation sheds in
+// declared order; de-escalation re-admits in the reverse order.
+type Level int
+
+// The degradation ladder, cheapest shedding first.
+const (
+	// LevelNominal: no disk pressure observed.
+	LevelNominal Level = iota
+	// LevelShedSSE: live SSE journal taps are dropped and new ones are
+	// refused — subscriber buffers are the cheapest memory to reclaim
+	// and the feed is an observability convenience, not state.
+	LevelShedSSE
+	// LevelCapJournals: flight-journal appends are discarded (the
+	// in-memory ring and console keep working). A capped journal is
+	// incomplete from the cap point on and stays capped for that job —
+	// resuming appends after a gap would corrupt restart repair.
+	LevelCapJournals
+	// LevelStretchCheckpoints: the periodic checkpoint cadence widens
+	// by Config.CheckpointStretch, trading restart granularity for
+	// write volume. Results are unaffected; only the resume point of a
+	// kill during this level is coarser.
+	LevelStretchCheckpoints
+	// LevelQuarantineAdmissions: new submissions are shed with an
+	// `overloaded` error until the disk recovers. Running jobs keep
+	// draining their budgets.
+	LevelQuarantineAdmissions
+)
+
+// String names the level for logs, health, and the disk-level gauge.
+func (l Level) String() string {
+	switch l {
+	case LevelNominal:
+		return "nominal"
+	case LevelShedSSE:
+		return "shed_sse"
+	case LevelCapJournals:
+		return "cap_journals"
+	case LevelStretchCheckpoints:
+		return "stretch_checkpoints"
+	case LevelQuarantineAdmissions:
+		return "quarantine_admissions"
+	}
+	return "unknown"
+}
+
+// maxLevel is the ladder's top rung.
+const maxLevel = LevelQuarantineAdmissions
+
+// Config tunes the supervisor. The zero value takes the defaults noted
+// per field; overload shedding stays disarmed until HighWaterJobs is
+// set.
+type Config struct {
+	// StrikeLimit is how many faulty slices a job accumulates before it
+	// is quarantined (default 3, mirroring resil.Quarantine).
+	StrikeLimit int
+	// AnomalyStrikes lists flight watchdog kinds that count as strikes
+	// against the job they fire in (e.g. "quarantine_storm"). Empty
+	// keeps every watchdog observe-only.
+	AnomalyStrikes []string
+	// HighWaterJobs is the live (non-terminal) job count at which new
+	// admissions are shed and low-deficit tenants pause (0 disables
+	// overload shedding).
+	HighWaterJobs int
+	// TenantFloor is how many tenants stay runnable under overload
+	// pausing (default 1; never less — pausing everyone would deadlock
+	// the drain the pause exists to enable).
+	TenantFloor int
+	// RetryAfterSeconds is the Retry-After hint attached to shed
+	// admissions (default 30).
+	RetryAfterSeconds int
+	// DiskTripAfter is how many consecutive disk faults escalate the
+	// degradation ladder one rung (default 2).
+	DiskTripAfter int
+	// DiskClearAfter is how many consecutive clean slices de-escalate
+	// one rung (default 8) — deliberately slower than escalation so a
+	// flapping disk settles at a stable level.
+	DiskClearAfter int
+	// CheckpointStretch is the checkpoint-cadence multiplier applied at
+	// LevelStretchCheckpoints (default 8).
+	CheckpointStretch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StrikeLimit <= 0 {
+		c.StrikeLimit = 3
+	}
+	if c.TenantFloor <= 0 {
+		c.TenantFloor = 1
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 30
+	}
+	if c.DiskTripAfter <= 0 {
+		c.DiskTripAfter = 2
+	}
+	if c.DiskClearAfter <= 0 {
+		c.DiskClearAfter = 8
+	}
+	if c.CheckpointStretch <= 1 {
+		c.CheckpointStretch = 8
+	}
+	return c
+}
+
+// TenantLoad is one tenant's scheduler load snapshot, fed to PausePlan
+// by the daemon's deficit-round-robin scheduler.
+type TenantLoad struct {
+	Tenant  string
+	Deficit int
+	Queued  int
+}
+
+// RegisterMetrics pre-registers every serve_heal_* family so metric
+// snapshots carry the full supervision schema from daemon start.
+// Idempotent; nil registry is a no-op.
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("serve_heal_strikes_total", "cause")
+	reg.Counter("serve_heal_quarantines_total")
+	reg.Counter("serve_heal_shed_total", "reason")
+	reg.Counter("serve_heal_disk_faults_total", "kind")
+	reg.Gauge("serve_heal_disk_level")
+	reg.Gauge("serve_heal_paused_tenants")
+	reg.Counter("serve_heal_tenant_pauses_total")
+	reg.Gauge("serve_heal_checkpoint_stretch")
+}
+
+// Supervisor is the daemon's supervision-tree root. All methods must
+// be called with the daemon's lock held (single logical owner); the
+// supervisor adds no locking of its own.
+type Supervisor struct {
+	cfg     Config
+	strikes map[string]bool // anomaly kinds that strike (from cfg)
+	quar    *resil.Quarantine
+
+	level  Level
+	faults int // consecutive disk faults at the current level
+	clean  int // consecutive clean slices at the current level
+
+	paused map[string]bool // current pause plan (for delta metrics)
+
+	mStrikes *obs.CounterVec
+	mQuar    *obs.Counter
+	mShed    *obs.CounterVec
+	mFaults  *obs.CounterVec
+	mLevel   *obs.Gauge
+	mPaused  *obs.Gauge
+	mPauses  *obs.Counter
+	mStretch *obs.Gauge
+}
+
+// New builds a supervisor. reg may be nil (metrics no-op).
+func New(cfg Config, reg *obs.Registry) *Supervisor {
+	cfg = cfg.withDefaults()
+	RegisterMetrics(reg)
+	s := &Supervisor{
+		cfg:     cfg,
+		strikes: map[string]bool{},
+		paused:  map[string]bool{},
+		quar: resil.NewQuarantine(resil.QuarantineConfig{
+			StrikeLimit: cfg.StrikeLimit,
+		}, nil),
+		mStrikes: reg.Counter("serve_heal_strikes_total", "cause"),
+		mQuar:    reg.Counter("serve_heal_quarantines_total").With(),
+		mShed:    reg.Counter("serve_heal_shed_total", "reason"),
+		mFaults:  reg.Counter("serve_heal_disk_faults_total", "kind"),
+		mLevel:   reg.Gauge("serve_heal_disk_level").With(),
+		mPaused:  reg.Gauge("serve_heal_paused_tenants").With(),
+		mPauses:  reg.Counter("serve_heal_tenant_pauses_total").With(),
+		mStretch: reg.Gauge("serve_heal_checkpoint_stretch").With(),
+	}
+	for _, kind := range cfg.AnomalyStrikes {
+		s.strikes[kind] = true
+	}
+	s.mStretch.Set(1)
+	return s
+}
+
+// Config returns the resolved configuration.
+func (s *Supervisor) Config() Config { return s.cfg }
+
+// Level returns the current disk-pressure degradation rung.
+func (s *Supervisor) Level() Level { return s.level }
+
+// TickSlice advances the supervisor's logical clock: the daemon calls
+// it once per completed slice (the quarantine clock unit).
+func (s *Supervisor) TickSlice() { s.quar.Tick() }
+
+// StrikeJob books one supervision fault of the given cause against a
+// job and reports whether this strike pushed it over the quarantine
+// threshold. The daemon finalizes a quarantined job immediately, so
+// parole never comes into play for jobs.
+func (s *Supervisor) StrikeJob(id, cause string) bool {
+	s.mStrikes.With(cause).Inc()
+	if s.quar.Strike(id) {
+		s.mQuar.Inc()
+		return true
+	}
+	return false
+}
+
+// Strikes returns a job's accumulated strike count.
+func (s *Supervisor) Strikes(id string) int { return s.quar.Strikes(id) }
+
+// AnomalyStrikes reports whether a flight watchdog kind is configured
+// to count as a strike.
+func (s *Supervisor) AnomalyStrikes(kind string) bool { return s.strikes[kind] }
+
+// ShedAdmission decides whether a new submission must be shed given
+// the current live-job count. It returns the shed reason ("disk" or
+// "overload"), the Retry-After hint in seconds, and whether to shed.
+func (s *Supervisor) ShedAdmission(live int) (reason string, retryAfter int, shed bool) {
+	if s.level >= LevelQuarantineAdmissions {
+		s.mShed.With("disk").Inc()
+		return "disk", s.cfg.RetryAfterSeconds, true
+	}
+	if s.cfg.HighWaterJobs > 0 && live >= s.cfg.HighWaterJobs {
+		s.mShed.With("overload").Inc()
+		return "overload", s.cfg.RetryAfterSeconds, true
+	}
+	return "", 0, false
+}
+
+// ShedSSE reports whether live journal taps are currently shed (disk
+// level at or above LevelShedSSE).
+func (s *Supervisor) ShedSSE() bool { return s.level >= LevelShedSSE }
+
+// CapJournals reports whether flight-journal appends are currently
+// discarded.
+func (s *Supervisor) CapJournals() bool { return s.level >= LevelCapJournals }
+
+// CheckpointEvery returns the checkpoint cadence the disk governor
+// currently prescribes: 1 at nominal levels, Config.CheckpointStretch
+// at LevelStretchCheckpoints and above.
+func (s *Supervisor) CheckpointEvery() int {
+	if s.level >= LevelStretchCheckpoints {
+		return s.cfg.CheckpointStretch
+	}
+	return 1
+}
+
+// DiskFault records one disk-pressure event (kind: "ledger",
+// "checkpoint", or "journal") and returns the level plus whether the
+// ladder escalated. DiskTripAfter consecutive faults climb one rung.
+func (s *Supervisor) DiskFault(kind string) (Level, bool) {
+	s.mFaults.With(kind).Inc()
+	s.clean = 0
+	s.faults++
+	if s.faults < s.cfg.DiskTripAfter || s.level >= maxLevel {
+		return s.level, false
+	}
+	s.faults = 0
+	s.level++
+	s.noteLevel()
+	return s.level, true
+}
+
+// CleanSlice records a slice that completed without disk faults and
+// returns the level plus whether the ladder de-escalated.
+// DiskClearAfter consecutive clean slices descend one rung.
+func (s *Supervisor) CleanSlice() (Level, bool) {
+	s.faults = 0
+	if s.level == LevelNominal {
+		return s.level, false
+	}
+	s.clean++
+	if s.clean < s.cfg.DiskClearAfter {
+		return s.level, false
+	}
+	s.clean = 0
+	s.level--
+	s.noteLevel()
+	return s.level, true
+}
+
+func (s *Supervisor) noteLevel() {
+	s.mLevel.Set(int64(s.level))
+	if s.level >= LevelStretchCheckpoints {
+		s.mStretch.Set(int64(s.cfg.CheckpointStretch))
+	} else {
+		s.mStretch.Set(1)
+	}
+}
+
+// PausePlan returns the tenants to pause given the live-job count and
+// every tenant's scheduler load. Under overload (live at or above
+// HighWaterJobs) it keeps the TenantFloor highest-deficit tenants with
+// queued jobs runnable — they are closest to earning their next slice,
+// so the fleet drains fastest — and pauses the rest that have queued
+// jobs. Ties break toward the lexicographically smaller tenant, and the
+// returned plan is sorted, so the plan (and the re-admission order when
+// load drops: everything unpauses at once, and the scheduler's sorted
+// ring takes over) is deterministic. Not overloaded → nil.
+func (s *Supervisor) PausePlan(live int, loads []TenantLoad) []string {
+	var plan []string
+	if s.cfg.HighWaterJobs > 0 && live >= s.cfg.HighWaterJobs {
+		runnable := make([]TenantLoad, 0, len(loads))
+		for _, tl := range loads {
+			if tl.Queued > 0 {
+				runnable = append(runnable, tl)
+			}
+		}
+		sort.Slice(runnable, func(i, j int) bool {
+			if runnable[i].Deficit != runnable[j].Deficit {
+				return runnable[i].Deficit > runnable[j].Deficit
+			}
+			return runnable[i].Tenant < runnable[j].Tenant
+		})
+		if len(runnable) > s.cfg.TenantFloor {
+			for _, tl := range runnable[s.cfg.TenantFloor:] {
+				plan = append(plan, tl.Tenant)
+			}
+			sort.Strings(plan)
+		}
+	}
+	next := make(map[string]bool, len(plan))
+	for _, t := range plan {
+		next[t] = true
+		if !s.paused[t] {
+			s.mPauses.Inc()
+		}
+	}
+	s.paused = next
+	s.mPaused.Set(int64(len(next)))
+	return plan
+}

@@ -1,0 +1,156 @@
+package heal
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStrikeQuarantineThreshold(t *testing.T) {
+	s := New(Config{StrikeLimit: 3}, nil)
+	for i := 0; i < 2; i++ {
+		if s.StrikeJob("j0001", "slice_panic") {
+			t.Fatalf("strike %d quarantined early", i+1)
+		}
+	}
+	if !s.StrikeJob("j0001", "slice_panic") {
+		t.Fatal("third strike did not quarantine")
+	}
+	if got := s.Strikes("j0001"); got != 3 {
+		t.Fatalf("Strikes = %d, want 3", got)
+	}
+	if s.Strikes("j0002") != 0 {
+		t.Fatal("unrelated job has strikes")
+	}
+}
+
+func TestAnomalyStrikeList(t *testing.T) {
+	s := New(Config{AnomalyStrikes: []string{"quarantine_storm"}}, nil)
+	if !s.AnomalyStrikes("quarantine_storm") {
+		t.Fatal("listed kind not striking")
+	}
+	if s.AnomalyStrikes("retry_spike") {
+		t.Fatal("unlisted kind strikes")
+	}
+}
+
+func TestDiskLadderHysteresis(t *testing.T) {
+	s := New(Config{DiskTripAfter: 2, DiskClearAfter: 3}, nil)
+	if lvl, up := s.DiskFault("checkpoint"); up || lvl != LevelNominal {
+		t.Fatalf("one fault escalated to %s", lvl)
+	}
+	if lvl, up := s.DiskFault("checkpoint"); !up || lvl != LevelShedSSE {
+		t.Fatalf("second fault: level %s, escalated %v", lvl, up)
+	}
+	// A clean slice resets the fault streak but not the level.
+	if lvl, down := s.CleanSlice(); down || lvl != LevelShedSSE {
+		t.Fatalf("one clean slice de-escalated to %s", lvl)
+	}
+	if _, up := s.DiskFault("ledger"); up {
+		t.Fatal("fault streak survived the clean slice")
+	}
+	// Climb the rest of the ladder.
+	for s.Level() < LevelQuarantineAdmissions {
+		s.DiskFault("ledger")
+	}
+	if lvl, up := s.DiskFault("ledger"); up || lvl != LevelQuarantineAdmissions {
+		t.Fatalf("escalated past the top rung to %s", lvl)
+	}
+	// De-escalate one rung after DiskClearAfter clean slices.
+	for i := 0; i < 2; i++ {
+		if _, down := s.CleanSlice(); down {
+			t.Fatalf("de-escalated after %d clean slices", i+1)
+		}
+	}
+	if lvl, down := s.CleanSlice(); !down || lvl != LevelStretchCheckpoints {
+		t.Fatalf("third clean slice: level %s, de-escalated %v", lvl, down)
+	}
+}
+
+func TestLevelEffects(t *testing.T) {
+	s := New(Config{DiskTripAfter: 1, CheckpointStretch: 8}, nil)
+	if s.ShedSSE() || s.CapJournals() || s.CheckpointEvery() != 1 {
+		t.Fatal("nominal level has effects")
+	}
+	s.DiskFault("ledger") // → shed_sse
+	if !s.ShedSSE() || s.CapJournals() {
+		t.Fatalf("level %s: ShedSSE=%v CapJournals=%v", s.Level(), s.ShedSSE(), s.CapJournals())
+	}
+	s.DiskFault("ledger") // → cap_journals
+	if !s.CapJournals() || s.CheckpointEvery() != 1 {
+		t.Fatalf("level %s: CapJournals=%v CheckpointEvery=%d", s.Level(), s.CapJournals(), s.CheckpointEvery())
+	}
+	s.DiskFault("ledger") // → stretch_checkpoints
+	if s.CheckpointEvery() != 8 {
+		t.Fatalf("CheckpointEvery = %d, want 8", s.CheckpointEvery())
+	}
+	if _, _, shed := s.ShedAdmission(0); shed {
+		t.Fatal("admissions shed below the top rung")
+	}
+	s.DiskFault("ledger") // → quarantine_admissions
+	reason, retry, shed := s.ShedAdmission(0)
+	if !shed || reason != "disk" || retry != 30 {
+		t.Fatalf("ShedAdmission = (%q, %d, %v), want (disk, 30, true)", reason, retry, shed)
+	}
+}
+
+func TestOverloadShedding(t *testing.T) {
+	s := New(Config{HighWaterJobs: 3, RetryAfterSeconds: 7}, nil)
+	if _, _, shed := s.ShedAdmission(2); shed {
+		t.Fatal("shed below the high-water mark")
+	}
+	reason, retry, shed := s.ShedAdmission(3)
+	if !shed || reason != "overload" || retry != 7 {
+		t.Fatalf("ShedAdmission = (%q, %d, %v), want (overload, 7, true)", reason, retry, shed)
+	}
+}
+
+func TestPausePlanDeterministicAndFloored(t *testing.T) {
+	loads := []TenantLoad{
+		{Tenant: "alpha", Deficit: 10, Queued: 2},
+		{Tenant: "beta", Deficit: 40, Queued: 1},
+		{Tenant: "gamma", Deficit: 10, Queued: 3},
+		{Tenant: "idle", Deficit: 99, Queued: 0},
+	}
+	s := New(Config{HighWaterJobs: 4, TenantFloor: 1}, nil)
+	if plan := s.PausePlan(3, loads); plan != nil {
+		t.Fatalf("not overloaded but paused %v", plan)
+	}
+	// Overloaded: beta (highest deficit) stays; alpha and gamma tie on
+	// deficit, and the tie breaks toward the smaller tenant name for
+	// the keep, so both land in the sorted pause plan. Idle tenants
+	// (nothing queued) are never paused — there is nothing to pause.
+	plan := s.PausePlan(4, loads)
+	if want := []string{"alpha", "gamma"}; !reflect.DeepEqual(plan, want) {
+		t.Fatalf("PausePlan = %v, want %v", plan, want)
+	}
+	// The same inputs replan identically.
+	if again := s.PausePlan(4, loads); !reflect.DeepEqual(again, plan) {
+		t.Fatalf("replan diverged: %v vs %v", again, plan)
+	}
+	// Floor always keeps at least one queued tenant runnable even when
+	// the floor exceeds what is left over.
+	s2 := New(Config{HighWaterJobs: 1, TenantFloor: 3}, nil)
+	if plan := s2.PausePlan(5, loads[:2]); plan != nil {
+		t.Fatalf("floor 3 over 2 tenants paused %v", plan)
+	}
+	// Load dropping clears the plan.
+	if plan := s.PausePlan(1, loads); plan != nil {
+		t.Fatalf("recovered but still paused %v", plan)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	want := map[Level]string{
+		LevelNominal:              "nominal",
+		LevelShedSSE:              "shed_sse",
+		LevelCapJournals:          "cap_journals",
+		LevelStretchCheckpoints:   "stretch_checkpoints",
+		LevelQuarantineAdmissions: "quarantine_admissions",
+		Level(99):                 "unknown",
+	}
+	for lvl, s := range want {
+		if lvl.String() != s {
+			t.Errorf("Level(%d).String() = %q, want %q", lvl, lvl.String(), s)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"github.com/icsnju/metamut-go/internal/flight"
 )
@@ -24,16 +25,21 @@ const (
 	CodeNotFound         = "not_found"
 	CodeConflict         = "conflict"
 	CodeInternal         = "internal"
+	CodeOverloaded       = "overloaded"
 )
 
 // Error is the service's structured error: a machine-readable code,
 // a human message, and the HTTP status it maps to. It serializes as
 //
 //	{"error": {"code": "quota_steps", "message": "..."}}
+//
+// Overload sheds additionally carry RetryAfter, a hint in seconds the
+// handler mirrors into a Retry-After header.
 type Error struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-	Status  int    `json:"-"`
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	RetryAfter int    `json:"retry_after_seconds,omitempty"`
+	Status     int    `json:"-"`
 }
 
 // Error implements the error interface.
@@ -47,6 +53,9 @@ func writeError(w http.ResponseWriter, err error) {
 		se = &Error{Code: CodeInternal, Message: err.Error(), Status: 500}
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if se.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfter))
+	}
 	w.WriteHeader(se.Status)
 	json.NewEncoder(w).Encode(map[string]*Error{"error": se})
 }
@@ -76,6 +85,11 @@ type Health struct {
 	ActiveJobs int    `json:"active_jobs"`
 	Tenants    int    `json:"tenants"`
 	Breaker    string `json:"breaker"`
+	// DiskLevel is the supervisor's disk-pressure degradation rung
+	// ("nominal" when healthy; see internal/serve/heal).
+	DiskLevel string `json:"disk_level"`
+	// PausedTenants lists tenants benched by the overload governor.
+	PausedTenants []string `json:"paused_tenants,omitempty"`
 }
 
 // subscribe taps a live job's flight journal. Terminal jobs have no
@@ -91,6 +105,12 @@ func (d *Daemon) subscribe(id string) (<-chan []byte, func(), error) {
 	if j == nil {
 		return nil, nil, &Error{Code: CodeConflict, Status: 409, Message: fmt.Sprintf(
 			"serve: job %s is %s; its journal is complete (see /jobs/%s/results)", id, rec.State, id)}
+	}
+	if d.heal.ShedSSE() {
+		return nil, nil, &Error{Code: CodeOverloaded, Status: 503,
+			RetryAfter: d.heal.Config().RetryAfterSeconds,
+			Message: fmt.Sprintf("serve: live journal taps shed (disk level %s)",
+				d.heal.Level())}
 	}
 	ch, cancel := j.frec.Subscribe()
 	return ch, cancel, nil
@@ -236,7 +256,13 @@ func (d *Daemon) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			tenants[rec.Tenant] = true
 		}
 	}
-	h := Health{ActiveJobs: active, Tenants: len(tenants), Breaker: d.breaker.State().String()}
+	h := Health{
+		ActiveJobs:    active,
+		Tenants:       len(tenants),
+		Breaker:       d.breaker.State().String(),
+		DiskLevel:     d.heal.Level().String(),
+		PausedTenants: d.drr.Paused(),
+	}
 	d.mu.Unlock()
 	writeJSON(w, http.StatusOK, h)
 }

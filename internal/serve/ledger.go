@@ -15,24 +15,30 @@ const LedgerVersion = 1
 //
 //	PENDING → RUNNING → DONE
 //	                  → FAILED
+//	                  → QUARANTINED
 //	PENDING/RUNNING   → CANCELLED
 //
-// Terminal states (DONE, FAILED, CANCELLED) deliver a triage report of
-// whatever the campaign found; only DONE means the full budget ran.
+// Terminal states (DONE, FAILED, CANCELLED, QUARANTINED) deliver a
+// triage report of whatever the campaign found; only DONE means the
+// full budget ran. QUARANTINED is the supervision verdict: the job's
+// slices faulted past the strike limit and the daemon stopped
+// rescheduling it, preserving its ledger entry, partial triage, and
+// flight journal.
 type JobState string
 
 // Job lifecycle states.
 const (
-	Pending   JobState = "PENDING"
-	Running   JobState = "RUNNING"
-	Done      JobState = "DONE"
-	Failed    JobState = "FAILED"
-	Cancelled JobState = "CANCELLED"
+	Pending     JobState = "PENDING"
+	Running     JobState = "RUNNING"
+	Done        JobState = "DONE"
+	Failed      JobState = "FAILED"
+	Cancelled   JobState = "CANCELLED"
+	Quarantined JobState = "QUARANTINED"
 )
 
 // Terminal reports whether the state accepts no further work.
 func (s JobState) Terminal() bool {
-	return s == Done || s == Failed || s == Cancelled
+	return s == Done || s == Failed || s == Cancelled || s == Quarantined
 }
 
 // JobRecord is one job's ledger entry: the spec plus the coordinator's
@@ -49,8 +55,19 @@ type JobRecord struct {
 	Epochs  int `json:"epochs"`
 	Edges   int `json:"edges"`
 	Crashes int `json:"crashes"`
-	// Error carries the failure cause for FAILED jobs.
+	// Error carries the failure cause for FAILED jobs and the final
+	// strike cause for QUARANTINED ones.
 	Error string `json:"error,omitempty"`
+	// Strikes is the job's accumulated supervision strike count.
+	Strikes int `json:"strikes,omitempty"`
+	// JournalCapped records that disk-pressure degradation discarded
+	// part of this job's flight journal: the on-disk journal is a valid
+	// prefix, not the full stream, and stays capped for the job's
+	// lifetime (resuming appends after a gap would corrupt repair).
+	JournalCapped bool `json:"journal_capped,omitempty"`
+	// SSEDropped is the lifetime count of journal events dropped from
+	// this job's live SSE taps (slow or shed subscribers).
+	SSEDropped int64 `json:"sse_dropped,omitempty"`
 }
 
 // Ledger is the daemon's durable job table. It is a plain value —
@@ -143,39 +160,81 @@ const (
 	SpecFile       = "spec.json"
 )
 
+// LedgerPrevSuffix names the previous-generation ledger kept beside
+// the primary. A save that lands torn (short write on a full disk) is
+// survivable: LoadLedger falls back to the .prev generation, which at
+// worst forgets the most recent admissions or state transitions —
+// recovery then re-parks those jobs from their own checkpoints. Two
+// consecutive torn generations defeat the fallback, which is why the
+// chaos injector's tear period must stay >= 2.
+const LedgerPrevSuffix = ".prev"
+
 // LoadLedger reads the ledger from a state directory; a missing file
-// is an empty ledger (first boot).
+// is an empty ledger (first boot). A corrupt or unreadable primary
+// falls back to the .prev generation before giving up.
 func LoadLedger(stateDir string) (*Ledger, error) {
-	data, err := os.ReadFile(ledgerPath(stateDir))
+	l, err := loadLedgerFile(ledgerPath(stateDir))
+	if err == nil {
+		return l, nil
+	}
+	if prev, perr := loadLedgerFile(ledgerPath(stateDir) + LedgerPrevSuffix); perr == nil {
+		return prev, nil
+	}
 	if os.IsNotExist(err) {
 		return NewLedger(), nil
 	}
+	return nil, err
+}
+
+func loadLedgerFile(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var l Ledger
 	if err := json.Unmarshal(data, &l); err != nil {
-		return nil, fmt.Errorf("serve: ledger %s: %w", ledgerPath(stateDir), err)
+		return nil, fmt.Errorf("serve: ledger %s: %w", path, err)
 	}
 	if l.Version != LedgerVersion {
 		return nil, fmt.Errorf("serve: ledger %s: version %d, want %d",
-			ledgerPath(stateDir), l.Version, LedgerVersion)
+			path, l.Version, LedgerVersion)
 	}
 	return &l, nil
 }
 
 // Save writes the ledger atomically (temp file + rename in the state
-// directory).
+// directory), rotating the previous generation to .prev first.
 func (l *Ledger) Save(stateDir string) error {
+	return l.SaveWith(stateDir, nil)
+}
+
+// SaveWith is Save with a fault-injection hook: transform, when
+// non-nil, may rewrite or reject the serialized bytes before they hit
+// disk (the chaos harness tears them). The .prev rotation happens
+// before the new write, so a torn save leaves the previous generation
+// intact for LoadLedger's fallback.
+func (l *Ledger) SaveWith(stateDir string, transform func([]byte) ([]byte, error)) error {
 	data, err := json.MarshalIndent(l, "", "  ")
 	if err != nil {
 		return err
+	}
+	data = append(data, '\n')
+	if transform != nil {
+		if data, err = transform(data); err != nil {
+			return err
+		}
+	}
+	path := ledgerPath(stateDir)
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+LedgerPrevSuffix); err != nil {
+			return err
+		}
 	}
 	tmp, err := os.CreateTemp(stateDir, ".ledger-*")
 	if err != nil {
 		return err
 	}
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -184,7 +243,7 @@ func (l *Ledger) Save(stateDir string) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	if err := os.Rename(tmp.Name(), ledgerPath(stateDir)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return err
 	}

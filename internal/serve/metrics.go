@@ -1,10 +1,14 @@
 package serve
 
-import "github.com/icsnju/metamut-go/internal/obs"
+import (
+	"github.com/icsnju/metamut-go/internal/obs"
+	"github.com/icsnju/metamut-go/internal/serve/heal"
+)
 
-// RegisterMetrics pre-registers every serve_* family so metric
-// snapshots and the METRICS.md reference see the full service surface
-// from daemon start. Idempotent; nil registry is a no-op.
+// RegisterMetrics pre-registers every serve_* family — including the
+// serve_heal_* supervision families — so metric snapshots and the
+// METRICS.md reference see the full service surface from daemon start.
+// Idempotent; nil registry is a no-op.
 func RegisterMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -17,30 +21,34 @@ func RegisterMetrics(reg *obs.Registry) {
 	reg.Counter("serve_quota_rejections_total", "kind")
 	reg.Counter("serve_slices_total")
 	reg.Counter("serve_steps_total")
+	reg.Counter("serve_sse_dropped_total")
+	heal.RegisterMetrics(reg)
 }
 
 // metrics bundles the daemon's resolved handles (nil-registry safe).
 type metrics struct {
-	submitted *obs.Counter
-	finished  *obs.CounterVec
-	resumed   *obs.Counter
-	active    *obs.Gauge
-	tenants   *obs.Gauge
-	quota     *obs.CounterVec
-	slices    *obs.Counter
-	steps     *obs.Counter
+	submitted  *obs.Counter
+	finished   *obs.CounterVec
+	resumed    *obs.Counter
+	active     *obs.Gauge
+	tenants    *obs.Gauge
+	quota      *obs.CounterVec
+	slices     *obs.Counter
+	steps      *obs.Counter
+	sseDropped *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) metrics {
 	RegisterMetrics(reg)
 	return metrics{
-		submitted: reg.Counter("serve_jobs_submitted_total").With(),
-		finished:  reg.Counter("serve_jobs_finished_total", "state"),
-		resumed:   reg.Counter("serve_jobs_resumed_total").With(),
-		active:    reg.Gauge("serve_jobs_active").With(),
-		tenants:   reg.Gauge("serve_tenants").With(),
-		quota:     reg.Counter("serve_quota_rejections_total", "kind"),
-		slices:    reg.Counter("serve_slices_total").With(),
-		steps:     reg.Counter("serve_steps_total").With(),
+		submitted:  reg.Counter("serve_jobs_submitted_total").With(),
+		finished:   reg.Counter("serve_jobs_finished_total", "state"),
+		resumed:    reg.Counter("serve_jobs_resumed_total").With(),
+		active:     reg.Gauge("serve_jobs_active").With(),
+		tenants:    reg.Gauge("serve_tenants").With(),
+		quota:      reg.Counter("serve_quota_rejections_total", "kind"),
+		slices:     reg.Counter("serve_slices_total").With(),
+		steps:      reg.Counter("serve_steps_total").With(),
+		sseDropped: reg.Counter("serve_sse_dropped_total").With(),
 	}
 }
