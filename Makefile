@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: check lint build vet staticcheck detlint test race bench bench-json bench-smoke campaign-smoke chaos-smoke flight-smoke serve-smoke chaos-serve-smoke clean
+.PHONY: check lint build vet staticcheck detlint test race bench bench-json bench-smoke bench-gate maybe-bench-gate campaign-smoke chaos-smoke flight-smoke serve-smoke chaos-serve-smoke clean
 
 # check is the one-stop gate: lint (vet + detlint, + staticcheck when
 # installed), build, full test suite, the race-detector pass over the
 # concurrency-bearing packages, then a one-epoch scheduling-ablation
-# smoke.
-check: lint build test race bench-smoke
+# smoke. Set BENCH_GATE=1 to also run the full performance gate
+# (bench-gate, several minutes — see docs/PERFORMANCE.md).
+check: lint build test race bench-smoke maybe-bench-gate
 
 # lint bundles every static gate: go vet, the repo's own invariant
 # linter (docs/STATIC_ANALYSIS.md), and staticcheck when present.
@@ -55,12 +56,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json regenerates the committed scheduling/cache ablation
-# (BENCH_sched.json): uniform vs adaptive scheduling, mutant cache off
-# vs on, at the default seed and budget. README's Performance section
-# quotes this file.
+# bench-json regenerates the committed performance records: the
+# scheduling/cache ablation (BENCH_sched.json), the batched hot-loop
+# bench (BENCH_hotloop.json), and the shared-coverage merge pair
+# (BENCH_cover.json), all at the default seed and budget. README's
+# Performance section and docs/PERFORMANCE.md quote these files;
+# bench-gate compares fresh runs against them.
 bench-json:
-	$(GO) run ./cmd/experiments -run schedbench -out BENCH_sched.json
+	$(GO) run ./cmd/experiments -run schedbench,hotloopbench,coverbench \
+		-out BENCH_sched.json -hotloop-out BENCH_hotloop.json \
+		-cover-out BENCH_cover.json
 
 # bench-smoke is the check-gate variant: a tiny budget, throwaway
 # output — proves the ablation path end to end without the full cost.
@@ -68,6 +73,24 @@ bench-smoke:
 	$(GO) run ./cmd/experiments -run schedbench -schedbench-steps 400 \
 		-out .bench-smoke.json
 	@rm -f .bench-smoke.json
+
+# bench-gate is the performance regression gate (docs/PERFORMANCE.md):
+# the always-on allocation budget for the hot loop, then full-budget
+# reruns of schedbench and hotloopbench compared against the committed
+# BENCH_*.json — fails if steady-state ticks allocate, if edges/sec
+# regresses more than 10%, or if any tick/edge/crash count drifts (a
+# determinism break outranks any speedup). Opt into it from check with
+# BENCH_GATE=1.
+bench-gate:
+	$(GO) test -run TestHotLoopAllocBudget -count=1 .
+	$(GO) run ./cmd/experiments -run benchgate
+
+maybe-bench-gate:
+	@if [ "$(BENCH_GATE)" = "1" ]; then \
+		$(MAKE) bench-gate; \
+	else \
+		echo "bench-gate skipped (set BENCH_GATE=1 to run the perf gate)"; \
+	fi
 
 # campaign-smoke proves the parallel engine end to end: a 4-worker
 # checkpointed mini-campaign, then a resume from its snapshot with a

@@ -496,6 +496,76 @@ func BenchmarkEngine(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Zero-alloc hot loop: compile→cover on a reusable per-stream Context
+// ---------------------------------------------------------------------
+
+// hotLoopSeeds returns a pool of compilable programs for the hot-loop
+// benchmark: every tick must take the full-pipeline path, so seeds that
+// fail the front end are filtered out up front.
+func hotLoopSeeds(tb testing.TB, comp *compilersim.Compiler, opts compilersim.Options) []string {
+	tb.Helper()
+	var pool []string
+	for _, src := range seeds.Generate(24, 3) {
+		if res := comp.Compile(src, opts); res.OK {
+			pool = append(pool, src)
+		}
+	}
+	if len(pool) < 8 {
+		tb.Fatalf("only %d of 24 seeds compile", len(pool))
+	}
+	return pool
+}
+
+// BenchmarkHotLoop times the steady-state inner loop the fuzzers run per
+// tick — Context.Compile into Stats.Record — over a warm seed pool. The
+// Context reuses its arena, tracers, and token buffer, and Record's
+// first-merge coverage work is absorbed by the warm-up, so the loop must
+// report 0 allocs/op (TestHotLoopAllocBudget enforces the same budget in
+// the regular test run; docs/PERFORMANCE.md records it).
+func BenchmarkHotLoop(b *testing.B) {
+	comp := compilersim.New("gcc", 14)
+	opts := compilersim.DefaultOptions()
+	pool := hotLoopSeeds(b, comp, opts)
+	cx := comp.NewContext()
+	s := fuzz.NewStats("hotloop")
+	for _, src := range pool { // absorb first-merge coverage + crash-map work
+		s.Record(src, "HotLoopBench", cx.Compile(src, opts))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := pool[i%len(pool)]
+		s.Record(src, "HotLoopBench", cx.Compile(src, opts))
+	}
+}
+
+// TestHotLoopAllocBudget is the always-on allocation gate for the hot
+// loop: the steady-state tick must stay allocation-free. The budget is
+// "< 1 alloc per tick" rather than exactly zero because the parser's
+// sync.Pool can repopulate under GC pressure; a real regression (a
+// per-tick slice or string) costs several allocs and trips this
+// immediately.
+func TestHotLoopAllocBudget(t *testing.T) {
+	comp := compilersim.New("gcc", 14)
+	opts := compilersim.DefaultOptions()
+	pool := hotLoopSeeds(t, comp, opts)
+	cx := comp.NewContext()
+	s := fuzz.NewStats("hotloop-alloc")
+	for _, src := range pool {
+		s.Record(src, "HotLoopBench", cx.Compile(src, opts))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		src := pool[i%len(pool)]
+		s.Record(src, "HotLoopBench", cx.Compile(src, opts))
+		i++
+	})
+	if avg >= 1 {
+		t.Fatalf("hot loop allocates: %.2f allocs/tick, budget < 1 (see docs/PERFORMANCE.md)", avg)
+	}
+}
+
 func BenchmarkMutatorApplication(b *testing.B) {
 	src := seeds.Generate(10, 3)[7]
 	mus := muast.All()

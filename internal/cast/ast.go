@@ -170,7 +170,15 @@ type TranslationUnit struct {
 	Decls []Decl
 	// Source is the original text the ranges index into.
 	Source string
+	// arena owns every node reachable from this unit when it was built
+	// by ParseWithArena; nil for units assembled by hand. See Arena for
+	// the ownership rules.
+	arena *Arena
 }
+
+// Arena returns the arena that owns this unit's nodes, or nil when the
+// unit was not arena-parsed.
+func (tu *TranslationUnit) Arena() *Arena { return tu.arena }
 
 func (*TranslationUnit) Kind() NodeKind { return KindTranslationUnit }
 
@@ -223,6 +231,11 @@ type FunctionDecl struct {
 	RetTypeRange SourceRange
 	// NameRange is the extent of the declared name.
 	NameRange SourceRange
+	// cachedType memoizes the FuncType the checker derives from this
+	// declaration so DeclRef checking stops rebuilding it per reference.
+	// Builtin declarations precompute it at init; arena-parsed decls fill
+	// it lazily (single-goroutine by the arena contract).
+	cachedType *FuncType
 }
 
 func (*FunctionDecl) Kind() NodeKind       { return KindFunctionDecl }

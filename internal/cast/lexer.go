@@ -32,6 +32,13 @@ func NewLexer(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
 }
 
+// Reset rewinds the lexer onto new source text, equivalent to (but
+// cheaper than) allocating a fresh lexer — the compile hot loop lexes
+// one mutant per iteration and reuses a single Lexer per stream.
+func (lx *Lexer) Reset(src string) {
+	lx.src, lx.off, lx.line, lx.col = src, 0, 1, 1
+}
+
 // Lex tokenizes the whole input, returning the token stream terminated by
 // a TokEOF token.
 func Lex(src string) ([]Token, error) {

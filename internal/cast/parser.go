@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // ParseError describes a syntax error.
@@ -17,16 +18,28 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("%d:%d: syntax error: %s", e.Line, e.Col, e.Msg)
 }
 
-// Parser turns a token stream into a TranslationUnit.
+// Parser turns a token stream into a TranslationUnit. Parsers are pooled
+// and every node they produce comes from the Arena passed to
+// ParseWithArena; the zero value is not usable directly — go through
+// Parse/ParseWithArena.
 type Parser struct {
 	src  string
 	toks []Token
 	pos  int
 
+	// arena owns every node, type and child list this parse creates.
+	arena *Arena
+
 	// scopes tracks typedef names (value true) so declarations can be
-	// disambiguated from expressions, plus struct/union/enum tags.
+	// disambiguated from expressions, plus struct/union/enum tags. The
+	// slices (and the maps retained in their spare capacity) are reused
+	// across pooled parses.
 	typedefScopes []map[string]QualType
 	tagScopes     []map[string]Decl
+
+	// scSuffixes is the mark/cut scratch stack for declarator suffixes
+	// (see parseDeclSuffixes); reused across pooled parses.
+	scSuffixes []declSuffix
 
 	// lastParams holds the parameter declarations of the most recently
 	// parsed function declarator, consumed by parseFunctionDefinition.
@@ -35,38 +48,76 @@ type Parser struct {
 	err *ParseError
 }
 
+var parserPool = sync.Pool{New: func() any { return &Parser{} }}
+
 // Parse lexes and parses src, returning the AST. Parsing is
 // best-effort-strict: any syntax error aborts with a non-nil error.
-// The token buffer is pooled: nothing retains it past the parse (AST
-// nodes copy the strings they need), so the per-mutant lex allocation
-// on the fuzzing hot path recycles instead.
+// The returned unit owns a private arena that is never reset, so it is
+// safe to retain and share (the parse cache depends on this).
 func Parse(src string) (*TranslationUnit, error) {
+	return ParseWithArena(src, NewArena())
+}
+
+// ParseWithArena parses src with every node allocated from a. Callers
+// that reuse a across parses (the fuzzing hot loop) must Reset it first
+// and must not retain any node from a previous parse; see Arena.
+func ParseWithArena(src string, a *Arena) (*TranslationUnit, error) {
 	bufp := tokenPool.Get().(*[]Token)
-	toks, err := lexInto(src, (*bufp)[:0])
+	toks, lexErr := lexInto(src, (*bufp)[:0])
 	defer func() {
 		*bufp = toks[:0]
 		tokenPool.Put(bufp)
 	}()
+	if lexErr != nil {
+		return nil, lexErr
+	}
+	return ParseTokens(src, toks, a)
+}
+
+// ParseTokens parses an already-lexed token stream (as produced by
+// Lex/lexInto, terminated by a TokEOF token) over a caller-owned arena.
+// Callers that lex once and reuse the tokens — the compile hot loop
+// walks the stream for lexical coverage before parsing — avoid
+// tokenizing the same source twice. toks is only read and may be reused
+// by the caller after ParseTokens returns; src must be the exact text
+// the tokens were lexed from (node source ranges index into it).
+func ParseTokens(src string, toks []Token, a *Arena) (*TranslationUnit, error) {
+	p := parserPool.Get().(*Parser)
+	p.src, p.toks, p.pos, p.err = src, toks, 0, nil
+	p.arena = a
+	p.typedefScopes = p.typedefScopes[:0]
+	p.tagScopes = p.tagScopes[:0]
+	p.scSuffixes = p.scSuffixes[:0]
+	p.pushScope()
+	tu := p.parseTranslationUnit()
+	err := p.err
+	p.src, p.toks, p.arena, p.err, p.lastParams = "", nil, nil, nil, nil
+	parserPool.Put(p)
 	if err != nil {
 		return nil, err
 	}
-	p := &Parser{
-		src:           src,
-		toks:          toks,
-		typedefScopes: []map[string]QualType{{}},
-		tagScopes:     []map[string]Decl{{}},
-	}
-	tu := p.parseTranslationUnit()
-	if p.err != nil {
-		return nil, p.err
-	}
 	tu.Source = src
+	tu.arena = a
 	return tu, nil
 }
 
 // ParseAndCheck parses src and runs semantic analysis.
 func ParseAndCheck(src string) (*TranslationUnit, error) {
 	tu, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(tu); err != nil {
+		return nil, err
+	}
+	return tu, nil
+}
+
+// ParseAndCheckArena is ParseAndCheck over a caller-owned arena; the
+// checker draws its own allocations (implicit decls, derived types) from
+// the same arena.
+func ParseAndCheckArena(src string, a *Arena) (*TranslationUnit, error) {
+	tu, err := ParseWithArena(src, a)
 	if err != nil {
 		return nil, err
 	}
@@ -130,9 +181,25 @@ func (p *Parser) fail(format string, args ...any) {
 	p.pos = len(p.toks) - 1
 }
 
+// pushScopeMap grows s by one scope, reusing (and clearing) a map
+// retained in the slice's spare capacity from an earlier pooled parse.
+func pushScopeMap[V any](s []map[string]V) []map[string]V {
+	n := len(s)
+	if n < cap(s) {
+		s = s[:n+1]
+		if s[n] == nil {
+			s[n] = map[string]V{}
+		} else {
+			clear(s[n])
+		}
+		return s
+	}
+	return append(s, map[string]V{})
+}
+
 func (p *Parser) pushScope() {
-	p.typedefScopes = append(p.typedefScopes, map[string]QualType{})
-	p.tagScopes = append(p.tagScopes, map[string]Decl{})
+	p.typedefScopes = pushScopeMap(p.typedefScopes)
+	p.tagScopes = pushScopeMap(p.tagScopes)
 }
 
 func (p *Parser) popScope() {
@@ -171,15 +238,17 @@ func (p *Parser) lookupTag(name string) (Decl, bool) {
 // ---------------------------------------------------------------------
 
 func (p *Parser) parseTranslationUnit() *TranslationUnit {
-	tu := &TranslationUnit{}
+	a := p.arena
+	tu := a.translationUnits.get()
 	start := p.cur().Pos
+	mark := len(a.scDecls)
 	for !p.at(TokEOF) && p.err == nil {
 		if _, ok := p.accept(TokSemi); ok {
 			continue
 		}
-		decls := p.parseExternalDeclaration()
-		tu.Decls = append(tu.Decls, decls...)
+		p.parseExternalDeclaration()
 	}
+	tu.Decls = cutList(&a.declLists, &a.scDecls, mark)
 	tu.SetRange(start, p.cur().End)
 	return tu
 }
@@ -212,43 +281,45 @@ func (p *Parser) startsDecl() bool {
 	return false
 }
 
-func (p *Parser) parseExternalDeclaration() []Decl {
+// parseExternalDeclaration pushes the parsed declarations onto the
+// arena's decl scratch stack (the caller cuts the whole top-level run
+// once, into tu.Decls).
+func (p *Parser) parseExternalDeclaration() {
+	a := p.arena
 	specs := p.parseDeclSpecs()
 	if p.err != nil {
-		return nil
+		return
 	}
 	// "struct s { ... };" with no declarator.
 	if p.at(TokSemi) {
 		p.advance()
 		if specs.ownedTag != nil {
-			return []Decl{specs.ownedTag}
+			a.scDecls = append(a.scDecls, specs.ownedTag)
 		}
-		return nil
+		return
 	}
-	var decls []Decl
 	if specs.ownedTag != nil {
-		decls = append(decls, specs.ownedTag)
+		a.scDecls = append(a.scDecls, specs.ownedTag)
 	}
 	for {
 		name, ty, nameRng, declStart := p.parseDeclarator(specs.base)
 		if p.err != nil {
-			return decls
+			return
 		}
 		if ft, ok := ty.T.(*FuncType); ok && p.at(TokLBrace) {
 			fd := p.parseFunctionDefinition(name, ft, specs, declStart, nameRng)
-			decls = append(decls, fd)
-			return decls
+			a.scDecls = append(a.scDecls, fd)
+			return
 		}
 		d := p.finishInitDeclarator(name, ty, specs, nameRng, declStart, true)
 		if d != nil {
-			decls = append(decls, d)
+			a.scDecls = append(a.scDecls, d)
 		}
 		if _, ok := p.accept(TokComma); !ok {
 			break
 		}
 	}
 	p.expect(TokSemi)
-	return decls
 }
 
 // declSpecs carries the parsed declaration specifiers.
@@ -376,7 +447,9 @@ func (p *Parser) parseDeclSpecs() declSpecs {
 			sawType = true
 		case t.Kind == TokIdent && !sawType && result.IsNil():
 			if ty, ok := p.lookupTypedef(t.Text); ok {
-				result = QualType{T: &TypedefType{Name: t.Text, Underlying: ty}}
+				tt := p.arena.typedefTypes.get()
+				tt.Name, tt.Underlying = t.Text, ty
+				result = QualType{T: tt}
 				sawType = true
 				p.advance()
 			} else {
@@ -392,7 +465,7 @@ done:
 			// Implicit int (K&R style, appears in compiler test suites).
 			baseKind = Int
 		}
-		result = QualType{T: &BasicType{K: p.combineBasic(baseKind, longs, unsigned, signed_, complex_)}}
+		result = basicTy(p.combineBasic(baseKind, longs, unsigned, signed_, complex_))
 	}
 	ds.base = result.WithQuals(quals)
 	ds.end = p.cur().Pos
@@ -443,6 +516,7 @@ func (p *Parser) combineBasic(k BasicKind, longs int, unsigned, signed_, complex
 }
 
 func (p *Parser) parseRecordSpecifier(ds *declSpecs) QualType {
+	a := p.arena
 	kw := p.next() // struct or union
 	isUnion := kw.Text == "union"
 	name := ""
@@ -456,7 +530,8 @@ func (p *Parser) parseRecordSpecifier(ds *declSpecs) QualType {
 		}
 	}
 	if rd == nil {
-		rd = &RecordDecl{Name: name, IsUnion: isUnion}
+		rd = a.recordDecls.get()
+		rd.Name, rd.IsUnion = name, isUnion
 		rd.SetRange(kw.Pos, p.cur().End)
 		if name != "" {
 			p.defineTag(name, rd)
@@ -465,6 +540,7 @@ func (p *Parser) parseRecordSpecifier(ds *declSpecs) QualType {
 	if p.at(TokLBrace) {
 		p.advance()
 		rd.Complete = true
+		fmark := len(a.scFields)
 		for !p.at(TokRBrace) && p.err == nil {
 			fieldSpecs := p.parseDeclSpecs()
 			for {
@@ -473,10 +549,11 @@ func (p *Parser) parseRecordSpecifier(ds *declSpecs) QualType {
 				if _, ok := p.accept(TokColon); ok {
 					p.parseConditionalExpr()
 				}
-				fd := &FieldDecl{Name: fname, Ty: fty}
+				fd := a.fieldDecls.get()
+				fd.Name, fd.Ty = fname, fty
 				fd.SetRange(fstart, p.cur().Pos)
 				_ = fnameRng
-				rd.Fields = append(rd.Fields, fd)
+				a.scFields = append(a.scFields, fd)
 				if _, ok := p.accept(TokComma); !ok {
 					break
 				}
@@ -484,13 +561,23 @@ func (p *Parser) parseRecordSpecifier(ds *declSpecs) QualType {
 			p.expect(TokSemi)
 		}
 		rbrace := p.expect(TokRBrace)
+		flds := cutList(&a.fieldLists, &a.scFields, fmark)
+		if rd.Fields == nil {
+			rd.Fields = flds
+		} else {
+			// Tag redefinition: keep the historical append semantics.
+			rd.Fields = append(rd.Fields[:len(rd.Fields):len(rd.Fields)], flds...)
+		}
 		rd.SetRange(kw.Pos, rbrace.End)
 		ds.ownedTag = rd
 	}
-	return QualType{T: &RecordType{Decl: rd}}
+	rt := a.recordTypes.get()
+	rt.Decl = rd
+	return QualType{T: rt}
 }
 
 func (p *Parser) parseEnumSpecifier(ds *declSpecs) QualType {
+	a := p.arena
 	kw := p.next() // enum
 	name := ""
 	if t, ok := p.accept(TokIdent); ok {
@@ -503,7 +590,8 @@ func (p *Parser) parseEnumSpecifier(ds *declSpecs) QualType {
 		}
 	}
 	if ed == nil {
-		ed = &EnumDecl{Name: name}
+		ed = a.enumDecls.get()
+		ed.Name = name
 		ed.SetRange(kw.Pos, p.cur().End)
 		if name != "" {
 			p.defineTag(name, ed)
@@ -512,9 +600,11 @@ func (p *Parser) parseEnumSpecifier(ds *declSpecs) QualType {
 	if p.at(TokLBrace) {
 		p.advance()
 		next := int64(0)
+		emark := len(a.scEnums)
 		for !p.at(TokRBrace) && p.err == nil {
 			ct := p.expect(TokIdent)
-			ec := &EnumConstantDecl{Name: ct.Text}
+			ec := a.enumConstants.get()
+			ec.Name = ct.Text
 			ec.SetRange(ct.Pos, ct.End)
 			if _, ok := p.accept(TokAssign); ok {
 				ec.Value = p.parseConditionalExpr()
@@ -525,16 +615,24 @@ func (p *Parser) parseEnumSpecifier(ds *declSpecs) QualType {
 			}
 			ec.Num = next
 			next++
-			ed.Constants = append(ed.Constants, ec)
+			a.scEnums = append(a.scEnums, ec)
 			if _, ok := p.accept(TokComma); !ok {
 				break
 			}
 		}
 		rbrace := p.expect(TokRBrace)
+		consts := cutList(&a.enumLists, &a.scEnums, emark)
+		if ed.Constants == nil {
+			ed.Constants = consts
+		} else {
+			ed.Constants = append(ed.Constants[:len(ed.Constants):len(ed.Constants)], consts...)
+		}
 		ed.SetRange(kw.Pos, rbrace.End)
 		ds.ownedTag = ed
 	}
-	return QualType{T: &EnumType{Decl: ed}}
+	et := a.enumTypes.get()
+	et.Decl = ed
+	return QualType{T: et}
 }
 
 // ConstIntValue evaluates trivially constant integer expressions (as used
@@ -633,7 +731,9 @@ func (p *Parser) parsePointers(ty QualType) QualType {
 			case p.acceptKw("restrict") || p.acceptKw("__restrict"):
 				q |= QualRestrict
 			default:
-				ty = QualType{T: &PointerType{Elem: ty}, Q: q}
+				pt := p.arena.pointerTypes.get()
+				pt.Elem = ty
+				ty = QualType{T: pt, Q: q}
 				goto next
 			}
 		}
@@ -699,16 +799,22 @@ func (p *Parser) isAbstractParen() bool {
 	return false
 }
 
+// declSuffix is one array/function declarator suffix, collected
+// left-to-right on the parser's scratch stack and folded right-to-left.
+type declSuffix struct {
+	isArray  bool
+	size     int64
+	params   []*ParmVarDecl
+	variadic bool
+}
+
 func (p *Parser) parseDeclSuffixes(ty QualType) QualType {
 	// Collect suffixes left-to-right, then fold right-to-left so that
-	// "int a[2][3]" becomes array(2, array(3, int)).
-	type suffix struct {
-		isArray  bool
-		size     int64
-		params   []*ParmVarDecl
-		variadic bool
-	}
-	var suffixes []suffix
+	// "int a[2][3]" becomes array(2, array(3, int)). The stack nests
+	// (parameter declarators recurse here), so only our own tail — past
+	// mark — is folded and truncated.
+	a := p.arena
+	mark := len(p.scSuffixes)
 	for {
 		switch {
 		case p.at(TokLBracket):
@@ -723,44 +829,51 @@ func (p *Parser) parseDeclSuffixes(ty QualType) QualType {
 				}
 			}
 			p.expect(TokRBracket)
-			suffixes = append(suffixes, suffix{isArray: true, size: sz})
+			p.scSuffixes = append(p.scSuffixes, declSuffix{isArray: true, size: sz})
 		case p.at(TokLParen):
 			p.advance()
 			params, variadic := p.parseParamList()
 			p.expect(TokRParen)
-			suffixes = append(suffixes, suffix{params: params, variadic: variadic})
+			p.scSuffixes = append(p.scSuffixes, declSuffix{params: params, variadic: variadic})
 		default:
 			goto fold
 		}
 	}
 fold:
-	for i := len(suffixes) - 1; i >= 0; i-- {
-		s := suffixes[i]
+	for i := len(p.scSuffixes) - 1; i >= mark; i-- {
+		s := p.scSuffixes[i]
 		if s.isArray {
-			ty = QualType{T: &ArrayType{Elem: ty, Size: s.size}}
+			at := a.arrayTypes.get()
+			at.Elem, at.Size = ty, s.size
+			ty = QualType{T: at}
 		} else {
-			ft := &FuncType{Ret: ty, Variadic: s.variadic}
+			ft := a.funcTypes.get()
+			ft.Ret, ft.Variadic = ty, s.variadic
+			qmark := len(a.scQTs)
 			for _, pv := range s.params {
-				ft.Params = append(ft.Params, pv.Ty)
+				a.scQTs = append(a.scQTs, pv.Ty)
 			}
+			ft.Params = cutList(&a.qtLists, &a.scQTs, qmark)
 			ty = QualType{T: ft}
 			// Stash the decls so parseFunctionDefinition can reuse them.
 			p.lastParams = s.params
 		}
 	}
+	p.scSuffixes = p.scSuffixes[:mark]
 	return ty
 }
 
 func (p *Parser) parseParamList() ([]*ParmVarDecl, bool) {
-	var params []*ParmVarDecl
+	a := p.arena
+	mark := len(a.scParms)
 	variadic := false
 	if p.at(TokRParen) {
-		return params, false
+		return nil, false
 	}
 	// "(void)" means no parameters.
 	if p.atKw("void") && p.peek(1).Kind == TokRParen {
 		p.advance()
-		return params, false
+		return nil, false
 	}
 	idx := 0
 	for {
@@ -772,9 +885,10 @@ func (p *Parser) parseParamList() ([]*ParmVarDecl, bool) {
 		if !p.startsDecl() {
 			// K&R identifier list: treat each as int parameter.
 			if t, ok := p.accept(TokIdent); ok {
-				pv := &ParmVarDecl{Name: t.Text, Ty: IntTy, Index: idx}
+				pv := a.parmVarDecls.get()
+				pv.Name, pv.Ty, pv.Index = t.Text, IntTy, idx
 				pv.SetRange(t.Pos, t.End)
-				params = append(params, pv)
+				a.scParms = append(a.scParms, pv)
 				idx++
 				if _, ok := p.accept(TokComma); ok {
 					continue
@@ -785,30 +899,30 @@ func (p *Parser) parseParamList() ([]*ParmVarDecl, bool) {
 		specs := p.parseDeclSpecs()
 		start := p.cur().Pos
 		pname, pty, _, _ := p.parseDeclarator(specs.base)
-		pty = pty.Decay() // arrays/functions decay in parameter position
-		pv := &ParmVarDecl{Name: pname, Ty: pty, Index: idx}
+		pty = a.decay(pty) // arrays/functions decay in parameter position
+		pv := a.parmVarDecls.get()
+		pv.Name, pv.Ty, pv.Index = pname, pty, idx
 		pv.SetRange(min(specs.start, start), p.cur().Pos)
-		params = append(params, pv)
+		a.scParms = append(a.scParms, pv)
 		idx++
 		if _, ok := p.accept(TokComma); !ok {
 			break
 		}
 	}
-	return params, variadic
+	return cutList(&a.parmLists, &a.scParms, mark), variadic
 }
 
 func (p *Parser) parseFunctionDefinition(name string, ft *FuncType,
 	specs declSpecs, declStart int, nameRng SourceRange) *FunctionDecl {
-	fd := &FunctionDecl{
-		Name:         name,
-		Ret:          ft.Ret,
-		Params:       p.lastParams,
-		Storage:      specs.storage,
-		Inline:       specs.inline,
-		Variadic:     ft.Variadic,
-		RetTypeRange: SourceRange{specs.start, specs.end},
-		NameRange:    nameRng,
-	}
+	fd := p.arena.functionDecls.get()
+	fd.Name = name
+	fd.Ret = ft.Ret
+	fd.Params = p.lastParams
+	fd.Storage = specs.storage
+	fd.Inline = specs.inline
+	fd.Variadic = ft.Variadic
+	fd.RetTypeRange = SourceRange{specs.start, specs.end}
+	fd.NameRange = nameRng
 	p.pushScope()
 	fd.Body = p.parseCompoundStmt()
 	p.popScope()
@@ -825,29 +939,29 @@ func (p *Parser) parseFunctionDefinition(name string, ft *FuncType,
 
 func (p *Parser) finishInitDeclarator(name string, ty QualType,
 	specs declSpecs, nameRng SourceRange, declStart int, global bool) Decl {
+	a := p.arena
 	if specs.storage == StorageTypedef {
 		p.defineTypedef(name, ty)
-		td := &TypedefDecl{Name: name, Ty: ty}
+		td := a.typedefDecls.get()
+		td.Name, td.Ty = name, ty
 		td.SetRange(specs.start, p.cur().End)
 		return td
 	}
 	if ty.IsFunc() {
 		// Function prototype.
 		ft := ty.Canonical().T.(*FuncType)
-		fd := &FunctionDecl{
-			Name: name, Ret: ft.Ret, Params: p.lastParams,
-			Storage: specs.storage, Variadic: ft.Variadic,
-			RetTypeRange: SourceRange{specs.start, specs.end},
-			NameRange:    nameRng,
-		}
+		fd := a.functionDecls.get()
+		fd.Name, fd.Ret, fd.Params = name, ft.Ret, p.lastParams
+		fd.Storage, fd.Variadic = specs.storage, ft.Variadic
+		fd.RetTypeRange = SourceRange{specs.start, specs.end}
+		fd.NameRange = nameRng
 		fd.SetRange(specs.start, p.cur().End)
 		return fd
 	}
-	vd := &VarDecl{
-		Name: name, Ty: ty, Storage: specs.storage, IsGlobal: global,
-		NameRange: nameRng,
-		TypeRange: SourceRange{specs.start, specs.end},
-	}
+	vd := a.varDecls.get()
+	vd.Name, vd.Ty, vd.Storage, vd.IsGlobal = name, ty, specs.storage, global
+	vd.NameRange = nameRng
+	vd.TypeRange = SourceRange{specs.start, specs.end}
 	if _, ok := p.accept(TokAssign); ok {
 		initStart := p.cur().Pos
 		vd.Init = p.parseInitializer()
@@ -868,8 +982,10 @@ func (p *Parser) parseInitializer() Expr {
 }
 
 func (p *Parser) parseInitList() *InitListExpr {
+	a := p.arena
 	lb := p.expect(TokLBrace)
-	il := &InitListExpr{}
+	il := a.initLists.get()
+	mark := len(a.scExprs)
 	for !p.at(TokRBrace) && p.err == nil {
 		// Designators: ".field =" / "[idx] =" — parse and discard.
 		for p.at(TokDot) || p.at(TokLBracket) {
@@ -883,12 +999,13 @@ func (p *Parser) parseInitList() *InitListExpr {
 			}
 		}
 		p.accept(TokAssign)
-		il.Inits = append(il.Inits, p.parseInitializer())
+		a.scExprs = append(a.scExprs, p.parseInitializer())
 		if _, ok := p.accept(TokComma); !ok {
 			break
 		}
 	}
 	rb := p.expect(TokRBrace)
+	il.Inits = cutList(&a.exprLists, &a.scExprs, mark)
 	il.SetRange(lb.Pos, rb.End)
 	return il
 }
@@ -898,12 +1015,15 @@ func (p *Parser) parseInitList() *InitListExpr {
 // ---------------------------------------------------------------------
 
 func (p *Parser) parseCompoundStmt() *CompoundStmt {
+	a := p.arena
 	lb := p.expect(TokLBrace)
-	cs := &CompoundStmt{}
+	cs := a.compoundStmts.get()
 	p.pushScope()
+	mark := len(a.scStmts)
 	for !p.at(TokRBrace) && !p.at(TokEOF) && p.err == nil {
-		cs.Stmts = append(cs.Stmts, p.parseStmt())
+		a.scStmts = append(a.scStmts, p.parseStmt())
 	}
+	cs.Stmts = cutList(&a.stmtLists, &a.scStmts, mark)
 	p.popScope()
 	rb := p.expect(TokRBrace)
 	cs.SetRange(lb.Pos, rb.End)
@@ -911,13 +1031,14 @@ func (p *Parser) parseCompoundStmt() *CompoundStmt {
 }
 
 func (p *Parser) parseStmt() Stmt {
+	a := p.arena
 	t := p.cur()
 	switch {
 	case p.at(TokLBrace):
 		return p.parseCompoundStmt()
 	case p.at(TokSemi):
 		p.advance()
-		ns := &NullStmt{}
+		ns := a.nullStmts.get()
 		ns.SetRange(t.Pos, t.End)
 		return ns
 	case t.Is("if"):
@@ -939,7 +1060,8 @@ func (p *Parser) parseStmt() Stmt {
 			p.parseConditionalExpr()
 		}
 		p.expect(TokColon)
-		cs := &CaseStmt{Value: v}
+		cs := a.caseStmts.get()
+		cs.Value = v
 		if !p.at(TokRBrace) {
 			cs.Body = p.parseStmt()
 		}
@@ -952,7 +1074,7 @@ func (p *Parser) parseStmt() Stmt {
 	case t.Is("default"):
 		p.advance()
 		p.expect(TokColon)
-		dst := &DefaultStmt{}
+		dst := a.defaultStmts.get()
 		if !p.at(TokRBrace) {
 			dst.Body = p.parseStmt()
 		}
@@ -965,18 +1087,18 @@ func (p *Parser) parseStmt() Stmt {
 	case t.Is("break"):
 		p.advance()
 		semi := p.expect(TokSemi)
-		bs := &BreakStmt{}
+		bs := a.breakStmts.get()
 		bs.SetRange(t.Pos, semi.End)
 		return bs
 	case t.Is("continue"):
 		p.advance()
 		semi := p.expect(TokSemi)
-		cs := &ContinueStmt{}
+		cs := a.continueStmts.get()
 		cs.SetRange(t.Pos, semi.End)
 		return cs
 	case t.Is("return"):
 		p.advance()
-		rs := &ReturnStmt{}
+		rs := a.returnStmts.get()
 		if !p.at(TokSemi) {
 			rs.Value = p.parseExpr()
 		}
@@ -987,13 +1109,15 @@ func (p *Parser) parseStmt() Stmt {
 		p.advance()
 		lbl := p.expect(TokIdent)
 		semi := p.expect(TokSemi)
-		gs := &GotoStmt{Label: lbl.Text}
+		gs := a.gotoStmts.get()
+		gs.Label = lbl.Text
 		gs.SetRange(t.Pos, semi.End)
 		return gs
 	case t.Kind == TokIdent && p.peek(1).Kind == TokColon:
 		p.advance()
 		p.advance()
-		ls := &LabelStmt{Name: t.Text}
+		ls := a.labelStmts.get()
+		ls.Name = t.Text
 		if !p.at(TokRBrace) {
 			ls.Body = p.parseStmt()
 		}
@@ -1008,25 +1132,28 @@ func (p *Parser) parseStmt() Stmt {
 	default:
 		e := p.parseExpr()
 		semi := p.expect(TokSemi)
-		es := &ExprStmt{X: e}
+		es := a.exprStmts.get()
+		es.X = e
 		es.SetRange(t.Pos, semi.End)
 		return es
 	}
 }
 
 func (p *Parser) parseDeclStmt() Stmt {
+	a := p.arena
 	start := p.cur().Pos
 	specs := p.parseDeclSpecs()
-	ds := &DeclStmt{}
+	ds := a.declStmts.get()
+	mark := len(a.scDecls)
 	if specs.ownedTag != nil {
-		ds.Decls = append(ds.Decls, specs.ownedTag)
+		a.scDecls = append(a.scDecls, specs.ownedTag)
 	}
 	if !p.at(TokSemi) {
 		for {
 			name, ty, nameRng, declStart := p.parseDeclarator(specs.base)
 			d := p.finishInitDeclarator(name, ty, specs, nameRng, declStart, false)
 			if d != nil {
-				ds.Decls = append(ds.Decls, d)
+				a.scDecls = append(a.scDecls, d)
 			}
 			if _, ok := p.accept(TokComma); !ok {
 				break
@@ -1034,6 +1161,7 @@ func (p *Parser) parseDeclStmt() Stmt {
 		}
 	}
 	semi := p.expect(TokSemi)
+	ds.Decls = cutList(&a.declLists, &a.scDecls, mark)
 	ds.SetRange(start, semi.End)
 	return ds
 }
@@ -1043,7 +1171,8 @@ func (p *Parser) parseIfStmt() Stmt {
 	p.expect(TokLParen)
 	cond := p.parseExpr()
 	p.expect(TokRParen)
-	is := &IfStmt{Cond: cond}
+	is := p.arena.ifStmts.get()
+	is.Cond = cond
 	is.Then = p.parseStmt()
 	end := is.Then.Range().End
 	if p.acceptKw("else") {
@@ -1059,7 +1188,8 @@ func (p *Parser) parseWhileStmt() Stmt {
 	p.expect(TokLParen)
 	cond := p.parseExpr()
 	p.expect(TokRParen)
-	ws := &WhileStmt{Cond: cond}
+	ws := p.arena.whileStmts.get()
+	ws.Cond = cond
 	ws.Body = p.parseStmt()
 	ws.SetRange(kw.Pos, ws.Body.Range().End)
 	return ws
@@ -1067,7 +1197,7 @@ func (p *Parser) parseWhileStmt() Stmt {
 
 func (p *Parser) parseDoStmt() Stmt {
 	kw := p.next()
-	dsw := &DoStmt{}
+	dsw := p.arena.doStmts.get()
 	dsw.Body = p.parseStmt()
 	if !p.acceptKw("while") {
 		p.fail("expected 'while' after do body")
@@ -1084,7 +1214,7 @@ func (p *Parser) parseDoStmt() Stmt {
 func (p *Parser) parseForStmt() Stmt {
 	kw := p.next()
 	p.expect(TokLParen)
-	fs := &ForStmt{}
+	fs := p.arena.forStmts.get()
 	p.pushScope()
 	if !p.at(TokSemi) {
 		if p.startsDecl() {
@@ -1093,7 +1223,8 @@ func (p *Parser) parseForStmt() Stmt {
 			start := p.cur().Pos
 			e := p.parseExpr()
 			semi := p.expect(TokSemi)
-			es := &ExprStmt{X: e}
+			es := p.arena.exprStmts.get()
+			es.X = e
 			es.SetRange(start, semi.End)
 			fs.Init = es
 		}
@@ -1119,7 +1250,8 @@ func (p *Parser) parseSwitchStmt() Stmt {
 	p.expect(TokLParen)
 	cond := p.parseExpr()
 	p.expect(TokRParen)
-	ss := &SwitchStmt{Cond: cond}
+	ss := p.arena.switchStmts.get()
+	ss.Cond = cond
 	ss.Body = p.parseStmt()
 	ss.SetRange(kw.Pos, ss.Body.Range().End)
 	return ss
@@ -1135,7 +1267,8 @@ func (p *Parser) parseExpr() Expr {
 	for p.at(TokComma) {
 		p.advance()
 		rhs := p.parseAssignExpr()
-		ce := &CommaExpr{LHS: e, RHS: rhs}
+		ce := p.arena.commaExprs.get()
+		ce.LHS, ce.RHS = e, rhs
 		ce.SetRange(e.Range().Begin, rhs.Range().End)
 		e = ce
 	}
@@ -1155,8 +1288,9 @@ func (p *Parser) parseAssignExpr() Expr {
 	if op, ok := assignOps[p.cur().Kind]; ok {
 		opTok := p.next()
 		rhs := p.parseAssignExpr()
-		bo := &BinaryOperator{Op: op, LHS: lhs, RHS: rhs,
-			OpRange: SourceRange{opTok.Pos, opTok.End}}
+		bo := p.arena.binaryOps.get()
+		bo.Op, bo.LHS, bo.RHS = op, lhs, rhs
+		bo.OpRange = SourceRange{opTok.Pos, opTok.End}
 		bo.SetRange(lhs.Range().Begin, rhs.Range().End)
 		return bo
 	}
@@ -1172,7 +1306,8 @@ func (p *Parser) parseConditionalExpr() Expr {
 	then := p.parseExpr()
 	p.expect(TokColon)
 	els := p.parseConditionalExpr()
-	ce := &ConditionalExpr{Cond: cond, Then: then, Else: els}
+	ce := p.arena.condExprs.get()
+	ce.Cond, ce.Then, ce.Else = cond, then, els
 	ce.SetRange(cond.Range().Begin, els.Range().End)
 	return ce
 }
@@ -1204,8 +1339,9 @@ func (p *Parser) parseBinaryExpr(minPrec int) Expr {
 		}
 		opTok := p.next()
 		rhs := p.parseBinaryExpr(ent.prec + 1)
-		bo := &BinaryOperator{Op: ent.op, LHS: lhs, RHS: rhs,
-			OpRange: SourceRange{opTok.Pos, opTok.End}}
+		bo := p.arena.binaryOps.get()
+		bo.Op, bo.LHS, bo.RHS = ent.op, lhs, rhs
+		bo.OpRange = SourceRange{opTok.Pos, opTok.End}
 		bo.SetRange(lhs.Range().Begin, rhs.Range().End)
 		lhs = bo
 	}
@@ -1234,12 +1370,15 @@ func (p *Parser) parseCastExpr() Expr {
 		if p.at(TokLBrace) {
 			// Compound literal.
 			il := p.parseInitList()
-			cl := &CompoundLiteralExpr{To: ty, Init: il}
+			cl := p.arena.compoundLits.get()
+			cl.To, cl.Init = ty, il
 			cl.SetRange(lp.Pos, il.Range().End)
 			return cl
 		}
 		x := p.parseCastExpr()
-		ce := &CastExpr{To: ty, X: x, TypeRange: SourceRange{lp.Pos, rp.End}}
+		ce := p.arena.castExprs.get()
+		ce.To, ce.X = ty, x
+		ce.TypeRange = SourceRange{lp.Pos, rp.End}
 		ce.SetRange(lp.Pos, x.Range().End)
 		return ce
 	}
@@ -1270,12 +1409,13 @@ func (p *Parser) parseUnaryExpr() Expr {
 		if t.Kind == TokMinusMinus {
 			op = UnPreDec
 		}
-		ue := &UnaryOperator{Op: op, X: x}
+		ue := p.arena.unaryOps.get()
+		ue.Op, ue.X = op, x
 		ue.SetRange(t.Pos, x.Range().End)
 		return ue
 	case t.Is("sizeof"):
 		p.advance()
-		se := &SizeofExpr{}
+		se := p.arena.sizeofExprs.get()
 		if p.at(TokLParen) && p.startsTypeNameAt(1) {
 			p.advance()
 			se.OfType = p.parseTypeName()
@@ -1290,7 +1430,8 @@ func (p *Parser) parseUnaryExpr() Expr {
 		if op, ok := unaryOps[t.Kind]; ok {
 			p.advance()
 			x := p.parseCastExpr()
-			ue := &UnaryOperator{Op: op, X: x}
+			ue := p.arena.unaryOps.get()
+			ue.Op, ue.X = op, x
 			ue.SetRange(t.Pos, x.Range().End)
 			return ue
 		}
@@ -1299,6 +1440,7 @@ func (p *Parser) parseUnaryExpr() Expr {
 }
 
 func (p *Parser) parsePostfixExpr() Expr {
+	a := p.arena
 	e := p.parsePrimaryExpr()
 	for p.err == nil {
 		t := p.cur()
@@ -1307,25 +1449,30 @@ func (p *Parser) parsePostfixExpr() Expr {
 			p.advance()
 			idx := p.parseExpr()
 			rb := p.expect(TokRBracket)
-			ae := &ArraySubscriptExpr{Base: e, Index: idx}
+			ae := a.subscripts.get()
+			ae.Base, ae.Index = e, idx
 			ae.SetRange(e.Range().Begin, rb.End)
 			e = ae
 		case TokLParen:
 			p.advance()
-			call := &CallExpr{Fn: e}
+			call := a.callExprs.get()
+			call.Fn = e
+			mark := len(a.scExprs)
 			for !p.at(TokRParen) && p.err == nil {
-				call.Args = append(call.Args, p.parseAssignExpr())
+				a.scExprs = append(a.scExprs, p.parseAssignExpr())
 				if _, ok := p.accept(TokComma); !ok {
 					break
 				}
 			}
 			rp := p.expect(TokRParen)
+			call.Args = cutList(&a.exprLists, &a.scExprs, mark)
 			call.SetRange(e.Range().Begin, rp.End)
 			e = call
 		case TokDot, TokArrow:
 			p.advance()
 			fld := p.expect(TokIdent)
-			me := &MemberExpr{Base: e, Field: fld.Text, IsArrow: t.Kind == TokArrow}
+			me := a.memberExprs.get()
+			me.Base, me.Field, me.IsArrow = e, fld.Text, t.Kind == TokArrow
 			me.SetRange(e.Range().Begin, fld.End)
 			e = me
 		case TokPlusPlus, TokMinusMinus:
@@ -1334,7 +1481,8 @@ func (p *Parser) parsePostfixExpr() Expr {
 			if t.Kind == TokMinusMinus {
 				op = UnPostDec
 			}
-			ue := &UnaryOperator{Op: op, X: e}
+			ue := a.unaryOps.get()
+			ue.Op, ue.X = op, e
 			ue.SetRange(e.Range().Begin, t.End)
 			e = ue
 		default:
@@ -1345,54 +1493,61 @@ func (p *Parser) parsePostfixExpr() Expr {
 }
 
 func (p *Parser) parsePrimaryExpr() Expr {
+	a := p.arena
 	t := p.cur()
 	switch t.Kind {
 	case TokIntLit:
 		p.advance()
-		v := parseIntLit(t.Text)
-		il := &IntegerLiteral{Value: v, Text: t.Text}
+		il := a.intLits.get()
+		il.Value, il.Text = parseIntLit(t.Text), t.Text
 		il.SetRange(t.Pos, t.End)
 		return il
 	case TokFloatLit:
 		p.advance()
 		txt := strings.TrimRight(t.Text, "fFlL")
 		v, _ := strconv.ParseFloat(txt, 64)
-		fl := &FloatingLiteral{Value: v, Text: t.Text}
+		fl := a.floatLits.get()
+		fl.Value, fl.Text = v, t.Text
 		fl.SetRange(t.Pos, t.End)
 		return fl
 	case TokCharLit:
 		p.advance()
-		cl := &CharLiteral{Value: decodeCharLit(t.Text), Text: t.Text}
+		cl := a.charLits.get()
+		cl.Value, cl.Text = decodeCharLit(t.Text), t.Text
 		cl.SetRange(t.Pos, t.End)
 		return cl
 	case TokStringLit:
 		p.advance()
-		sl := &StringLiteral{Value: decodeStringLit(t.Text), Text: t.Text}
+		sl := a.stringLits.get()
+		sl.Value, sl.Text = a.decodeString(t.Text), t.Text
 		sl.SetRange(t.Pos, t.End)
 		// Adjacent string literal concatenation.
 		for p.at(TokStringLit) {
 			t2 := p.next()
-			sl.Value += decodeStringLit(t2.Text)
+			sl.Value += a.decodeString(t2.Text)
 			sl.Text = p.src[sl.Range().Begin:t2.End]
 			sl.SetRange(sl.Range().Begin, t2.End)
 		}
 		return sl
 	case TokIdent:
 		p.advance()
-		dr := &DeclRefExpr{Name: t.Text}
+		dr := a.declRefs.get()
+		dr.Name = t.Text
 		dr.SetRange(t.Pos, t.End)
 		return dr
 	case TokLParen:
 		p.advance()
 		e := p.parseExpr()
 		rp := p.expect(TokRParen)
-		pe := &ParenExpr{X: e}
+		pe := a.parenExprs.get()
+		pe.X = e
 		pe.SetRange(t.Pos, rp.End)
 		return pe
 	}
 	p.fail("expected expression, found %q", t.Text)
 	// Return a placeholder so callers do not crash while unwinding.
-	il := &IntegerLiteral{Value: 0, Text: "0"}
+	il := a.intLits.get()
+	il.Value, il.Text = 0, "0"
 	il.SetRange(t.Pos, t.End)
 	return il
 }

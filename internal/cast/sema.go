@@ -3,6 +3,7 @@ package cast
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // SemaError is a single semantic diagnostic.
@@ -31,9 +32,16 @@ func (es SemaErrors) Error() string {
 // maxSemaErrors bounds diagnostics per run.
 const maxSemaErrors = 40
 
-// sema performs name resolution and type checking.
+// sema performs name resolution and type checking. Instances are pooled;
+// per-run state is reset in Check and derived allocations (implicit
+// decls, decayed pointer types, function types) come from the checked
+// unit's arena when it has one.
 type sema struct {
-	tu     *TranslationUnit
+	tu *TranslationUnit
+	// arena is tu's arena (nil for hand-built units); sema draws derived
+	// types and implicit declarations from it so a pooled parse+check
+	// cycle stays allocation-free.
+	arena  *Arena
 	scopes []map[string]Decl
 	errs   SemaErrors
 	// curFn is the function currently being checked.
@@ -44,7 +52,14 @@ type sema struct {
 	switchDep  int
 	loopDep    int
 	implicitly map[string]*FunctionDecl
+	// probeOnly suppresses diagnostic formatting and only counts errors
+	// (CheckBinopTypes/CheckAssignmentTypes run thousands of probes per
+	// mutation step; formatting them would dominate the hot loop).
+	probeOnly bool
+	errCount  int
 }
+
+var semaPool = sync.Pool{New: func() any { return &sema{} }}
 
 // Check resolves names and types in tu and verifies the program against a
 // practical subset of C's semantic rules — the rules a mutated program is
@@ -52,19 +67,30 @@ type sema struct {
 // types, arity errors, const violations, missing labels). It returns nil
 // when the program is semantically valid, or a SemaErrors value.
 func Check(tu *TranslationUnit) error {
-	s := &sema{
-		tu:         tu,
-		scopes:     []map[string]Decl{{}},
-		implicitly: map[string]*FunctionDecl{},
+	s := semaPool.Get().(*sema)
+	s.tu = tu
+	s.arena = tu.arena
+	s.scopes = pushScopeMap(s.scopes[:0])
+	if s.implicitly == nil {
+		s.implicitly = map[string]*FunctionDecl{}
+	} else {
+		clear(s.implicitly)
 	}
-	s.declareBuiltins()
+	s.errs = s.errs[:0]
+	s.switchDep, s.loopDep, s.errCount = 0, 0, 0
 	for _, d := range tu.Decls {
 		s.checkTopDecl(d)
 	}
-	if len(s.errs) == 0 {
-		return nil
+	var err error
+	if len(s.errs) > 0 {
+		// Copy on return: the backing array goes back to the pool.
+		out := make(SemaErrors, len(s.errs))
+		copy(out, s.errs)
+		err = out
 	}
-	return s.errs
+	s.tu, s.arena, s.curFn = nil, nil, nil
+	semaPool.Put(s)
+	return err
 }
 
 // builtinProtos gives the libc functions that seeds and mutants may call
@@ -101,21 +127,32 @@ var builtinProtos = []struct {
 	{"atoi", IntTy, []QualType{PointerTo(CharTy)}, false},
 	{"fabs", DoubleTy, []QualType{DoubleTy}, false},
 	{"sqrt", DoubleTy, []QualType{DoubleTy}, false},
-	{"pow", DoubleTy, []QualType{DoubleTy, DoubleTy}, false},
+	{"pow", DoubleTy, []QualType{DoubleTy}, false},
 }
 
-func (s *sema) declareBuiltins() {
+// builtinScope holds the shared builtin declarations, consulted by lookup
+// as a read-only fallback below every real scope. Built once at init —
+// per-Check re-declaration was the single largest allocation site in the
+// mutation hot loop. The decls (and their precomputed cachedType) are
+// shared across goroutines and must never be mutated.
+var builtinScope = func() map[string]Decl {
+	m := make(map[string]Decl, len(builtinProtos))
 	for _, b := range builtinProtos {
 		fd := &FunctionDecl{Name: b.name, Ret: b.ret, Variadic: b.variadic}
+		ft := &FuncType{Ret: b.ret, Variadic: b.variadic}
 		for i, pt := range b.params {
 			fd.Params = append(fd.Params, &ParmVarDecl{Ty: pt, Index: i})
+			ft.Params = append(ft.Params, pt)
 		}
-		s.scopes[0][b.name] = fd
+		fd.cachedType = ft
+		m[b.name] = fd
 	}
-}
+	return m
+}()
 
 func (s *sema) errorf(n Node, format string, args ...any) {
-	if len(s.errs) >= maxSemaErrors {
+	s.errCount++
+	if s.probeOnly || len(s.errs) >= maxSemaErrors {
 		return
 	}
 	off := 0
@@ -126,7 +163,7 @@ func (s *sema) errorf(n Node, format string, args ...any) {
 		Msg: fmt.Sprintf(format, args...)})
 }
 
-func (s *sema) push() { s.scopes = append(s.scopes, map[string]Decl{}) }
+func (s *sema) push() { s.scopes = pushScopeMap(s.scopes) }
 func (s *sema) pop()  { s.scopes = s.scopes[:len(s.scopes)-1] }
 
 func (s *sema) declare(name string, d Decl) {
@@ -142,7 +179,27 @@ func (s *sema) lookup(name string) (Decl, bool) {
 			return d, true
 		}
 	}
+	if d, ok := builtinScope[name]; ok {
+		return d, true
+	}
 	return nil, false
+}
+
+// decay applies array/function-to-pointer decay, drawing the pointer type
+// from the arena (deduped) when one is available.
+func (s *sema) decay(qt QualType) QualType {
+	if s.arena != nil {
+		return s.arena.decay(qt)
+	}
+	return qt.Decay()
+}
+
+// ptrTo builds a pointer type, arena-owned when possible.
+func (s *sema) ptrTo(t QualType) QualType {
+	if s.arena != nil {
+		return QualType{T: s.arena.pointerTo(t)}
+	}
+	return PointerTo(t)
 }
 
 func (s *sema) checkTopDecl(d Decl) {
@@ -182,8 +239,13 @@ func (s *sema) checkTopDecl(d Decl) {
 
 func (s *sema) checkFunctionBody(fd *FunctionDecl) {
 	s.curFn = fd
-	s.labels = map[string]bool{}
-	s.labelUses = map[string]int{}
+	if s.labels == nil {
+		s.labels = map[string]bool{}
+		s.labelUses = map[string]int{}
+	} else {
+		clear(s.labels)
+		clear(s.labelUses)
+	}
 	s.push()
 	for _, pv := range fd.Params {
 		s.declare(pv.Name, pv)
@@ -310,7 +372,7 @@ func (s *sema) checkStmt(st Stmt) {
 // checkCondExpr checks an expression used in boolean context.
 func (s *sema) checkCondExpr(e Expr) {
 	s.checkExpr(e)
-	if t := e.Type(); !t.IsNil() && !t.Decay().IsScalar() {
+	if t := e.Type(); !t.IsNil() && !s.decay(t).IsScalar() {
 		s.errorf(e, "condition has non-scalar type %s", t.CString())
 	}
 }
@@ -350,7 +412,7 @@ func (s *sema) assignCompatible(to, from QualType) bool {
 	if to.IsNil() || from.IsNil() {
 		return true
 	}
-	from = from.Decay()
+	from = s.decay(from)
 	switch {
 	case from.IsVoid():
 		return false
@@ -418,31 +480,70 @@ func isConstQualified(e Expr) bool {
 	return false
 }
 
+// intLitType classifies an integer literal's type from its suffix without
+// allocating. The lexer guarantees u/U/l/L appear only in the trailing
+// suffix run, so scanning that run matches the historical
+// lowercase-and-Contains logic byte for byte.
+func intLitType(text string) QualType {
+	i := len(text)
+	for i > 0 {
+		switch text[i-1] {
+		case 'u', 'U', 'l', 'L':
+			i--
+			continue
+		}
+		break
+	}
+	suf := text[i:]
+	lc := func(j int) byte {
+		c := suf[j]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		return c
+	}
+	contains := func(pat string) bool {
+		for s0 := 0; s0 <= len(suf)-len(pat); s0++ {
+			ok := true
+			for k := 0; k < len(pat); k++ {
+				if lc(s0+k) != pat[k] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case contains("ull") || (contains("u") && contains("ll")):
+		return ULongLongTy
+	case contains("ll"):
+		return LongLongTy
+	case contains("ul"):
+		return ULongTy
+	case len(suf) > 0 && lc(len(suf)-1) == 'l':
+		return LongTy
+	case len(suf) > 0 && lc(len(suf)-1) == 'u':
+		return UIntTy
+	}
+	return IntTy
+}
+
 func (s *sema) checkExpr(e Expr) QualType {
 	if e == nil {
 		return QualType{}
 	}
 	switch x := e.(type) {
 	case *IntegerLiteral:
-		ty := IntTy
-		low := strings.ToLower(x.Text)
-		switch {
-		case strings.Contains(low, "ull") || (strings.Contains(low, "u") && strings.Contains(low, "ll")):
-			ty = ULongLongTy
-		case strings.Contains(low, "ll"):
-			ty = LongLongTy
-		case strings.Contains(low, "ul"):
-			ty = ULongTy
-		case strings.HasSuffix(low, "l"):
-			ty = LongTy
-		case strings.HasSuffix(low, "u"):
-			ty = UIntTy
-		}
+		ty := intLitType(x.Text)
 		x.SetType(ty)
 		return ty
 	case *FloatingLiteral:
 		ty := DoubleTy
-		if strings.HasSuffix(strings.ToLower(x.Text), "f") {
+		if n := len(x.Text); n > 0 && (x.Text[n-1] == 'f' || x.Text[n-1] == 'F') {
 			ty = FloatTy
 		}
 		x.SetType(ty)
@@ -451,7 +552,14 @@ func (s *sema) checkExpr(e Expr) QualType {
 		x.SetType(IntTy) // char literals have type int in C
 		return IntTy
 	case *StringLiteral:
-		ty := ArrayOf(CharTy, int64(len(x.Value))+1)
+		var ty QualType
+		if s.arena != nil {
+			at := s.arena.arrayTypes.get()
+			at.Elem, at.Size = CharTy, int64(len(x.Value))+1
+			ty = QualType{T: at}
+		} else {
+			ty = ArrayOf(CharTy, int64(len(x.Value))+1)
+		}
 		x.SetType(ty)
 		return ty
 	case *DeclRefExpr:
@@ -486,9 +594,9 @@ func (s *sema) checkExpr(e Expr) QualType {
 		case t1.IsArithmetic() && t2.IsArithmetic():
 			t = UsualArithmeticConversion(t1, t2)
 		case !t1.IsNil():
-			t = t1.Decay()
+			t = s.decay(t1)
 		default:
-			t = t2.Decay()
+			t = s.decay(t2)
 		}
 		x.SetType(t)
 		return t
@@ -542,9 +650,13 @@ func (s *sema) checkDeclRef(x *DeclRefExpr) QualType {
 	case *ParmVarDecl:
 		t = dd.Ty
 	case *FunctionDecl:
-		ft := &FuncType{Ret: dd.Ret, Variadic: dd.Variadic}
-		for _, pv := range dd.Params {
-			ft.Params = append(ft.Params, pv.Ty)
+		ft := dd.cachedType
+		if ft == nil {
+			ft = s.funcTypeOf(dd)
+			// Builtins precompute cachedType; everything else reaching
+			// here is owned by the unit being checked (same lifetime as
+			// the FuncType we just built), so memoizing is safe.
+			dd.cachedType = ft
 		}
 		t = QualType{T: ft}
 	case *EnumConstantDecl:
@@ -554,12 +666,33 @@ func (s *sema) checkDeclRef(x *DeclRefExpr) QualType {
 	return t
 }
 
+// funcTypeOf derives the FuncType of a declaration, arena-owned when the
+// checked unit has an arena.
+func (s *sema) funcTypeOf(dd *FunctionDecl) *FuncType {
+	if s.arena != nil {
+		a := s.arena
+		ft := a.funcTypes.get()
+		ft.Ret, ft.Variadic = dd.Ret, dd.Variadic
+		qmark := len(a.scQTs)
+		for _, pv := range dd.Params {
+			a.scQTs = append(a.scQTs, pv.Ty)
+		}
+		ft.Params = cutList(&a.qtLists, &a.scQTs, qmark)
+		return ft
+	}
+	ft := &FuncType{Ret: dd.Ret, Variadic: dd.Variadic}
+	for _, pv := range dd.Params {
+		ft.Params = append(ft.Params, pv.Ty)
+	}
+	return ft
+}
+
 func (s *sema) checkUnary(x *UnaryOperator) QualType {
 	t := s.checkExpr(x.X)
 	var res QualType
 	switch x.Op {
 	case UnPlus, UnMinus:
-		if !t.IsNil() && !t.Decay().IsArithmetic() {
+		if !t.IsNil() && !s.decay(t).IsArithmetic() {
 			s.errorf(x, "invalid argument type %s to unary %s", t.CString(), x.Op)
 		}
 		res = UsualArithmeticConversion(t, IntTy)
@@ -572,12 +705,12 @@ func (s *sema) checkUnary(x *UnaryOperator) QualType {
 		}
 		res = UsualArithmeticConversion(t, IntTy)
 	case UnLNot:
-		if !t.IsNil() && !t.Decay().IsScalar() {
+		if !t.IsNil() && !s.decay(t).IsScalar() {
 			s.errorf(x, "invalid argument type %s to unary !", t.CString())
 		}
 		res = IntTy
 	case UnDeref:
-		pt, ok := t.Decay().PointeeType()
+		pt, ok := s.decay(t).PointeeType()
 		if !ok {
 			s.errorf(x, "indirection requires pointer operand (%s invalid)", t.CString())
 			res = IntTy
@@ -588,14 +721,14 @@ func (s *sema) checkUnary(x *UnaryOperator) QualType {
 		if !isLvalue(x.X) {
 			s.errorf(x, "cannot take the address of an rvalue")
 		}
-		res = PointerTo(t)
+		res = s.ptrTo(t)
 	case UnPreInc, UnPreDec, UnPostInc, UnPostDec:
 		if !isLvalue(x.X) {
 			s.errorf(x, "expression is not assignable (%s operand)", x.Op)
 		} else if isConstQualified(x.X) {
 			s.errorf(x, "cannot modify const-qualified operand")
 		}
-		if !t.IsNil() && !t.Decay().IsScalar() {
+		if !t.IsNil() && !s.decay(t).IsScalar() {
 			s.errorf(x, "cannot increment value of type %s", t.CString())
 		}
 		res = t.Unqualified()
@@ -613,12 +746,17 @@ func (s *sema) checkBinary(x *BinaryOperator) QualType {
 }
 
 // binaryResultType validates operand types and returns the result type,
-// reporting diagnostics on x.
+// reporting diagnostics on x. In probeOnly mode it counts diagnostics
+// without formatting them.
 func (s *sema) binaryResultType(x Node, op BinOp, lt, rt QualType) QualType {
-	ltD, rtD := lt.Decay(), rt.Decay()
+	ltD, rtD := s.decay(lt), s.decay(rt)
 	bad := func() QualType {
-		s.errorf(x, "invalid operands to binary %s (%s and %s)",
-			op, lt.CString(), rt.CString())
+		if s.probeOnly {
+			s.errCount++
+		} else {
+			s.errorf(x, "invalid operands to binary %s (%s and %s)",
+				op, lt.CString(), rt.CString())
+		}
 		return IntTy
 	}
 	if lt.IsNil() || rt.IsNil() {
@@ -637,8 +775,12 @@ func (s *sema) binaryResultType(x Node, op BinOp, lt, rt QualType) QualType {
 		}
 		if op == BinAssign {
 			if !s.assignCompatible(lt, rt) {
-				s.errorf(x, "assigning to %s from incompatible type %s",
-					lt.CString(), rt.CString())
+				if s.probeOnly {
+					s.errCount++
+				} else {
+					s.errorf(x, "assigning to %s from incompatible type %s",
+						lt.CString(), rt.CString())
+				}
 			}
 			return lt.Unqualified()
 		}
@@ -740,7 +882,12 @@ func (s *sema) checkCall(x *CallExpr) QualType {
 		if _, found := s.lookup(dr.Name); !found {
 			fd := s.implicitly[dr.Name]
 			if fd == nil {
-				fd = &FunctionDecl{Name: dr.Name, Ret: IntTy, Variadic: true}
+				if s.arena != nil {
+					fd = s.arena.functionDecls.get()
+					fd.Name, fd.Ret, fd.Variadic = dr.Name, IntTy, true
+				} else {
+					fd = &FunctionDecl{Name: dr.Name, Ret: IntTy, Variadic: true}
+				}
 				s.implicitly[dr.Name] = fd
 				s.scopes[0][dr.Name] = fd
 			}
@@ -805,13 +952,13 @@ func (s *sema) checkSubscript(x *ArraySubscriptExpr) QualType {
 	it := s.checkExpr(x.Index)
 	// C allows the commuted form i[a]: one operand must be a pointer (or
 	// array), the other an integer, in either order.
-	if !bt.Decay().IsPointer() && it.Decay().IsPointer() {
+	if !s.decay(bt).IsPointer() && s.decay(it).IsPointer() {
 		bt, it = it, bt
 	}
-	if !it.IsNil() && !it.Decay().IsInteger() {
+	if !it.IsNil() && !s.decay(it).IsInteger() {
 		s.errorf(x.Index, "array subscript is not an integer (%s)", it.CString())
 	}
-	pt, ok := bt.Decay().PointeeType()
+	pt, ok := s.decay(bt).PointeeType()
 	if !ok {
 		if !bt.IsNil() {
 			s.errorf(x, "subscripted value %s is not an array or pointer", bt.CString())
@@ -831,7 +978,7 @@ func (s *sema) checkMember(x *MemberExpr) QualType {
 	}
 	target := bt
 	if x.IsArrow {
-		pt, ok := bt.Decay().PointeeType()
+		pt, ok := s.decay(bt).PointeeType()
 		if !ok {
 			s.errorf(x, "member reference type %s is not a pointer", bt.CString())
 			x.SetType(IntTy)
@@ -868,19 +1015,25 @@ func (s *sema) checkMember(x *MemberExpr) QualType {
 	return IntTy
 }
 
+// nullProbe anchors probe-mode diagnostics without allocating a node per
+// probe. It is never mutated.
+var nullProbe Node = &NullStmt{}
+
 // CheckBinopTypes reports whether op may be applied to operands of the
 // given types without a diagnostic. It is the engine behind the μAST
-// checkBinop API.
+// checkBinop API. It allocates nothing (probe mode).
 func CheckBinopTypes(op BinOp, lt, rt QualType) bool {
-	s := &sema{scopes: []map[string]Decl{{}}}
-	probe := &NullStmt{}
-	s.binaryResultType(probe, op, lt, rt)
-	return len(s.errs) == 0
+	var s sema
+	s.probeOnly = true
+	s.binaryResultType(nullProbe, op, lt, rt)
+	return s.errCount == 0
 }
 
 // CheckAssignmentTypes reports whether a value of type from may be
-// assigned to an lvalue of type to.
+// assigned to an lvalue of type to. It allocates nothing unless from is
+// an array/function type (decay).
 func CheckAssignmentTypes(to, from QualType) bool {
-	s := &sema{scopes: []map[string]Decl{{}}}
+	var s sema
+	s.probeOnly = true
 	return s.assignCompatible(to, from) && !to.IsArray() && to.Q&QualConst == 0
 }

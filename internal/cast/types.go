@@ -407,24 +407,43 @@ func fieldAlign(qt QualType) int64 {
 
 func roundUp(n, align int64) int64 { return (n + align - 1) / align * align }
 
+// basicSingletons interns one BasicType per kind: basic types are
+// immutable and compared by kind, so every producer (parser, checker,
+// arithmetic conversions) can share these instead of allocating.
+var basicSingletons = func() [ComplexDouble + 1]*BasicType {
+	var t [ComplexDouble + 1]*BasicType
+	for k := range t {
+		t[k] = &BasicType{K: BasicKind(k)}
+	}
+	return t
+}()
+
+// basicTy returns the interned unqualified QualType for a basic kind.
+func basicTy(k BasicKind) QualType {
+	if k < 0 || int(k) >= len(basicSingletons) {
+		return QualType{T: &BasicType{K: k}}
+	}
+	return QualType{T: basicSingletons[k]}
+}
+
 // Convenience constructors for common types.
 var (
-	VoidTy          = QualType{T: &BasicType{K: Void}}
-	BoolTy          = QualType{T: &BasicType{K: Bool}}
-	CharTy          = QualType{T: &BasicType{K: Char}}
-	IntTy           = QualType{T: &BasicType{K: Int}}
-	UIntTy          = QualType{T: &BasicType{K: UInt}}
-	LongTy          = QualType{T: &BasicType{K: Long}}
-	ULongTy         = QualType{T: &BasicType{K: ULong}}
-	LongLongTy      = QualType{T: &BasicType{K: LongLong}}
-	ULongLongTy     = QualType{T: &BasicType{K: ULongLong}}
-	ShortTy         = QualType{T: &BasicType{K: Short}}
-	UShortTy        = QualType{T: &BasicType{K: UShort}}
-	UCharTy         = QualType{T: &BasicType{K: UChar}}
-	FloatTy         = QualType{T: &BasicType{K: Float}}
-	DoubleTy        = QualType{T: &BasicType{K: Double}}
-	LongDoubleTy    = QualType{T: &BasicType{K: LongDouble}}
-	ComplexDoubleTy = QualType{T: &BasicType{K: ComplexDouble}}
+	VoidTy          = basicTy(Void)
+	BoolTy          = basicTy(Bool)
+	CharTy          = basicTy(Char)
+	IntTy           = basicTy(Int)
+	UIntTy          = basicTy(UInt)
+	LongTy          = basicTy(Long)
+	ULongTy         = basicTy(ULong)
+	LongLongTy      = basicTy(LongLong)
+	ULongLongTy     = basicTy(ULongLong)
+	ShortTy         = basicTy(Short)
+	UShortTy        = basicTy(UShort)
+	UCharTy         = basicTy(UChar)
+	FloatTy         = basicTy(Float)
+	DoubleTy        = basicTy(Double)
+	LongDoubleTy    = basicTy(LongDouble)
+	ComplexDoubleTy = basicTy(ComplexDouble)
 )
 
 // PointerTo returns a pointer type to elem.
@@ -505,7 +524,7 @@ func UsualArithmeticConversion(a, b QualType) QualType {
 	if ak < Int {
 		ak = Int // integer promotion
 	}
-	return QualType{T: &BasicType{K: ak}}
+	return basicTy(ak)
 }
 
 // FormatAsDecl renders a declaration of name with type qt, e.g.

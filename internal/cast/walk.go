@@ -5,7 +5,8 @@ package cast
 type Visitor func(n Node) bool
 
 // Walk traverses the AST rooted at n in source order, calling v for every
-// node (pre-order).
+// node (pre-order). Traversal allocates nothing: children are visited via
+// eachChild's type switch instead of materializing a slice per node.
 func Walk(n Node, v Visitor) {
 	if n == nil || isNilNode(n) {
 		return
@@ -13,9 +14,7 @@ func Walk(n Node, v Visitor) {
 	if !v(n) {
 		return
 	}
-	for _, c := range Children(n) {
-		Walk(c, v)
-	}
+	eachChild(n, func(c Node) { Walk(c, v) })
 }
 
 // isNilNode guards against typed-nil interface values.
@@ -109,133 +108,143 @@ func isNilNode(n Node) bool {
 	return false
 }
 
-// Children returns a node's direct AST children in source order. Nil
-// children are omitted.
-func Children(n Node) []Node {
-	var out []Node
-	add := func(c Node) {
+// eachChild calls f for each direct AST child of n, in source order,
+// skipping nil (including typed-nil) children. This is the single source
+// of truth for child order; Walk, Children and the parent-map builders
+// all delegate to it. f must not be retained (callers pass stack-scoped
+// closures so the traversal stays allocation-free).
+func eachChild(n Node, f func(Node)) {
+	emit := func(c Node) {
 		if c != nil && !isNilNode(c) {
-			out = append(out, c)
+			f(c)
 		}
 	}
 	switch x := n.(type) {
 	case *TranslationUnit:
 		for _, d := range x.Decls {
-			add(d)
+			emit(d)
 		}
 	case *FunctionDecl:
 		for _, pv := range x.Params {
-			add(pv)
+			emit(pv)
 		}
 		if x.Body != nil {
-			add(x.Body)
+			emit(x.Body)
 		}
 	case *VarDecl:
 		if x.Init != nil {
-			add(x.Init)
+			emit(x.Init)
 		}
 	case *RecordDecl:
-		for _, f := range x.Fields {
-			add(f)
+		for _, fd := range x.Fields {
+			emit(fd)
 		}
 	case *EnumDecl:
 		for _, c := range x.Constants {
-			add(c)
+			emit(c)
 		}
 	case *EnumConstantDecl:
 		if x.Value != nil {
-			add(x.Value)
+			emit(x.Value)
 		}
 	case *CompoundStmt:
 		for _, s := range x.Stmts {
-			add(s)
+			emit(s)
 		}
 	case *DeclStmt:
 		for _, d := range x.Decls {
-			add(d)
+			emit(d)
 		}
 	case *ExprStmt:
-		add(x.X)
+		emit(x.X)
 	case *IfStmt:
-		add(x.Cond)
-		add(x.Then)
+		emit(x.Cond)
+		emit(x.Then)
 		if x.Else != nil {
-			add(x.Else)
+			emit(x.Else)
 		}
 	case *WhileStmt:
-		add(x.Cond)
-		add(x.Body)
+		emit(x.Cond)
+		emit(x.Body)
 	case *DoStmt:
-		add(x.Body)
-		add(x.Cond)
+		emit(x.Body)
+		emit(x.Cond)
 	case *ForStmt:
 		if x.Init != nil {
-			add(x.Init)
+			emit(x.Init)
 		}
 		if x.Cond != nil {
-			add(x.Cond)
+			emit(x.Cond)
 		}
 		if x.Post != nil {
-			add(x.Post)
+			emit(x.Post)
 		}
-		add(x.Body)
+		emit(x.Body)
 	case *SwitchStmt:
-		add(x.Cond)
-		add(x.Body)
+		emit(x.Cond)
+		emit(x.Body)
 	case *CaseStmt:
-		add(x.Value)
+		emit(x.Value)
 		if x.Body != nil {
-			add(x.Body)
+			emit(x.Body)
 		}
 	case *DefaultStmt:
 		if x.Body != nil {
-			add(x.Body)
+			emit(x.Body)
 		}
 	case *ReturnStmt:
 		if x.Value != nil {
-			add(x.Value)
+			emit(x.Value)
 		}
 	case *LabelStmt:
 		if x.Body != nil {
-			add(x.Body)
+			emit(x.Body)
 		}
 	case *BinaryOperator:
-		add(x.LHS)
-		add(x.RHS)
+		emit(x.LHS)
+		emit(x.RHS)
 	case *UnaryOperator:
-		add(x.X)
+		emit(x.X)
 	case *CallExpr:
-		add(x.Fn)
+		emit(x.Fn)
 		for _, a := range x.Args {
-			add(a)
+			emit(a)
 		}
 	case *ArraySubscriptExpr:
-		add(x.Base)
-		add(x.Index)
+		emit(x.Base)
+		emit(x.Index)
 	case *MemberExpr:
-		add(x.Base)
+		emit(x.Base)
 	case *CastExpr:
-		add(x.X)
+		emit(x.X)
 	case *ConditionalExpr:
-		add(x.Cond)
-		add(x.Then)
-		add(x.Else)
+		emit(x.Cond)
+		emit(x.Then)
+		emit(x.Else)
 	case *ParenExpr:
-		add(x.X)
+		emit(x.X)
 	case *SizeofExpr:
 		if x.X != nil {
-			add(x.X)
+			emit(x.X)
 		}
 	case *InitListExpr:
 		for _, e := range x.Inits {
-			add(e)
+			emit(e)
 		}
 	case *CompoundLiteralExpr:
-		add(x.Init)
+		emit(x.Init)
 	case *CommaExpr:
-		add(x.LHS)
-		add(x.RHS)
+		emit(x.LHS)
+		emit(x.RHS)
 	}
+}
+
+// Children returns a node's direct AST children in source order. Nil
+// children are omitted. Hot paths should prefer eachChild/Walk, which do
+// not allocate the slice.
+func Children(n Node) []Node {
+	var out []Node
+	eachChild(n, func(c Node) { out = append(out, c) })
 	return out
 }
 
@@ -264,16 +273,25 @@ type ParentMap map[Node]Node
 
 // BuildParentMap computes the parent of every node under root.
 func BuildParentMap(root Node) ParentMap {
-	pm := ParentMap{}
-	var rec func(n Node)
-	rec = func(n Node) {
-		for _, c := range Children(n) {
-			pm[c] = n
-			rec(c)
-		}
+	return BuildParentMapInto(nil, root)
+}
+
+// BuildParentMapInto fills pm (allocating it when nil) with the parent of
+// every node under root and returns it. Hot loops pass a cleared map to
+// reuse its buckets across mutants.
+func BuildParentMapInto(pm ParentMap, root Node) ParentMap {
+	if pm == nil {
+		pm = ParentMap{}
 	}
-	rec(root)
+	buildParents(pm, root)
 	return pm
+}
+
+func buildParents(pm ParentMap, n Node) {
+	eachChild(n, func(c Node) {
+		pm[c] = n
+		buildParents(pm, c)
+	})
 }
 
 // EnclosingFunction returns the FunctionDecl that lexically contains n, or

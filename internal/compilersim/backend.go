@@ -68,61 +68,108 @@ type Object struct {
 // numRegs is the size of the simulated general-purpose register file.
 const numRegs = 8
 
-// GenerateCode lowers an optimized IR program into pseudo machine code:
-// per-instruction selection, linear-scan register allocation with
-// spilling, and a peephole cleanup.
-func GenerateCode(prog *ir.Program, trace *cover.Tracer, feats Features) *Object {
-	obj := &Object{}
-	for _, f := range prog.Funcs {
-		genFuncCode(f, obj, trace, feats)
-	}
-	obj.TextSize = len(obj.Instrs) * 4
-	trace.HitN("be.textsize", obj.TextSize%101)
-	return obj
+// codegen is the reusable back-end state: one per compile context,
+// recycled across compilations. The Object it produces is borrowed —
+// valid only until the next generate call.
+type codegen struct {
+	obj   Object
+	trace *cover.Tracer
+	feats Features
+
+	// Per-function scratch, reused across functions and compilations.
+	linear []ir.Instr
+	ivEnd  []int // last-use index per temp ID; -1 = unseen
+	regOf  []int // assigned register per temp ID; -1 = unassigned
 }
 
-func genFuncCode(f *ir.Func, obj *Object, trace *cover.Tracer, feats Features) {
+// GenerateCode lowers an optimized IR program into pseudo machine code:
+// per-instruction selection, linear-scan register allocation with
+// spilling, and a peephole cleanup. The returned object is freshly
+// allocated and owned by the caller (per-stream contexts use
+// codegen.generate and borrow instead).
+func GenerateCode(prog *ir.Program, trace *cover.Tracer, feats Features) *Object {
+	cg := &codegen{}
+	out := *cg.generate(prog, trace, feats)
+	out.Instrs = append([]AsmInstr(nil), out.Instrs...)
+	return &out
+}
+
+// generate resets the codegen and lowers prog, returning the recycled
+// object (borrowed: valid until the next generate on this codegen).
+func (cg *codegen) generate(prog *ir.Program, trace *cover.Tracer, feats Features) *Object {
+	cg.obj = Object{Instrs: cg.obj.Instrs[:0]}
+	cg.trace = trace
+	cg.feats = feats
+	for _, f := range prog.Funcs {
+		cg.genFuncCode(f)
+	}
+	cg.obj.TextSize = len(cg.obj.Instrs) * 4
+	trace.HitN("be.textsize", cg.obj.TextSize%101)
+	return &cg.obj
+}
+
+// intScratch returns buf resized to n entries, all set to -1, reusing
+// capacity.
+func intScratch(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = -1
+	}
+	return buf
+}
+
+// touchTemp records v's last use position in the interval table.
+func touchTemp(ivEnd []int, v ir.Value, pos int) {
+	if v.Kind == ir.VTemp && v.ID >= 0 && v.ID < int64(len(ivEnd)) {
+		ivEnd[v.ID] = pos
+	}
+}
+
+func (cg *codegen) emitAsm(op AsmOp, reg int) {
+	cg.obj.Instrs = append(cg.obj.Instrs, AsmInstr{Op: op, Reg: reg})
+	cg.trace.HitNHash(beSiteHash[op], reg+1)
+}
+
+func (cg *codegen) genFuncCode(f *ir.Func) {
+	obj := &cg.obj
 	obj.Funcs++
 	// Linear-scan register allocation: compute last-use per temp over the
 	// linearized instruction stream, then assign registers greedily.
-	type interval struct{ start, end int }
-	intervals := map[int64]*interval{}
-	idx := 0
-	var linear []ir.Instr
+	// Temp IDs are dense (0..NextTemp), so intervals and register
+	// assignments live in flat slices instead of maps.
+	ivEnd := intScratch(cg.ivEnd, f.NextTemp)
+	cg.ivEnd = ivEnd
+	linear := cg.linear[:0]
 	for _, b := range f.Blocks {
 		if !b.Reachable && len(b.Instrs) == 0 {
 			continue
 		}
-		for _, in := range b.Instrs {
-			touch := func(v ir.Value) {
-				if v.Kind != ir.VTemp {
-					return
-				}
-				iv := intervals[v.ID]
-				if iv == nil {
-					intervals[v.ID] = &interval{idx, idx}
-				} else {
-					iv.end = idx
-				}
-			}
-			touch(in.Dst)
-			touch(in.A)
-			touch(in.B)
-			touch(in.C)
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			pos := len(linear)
+			touchTemp(ivEnd, in.Dst, pos)
+			touchTemp(ivEnd, in.A, pos)
+			touchTemp(ivEnd, in.B, pos)
+			touchTemp(ivEnd, in.C, pos)
 			for _, a := range in.Args {
-				touch(a)
+				touchTemp(ivEnd, a, pos)
 			}
 			linear = append(linear, in)
-			idx++
 		}
 	}
+	cg.linear = linear
 	// Greedy allocation.
-	regOf := map[int64]int{}
+	regOf := intScratch(cg.regOf, f.NextTemp)
+	cg.regOf = regOf
 	freeAt := [numRegs]int{}
 	spills := 0
-	for i, in := range linear {
-		if in.Dst.Kind == ir.VTemp {
-			if _, assigned := regOf[in.Dst.ID]; !assigned {
+	for i := range linear {
+		in := &linear[i]
+		if in.Dst.Kind == ir.VTemp && in.Dst.ID < int64(len(regOf)) {
+			if regOf[in.Dst.ID] < 0 {
 				reg := -1
 				for r := 0; r < numRegs; r++ {
 					if freeAt[r] <= i {
@@ -132,95 +179,92 @@ func genFuncCode(f *ir.Func, obj *Object, trace *cover.Tracer, feats Features) {
 				}
 				if reg < 0 {
 					spills++
-					trace.HitN("be.spill", spills%19)
+					cg.trace.HitN("be.spill", spills%19)
 					reg = i % numRegs // evict
 				}
 				regOf[in.Dst.ID] = reg
-				if iv := intervals[in.Dst.ID]; iv != nil {
-					freeAt[reg] = iv.end + 1
+				if end := ivEnd[in.Dst.ID]; end >= 0 {
+					freeAt[reg] = end + 1
 				}
 			}
 		}
 	}
 	obj.Spills += spills
 	if spills > 6 {
-		feats.Add("be.highpressure")
+		cg.feats.Add("be.highpressure")
 	}
 	// Instruction selection.
-	emit := func(op AsmOp, reg int) {
-		obj.Instrs = append(obj.Instrs, AsmInstr{Op: op, Reg: reg})
-		trace.HitN("be."+op.String(), reg+1)
-	}
-	for _, in := range linear {
+	for i := range linear {
+		in := &linear[i]
 		reg := -1
-		if in.Dst.Kind == ir.VTemp {
+		if in.Dst.Kind == ir.VTemp && in.Dst.ID < int64(len(regOf)) {
 			reg = regOf[in.Dst.ID]
 		}
 		switch in.Op {
 		case ir.OpConst, ir.OpCopy:
-			emit(AMov, reg)
+			cg.emitAsm(AMov, reg)
 		case ir.OpAdd:
-			emit(AAdd, reg)
+			cg.emitAsm(AAdd, reg)
 		case ir.OpSub:
-			emit(ASub, reg)
+			cg.emitAsm(ASub, reg)
 		case ir.OpMul:
-			emit(AIMul, reg)
+			cg.emitAsm(AIMul, reg)
 		case ir.OpDiv, ir.OpRem:
-			emit(AIDiv, reg)
-			feats.Add("be.div")
+			cg.emitAsm(AIDiv, reg)
+			cg.feats.Add("be.div")
 		case ir.OpShl:
-			emit(AShl, reg)
+			cg.emitAsm(AShl, reg)
 		case ir.OpShr:
-			emit(AShr, reg)
+			cg.emitAsm(AShr, reg)
 		case ir.OpAnd:
-			emit(AAnd, reg)
+			cg.emitAsm(AAnd, reg)
 		case ir.OpOr:
-			emit(AOr, reg)
+			cg.emitAsm(AOr, reg)
 		case ir.OpXor:
-			emit(AXor, reg)
+			cg.emitAsm(AXor, reg)
 		case ir.OpNeg:
-			emit(ANeg, reg)
+			cg.emitAsm(ANeg, reg)
 		case ir.OpNot:
-			emit(ANot, reg)
+			cg.emitAsm(ANot, reg)
 		case ir.OpLNot:
-			emit(ACmp, reg)
-			emit(ASet, reg)
+			cg.emitAsm(ACmp, reg)
+			cg.emitAsm(ASet, reg)
 		case ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
-			emit(ACmp, reg)
-			emit(ASet, reg)
+			cg.emitAsm(ACmp, reg)
+			cg.emitAsm(ASet, reg)
 		case ir.OpLoad:
-			emit(ALoad, reg)
+			cg.emitAsm(ALoad, reg)
 		case ir.OpStore:
-			emit(AStore, -1)
+			cg.emitAsm(AStore, -1)
 		case ir.OpAddr:
-			emit(ALea, reg)
+			cg.emitAsm(ALea, reg)
 		case ir.OpCall:
-			emit(ACall, reg)
+			cg.emitAsm(ACall, reg)
 		case ir.OpRet:
-			emit(ARet, -1)
+			cg.emitAsm(ARet, -1)
 		case ir.OpBr:
-			emit(AJmp, -1)
+			cg.emitAsm(AJmp, -1)
 		case ir.OpCondBr:
-			emit(ACmp, -1)
-			emit(AJcc, -1)
+			cg.emitAsm(ACmp, -1)
+			cg.emitAsm(AJcc, -1)
 		case ir.OpSwitch:
 			if len(in.Cases) >= 5 {
-				emit(AJmpTable, -1)
-				feats.Add("be.jumptable")
-				trace.HitN("be.jumptable", len(in.Cases)%31)
+				cg.emitAsm(AJmpTable, -1)
+				cg.feats.Add("be.jumptable")
+				cg.trace.HitN("be.jumptable", len(in.Cases)%31)
 			} else {
 				for range in.Cases {
-					emit(ACmp, -1)
-					emit(AJcc, -1)
+					cg.emitAsm(ACmp, -1)
+					cg.emitAsm(AJcc, -1)
 				}
 			}
 		case ir.OpConvert:
-			emit(AMov, reg)
+			cg.emitAsm(AMov, reg)
 		case ir.OpVecAdd, ir.OpVecMul:
-			emit(AVecOp, reg)
-			feats.Add("be.vec")
+			cg.emitAsm(AVecOp, reg)
+			cg.feats.Add("be.vec")
 		case ir.OpStrLen:
-			emit(ACall, reg)
+			cg.emitAsm(ACall, reg)
 		}
 	}
 	// Peephole: drop adjacent redundant movs to the same register.
@@ -238,7 +282,7 @@ func genFuncCode(f *ir.Func, obj *Object, trace *cover.Tracer, feats Features) {
 	}
 	obj.Instrs = cleaned
 	if removed > 0 {
-		trace.HitN("be.peephole", removed%13)
+		cg.trace.HitN("be.peephole", removed%13)
 	}
 }
 

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
-	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/compilersim/ir"
 	"github.com/icsnju/metamut-go/internal/obs"
@@ -61,6 +61,14 @@ type Compiler struct {
 	passes  []Pass
 	tele    *compilerTelemetry
 	cache   *mutantCache
+
+	// Per-stage tracer seeds (HashString(Name+".fe") etc.), hashed once
+	// so per-compilation tracer setup allocates nothing.
+	feSeed, irSeed, optSeed, beSeed uint32
+
+	// ctxs pools compile contexts for the owning Compile API; streams
+	// that want borrowed results hold their own Context instead.
+	ctxs sync.Pool
 }
 
 // compilerTelemetry holds pre-resolved handles so the per-compilation
@@ -83,21 +91,26 @@ func New(name string, version int) *Compiler {
 		// Clang profile: a differently-ordered pipeline (simplify before
 		// copyprop, extra CSE round) so the two compilers cover
 		// different edges on the same input.
-		c.passes = []Pass{
-			{"simplify", (*optimizer).algebraicSimplify},
-			{"constfold", (*optimizer).constFold},
-			{"copyprop", (*optimizer).copyProp},
-			{"cse", (*optimizer).cse},
-			{"dce", (*optimizer).dce},
-			{"loopvec", (*optimizer).loopVectorize},
-			{"strbuiltin", (*optimizer).strBuiltinOpt},
-			{"cse2", (*optimizer).cse},
-			{"latefold", (*optimizer).lateFold},
-			{"dce2", (*optimizer).dce},
-		}
+		c.passes = initPassSites([]Pass{
+			{Name: "simplify", Run: (*optimizer).algebraicSimplify},
+			{Name: "constfold", Run: (*optimizer).constFold},
+			{Name: "copyprop", Run: (*optimizer).copyProp},
+			{Name: "cse", Run: (*optimizer).cse},
+			{Name: "dce", Run: (*optimizer).dce},
+			{Name: "loopvec", Run: (*optimizer).loopVectorize},
+			{Name: "strbuiltin", Run: (*optimizer).strBuiltinOpt},
+			{Name: "cse2", Run: (*optimizer).cse},
+			{Name: "latefold", Run: (*optimizer).lateFold},
+			{Name: "dce2", Run: (*optimizer).dce},
+		})
 	default:
 		panic("compilersim: unknown profile " + name)
 	}
+	c.feSeed = cover.HashString(c.Name + ".fe")
+	c.irSeed = cover.HashString(c.Name + ".ir")
+	c.optSeed = cover.HashString(c.Name + ".opt")
+	c.beSeed = cover.HashString(c.Name + ".be")
+	c.ctxs.New = func() any { return c.NewContext() }
 	return c
 }
 
@@ -143,7 +156,11 @@ func (t *compilerTelemetry) record(c *Compiler, res Result) {
 }
 
 // Compile runs the full pipeline on src, consulting the mutant cache
-// first when one is enabled.
+// first when one is enabled. The result is fully owned by the caller:
+// compilation happens through a pooled context and the borrowed result
+// is deep-cloned before the context returns to the pool. Fuzzing streams
+// that can honor the borrow discipline should hold a Context and call
+// Context.Compile instead.
 func (c *Compiler) Compile(src string, opts Options) Result {
 	var key [32]byte
 	if c.cache != nil {
@@ -156,7 +173,9 @@ func (c *Compiler) Compile(src string, opts Options) Result {
 			return res
 		}
 	}
-	res := c.compile(src, opts)
+	cx := c.ctxs.Get().(*Context)
+	res := cloneResult(cx.compile(src, opts))
+	c.ctxs.Put(cx)
 	if c.cache != nil {
 		c.cache.put(key, res)
 	}
@@ -164,85 +183,6 @@ func (c *Compiler) Compile(src string, opts Options) Result {
 		t.record(c, res)
 	}
 	return res
-}
-
-// compile is the uninstrumented pipeline.
-func (c *Compiler) compile(src string, opts Options) Result {
-	covMap := cover.NewMap()
-	feats := Features{}
-	tc := &TriggerCtx{Source: src, Feats: feats, OptLevel: opts.OptLevel}
-
-	// ---- Front-end: lexing coverage (runs even for garbage input).
-	feTrace := cover.NewTracer(covMap, c.Name+".fe")
-	c.lexCoverage(src, feTrace)
-
-	tu, perr := cast.Parse(src)
-	tc.ParseOK = perr == nil
-	var diags []string
-	if perr != nil {
-		diags = append(diags, perr.Error())
-		// Error recovery is code too: distinct syntactic failure points
-		// exercise distinct diagnostic paths — the coverage a byte-level
-		// fuzzer climbs.
-		if pe, ok := perr.(*cast.ParseError); ok {
-			feTrace.HitN("parse.error", pe.Line%53)
-			feTrace.HitStr("parse.msg." + diagClass(pe.Msg))
-		} else {
-			feTrace.HitStr("parse.error")
-		}
-	} else {
-		// Parse-tree coverage: node-kind edges in source order.
-		cast.Walk(tu, func(n cast.Node) bool {
-			feTrace.HitStr("ast." + n.Kind().String())
-			return true
-		})
-		if cerr := cast.Check(tu); cerr != nil {
-			tc.CheckOK = false
-			if se, ok := cerr.(cast.SemaErrors); ok {
-				for _, e := range se {
-					diags = append(diags, e.Error())
-					feTrace.HitN("sema."+diagClass(e.Msg), e.Offset%41)
-				}
-			} else {
-				diags = append(diags, cerr.Error())
-			}
-		} else {
-			tc.CheckOK = true
-		}
-	}
-
-	// Front-end defects can fire on any input (error-recovery paths).
-	if crash := c.checkBugs(tc, FrontEnd); crash != nil {
-		return c.crashResult(crash, covMap, feats, diags)
-	}
-	if !tc.ParseOK || !tc.CheckOK {
-		return Result{OK: false, Diagnostics: diags, Coverage: covMap, Feats: feats}
-	}
-
-	// ---- IR generation.
-	irTrace := cover.NewTracer(covMap, c.Name+".ir")
-	prog := GenerateIR(tu, irTrace, feats)
-	if crash := c.checkBugs(tc, IRGen); crash != nil {
-		return c.crashResult(crash, covMap, feats, diags)
-	}
-
-	// ---- Optimizer.
-	if opts.OptLevel >= 1 {
-		optTrace := cover.NewTracer(covMap, c.Name+".opt")
-		Optimize(prog, c.enabledPasses(opts), optTrace, feats)
-		if crash := c.checkBugs(tc, Opt); crash != nil {
-			return c.crashResult(crash, covMap, feats, diags)
-		}
-	}
-
-	// ---- Back-end.
-	beTrace := cover.NewTracer(covMap, c.Name+".be")
-	obj := GenerateCode(prog, beTrace, feats)
-	if crash := c.checkBugs(tc, BackEnd); crash != nil {
-		return c.crashResult(crash, covMap, feats, diags)
-	}
-
-	return Result{OK: true, Coverage: covMap, Object: obj, Feats: feats}
 }
 
 // enabledPasses filters the profile pipeline by the options.
@@ -271,24 +211,6 @@ func (c *Compiler) enabledPasses(opts Options) []Pass {
 		return o1
 	}
 	return out
-}
-
-// lexCoverage walks raw tokens, recording kind edges — this is the
-// coverage a byte-level fuzzer climbs even with invalid inputs.
-func (c *Compiler) lexCoverage(src string, t *cover.Tracer) {
-	lx := cast.NewLexer(src)
-	for i := 0; i < 200000; i++ {
-		tok, err := lx.Next()
-		if err != nil {
-			t.HitN("lex.error", i%59)
-			return
-		}
-		if tok.Kind == cast.TokEOF {
-			t.HitStr("lex.eof")
-			return
-		}
-		t.HitN("lex."+tok.Kind.String(), len(tok.Text)%7)
-	}
 }
 
 // diagClass reduces a diagnostic message to its template (everything up

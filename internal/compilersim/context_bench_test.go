@@ -1,0 +1,27 @@
+package compilersim
+
+import "testing"
+
+const benchSrc = `
+int g = 42;
+const char *msg = "hello";
+int sum(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i * 2; } return s; }
+int main() { int a = 3; int b = 4; if (a < b) { a = a + b; } else { b = b - a; }
+  switch (a) { case 1: a++; break; case 7: b--; break; default: a = 0; }
+  while (b > 0) { b -= 1; } return sum(a) + g; }
+`
+
+func BenchmarkContextCompile(b *testing.B) {
+	c := New("gcc", 14)
+	cx := c.NewContext()
+	opts := DefaultOptions()
+	cx.Compile(benchSrc, opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := cx.Compile(benchSrc, opts)
+		if !res.OK {
+			b.Fatal("compile failed")
+		}
+	}
+}

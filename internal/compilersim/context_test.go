@@ -1,0 +1,84 @@
+package compilersim
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+// contextCorpus mixes the paths a fuzz campaign actually exercises:
+// clean seeds (full pipeline), truncated seeds (parse errors), corrupted
+// seeds (lex/sema errors), and the empty program.
+func contextCorpus() []string {
+	pool := seeds.Generate(16, 11)
+	corpus := append([]string{}, pool...)
+	for _, src := range pool[:6] {
+		if len(src) > 20 {
+			corpus = append(corpus, src[:len(src)/2]) // mid-token truncation
+		}
+		corpus = append(corpus, src+"\n@#$ garbage ;;;")
+		corpus = append(corpus, "int main() { return undeclared_name; }\n"+src)
+	}
+	return append(corpus, "", "int main() { return 0; }")
+}
+
+// TestContextCompileMatchesCompilerCompile pins the reusable-context
+// fast path to the allocating reference path: for every corpus program
+// and option set, Context.Compile must produce a Result identical in
+// every field to Compiler.Compile — same diagnostics, same crash, same
+// coverage bits, same generated object. The only sanctioned difference
+// is ownership (the context's Result is borrowed until its next
+// Compile), which is why each pair is compared before the context is
+// reused.
+func TestContextCompileMatchesCompilerCompile(t *testing.T) {
+	comp := New("gcc", 14)
+	cx := comp.NewContext()
+	optionSets := []Options{
+		{OptLevel: 0},
+		DefaultOptions(),
+		{OptLevel: 3, DisabledPasses: []string{"loopvec"}},
+	}
+	// The reusable context truncates its instruction buffer to length
+	// zero where a fresh compile leaves it nil (an empty translation
+	// unit); the two are the same object code, so fold them together
+	// before the deep comparison.
+	normalize := func(r *Result) {
+		if r.Object != nil && len(r.Object.Instrs) == 0 {
+			r.Object.Instrs = nil
+		}
+	}
+	for _, opts := range optionSets {
+		for i, src := range contextCorpus() {
+			want := comp.Compile(src, opts)
+			got := cx.Compile(src, opts)
+			normalize(&want)
+			normalize(&got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("corpus[%d] %s: context result diverged from compiler result\n got %+v\nwant %+v",
+					i, opts.FlagString(), got, want)
+			}
+		}
+	}
+}
+
+// TestContextCompileBorrowIsStable pins the borrow contract's useful
+// half: the returned Result is valid until the next Compile on the same
+// context, so a caller may read coverage and crash data from compile i
+// before issuing compile i+1, and reuse must not leak state between
+// programs (a dirty arena or token buffer would desynchronize the
+// coverage bits from the reference path above).
+func TestContextCompileBorrowIsStable(t *testing.T) {
+	comp := New("gcc", 14)
+	cx := comp.NewContext()
+	opts := DefaultOptions()
+	corpus := contextCorpus()
+	for i, src := range corpus {
+		res := cx.Compile(src, opts)
+		cov := res.Coverage.Clone()
+		again := cx.Compile(src, opts)
+		if !reflect.DeepEqual(again.Coverage, cov) {
+			t.Fatalf("corpus[%d]: recompiling the same program on the same context changed coverage", i)
+		}
+	}
+}

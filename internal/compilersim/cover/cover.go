@@ -212,8 +212,21 @@ func (t *Tracer) Hit(site uint32) {
 	t.prev = site
 }
 
+// ResetTo repoints a tracer at m with the given stage seed, equivalent
+// to NewTracer(m, stage) when seed == HashString(stage). Per-stream
+// compile contexts keep four Tracer values and re-seed them per
+// compilation instead of allocating fresh tracers.
+func (t *Tracer) ResetTo(m *Map, seed uint32) { t.m, t.prev = m, seed }
+
 // HitStr records a transition to a named site.
 func (t *Tracer) HitStr(site string) { t.Hit(HashString(site)) }
+
+// HitNHash is HitN for a precomputed site hash: identical edges to
+// HitN(site, n) when h == HashString(site), without hashing (or
+// building) the site string on the hot path.
+func (t *Tracer) HitNHash(h uint32, n int) {
+	t.Hit(h ^ uint32(n)*0x9e3779b9)
+}
 
 // HitN records a named site parameterized by a small integer (e.g. a
 // case-count bucket), producing distinct edges per value.

@@ -1,0 +1,79 @@
+package cover
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// lockedMap is the benchmark baseline: the flat-bitset Map behind one
+// global mutex — the pre-sharding SharedCoverage design, re-stated here
+// over the *current* Map so the pair measures the locking strategy and
+// nothing else. Keep it in sync with Map's API; BENCH_cover.json holds
+// the committed before/after numbers (see docs/PERFORMANCE.md).
+type lockedMap struct {
+	mu sync.Mutex
+	m  Map
+}
+
+func (l *lockedMap) MergeIfNew(m *Map) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.m.HasNew(m) {
+		return false
+	}
+	l.m.Merge(m)
+	return true
+}
+
+// benchMaps builds overlapping edge maps: a shared warm core every map
+// carries plus a few private edges, so after the first merges almost
+// every MergeIfNew is a pure novelty probe — the read-mostly steady
+// state a campaign settles into, and exactly where a global mutex
+// serializes and stripes don't.
+func benchMaps(n int) []*Map {
+	rng := rand.New(rand.NewSource(7))
+	core := make([]uint32, 400)
+	for i := range core {
+		core[i] = uint32(rng.Intn(MapSize))
+	}
+	maps := make([]*Map, n)
+	for i := range maps {
+		m := NewMap()
+		for _, e := range core {
+			m.Set(e)
+		}
+		for j := 0; j < 32; j++ {
+			m.Set(uint32(rng.Intn(MapSize)))
+		}
+		maps[i] = m
+	}
+	return maps
+}
+
+type mergeSink interface{ MergeIfNew(*Map) bool }
+
+func benchMergeIfNew(b *testing.B, sink mergeSink) {
+	maps := benchMaps(64)
+	for _, m := range maps { // absorb the first-merge novelty burst
+		sink.MergeIfNew(m)
+	}
+	b.SetParallelism(4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			sink.MergeIfNew(maps[i%len(maps)])
+			i++
+		}
+	})
+}
+
+func BenchmarkMergeIfNewGlobalLock(b *testing.B) {
+	benchMergeIfNew(b, &lockedMap{})
+}
+
+func BenchmarkMergeIfNewSharded(b *testing.B) {
+	benchMergeIfNew(b, &Sharded{})
+}

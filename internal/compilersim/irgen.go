@@ -7,7 +7,6 @@
 package compilersim
 
 import (
-	"fmt"
 	"math"
 
 	"github.com/icsnju/metamut-go/internal/cast"
@@ -28,9 +27,14 @@ func (f Features) AddN(key string, n int) { f[key] += n }
 // Has reports whether a feature was observed.
 func (f Features) Has(key string) bool { return f[key] > 0 }
 
-// irgen lowers a checked translation unit into IR.
+// irgen lowers a checked translation unit into IR. It is a
+// reset-and-reuse generator: one irgen per compile context, recycled
+// across compilations. Everything it hands out (the Program, its Funcs,
+// Blocks, instruction operand slices, global data bytes) is owned by the
+// generator and valid only until the next generate call — the same
+// borrow discipline as cast.Arena.
 type irgen struct {
-	prog  *ir.Program
+	prog  ir.Program
 	fn    *ir.Func
 	cur   *ir.Block
 	trace *cover.Tracer
@@ -44,18 +48,102 @@ type irgen struct {
 
 	breakStack    []*ir.Block
 	continueStack []*ir.Block
+
+	// Recycled object pools. funcN/blockN count how many entries of the
+	// pool are live in the current program; reset rewinds the counters
+	// and later generations overwrite in place.
+	funcPool  []*ir.Func
+	funcN     int
+	blockPool []*ir.Block
+	blockN    int
+
+	// dataBuf backs Global.Data (string literal bytes, constant
+	// initializers). vals/cases back Instr.Args and Instr.Cases.
+	dataBuf []byte
+	vals    bump[ir.Value]
+	cases   bump[int64]
+
+	// Scratch stacks (mark/cut discipline, so nested constructs compose).
+	valBuf  []ir.Value
+	armBuf  []swArm
+	stmtBuf []cast.Stmt
+	succBuf []*ir.Block
+	caseBuf []int64
+}
+
+// swArm is one case/default arm of a switch; its statements are the
+// contiguous stmtBuf range [s0, s1).
+type swArm struct {
+	value  int64
+	isCase bool
+	block  *ir.Block
+	s0, s1 int
+}
+
+// bump hands out exact-size slices carved from one growing backing
+// array. When the backing fills, it is abandoned to the issued slices
+// and a larger one is allocated, so steady-state reuse stops allocating.
+type bump[T any] struct{ buf []T }
+
+func (bp *bump[T]) save(src []T) []T {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	if cap(bp.buf)-len(bp.buf) < n {
+		sz := 2 * (len(bp.buf) + n)
+		if sz < 64 {
+			sz = 64
+		}
+		bp.buf = make([]T, 0, sz)
+	}
+	off := len(bp.buf)
+	bp.buf = append(bp.buf, src...)
+	return bp.buf[off : off+n : off+n]
+}
+
+func (bp *bump[T]) reset() { bp.buf = bp.buf[:0] }
+
+// initMaps allocates the generator's lookup maps (idempotent).
+func (g *irgen) initMaps() {
+	if g.globals == nil {
+		g.globals = map[string]int{}
+		g.funcs = map[string]int{}
+		g.locals = map[cast.Decl]int{}
+		g.params = map[cast.Decl]int{}
+		g.labels = map[string]*ir.Block{}
+	}
 }
 
 // GenerateIR lowers tu into an IR program. The tracer records IR-gen
-// coverage; feats accumulates bug-predicate features.
+// coverage; feats accumulates bug-predicate features. The returned
+// program is freshly allocated and owned by the caller (per-stream
+// contexts use irgen.generate directly and borrow instead).
 func GenerateIR(tu *cast.TranslationUnit, trace *cover.Tracer, feats Features) *ir.Program {
-	g := &irgen{
-		prog:    &ir.Program{},
-		trace:   trace,
-		feats:   feats,
-		globals: map[string]int{},
-		funcs:   map[string]int{},
-	}
+	g := &irgen{trace: trace, feats: feats}
+	g.initMaps()
+	return g.generate(tu)
+}
+
+// generate resets the generator and lowers tu, returning the recycled
+// program (borrowed: valid until the next generate on this irgen).
+func (g *irgen) generate(tu *cast.TranslationUnit) *ir.Program {
+	g.prog.Funcs = g.prog.Funcs[:0]
+	g.prog.Globals = g.prog.Globals[:0]
+	g.funcN, g.blockN = 0, 0
+	g.dataBuf = g.dataBuf[:0]
+	g.vals.reset()
+	g.cases.reset()
+	g.valBuf = g.valBuf[:0]
+	g.armBuf = g.armBuf[:0]
+	g.stmtBuf = g.stmtBuf[:0]
+	g.succBuf = g.succBuf[:0]
+	g.caseBuf = g.caseBuf[:0]
+	g.breakStack = g.breakStack[:0]
+	g.continueStack = g.continueStack[:0]
+	clear(g.globals)
+	clear(g.funcs)
+
 	// First pass: globals.
 	for _, d := range tu.Decls {
 		if vd, ok := d.(*cast.VarDecl); ok {
@@ -68,7 +156,80 @@ func GenerateIR(tu *cast.TranslationUnit, trace *cover.Tracer, feats Features) *
 			g.genFunction(fd)
 		}
 	}
-	return g.prog
+	return &g.prog
+}
+
+// newFunc returns a recycled function object appended to the program.
+func (g *irgen) newFunc(name string, nparams int, returnsValue bool) *ir.Func {
+	var fn *ir.Func
+	if g.funcN < len(g.funcPool) {
+		fn = g.funcPool[g.funcN]
+		blocks := fn.Blocks[:0]
+		*fn = ir.Func{Name: name, NParams: nparams, ReturnsValue: returnsValue,
+			Blocks: blocks}
+	} else {
+		fn = &ir.Func{Name: name, NParams: nparams, ReturnsValue: returnsValue}
+		g.funcPool = append(g.funcPool, fn)
+	}
+	g.funcN++
+	return fn
+}
+
+// newBlock returns a recycled block appended to the current function
+// (same shape as ir.Func.NewBlock, minus the per-block allocation).
+func (g *irgen) newBlock() *ir.Block {
+	var b *ir.Block
+	if g.blockN < len(g.blockPool) {
+		b = g.blockPool[g.blockN]
+		b.Instrs = b.Instrs[:0]
+		b.Succs = b.Succs[:0]
+		b.Reachable = false
+	} else {
+		b = &ir.Block{}
+		g.blockPool = append(g.blockPool, b)
+	}
+	g.blockN++
+	b.ID = len(g.fn.Blocks)
+	g.fn.Blocks = append(g.fn.Blocks, b)
+	return b
+}
+
+// internBytes copies s (plus an optional NUL) into the generator's data
+// arena, for Global.Data.
+func (g *irgen) internBytes(s string, addNul bool) []byte {
+	n := len(s)
+	if addNul {
+		n++
+	}
+	if cap(g.dataBuf)-len(g.dataBuf) < n {
+		sz := 2 * (len(g.dataBuf) + n)
+		if sz < 256 {
+			sz = 256
+		}
+		g.dataBuf = make([]byte, 0, sz)
+	}
+	off := len(g.dataBuf)
+	g.dataBuf = append(g.dataBuf, s...)
+	if addNul {
+		g.dataBuf = append(g.dataBuf, 0)
+	}
+	return g.dataBuf[off : off+n : off+n]
+}
+
+// constBytes stores v's 8 little-endian bytes in the data arena.
+func (g *irgen) constBytes(v int64) []byte {
+	if cap(g.dataBuf)-len(g.dataBuf) < 8 {
+		sz := 2 * (len(g.dataBuf) + 8)
+		if sz < 256 {
+			sz = 256
+		}
+		g.dataBuf = make([]byte, 0, sz)
+	}
+	off := len(g.dataBuf)
+	for i := 0; i < 8; i++ {
+		g.dataBuf = append(g.dataBuf, byte(v>>(8*i)))
+	}
+	return g.dataBuf[off : off+8 : off+8]
 }
 
 func (g *irgen) declareGlobal(vd *cast.VarDecl) {
@@ -89,11 +250,9 @@ func (g *irgen) declareGlobal(vd *cast.VarDecl) {
 	// Materialize constant initial values so execution sees them.
 	if vd.Init != nil {
 		if v, ok := cast.ConstIntValue(vd.Init); ok {
-			for i := 0; i < 8; i++ {
-				glob.Data = append(glob.Data, byte(v>>(8*i)))
-			}
+			glob.Data = g.constBytes(v)
 		} else if sl, ok := vd.Init.(*cast.StringLiteral); ok {
-			glob.Data = append([]byte(sl.Value), 0)
+			glob.Data = g.internBytes(sl.Value, true)
 			glob.NulTerminated = true
 		}
 	}
@@ -109,9 +268,9 @@ func (g *irgen) declareGlobal(vd *cast.VarDecl) {
 
 // internString registers a string literal as an anonymous global.
 func (g *irgen) internString(s *cast.StringLiteral) ir.Value {
-	name := fmt.Sprintf(".str%d", len(g.prog.Globals))
 	idx := len(g.prog.Globals)
-	data := append([]byte(s.Value), 0)
+	name := strGlobalName(idx)
+	data := g.internBytes(s.Value, true)
 	g.prog.Globals = append(g.prog.Globals, ir.Global{
 		Name: name, Size: int64(len(s.Value)) + 1, Const: true,
 		NulTerminated: true, Data: data,
@@ -122,20 +281,16 @@ func (g *irgen) internString(s *cast.StringLiteral) ir.Value {
 }
 
 func (g *irgen) genFunction(fd *cast.FunctionDecl) {
-	g.fn = &ir.Func{
-		Name:         fd.Name,
-		NParams:      len(fd.Params),
-		ReturnsValue: !fd.Ret.IsVoid(),
-	}
+	g.fn = g.newFunc(fd.Name, len(fd.Params), !fd.Ret.IsVoid())
 	g.funcs[fd.Name] = len(g.prog.Funcs)
 	g.prog.Funcs = append(g.prog.Funcs, g.fn)
-	g.locals = map[cast.Decl]int{}
-	g.params = map[cast.Decl]int{}
-	g.labels = map[string]*ir.Block{}
+	clear(g.locals)
+	clear(g.params)
+	clear(g.labels)
 	for i, pv := range fd.Params {
 		g.params[pv] = i
 	}
-	g.cur = g.fn.NewBlock()
+	g.cur = g.newBlock()
 	g.trace.HitN("func.params", len(fd.Params))
 	g.feats.AddN("fn.count", 1)
 	if fd.Ret.IsVoid() {
@@ -150,7 +305,7 @@ func (g *irgen) genFunction(fd *cast.FunctionDecl) {
 		switch x := n.(type) {
 		case *cast.LabelStmt:
 			if _, dup := g.labels[x.Name]; !dup {
-				g.labels[x.Name] = g.fn.NewBlock()
+				g.labels[x.Name] = g.newBlock()
 			}
 			if x.Body == nil {
 				emptyLabels++
@@ -182,7 +337,7 @@ func (g *irgen) sealBlocks() {
 		if b.Terminator() == nil {
 			if i+1 < len(g.fn.Blocks) {
 				b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpBr})
-				b.Succs = []int{i + 1}
+				b.Succs = append(b.Succs[:0], i+1)
 			} else {
 				b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet})
 			}
@@ -192,7 +347,7 @@ func (g *irgen) sealBlocks() {
 
 func (g *irgen) emit(in ir.Instr) {
 	g.cur.Instrs = append(g.cur.Instrs, in)
-	g.trace.HitN("emit."+in.Op.String(), len(g.cur.Instrs)%17)
+	g.trace.HitNHash(emitSiteHash[in.Op], len(g.cur.Instrs)%17)
 }
 
 func (g *irgen) setSuccs(b *ir.Block, succs ...*ir.Block) {
@@ -227,7 +382,7 @@ func (g *irgen) genStmt(s cast.Stmt) {
 	// Edge sites scale with position so structurally larger programs
 	// keep minting new edges — matching how deeper inputs reach more of
 	// a real compiler.
-	g.trace.HitN("stmt."+s.Kind().String(), len(g.fn.Blocks)%31)
+	g.trace.HitNHash(stmtSiteHash[s.Kind()], len(g.fn.Blocks)%31)
 	switch x := s.(type) {
 	case *cast.CompoundStmt:
 		for _, inner := range x.Stmts {
@@ -255,12 +410,12 @@ func (g *irgen) genStmt(s cast.Stmt) {
 	case *cast.BreakStmt:
 		if n := len(g.breakStack); n > 0 {
 			g.br(g.breakStack[n-1])
-			g.cur = g.fn.NewBlock()
+			g.cur = g.newBlock()
 		}
 	case *cast.ContinueStmt:
 		if n := len(g.continueStack); n > 0 {
 			g.br(g.continueStack[n-1])
-			g.cur = g.fn.NewBlock()
+			g.cur = g.newBlock()
 		}
 	case *cast.ReturnStmt:
 		if x.Value != nil {
@@ -270,13 +425,13 @@ func (g *irgen) genStmt(s cast.Stmt) {
 			g.cur.Instrs = append(g.cur.Instrs, ir.Instr{Op: ir.OpRet})
 		}
 		g.feats.Add("stmt.return")
-		g.cur = g.fn.NewBlock()
+		g.cur = g.newBlock()
 	case *cast.GotoStmt:
 		g.feats.Add("stmt.goto")
 		if target, ok := g.labels[x.Label]; ok {
 			g.br(target)
 		}
-		g.cur = g.fn.NewBlock()
+		g.cur = g.newBlock()
 	case *cast.LabelStmt:
 		g.feats.Add("stmt.label")
 		target := g.labels[x.Name]
@@ -323,9 +478,9 @@ func (g *irgen) genLocalDecl(vd *cast.VarDecl) {
 
 func (g *irgen) genIf(x *cast.IfStmt) {
 	cond := g.genExpr(x.Cond)
-	thenB := g.fn.NewBlock()
-	elseB := g.fn.NewBlock()
-	exitB := g.fn.NewBlock()
+	thenB := g.newBlock()
+	elseB := g.newBlock()
+	exitB := g.newBlock()
 	g.condBr(cond, thenB, elseB)
 	g.cur = thenB
 	g.genStmt(x.Then)
@@ -340,9 +495,9 @@ func (g *irgen) genIf(x *cast.IfStmt) {
 }
 
 func (g *irgen) genWhile(x *cast.WhileStmt) {
-	head := g.fn.NewBlock()
-	body := g.fn.NewBlock()
-	exit := g.fn.NewBlock()
+	head := g.newBlock()
+	body := g.newBlock()
+	exit := g.newBlock()
 	g.br(head)
 	g.cur = head
 	cond := g.genExpr(x.Cond)
@@ -357,9 +512,9 @@ func (g *irgen) genWhile(x *cast.WhileStmt) {
 }
 
 func (g *irgen) genDo(x *cast.DoStmt) {
-	body := g.fn.NewBlock()
-	head := g.fn.NewBlock()
-	exit := g.fn.NewBlock()
+	body := g.newBlock()
+	head := g.newBlock()
+	exit := g.newBlock()
 	g.br(body)
 	g.pushLoop(exit, head)
 	g.cur = body
@@ -377,10 +532,10 @@ func (g *irgen) genFor(x *cast.ForStmt) {
 	if x.Init != nil {
 		g.genStmt(x.Init)
 	}
-	head := g.fn.NewBlock()
-	body := g.fn.NewBlock()
-	post := g.fn.NewBlock()
-	exit := g.fn.NewBlock()
+	head := g.newBlock()
+	body := g.newBlock()
+	post := g.newBlock()
+	exit := g.newBlock()
 	g.br(head)
 	g.cur = head
 	if x.Cond != nil {
@@ -406,7 +561,7 @@ func (g *irgen) genFor(x *cast.ForStmt) {
 
 func (g *irgen) genSwitch(x *cast.SwitchStmt) {
 	cond := g.genExpr(x.Cond)
-	exit := g.fn.NewBlock()
+	exit := g.newBlock()
 	body, ok := x.Body.(*cast.CompoundStmt)
 	if !ok {
 		// Degenerate switch; evaluate and skip.
@@ -415,62 +570,72 @@ func (g *irgen) genSwitch(x *cast.SwitchStmt) {
 		return
 	}
 	// Map each case/default label to a block; code between labels flows
-	// into the previous label's chain (fallthrough preserved).
-	type arm struct {
-		value  int64
-		isCase bool
-		block  *ir.Block
-		stmts  []cast.Stmt
-	}
-	var arms []arm
+	// into the previous label's chain (fallthrough preserved). Arms and
+	// their statement lists live on shared scratch stacks with mark/cut
+	// discipline (statements only ever append to the newest arm, so each
+	// arm's statements form a contiguous stmtBuf run).
+	armMark := len(g.armBuf)
+	stmtMark := len(g.stmtBuf)
 	var defaultBlock *ir.Block
 	for _, s := range body.Stmts {
 		switch lbl := s.(type) {
 		case *cast.CaseStmt:
 			v, _ := cast.ConstIntValue(lbl.Value)
-			b := g.fn.NewBlock()
-			a := arm{value: v, isCase: true, block: b}
+			a := swArm{value: v, isCase: true, block: g.newBlock(),
+				s0: len(g.stmtBuf), s1: len(g.stmtBuf)}
 			if lbl.Body != nil {
-				a.stmts = append(a.stmts, lbl.Body)
+				g.stmtBuf = append(g.stmtBuf, lbl.Body)
+				a.s1++
 			}
-			arms = append(arms, a)
+			g.armBuf = append(g.armBuf, a)
 		case *cast.DefaultStmt:
-			b := g.fn.NewBlock()
+			b := g.newBlock()
 			defaultBlock = b
-			a := arm{isCase: false, block: b}
+			a := swArm{isCase: false, block: b,
+				s0: len(g.stmtBuf), s1: len(g.stmtBuf)}
 			if lbl.Body != nil {
-				a.stmts = append(a.stmts, lbl.Body)
+				g.stmtBuf = append(g.stmtBuf, lbl.Body)
+				a.s1++
 			}
-			arms = append(arms, a)
+			g.armBuf = append(g.armBuf, a)
 		default:
-			if len(arms) > 0 {
-				arms[len(arms)-1].stmts = append(arms[len(arms)-1].stmts, s)
+			if len(g.armBuf) > armMark {
+				g.stmtBuf = append(g.stmtBuf, s)
+				g.armBuf[len(g.armBuf)-1].s1++
 			}
 		}
 	}
+	arms := g.armBuf[armMark:]
 	g.feats.AddN("switch.arms", len(arms))
 	g.trace.HitN("switch", len(arms)%23)
-	// Emit the dispatcher.
+	// Emit the dispatcher. Case values collect on a scratch stack and the
+	// final slice is carved from the arena.
 	sw := ir.Instr{Op: ir.OpSwitch, A: cond}
-	var succs []*ir.Block
-	for _, a := range arms {
-		if a.isCase {
-			sw.Cases = append(sw.Cases, a.value)
-			succs = append(succs, a.block)
+	succMark := len(g.succBuf)
+	caseMark := len(g.caseBuf)
+	for i := range arms {
+		if arms[i].isCase {
+			g.caseBuf = append(g.caseBuf, arms[i].value)
+			g.succBuf = append(g.succBuf, arms[i].block)
 		}
 	}
+	sw.Cases = g.cases.save(g.caseBuf[caseMark:])
+	g.caseBuf = g.caseBuf[:caseMark]
 	if defaultBlock != nil {
-		succs = append(succs, defaultBlock)
+		g.succBuf = append(g.succBuf, defaultBlock)
 	} else {
-		succs = append(succs, exit)
+		g.succBuf = append(g.succBuf, exit)
 	}
 	g.cur.Instrs = append(g.cur.Instrs, sw)
-	g.setSuccs(g.cur, succs...)
-	// Emit arm bodies with fallthrough.
+	g.setSuccs(g.cur, g.succBuf[succMark:]...)
+	g.succBuf = g.succBuf[:succMark]
+	// Emit arm bodies with fallthrough. Nested switches push past our
+	// marks and truncate back, so index-based ranges stay valid.
 	g.pushLoop(exit, nil)
-	for i, a := range arms {
+	for i := range arms {
+		a := arms[i]
 		g.cur = a.block
-		for _, s := range a.stmts {
+		for _, s := range g.stmtBuf[a.s0:a.s1] {
 			g.genStmt(s)
 		}
 		if i+1 < len(arms) {
@@ -481,6 +646,8 @@ func (g *irgen) genSwitch(x *cast.SwitchStmt) {
 	}
 	g.popLoop()
 	g.cur = exit
+	g.armBuf = g.armBuf[:armMark]
+	g.stmtBuf = g.stmtBuf[:stmtMark]
 }
 
 func (g *irgen) pushLoop(brk, cont *ir.Block) {
@@ -520,7 +687,7 @@ func (g *irgen) genExpr(e cast.Expr) ir.Value {
 	if e == nil {
 		return ir.None
 	}
-	g.trace.HitN("expr."+e.Kind().String(), g.fn.NextTemp%29)
+	g.trace.HitNHash(exprSiteHash[e.Kind()], g.fn.NextTemp%29)
 	switch x := e.(type) {
 	case *cast.IntegerLiteral:
 		return ir.Const(x.Value)
@@ -776,6 +943,16 @@ func (g *irgen) genBinary(x *cast.BinaryOperator) ir.Value {
 	return t
 }
 
+// compoundToIR maps compound-assignment operators to their underlying
+// arithmetic op (package-level so genAssign does not rebuild it).
+var compoundToIR = map[cast.BinOp]ir.Op{
+	cast.BinAddAssign: ir.OpAdd, cast.BinSubAssign: ir.OpSub,
+	cast.BinMulAssign: ir.OpMul, cast.BinDivAssign: ir.OpDiv,
+	cast.BinRemAssign: ir.OpRem, cast.BinShlAssign: ir.OpShl,
+	cast.BinShrAssign: ir.OpShr, cast.BinAndAssign: ir.OpAnd,
+	cast.BinOrAssign: ir.OpOr, cast.BinXorAssign: ir.OpXor,
+}
+
 func (g *irgen) genAssign(x *cast.BinaryOperator) ir.Value {
 	base, off := g.genAddressOf(x.LHS)
 	w := widthOf(x.LHS.Type())
@@ -788,13 +965,7 @@ func (g *irgen) genAssign(x *cast.BinaryOperator) ir.Value {
 		g.emit(ir.Instr{Op: ir.OpLoad, Dst: cur, A: base, B: off, Width: w})
 		rhs := g.genExpr(x.RHS)
 		t := g.fn.NewTemp()
-		under := map[cast.BinOp]ir.Op{
-			cast.BinAddAssign: ir.OpAdd, cast.BinSubAssign: ir.OpSub,
-			cast.BinMulAssign: ir.OpMul, cast.BinDivAssign: ir.OpDiv,
-			cast.BinRemAssign: ir.OpRem, cast.BinShlAssign: ir.OpShl,
-			cast.BinShrAssign: ir.OpShr, cast.BinAndAssign: ir.OpAnd,
-			cast.BinOrAssign: ir.OpOr, cast.BinXorAssign: ir.OpXor,
-		}[x.Op]
+		under := compoundToIR[x.Op]
 		g.emit(ir.Instr{Op: under, Dst: t, A: cur, B: rhs,
 			Float: x.LHS.Type().IsFloating()})
 		val = t
@@ -807,8 +978,8 @@ func (g *irgen) genLogical(x *cast.BinaryOperator) ir.Value {
 	// Short-circuit lowering with control flow.
 	g.feats.Add("expr.logical")
 	a := g.genExpr(x.LHS)
-	rhsB := g.fn.NewBlock()
-	exitB := g.fn.NewBlock()
+	rhsB := g.newBlock()
+	exitB := g.newBlock()
 	t := g.fn.NewTemp()
 	// Initialize result with lhs-derived value.
 	g.emit(ir.Instr{Op: ir.OpCmpNE, Dst: t, A: a, B: ir.Const(0)})
@@ -886,9 +1057,9 @@ func (g *irgen) genUnary(x *cast.UnaryOperator) ir.Value {
 func (g *irgen) genConditional(x *cast.ConditionalExpr) ir.Value {
 	g.feats.Add("expr.conditional")
 	cond := g.genExpr(x.Cond)
-	thenB := g.fn.NewBlock()
-	elseB := g.fn.NewBlock()
-	exitB := g.fn.NewBlock()
+	thenB := g.newBlock()
+	elseB := g.newBlock()
+	exitB := g.newBlock()
 	// Use a dedicated local slot as the merge point (no SSA phi).
 	slot := g.fn.Locals
 	g.fn.Locals++
@@ -911,10 +1082,15 @@ func (g *irgen) genConditional(x *cast.ConditionalExpr) ir.Value {
 }
 
 func (g *irgen) genCall(x *cast.CallExpr) ir.Value {
-	var args []ir.Value
+	// Build the argument list on the shared scratch stack (nested calls
+	// compose via mark/cut) and carve the final slice from the arena.
+	mark := len(g.valBuf)
 	for _, a := range x.Args {
-		args = append(args, g.genExpr(a))
+		v := g.genExpr(a)
+		g.valBuf = append(g.valBuf, v)
 	}
+	args := g.vals.save(g.valBuf[mark:])
+	g.valBuf = g.valBuf[:mark]
 	name := ""
 	if dr, ok := x.Fn.(*cast.DeclRefExpr); ok {
 		name = dr.Name
@@ -926,11 +1102,11 @@ func (g *irgen) genCall(x *cast.CallExpr) ir.Value {
 	// Coverage sites must not depend on user identifiers — every fresh
 	// name would mint fresh edges, letting generators inflate coverage by
 	// renaming. Only the bounded builtin set keeps its name.
-	site := "call.user"
-	if isBuiltinCallee(name) {
-		site = "call." + name
+	site := callUserSite
+	if h, ok := builtinCallSite[name]; ok {
+		site = h
 	}
-	g.trace.HitN(site, len(args))
+	g.trace.HitNHash(site, len(args))
 	t := g.fn.NewTemp()
 	g.emit(ir.Instr{Op: ir.OpCall, Dst: t, Callee: name, Args: args})
 	return t

@@ -1,8 +1,6 @@
 package compilersim
 
 import (
-	"fmt"
-
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/compilersim/ir"
 )
@@ -11,29 +9,79 @@ import (
 type Pass struct {
 	Name string
 	Run  func(o *optimizer, f *ir.Func)
+	// site caches HashString("pass."+Name); zero means not yet computed
+	// (hand-built pass lists in tests fall back to hashing per run).
+	site uint32
 }
 
-// optimizer carries shared pass state.
+// siteHash returns the pass's coverage-site hash without mutating p
+// (pass slices may be shared across streams).
+func (p *Pass) siteHash() uint32 {
+	if p.site != 0 {
+		return p.site
+	}
+	return cover.HashString("pass." + p.Name)
+}
+
+// initPassSites precomputes the per-pass coverage-site hashes. Call once
+// on a freshly built pass list, before it is shared.
+func initPassSites(passes []Pass) []Pass {
+	for i := range passes {
+		passes[i].site = cover.HashString("pass." + passes[i].Name)
+	}
+	return passes
+}
+
+// optimizer carries shared pass state. One optimizer per compile
+// context, recycled across compilations: the scratch maps/slices below
+// are cleared (not reallocated) per pass, which is where the optimizer's
+// former per-mutant allocations lived.
 type optimizer struct {
 	trace *cover.Tracer
 	feats Features
 	prog  *ir.Program
+
+	// Scratch, reused across passes and compilations.
+	val    map[int64]ir.Value // copyProp: temp id -> known value
+	cse2   map[cseKey]ir.Value
+	reach  []bool
+	stack  []int
+	used   []bool
+	loops  []loopInfo
+	frames []dfsFrame
+}
+
+// cseKey identifies a pure computation for CSE: the operands are already
+// canonicalized (commutative ops order A before B), so two instructions
+// with equal keys compute the same value.
+type cseKey struct {
+	op    ir.Op
+	a, b  ir.Value
+	float bool
+}
+
+// initScratch allocates the optimizer's scratch maps (idempotent).
+func (o *optimizer) initScratch() {
+	if o.val == nil {
+		o.val = map[int64]ir.Value{}
+		o.cse2 = map[cseKey]ir.Value{}
+	}
 }
 
 // StandardPasses is the -O2 pipeline shared by both profiles (the
 // profiles order them differently; see profiles.go).
 func StandardPasses() []Pass {
-	return []Pass{
-		{"constfold", (*optimizer).constFold},
-		{"copyprop", (*optimizer).copyProp},
-		{"simplify", (*optimizer).algebraicSimplify},
-		{"cse", (*optimizer).cse},
-		{"dce", (*optimizer).dce},
-		{"loopvec", (*optimizer).loopVectorize},
-		{"strbuiltin", (*optimizer).strBuiltinOpt},
-		{"latefold", (*optimizer).lateFold},
-		{"dce2", (*optimizer).dce},
-	}
+	return initPassSites([]Pass{
+		{Name: "constfold", Run: (*optimizer).constFold},
+		{Name: "copyprop", Run: (*optimizer).copyProp},
+		{Name: "simplify", Run: (*optimizer).algebraicSimplify},
+		{Name: "cse", Run: (*optimizer).cse},
+		{Name: "dce", Run: (*optimizer).dce},
+		{Name: "loopvec", Run: (*optimizer).loopVectorize},
+		{Name: "strbuiltin", Run: (*optimizer).strBuiltinOpt},
+		{Name: "latefold", Run: (*optimizer).lateFold},
+		{Name: "dce2", Run: (*optimizer).dce},
+	})
 }
 
 // lateFold iterates constant/copy propagation and folding to a bounded
@@ -53,9 +101,16 @@ func (o *optimizer) lateFold(f *ir.Func) {
 // Optimize runs the pass pipeline over every function.
 func Optimize(prog *ir.Program, passes []Pass, trace *cover.Tracer, feats Features) {
 	o := &optimizer{trace: trace, feats: feats, prog: prog}
-	for _, f := range prog.Funcs {
-		for _, p := range passes {
-			o.trace.HitStr("pass." + p.Name)
+	o.initScratch()
+	o.run(passes)
+}
+
+// run executes the pipeline using the optimizer's recycled scratch.
+func (o *optimizer) run(passes []Pass) {
+	for _, f := range o.prog.Funcs {
+		for i := range passes {
+			p := &passes[i]
+			o.trace.Hit(p.siteHash())
 			p.Run(o, f)
 		}
 	}
@@ -156,7 +211,7 @@ func (o *optimizer) constFold(f *ir.Func) {
 				target = b.Succs[1]
 			}
 			*t = ir.Instr{Op: ir.OpBr}
-			b.Succs = []int{target}
+			b.Succs = append(b.Succs[:0], target)
 			o.trace.HitStr("fold.condbr")
 			o.feats.Add("opt.deadbranch")
 		}
@@ -168,8 +223,9 @@ func (o *optimizer) constFold(f *ir.Func) {
 // ---------------------------------------------------------------------
 
 func (o *optimizer) copyProp(f *ir.Func) {
+	val := o.val
 	for _, b := range f.Blocks {
-		val := map[int64]ir.Value{} // temp id -> known value
+		clear(val)
 		sub := func(v ir.Value) ir.Value {
 			if v.Kind == ir.VTemp {
 				if r, ok := val[v.ID]; ok {
@@ -274,8 +330,9 @@ func (o *optimizer) algebraicSimplify(f *ir.Func) {
 // ---------------------------------------------------------------------
 
 func (o *optimizer) cse(f *ir.Func) {
+	seen := o.cse2
 	for _, b := range f.Blocks {
-		seen := map[string]ir.Value{}
+		clear(seen)
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			switch in.Op {
@@ -287,7 +344,7 @@ func (o *optimizer) cse(f *ir.Func) {
 				if in.Op.IsCommutative() && valueLess(bb, a) {
 					a, bb = bb, a
 				}
-				key := fmt.Sprintf("%d|%v|%v|%v", in.Op, a, bb, in.Float)
+				key := cseKey{op: in.Op, a: a, b: bb, float: in.Float}
 				if prev, ok := seen[key]; ok {
 					o.trace.HitStr("cse.hit")
 					o.feats.Add("opt.cse")
@@ -321,10 +378,31 @@ func valueLess(a, b ir.Value) bool {
 // Dead code elimination
 // ---------------------------------------------------------------------
 
+// markTempUsed flags v's temp ID in the liveness table.
+func markTempUsed(used []bool, v ir.Value) {
+	if v.Kind == ir.VTemp && v.ID >= 0 && v.ID < int64(len(used)) {
+		used[v.ID] = true
+	}
+}
+
+// boolScratch returns buf resized to n entries, all false, reusing
+// capacity.
+func boolScratch(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
 func (o *optimizer) dce(f *ir.Func) {
 	// Reachability.
-	reach := make([]bool, len(f.Blocks))
-	var stack []int
+	reach := boolScratch(o.reach, len(f.Blocks))
+	o.reach = reach
+	stack := o.stack[:0]
 	if len(f.Blocks) > 0 {
 		reach[0] = true
 		stack = append(stack, 0)
@@ -339,6 +417,7 @@ func (o *optimizer) dce(f *ir.Func) {
 			}
 		}
 	}
+	o.stack = stack
 	for i, b := range f.Blocks {
 		b.Reachable = reach[i]
 		if !reach[i] && len(b.Instrs) > 0 {
@@ -348,23 +427,21 @@ func (o *optimizer) dce(f *ir.Func) {
 			if len(b.Instrs) > 1 {
 				o.feats.Add("opt.deadblock")
 			}
-			b.Instrs = nil
-			b.Succs = nil
+			b.Instrs = b.Instrs[:0]
+			b.Succs = b.Succs[:0]
 		}
 	}
 	// Dead temp elimination: drop pure instructions whose Dst is unused.
-	used := map[int64]bool{}
+	used := boolScratch(o.used, f.NextTemp)
+	o.used = used
 	for _, b := range f.Blocks {
-		for _, in := range b.Instrs {
-			for _, v := range []ir.Value{in.A, in.B, in.C} {
-				if v.Kind == ir.VTemp {
-					used[v.ID] = true
-				}
-			}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			markTempUsed(used, in.A)
+			markTempUsed(used, in.B)
+			markTempUsed(used, in.C)
 			for _, a := range in.Args {
-				if a.Kind == ir.VTemp {
-					used[a.ID] = true
-				}
+				markTempUsed(used, a)
 			}
 		}
 	}
@@ -372,7 +449,8 @@ func (o *optimizer) dce(f *ir.Func) {
 		kept := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			pure := in.Op.HasDst() && in.Op != ir.OpCall && in.Op != ir.OpLoad
-			if pure && in.Dst.Kind == ir.VTemp && !used[in.Dst.ID] {
+			if pure && in.Dst.Kind == ir.VTemp &&
+				in.Dst.ID >= 0 && in.Dst.ID < int64(len(used)) && !used[in.Dst.ID] {
 				o.trace.HitStr("dce.instr")
 				o.feats.Add("opt.deadinstr")
 				continue
@@ -391,34 +469,53 @@ func (o *optimizer) dce(f *ir.Func) {
 type loopInfo struct {
 	header int
 	latch  int
-	blocks map[int]bool
+}
+
+// dfsFrame is one explicit DFS stack frame for findLoops.
+type dfsFrame struct {
+	id int // block being visited
+	si int // next successor index to explore
 }
 
 // findLoops locates back edges via DFS (an edge to a block currently on
-// the DFS stack closes a loop).
-func findLoops(f *ir.Func) []loopInfo {
-	var loops []loopInfo
-	state := make([]int, len(f.Blocks)) // 0 unvisited, 1 on stack, 2 done
-	var dfs func(id int)
-	dfs = func(id int) {
-		state[id] = 1
-		for _, s := range f.Blocks[id].Succs {
+// the DFS stack closes a loop). The traversal is iterative with an
+// explicit frame stack — same visit order as the recursive form, no
+// per-call closure allocation — and reuses the optimizer's scratch.
+func (o *optimizer) findLoops(f *ir.Func) []loopInfo {
+	loops := o.loops[:0]
+	state := o.stack[:0] // 0 unvisited, 1 on stack, 2 done
+	for range f.Blocks {
+		state = append(state, 0)
+	}
+	o.stack = state
+	frames := o.frames[:0]
+	if len(f.Blocks) > 0 {
+		state[0] = 1
+		frames = append(frames, dfsFrame{id: 0})
+	}
+	for len(frames) > 0 {
+		fr := &frames[len(frames)-1]
+		succs := f.Blocks[fr.id].Succs
+		if fr.si < len(succs) {
+			s := succs[fr.si]
+			fr.si++
 			if s >= len(f.Blocks) {
 				continue
 			}
 			switch state[s] {
 			case 0:
-				dfs(s)
+				state[s] = 1
+				frames = append(frames, dfsFrame{id: s})
 			case 1:
-				loops = append(loops, loopInfo{header: s, latch: id,
-					blocks: map[int]bool{s: true, id: true}})
+				loops = append(loops, loopInfo{header: s, latch: fr.id})
 			}
+		} else {
+			state[fr.id] = 2
+			frames = frames[:len(frames)-1]
 		}
-		state[id] = 2
 	}
-	if len(f.Blocks) > 0 {
-		dfs(0)
-	}
+	o.frames = frames
+	o.loops = loops
 	return loops
 }
 
@@ -427,7 +524,7 @@ func findLoops(f *ir.Func) []loopInfo {
 // GCC bug #111820: a loop whose induction variable starts at zero and
 // decrements indefinitely makes the trip-count calculation diverge.
 func (o *optimizer) loopVectorize(f *ir.Func) {
-	loops := findLoops(f)
+	loops := o.findLoops(f)
 	o.trace.HitN("loops", len(loops)%7)
 	if len(loops) == 0 {
 		return
@@ -461,11 +558,13 @@ func (o *optimizer) loopVectorize(f *ir.Func) {
 		latch := f.Blocks[l.latch]
 		var stride *ir.Instr
 		vectorizable := 0
-		scan := []*ir.Block{latch}
+		scan := [2]*ir.Block{latch, nil}
+		nScan := 1
 		if latch != header {
-			scan = append(scan, header)
+			scan[1] = header
+			nScan = 2
 		}
-		for _, blk := range scan {
+		for _, blk := range scan[:nScan] {
 			for i := range blk.Instrs {
 				in := &blk.Instrs[i]
 				switch in.Op {
@@ -526,7 +625,20 @@ func (o *optimizer) loopVectorize(f *ir.Func) {
 // paper's verify_range crash — it records the bug-trigger feature.
 func (o *optimizer) strBuiltinOpt(f *ir.Func) {
 	for _, b := range f.Blocks {
-		var out []ir.Instr
+		// Fast path: most blocks contain no sprintf call; skip the
+		// rebuild entirely (the rebuilt slice would be identical).
+		hasSprintf := false
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpCall && in.Callee == "sprintf" && len(in.Args) == 3 {
+				hasSprintf = true
+				break
+			}
+		}
+		if !hasSprintf {
+			continue
+		}
+		out := make([]ir.Instr, 0, len(b.Instrs)+2)
 		for i := range b.Instrs {
 			in := b.Instrs[i]
 			if in.Op != ir.OpCall || in.Callee != "sprintf" || len(in.Args) != 3 {

@@ -1,0 +1,71 @@
+package compilersim
+
+import (
+	"fmt"
+
+	"github.com/icsnju/metamut-go/internal/cast"
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+	"github.com/icsnju/metamut-go/internal/compilersim/ir"
+)
+
+// Precomputed coverage-site hashes for every hot-path site whose name is
+// built by string concatenation ("emit."+op, "stmt."+kind, ...). The
+// full site string is hashed once here, at init, so the per-mutant inner
+// loop emits bit-identical edges without allocating the name. Sites with
+// constant names (e.g. "lex.eof", "be.spill") stay on HitStr/HitN —
+// hashing a constant string allocates nothing.
+var (
+	// lexSiteHash[k] == HashString("lex." + TokenKind(k).String()).
+	lexSiteHash [cast.TokShrEq + 1]uint32
+	// astSiteHash[k] == HashString("ast." + NodeKind(k).String()).
+	astSiteHash [cast.KindCommaExpr + 1]uint32
+	// stmtSiteHash[k] == HashString("stmt." + NodeKind(k).String()).
+	stmtSiteHash [cast.KindCommaExpr + 1]uint32
+	// exprSiteHash[k] == HashString("expr." + NodeKind(k).String()).
+	exprSiteHash [cast.KindCommaExpr + 1]uint32
+	// emitSiteHash[op] == HashString("emit." + Op(op).String()).
+	emitSiteHash [ir.OpIntrinsic + 1]uint32
+	// beSiteHash[op] == HashString("be." + AsmOp(op).String()).
+	beSiteHash [AReload + 1]uint32
+	// builtinCallSite maps each builtin callee to
+	// HashString("call." + name); all other callees share callUserSite.
+	builtinCallSite map[string]uint32
+	callUserSite    uint32
+	// strGlobalNames[i] == fmt.Sprintf(".str%d", i) for small i, so
+	// interning a string literal does not format a name per mutant.
+	strGlobalNames [64]string
+)
+
+func init() {
+	for k := range lexSiteHash {
+		lexSiteHash[k] = cover.HashString("lex." + cast.TokenKind(k).String())
+	}
+	for k := range astSiteHash {
+		name := cast.NodeKind(k).String()
+		astSiteHash[k] = cover.HashString("ast." + name)
+		stmtSiteHash[k] = cover.HashString("stmt." + name)
+		exprSiteHash[k] = cover.HashString("expr." + name)
+	}
+	for op := range emitSiteHash {
+		emitSiteHash[op] = cover.HashString("emit." + ir.Op(op).String())
+	}
+	for op := range beSiteHash {
+		beSiteHash[op] = cover.HashString("be." + AsmOp(op).String())
+	}
+	builtinCallSite = make(map[string]uint32, len(builtinCallees))
+	for name := range builtinCallees {
+		builtinCallSite[name] = cover.HashString("call." + name)
+	}
+	callUserSite = cover.HashString("call.user")
+	for i := range strGlobalNames {
+		strGlobalNames[i] = fmt.Sprintf(".str%d", i)
+	}
+}
+
+// strGlobalName returns the interned-string global's name for index idx.
+func strGlobalName(idx int) string {
+	if idx < len(strGlobalNames) {
+		return strGlobalNames[idx]
+	}
+	return fmt.Sprintf(".str%d", idx)
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/icsnju/metamut-go/internal/compilersim/cover"
+)
+
+// CoverBenchResult is the BENCH_cover.json payload: one before/after
+// number for the shared-coverage locking strategy — the flat-bitset Map
+// behind a single global mutex versus the lock-striped cover.Sharded.
+// The workload is the read-mostly steady state (novelty probes that
+// find nothing new); the stripes' advantage is parallel readers, so on
+// a single-CPU host (GoMaxProcs 1) the global mutex can come out ahead
+// — commit the numbers with the host shape and read them together.
+type CoverBenchResult struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Goroutines int     `json:"goroutines"`
+	Maps       int     `json:"maps"`
+	OpsPerSide int     `json:"ops_per_side"`
+	GlobalNs   float64 `json:"global_lock_ns_per_op"`
+	ShardedNs  float64 `json:"sharded_ns_per_op"`
+	Speedup    float64 `json:"sharded_speedup"`
+}
+
+// lockedBitset is the baseline: the current bitset Map behind one
+// mutex (the pre-sharding SharedCoverage design).
+type lockedBitset struct {
+	mu sync.Mutex
+	m  cover.Map
+}
+
+func (l *lockedBitset) MergeIfNew(m *cover.Map) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.m.HasNew(m) {
+		return false
+	}
+	l.m.Merge(m)
+	return true
+}
+
+// coverBenchMaps mirrors the cover package's benchmark workload: heavy
+// overlap plus a few private edges per map, so steady-state MergeIfNew
+// is a pure novelty probe.
+func coverBenchMaps(n int) []*cover.Map {
+	rng := rand.New(rand.NewSource(7))
+	core := make([]uint32, 400)
+	for i := range core {
+		core[i] = uint32(rng.Intn(cover.MapSize))
+	}
+	maps := make([]*cover.Map, n)
+	for i := range maps {
+		m := cover.NewMap()
+		for _, e := range core {
+			m.Set(e)
+		}
+		for j := 0; j < 32; j++ {
+			m.Set(uint32(rng.Intn(cover.MapSize)))
+		}
+		maps[i] = m
+	}
+	return maps
+}
+
+type coverSink interface{ MergeIfNew(*cover.Map) bool }
+
+func coverBenchSide(sink coverSink, maps []*cover.Map, goroutines, opsEach int) float64 {
+	for _, m := range maps {
+		sink.MergeIfNew(m)
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				sink.MergeIfNew(maps[(g+i)%len(maps)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(goroutines*opsEach)
+}
+
+// RunCoverBench measures the shared-coverage merge pair and returns the
+// BENCH_cover.json payload.
+func RunCoverBench() *CoverBenchResult {
+	const (
+		nMaps      = 64
+		goroutines = 4
+		opsEach    = 250000
+	)
+	maps := coverBenchMaps(nMaps)
+	res := &CoverBenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Goroutines: goroutines,
+		Maps:       nMaps,
+		OpsPerSide: goroutines * opsEach,
+	}
+	res.GlobalNs = coverBenchSide(&lockedBitset{}, maps, goroutines, opsEach)
+	res.ShardedNs = coverBenchSide(&cover.Sharded{}, maps, goroutines, opsEach)
+	if res.ShardedNs > 0 {
+		res.Speedup = res.GlobalNs / res.ShardedNs
+	}
+	return res
+}
+
+// Render prints the pair.
+func (r *CoverBenchResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Shared-coverage merge: %d goroutines x %d ops, %d maps, GOMAXPROCS=%d\n",
+		r.Goroutines, r.OpsPerSide/r.Goroutines, r.Maps, r.GoMaxProcs)
+	fmt.Fprintf(&sb, "  global-lock bitset: %8.1f ns/op\n", r.GlobalNs)
+	fmt.Fprintf(&sb, "  sharded stripes:    %8.1f ns/op  (%.2fx)\n", r.ShardedNs, r.Speedup)
+	return sb.String()
+}
+
+// WriteJSON writes the BENCH_cover.json artifact.
+func (r *CoverBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/icsnju/metamut-go/internal/compilersim"
+	"github.com/icsnju/metamut-go/internal/engine"
+	"github.com/icsnju/metamut-go/internal/fuzz"
+	"github.com/icsnju/metamut-go/internal/muast"
+	"github.com/icsnju/metamut-go/internal/seeds"
+)
+
+// HotLoopVariant is one cell of the hot-loop bench: the same μCFuzz
+// campaign at a given reward-batching width.
+type HotLoopVariant struct {
+	Name  string `json:"name"`
+	Batch int    `json:"batch"`
+
+	Ticks       int     `json:"ticks"`
+	Edges       int     `json:"edges"`
+	Crashes     int     `json:"crashes"`
+	Seconds     float64 `json:"seconds"`
+	EdgesPerSec float64 `json:"edges_per_sec"`
+	TicksPerSec float64 `json:"ticks_per_sec"`
+}
+
+// HotLoopBenchResult is the BENCH_hotloop.json payload: the
+// mutate→compile→cover inner loop timed end to end on the engine, with
+// reward batching off and on. Batching is an execution-strategy knob,
+// so ticks/edges/crashes MUST be identical across variants — a
+// difference is a determinism bug, not a perf result (see
+// docs/PERFORMANCE.md, "determinism gates before perf claims").
+type HotLoopBenchResult struct {
+	Seed     int64            `json:"seed"`
+	Steps    int              `json:"steps"`
+	Streams  int              `json:"streams"`
+	Pool     int              `json:"pool"`
+	Variants []HotLoopVariant `json:"variants"`
+}
+
+// RunHotLoopBench times the zero-alloc hot loop on the 6k-step bench.
+func RunHotLoopBench(cfg Config) *HotLoopBenchResult {
+	pool := seeds.Generate(schedBenchPool, cfg.Seed)
+	res := &HotLoopBenchResult{
+		Seed:    cfg.Seed,
+		Steps:   cfg.SchedBenchSteps,
+		Streams: 4,
+		Pool:    schedBenchPool,
+	}
+	for _, batch := range []int{1, 8} {
+		name := fmt.Sprintf("batch=%d", batch)
+		comp := compilersim.New("gcc", 14)
+		factory := func(stream int, rng *rand.Rand, _ fuzz.CoverageSink) engine.Worker {
+			mf := fuzz.NewMuCFuzz(fmt.Sprintf("hotloop-%s-%d", name, stream),
+				comp, muast.All(), pool, rng)
+			mf.Batch = batch
+			return mf
+		}
+		ecfg := engine.Config{
+			Streams:    res.Streams,
+			Workers:    cfg.EngineWorkers,
+			TotalSteps: cfg.SchedBenchSteps,
+			Seed:       cfg.Seed,
+			Registry:   cfg.Obs,
+		}
+		start := time.Now()
+		c := engine.New(ecfg, factory)
+		if err := c.Run(context.Background()); err != nil {
+			panic(err) // no checkpointing or cancellation in the bench
+		}
+		secs := time.Since(start).Seconds()
+		st := c.MergedStats()
+		row := HotLoopVariant{
+			Name:    name,
+			Batch:   batch,
+			Ticks:   st.Ticks,
+			Edges:   st.Coverage.Count(),
+			Crashes: st.UniqueCrashes(),
+			Seconds: secs,
+		}
+		if secs > 0 {
+			row.EdgesPerSec = float64(row.Edges) / secs
+			row.TicksPerSec = float64(row.Ticks) / secs
+		}
+		res.Variants = append(res.Variants, row)
+	}
+	return res
+}
+
+// Render prints the bench as a table.
+func (r *HotLoopBenchResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Hot-loop bench: %d steps x %d streams, seed %d, %d-program pool\n",
+		r.Steps, r.Streams, r.Seed, r.Pool)
+	fmt.Fprintf(&sb, "  %-10s %8s %8s %8s %8s %12s %12s\n",
+		"variant", "ticks", "edges", "crashes", "secs", "edges/s", "ticks/s")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&sb, "  %-10s %8d %8d %8d %8.2f %12.1f %12.1f\n",
+			v.Name, v.Ticks, v.Edges, v.Crashes, v.Seconds, v.EdgesPerSec, v.TicksPerSec)
+	}
+	if len(r.Variants) == 2 {
+		a, b := r.Variants[0], r.Variants[1]
+		if a.Ticks != b.Ticks || a.Edges != b.Edges || a.Crashes != b.Crashes {
+			sb.WriteString("  WARNING: variants diverge — batching broke determinism\n")
+		}
+	}
+	return sb.String()
+}
+
+// WriteJSON writes the BENCH_hotloop.json artifact.
+func (r *HotLoopBenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

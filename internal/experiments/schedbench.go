@@ -40,6 +40,7 @@ type SchedBenchVariant struct {
 	CacheHits      int64   `json:"cache_hits"`
 	ParseCacheHits int64   `json:"parse_cache_hits"`
 	Seconds        float64 `json:"seconds"`
+	EdgesPerSec    float64 `json:"edges_per_sec"`
 }
 
 // SchedBenchResult is the full ablation: the BENCH_sched.json payload.
@@ -127,6 +128,9 @@ func RunSchedBench(cfg Config) *SchedBenchResult {
 		}
 		if st.Ticks > 0 {
 			row.EdgesPer1kTicks = 1000 * float64(row.Edges) / float64(st.Ticks)
+		}
+		if secs > 0 {
+			row.EdgesPerSec = float64(row.Edges) / secs
 		}
 		res.Variants = append(res.Variants, row)
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/icsnju/metamut-go/internal/cast"
 	"github.com/icsnju/metamut-go/internal/compilersim"
 	"github.com/icsnju/metamut-go/internal/compilersim/cover"
 	"github.com/icsnju/metamut-go/internal/muast"
@@ -62,6 +63,8 @@ type Stats struct {
 	obsStaticRejects *obs.CounterVec
 	obsPanics        *obs.CounterVec
 	obsFuel          *obs.CounterVec
+	obsBatchFlushes  *obs.Counter
+	obsBatchRewards  *obs.Counter
 }
 
 // NewStats returns empty accounting for a named fuzzer.
@@ -85,6 +88,8 @@ func (s *Stats) Instrument(reg *obs.Registry) {
 	s.obsStaticRejects = reg.Counter("static_rejects_total", "check")
 	s.obsPanics = reg.Counter("mutator_panics_total", "mutator")
 	s.obsFuel = reg.Counter("mutator_fuel_exhausted_total", "mutator")
+	s.obsBatchFlushes = reg.Counter("batch_reward_flushes_total", "fuzzer").With(s.Name)
+	s.obsBatchRewards = reg.Counter("batch_rewards_total", "fuzzer").With(s.Name)
 }
 
 // resultOutcome labels one compilation for mutants_total.
@@ -281,6 +286,27 @@ func uncheckedRewrite(src string, rng *rand.Rand) (string, bool) {
 	if err != nil {
 		return "", false
 	}
+	return spliceWith(mgr, rng)
+}
+
+// uncheckedRewriteArena is uncheckedRewrite over a caller-owned AST
+// arena. Splice inputs are freshly minted mutant strings, so routing
+// them through the global parse cache is all misses and pure pollution;
+// an arena parse costs zero steady-state allocations instead. The
+// manager and every node it hands out die before this returns, which is
+// what makes borrowing from the arena safe — only the rewritten string
+// (owned) escapes.
+func uncheckedRewriteArena(src string, rng *rand.Rand, arena *cast.Arena) (string, bool) {
+	arena.Reset()
+	tu, err := cast.ParseAndCheckArena(src, arena)
+	if err != nil {
+		return "", false
+	}
+	return spliceWith(muast.NewManagerFromTU(tu, rng), rng)
+}
+
+// spliceWith draws the expression pair and performs the splice.
+func spliceWith(mgr *muast.Manager, rng *rand.Rand) (string, bool) {
 	exprs := mgr.Exprs(nil, nil)
 	if len(exprs) < 2 {
 		return "", false
@@ -311,6 +337,7 @@ func uncheckedRewrite(src string, rng *rand.Rand) (string, bool) {
 // added back to the pool (Algorithm 1).
 type MuCFuzz struct {
 	comp     *compilersim.Compiler
+	cx       *compilersim.Context
 	opts     compilersim.Options
 	mutators []*muast.Mutator
 	pool     []string
@@ -340,8 +367,25 @@ type MuCFuzz struct {
 	// draws); swap in sched.NewAdaptive for bandit-weighted selection.
 	// Arms index into the mutator slice in constructor order.
 	Sched sched.Scheduler
+	// Batch defers scheduler reward observation: with Batch >= 2, up to
+	// Batch (arm, reward) pairs are buffered and flushed — as contiguous
+	// same-arm runs, in original order — through Sched.ObserveBatch at
+	// the end of the step (or when the buffer fills). Batching is purely
+	// an execution-strategy knob: the try-order comes from one Order()
+	// call at the top of the step, before any observation lands, and
+	// ObserveBatch replays observations in order, so the schedule and
+	// posterior stay byte-identical to Batch <= 1 (see
+	// internal/engine/sched_determinism_test.go).
+	Batch int
 
 	allowedFn func(int) bool
+	// Deferred-reward scratch (parallel slices so a contiguous same-arm
+	// run flushes as rewVals[i:j] without copying).
+	rewArms []int
+	rewVals []sched.Reward
+	// spliceArena backs the unchecked-rewrite parses (see
+	// uncheckedRewriteArena).
+	spliceArena *cast.Arena
 	// flight, when attached, journals crashes, pool admissions,
 	// rewards, and quarantine churn (see AttachFlight).
 	flight FlightEmitter
@@ -354,6 +398,7 @@ func NewMuCFuzz(name string, comp *compilersim.Compiler, mutators []*muast.Mutat
 	copy(pool, seedPool)
 	f := &MuCFuzz{
 		comp:            comp,
+		cx:              comp.NewContext(),
 		opts:            compilersim.DefaultOptions(),
 		mutators:        mutators,
 		pool:            pool,
@@ -364,6 +409,7 @@ func NewMuCFuzz(name string, comp *compilersim.Compiler, mutators []*muast.Mutat
 		UncheckedRate:   DefaultUncheckedRate,
 		Quarantine:      resil.NewQuarantine(DefaultQuarantine(), nil),
 		Sched:           sched.NewUniform(len(mutators)),
+		spliceArena:     cast.NewArena(),
 	}
 	f.allowedFn = f.armAllowed
 	return f
@@ -400,10 +446,54 @@ func (f *MuCFuzz) Stats() *Stats { return f.stats }
 // PoolSize returns the current program-pool size.
 func (f *MuCFuzz) PoolSize() int { return len(f.pool) }
 
+// observe books one scheduler reward, immediately (Batch <= 1) or into
+// the deferred buffer (flushed at step end, or when Batch pairs are
+// pending).
+func (f *MuCFuzz) observe(arm int, r sched.Reward) {
+	if f.Batch <= 1 {
+		f.Sched.Observe(arm, r)
+		return
+	}
+	f.rewArms = append(f.rewArms, arm)
+	f.rewVals = append(f.rewVals, r)
+	if len(f.rewArms) >= f.Batch {
+		f.flushRewards()
+	}
+}
+
+// flushRewards drains the deferred reward buffer through ObserveBatch,
+// one contiguous same-arm run at a time, in original order — the
+// replay contract that keeps the posterior bit-identical to unbatched
+// Observe calls.
+func (f *MuCFuzz) flushRewards() {
+	for i := 0; i < len(f.rewArms); {
+		j := i + 1
+		for j < len(f.rewArms) && f.rewArms[j] == f.rewArms[i] {
+			j++
+		}
+		f.Sched.ObserveBatch(f.rewArms[i], f.rewVals[i:j])
+		f.stats.obsBatchFlushes.Inc()
+		f.stats.obsBatchRewards.Add(int64(j - i))
+		i = j
+	}
+	f.rewArms = f.rewArms[:0]
+	f.rewVals = f.rewVals[:0]
+}
+
 // Step runs one iteration of Algorithm 1: it stops after the first
 // mutant that covers a new branch (adding it to the pool), or after
-// MaxMutatorTries mutants.
+// MaxMutatorTries mutants. With Batch >= 2 any rewards still buffered
+// when the iteration ends are flushed before Step returns, so the
+// scheduler posterior is fully up to date between steps (checkpoints
+// taken at epoch barriers see no pending rewards).
 func (f *MuCFuzz) Step() {
+	f.stepInner()
+	if len(f.rewArms) > 0 {
+		f.flushRewards()
+	}
+}
+
+func (f *MuCFuzz) stepInner() {
 	f.Quarantine.Tick()
 	if len(f.pool) == 0 {
 		return
@@ -413,9 +503,17 @@ func (f *MuCFuzz) Step() {
 	// RNG: Uniform is Algorithm 1's shuffle (one Perm, identical draws),
 	// Adaptive ranks arms by posterior reward. Either way the schedule
 	// is a pure function of stream state — reproducible under the
-	// engine at any worker count.
+	// engine at any worker count. Order() runs before any reward from
+	// this step lands, which is what makes deferred (batched)
+	// observation indistinguishable from immediate observation.
 	order := f.Sched.Order(f.rng, f.allowedFn)
 	tries := 0
+	// One mutation manager serves every try of the step: all tries
+	// mutate the same pool program p, so the manager is built once
+	// (one parse via the cache, one parent-map derivation) and
+	// Reset — which restores it to freshly-constructed state — recycles
+	// it between tries.
+	var mgr *muast.Manager
 	for _, mi := range order {
 		if tries >= f.MaxMutatorTries {
 			return
@@ -424,26 +522,31 @@ func (f *MuCFuzz) Step() {
 		if !f.Quarantine.Allowed(mu.Name) {
 			continue // benched offender; costs nothing, like inapplicable
 		}
-		mgr, err := muast.NewManager(p, f.rng)
-		if err != nil {
-			return // pool entry no longer parses (should not happen)
+		if mgr == nil {
+			var err error
+			mgr, err = muast.NewManager(p, f.rng)
+			if err != nil {
+				return // pool entry no longer parses (should not happen)
+			}
+		} else {
+			mgr.Reset()
 		}
 		mutant, ok, faulted, fuel := safeApply(mu, p, mgr)
 		if faulted {
 			f.stats.RecordMutatorFault(mu.Name, fuel)
 			f.Quarantine.Strike(mu.Name)
-			f.Sched.Observe(mi, sched.Reward{Fault: true})
+			f.observe(mi, sched.Reward{Fault: true})
 			continue
 		}
 		if !ok {
 			// Not applicable to this program: zero reward, but the try
 			// still counts — otherwise a never-applying arm keeps its
 			// untried (+Inf) UCB score and the bandit re-picks it forever.
-			f.Sched.Observe(mi, sched.Reward{})
+			f.observe(mi, sched.Reward{})
 			continue // try the next (free)
 		}
 		if f.rng.Float64() < f.UncheckedRate {
-			if spliced, sok := uncheckedRewrite(mutant, f.rng); sok {
+			if spliced, sok := uncheckedRewriteArena(mutant, f.rng, f.spliceArena); sok {
 				mutant = spliced
 			}
 		}
@@ -454,18 +557,21 @@ func (f *MuCFuzz) Step() {
 			if check, rejected := mutcheck.Reject(mutant); rejected {
 				tries++
 				f.stats.RecordStaticReject(mu.Name, check)
-				f.Sched.Observe(mi, sched.Reward{CompileError: true})
+				f.observe(mi, sched.Reward{CompileError: true})
 				continue
 			}
 		}
 		tries++
 		nCrash := len(f.stats.Crashes)
-		res := f.comp.Compile(mutant, f.opts)
+		// Compile through the per-stream context: the result is borrowed
+		// (coverage aliases context storage until the next compile), and
+		// Stats.Record merges the coverage immediately, which is the copy.
+		res := f.cx.Compile(mutant, f.opts)
 		isNew := f.stats.Record(mutant, mu.Name, res)
 		if f.flight != nil && len(f.stats.Crashes) > nCrash {
 			emitCrash(f.flight, f.stats, res.Crash, mu.Name)
 		}
-		f.Sched.Observe(mi, sched.Reward{
+		f.observe(mi, sched.Reward{
 			NewCoverage:  isNew,
 			Crash:        res.Crash != nil,
 			CompileError: !res.OK && res.Crash == nil,
@@ -557,6 +663,7 @@ func DefaultMacroConfig() MacroConfig {
 // MacroFuzzer is the long-term bug-hunting fuzzer of Section 3.4.
 type MacroFuzzer struct {
 	comp     *compilersim.Compiler
+	cx       *compilersim.Context
 	mutators []*muast.Mutator
 	pool     []string
 	rng      *rand.Rand
@@ -572,6 +679,9 @@ type MacroFuzzer struct {
 
 	allowedFn func(int) bool
 	armBuf    []int // applied-arm scratch, reused across steps
+	// spliceArena backs the unchecked-rewrite parses (see
+	// uncheckedRewriteArena).
+	spliceArena *cast.Arena
 	// flight, when attached, journals crashes, pool admissions,
 	// rewards, and quarantine churn (see AttachFlight).
 	flight FlightEmitter
@@ -586,10 +696,12 @@ func NewMacroFuzzer(name string, comp *compilersim.Compiler,
 	pool := make([]string, len(seedPool))
 	copy(pool, seedPool)
 	f := &MacroFuzzer{
-		comp: comp, mutators: mutators, pool: pool, rng: rng,
+		comp: comp, cx: comp.NewContext(),
+		mutators: mutators, pool: pool, rng: rng,
 		stats: NewStats(name), shared: shared, cfg: cfg,
-		Quarantine: resil.NewQuarantine(DefaultQuarantine(), nil),
-		Sched:      sched.NewUniform(len(mutators)),
+		Quarantine:  resil.NewQuarantine(DefaultQuarantine(), nil),
+		Sched:       sched.NewUniform(len(mutators)),
+		spliceArena: cast.NewArena(),
 	}
 	f.allowedFn = f.armAllowed
 	return f
@@ -693,7 +805,7 @@ func (f *MacroFuzzer) Step() {
 		return
 	}
 	if f.rng.Float64() < f.cfg.UncheckedRate {
-		if spliced, sok := uncheckedRewrite(cur, f.rng); sok {
+		if spliced, sok := uncheckedRewriteArena(cur, f.rng, f.spliceArena); sok {
 			cur = spliced
 		}
 	}
@@ -707,7 +819,11 @@ func (f *MacroFuzzer) Step() {
 		}
 	}
 	nCrash := len(f.stats.Crashes)
-	res := f.comp.Compile(cur, f.sampleOptions())
+	// Per-stream context compile; the borrowed coverage is merged by
+	// Record and by the shared sink below before the next compile.
+	// Reward observation is NOT batched here: Pick reads the posterior
+	// every havoc round, so deferring Observe would change the picks.
+	res := f.cx.Compile(cur, f.sampleOptions())
 	f.stats.Record(cur, via, res)
 	if f.flight != nil && len(f.stats.Crashes) > nCrash {
 		emitCrash(f.flight, f.stats, res.Crash, via)

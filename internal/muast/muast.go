@@ -81,6 +81,22 @@ func NewManagerFromTU(tu *cast.TranslationUnit, rng *rand.Rand) *Manager {
 	}
 }
 
+// Reset discards recorded edits and restores the fuel budget, name
+// sequence and identifier set, making the manager equivalent to a
+// freshly constructed one over the same translation unit. Batched
+// fuzzers reuse one manager across the mutants of a step instead of
+// allocating a rewriter per try. The parent map is a pure cache of the
+// immutable TU and survives; the idents map does NOT — generated names
+// are recorded into it, so keeping it would shift GenerateUniqueName
+// results away from fresh-manager behavior.
+func (m *Manager) Reset() {
+	m.RW.Reset()
+	m.fuel = DefaultFuel
+	m.budget = DefaultFuel
+	m.nameSeq = 0
+	m.idents = nil
+}
+
 // identsMap lazily scans the source for identifiers. Most mutators
 // never call GenerateUniqueName, so the scan (regexp over the whole
 // program plus a map fill) is deferred until first use.

@@ -2,6 +2,7 @@ package muast
 
 import (
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -239,5 +240,58 @@ func TestQuickApplyAlwaysParseable(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestResetEquivalentToFresh pins the contract Reset's doc comment
+// states: a reset manager must be indistinguishable from a freshly
+// constructed one over the same program. The session below touches
+// every piece of state Reset must restore — edits (RW), fuel, the name
+// sequence, and the lazily-built identifier set — and runs it through
+// one reused manager and a per-round fresh manager driven by RNGs in
+// lockstep. Any drift (a surviving edit, a depleted budget, a name
+// sequence that kept counting) shows up as diverging output.
+func TestResetEquivalentToFresh(t *testing.T) {
+	session := func(m *Manager) (out string, names []string, fuel int) {
+		rng := m.Rand()
+		exprs := m.Exprs(nil, func(e cast.Expr) bool { return e.Type().IsInteger() })
+		if len(exprs) == 0 {
+			t.Fatal("no integer expressions in test program")
+		}
+		m.ReplaceNode(exprs[rng.Intn(len(exprs))], "(7)")
+		for i := 0; i < 3; i++ {
+			names = append(names, m.GenerateUniqueName("tmp"))
+		}
+		fns := m.Functions()
+		m.InsertBefore(fns[rng.Intn(len(fns))], "/* marker */\n")
+		return m.Apply(), names, m.Fuel()
+	}
+
+	rngReused := rand.New(rand.NewSource(9))
+	rngFresh := rand.New(rand.NewSource(9))
+	reused, err := NewManager(prog, rngReused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		fresh, err := NewManager(prog, rngFresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOut, wantNames, wantFuel := session(fresh)
+		if round > 0 {
+			reused.Reset()
+		}
+		gotOut, gotNames, gotFuel := session(reused)
+		if gotOut != wantOut {
+			t.Fatalf("round %d: reset manager rewrote differently\n got %q\nwant %q",
+				round, gotOut, wantOut)
+		}
+		if !reflect.DeepEqual(gotNames, wantNames) {
+			t.Fatalf("round %d: generated names diverged: %v vs %v", round, gotNames, wantNames)
+		}
+		if gotFuel != wantFuel {
+			t.Fatalf("round %d: fuel diverged: %d vs %d", round, gotFuel, wantFuel)
+		}
 	}
 }

@@ -118,6 +118,13 @@ type Scheduler interface {
 	Pick(rng *rand.Rand, allowed func(int) bool) int
 	// Observe books one mutant outcome against an arm.
 	Observe(arm int, r Reward)
+	// ObserveBatch books a run of outcomes for one arm, in order. It is
+	// exactly equivalent to calling Observe once per reward in slice
+	// order — batched fuzzers buffer rewards during a step and flush
+	// them here, and the replay-in-order contract keeps the posterior
+	// (including float reward sums) bit-identical to unbatched
+	// operation.
+	ObserveBatch(arm int, rs []Reward)
 	// State serializes the complete posterior for checkpointing.
 	State() *State
 	// Restore replaces the posterior from a checkpoint; it rejects a
@@ -166,6 +173,7 @@ func New(kind string, n int) (Scheduler, error) {
 // seeds reproduce bit-for-bit.
 type Uniform struct {
 	n      int
+	order  []int // Order scratch, reused across calls
 	mPicks []*obs.Counter
 	obsFn  Observer
 }
@@ -179,11 +187,26 @@ func (u *Uniform) Kind() string { return "uniform" }
 // Arms returns the arm count.
 func (u *Uniform) Arms() int { return u.n }
 
-// Order returns a fresh uniform permutation (exactly Algorithm 1's
-// shuffle). allowed is deliberately ignored — the fuzzer skips benched
+// Order returns a uniform permutation (exactly Algorithm 1's shuffle).
+// The permutation is built into a reused scratch slice with the same
+// inside-out construction — and therefore the exact same Intn draw
+// sequence — as rand.Perm, so legacy seeds reproduce bit-for-bit
+// without allocating per step. The slice is valid until the next Order
+// call. allowed is deliberately ignored — the fuzzer skips benched
 // arms inline, preserving the legacy draw sequence.
 func (u *Uniform) Order(rng *rand.Rand, allowed func(int) bool) []int {
-	return rng.Perm(u.n)
+	m := u.order
+	if cap(m) < u.n {
+		m = make([]int, u.n)
+	}
+	m = m[:u.n]
+	for i := 0; i < u.n; i++ {
+		j := rng.Intn(i + 1)
+		m[i] = m[j]
+		m[j] = i
+	}
+	u.order = m
+	return m
 }
 
 // Pick returns a uniformly random arm (exactly the macro fuzzer's
@@ -205,6 +228,14 @@ func (u *Uniform) Observe(arm int, r Reward) {
 	}
 	if u.obsFn != nil {
 		u.obsFn(arm, r)
+	}
+}
+
+// ObserveBatch books a run of outcomes for one arm, equivalent to
+// calling Observe once per reward in order.
+func (u *Uniform) ObserveBatch(arm int, rs []Reward) {
+	for _, r := range rs {
+		u.Observe(arm, r)
 	}
 }
 
@@ -354,6 +385,18 @@ func (a *Adaptive) Observe(arm int, r Reward) {
 	}
 	if a.obsFn != nil {
 		a.obsFn(arm, r)
+	}
+}
+
+// ObserveBatch books a run of outcomes for one arm by replaying the
+// exact per-observe update (tick, pick count, float reward sum,
+// telemetry, tap) once per reward in slice order. The replay — rather
+// than a folded sum — keeps the posterior bit-identical to unbatched
+// operation: float addition is not associative, so summing first would
+// drift the reward accumulator.
+func (a *Adaptive) ObserveBatch(arm int, rs []Reward) {
+	for _, r := range rs {
+		a.Observe(arm, r)
 	}
 }
 
